@@ -1,0 +1,64 @@
+// E8 — hybrid switching-ratio sweep (§4 limitations/future work: "explore
+// different criteria for adaptive-switching between GNS/MPM"). We sweep M
+// (learned frames per cycle) at fixed K and map the error/speedup
+// trade-off the adaptive criterion would navigate.
+
+#include "bench_common.hpp"
+#include "core/hybrid.hpp"
+#include "util/csv.hpp"
+
+using namespace gns;
+using namespace gns::bench;
+
+int main() {
+  print_header(
+      "E8: hybrid GNS/MPM switching-ratio sweep",
+      "error/speedup trade-off behind sec. 4's adaptive-switching idea");
+
+  LearnedSimulator sim = columns_simulator();
+  const double material = core::material_param_from_friction(30.0);
+  const int frames = 50;
+  const int refine = 5;  // K fixed at the paper's warm-up length
+
+  mpm::Scene scene =
+      mpm::make_column_collapse(granular_scene(), kColumnWidth,
+                                kColumnAspect);
+  MpmReference ref =
+      run_mpm_reference(scene.make_solver(), frames, kSubsteps);
+
+  CsvWriter csv(cache_dir() + "/ablation_hybrid_ratio.csv",
+                {"gns_frames_M", "mean_err_pct", "final_err_pct",
+                 "speedup", "gns_share_pct"});
+  std::printf("\nK = %d MPM refinement frames per cycle; sweeping M:\n\n",
+              refine);
+  std::printf("%6s %14s %14s %10s %12s\n", "M", "mean err %", "final err %",
+              "speedup", "GNS frames %");
+  for (int m : {2, 5, 10, 20, 45}) {
+    HybridConfig hc;
+    hc.gns_frames = m;
+    hc.refine_frames = refine;
+    hc.substeps = kSubsteps;
+    HybridResult hybrid =
+        run_hybrid(sim, scene.make_solver(), hc, frames, material);
+    const auto errors = frame_errors(hybrid.frames, ref.frames, 1.0);
+    double mean_err = 0.0;
+    for (double e : errors) mean_err += e;
+    mean_err /= errors.size();
+    const double total = hybrid.mpm_seconds + hybrid.gns_seconds;
+    const double speedup = ref.seconds / total;
+    const double gns_share =
+        100.0 * hybrid.gns_frame_count /
+        (hybrid.gns_frame_count + hybrid.mpm_frame_count);
+    std::printf("%6d %14.2f %14.2f %9.2fx %12.0f\n", m, 100 * mean_err,
+                100 * errors.back(), speedup, gns_share);
+    csv.row({static_cast<double>(m), 100 * mean_err, 100 * errors.back(),
+             speedup, gns_share});
+  }
+  print_rule();
+  std::printf(
+      "expected shape: error grows and speedup rises with M — the\n"
+      "Pareto curve an adaptive switch (paper sec. 7) would walk.\n");
+  std::printf("CSV written to %s/ablation_hybrid_ratio.csv\n",
+              cache_dir().c_str());
+  return 0;
+}

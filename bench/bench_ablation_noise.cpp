@@ -1,0 +1,65 @@
+// E9 — training-noise ablation (§3's inductive-bias recipe): random-walk
+// noise injected during training is the standard GNS trick that keeps
+// autoregressive rollouts on the data manifold. We sweep the noise std
+// and measure rollout error at the horizon.
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+
+using namespace gns;
+using namespace gns::bench;
+
+int main() {
+  print_header(
+      "E9: training-noise ablation",
+      "rollout stability needs noise injection (GNS training recipe)");
+
+  mpm::GranularSceneParams scene = granular_scene();
+  io::Dataset train = generate_column_dataset(
+      scene, {25.0, 35.0}, kColumnWidth, kColumnAspect, 50, kSubsteps);
+  io::Dataset test = generate_column_dataset(
+      scene, {30.0}, kColumnWidth, kColumnAspect, 50, kSubsteps);
+  const auto& traj = test.trajectories[0];
+
+  FeatureConfig fc = granular_features(true);
+  GnsConfig gc = granular_model();
+  gc.latent = 24;
+  gc.mlp_hidden = 24;
+
+  CsvWriter csv(cache_dir() + "/ablation_noise.csv",
+                {"noise_std", "one_step_loss", "mid_err_pct",
+                 "final_err_pct"});
+  std::printf("\n%12s %16s %14s %14s\n", "noise std", "one-step loss",
+              "mid err %", "final err %");
+  for (double noise : {0.0, 3e-4, 1e-3}) {
+    LearnedSimulator sim = make_simulator(train, fc, gc);
+    TrainConfig tc = granular_training(900);
+    tc.noise_std = noise;
+    tc.log_every = 0;
+    TrainReport report = train_gns(sim, train, tc);
+
+    Window win = sim.window_from_trajectory(traj);
+    SceneContext ctx;
+    ctx.material = ad::Tensor::scalar(
+        core::material_param_from_friction(30.0));
+    const int window = sim.features().window_size();
+    const int steps = traj.num_frames() - window;
+    auto frames = sim.rollout(win, steps, ctx);
+    const double mid = position_error(
+        frames[steps / 2], traj.frames[window + steps / 2], 2, 1.0);
+    const double fin =
+        position_error(frames.back(), traj.frames[window + steps - 1], 2,
+                       1.0);
+    std::printf("%12.0e %16.4f %14.2f %14.2f\n", noise,
+                report.final_loss_ema, 100 * mid, 100 * fin);
+    csv.row({noise, report.final_loss_ema, 100 * mid, 100 * fin});
+  }
+  print_rule();
+  std::printf(
+      "GNS-recipe expectation: noise trades one-step accuracy for rollout\n"
+      "stability. Note the effect is horizon- and budget-dependent: at\n"
+      "short horizons / small budgets the noise mostly inflates targets\n"
+      "and zero noise can win — compare the rows above.\n");
+  std::printf("CSV written to %s/ablation_noise.csv\n", cache_dir().c_str());
+  return 0;
+}

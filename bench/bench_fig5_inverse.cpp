@@ -1,0 +1,100 @@
+// E4 — Fig 5: inverse identification of the friction angle by reverse-mode
+// AD through the GNS rollout.
+//
+// Paper setup: target runout from φ = 30°; initial guess φ = 45°;
+// J = (L_target − L(φ))²; k = 30-step differentiable rollout (full-horizon
+// AD exceeded 40 GB GPU memory, so the paper runs AD on CPU at k = 30);
+// simple gradient descent. Paper result: converges to φ ≈ 30.7° after 17
+// iterations, with most of the motion in ~6 iterations.
+
+#include "bench_common.hpp"
+#include "core/inverse.hpp"
+#include "util/csv.hpp"
+
+using namespace gns;
+using namespace gns::bench;
+
+int main() {
+  print_header(
+      "E4 / Fig 5: inverse friction-angle identification via AD",
+      "phi: 45 deg -> ~30.7 deg (target 30) in ~17 GD iterations");
+
+  LearnedSimulator sim = columns_simulator();
+  const double target_phi = 30.0;
+  const double initial_phi = 45.0;
+
+  InverseConfig ic;
+  ic.rollout_steps = 30;  // k = 30, as in the paper
+  ic.max_iterations = 25;
+  // GD rate sized to the measured runout sensitivity dL/d(tan phi) ~ 4e-2
+  // m per unit tan(phi): steps of ~0.05-0.1 in tan(phi) early on, shrinking
+  // as the residual closes (paper: 17 iterations, mostly within ~6).
+  ic.lr = 80.0;
+  ic.smooth_temp = 0.01;
+  ic.loss_tol = 1e-8;
+
+  // Target runout at the k-step horizon (paper: "our target runout
+  // corresponds to the runout at 30 steps, not at the final timestep").
+  // The target is generated with the same differentiable simulator at the
+  // true angle — the self-consistent inverse problem of Fig 5; a target
+  // from the MPM reference instead folds the surrogate's rollout bias into
+  // the identified angle (reported below for completeness).
+  io::Dataset target_run = generate_column_dataset(
+      granular_scene(), {target_phi}, kColumnWidth, kColumnAspect, kFrames,
+      kSubsteps);
+  const auto& traj = target_run.trajectories[0];
+  const int window = sim.features().window_size();
+  Window win = sim.window_from_trajectory(traj);
+  SceneContext target_ctx;
+  target_ctx.material =
+      ad::Tensor::scalar(core::material_param_from_friction(target_phi));
+  const auto target_frames =
+      sim.rollout(win, ic.rollout_steps, target_ctx);
+  const double target_runout =
+      smooth_runout_value(target_frames.back(), 2, ic.smooth_temp);
+  const double mpm_runout = smooth_runout_value(
+      traj.frames[window + ic.rollout_steps - 1], 2, ic.smooth_temp);
+  std::printf("\ntarget runout at k=%d frames (phi=%.0f deg): %.4f m "
+              "(MPM reference: %.4f m)\n",
+              ic.rollout_steps, target_phi, target_runout, mpm_runout);
+  Timer timer;
+  InverseResult result =
+      solve_friction_angle(sim, win, target_runout, initial_phi, ic);
+  const double seconds = timer.seconds();
+
+  CsvWriter csv(cache_dir() + "/fig5_inverse_iterations.csv",
+                {"iteration", "friction_deg", "runout", "loss", "gradient"});
+  std::printf("\n%6s %14s %12s %14s %14s\n", "iter", "phi (deg)",
+              "runout (m)", "loss (m^2)", "dJ/dtanphi");
+  for (const auto& it : result.iterates) {
+    std::printf("%6d %14.2f %12.4f %14.3e %14.3e\n", it.iteration,
+                it.friction_deg, it.runout, it.loss, it.gradient);
+    csv.row({static_cast<double>(it.iteration), it.friction_deg, it.runout,
+             it.loss, it.gradient});
+  }
+
+  const auto& last = result.final();
+  print_rule();
+  std::printf("identified friction angle: %.2f deg (target %.0f, start %.0f)\n",
+              last.friction_deg, target_phi, initial_phi);
+  std::printf("iterations: %zu (paper: 17, mostly within ~6)\n",
+              result.iterates.size());
+  std::printf("total AD wall time: %.1f s (%.1f s per k=%d rollout+grad)\n",
+              seconds, seconds / result.iterates.size(), ic.rollout_steps);
+  const double err = std::abs(last.friction_deg - target_phi);
+  std::printf("|phi - target| = %.2f deg  %s\n", err,
+              err < 5.0 ? "[SHAPE HOLDS]" : "[ABOVE PAPER BAND]");
+
+  // How far did the first 6 iterations carry us? (Paper: most of the
+  // convergence happens there.)
+  if (result.iterates.size() > 6) {
+    const double at6 = result.iterates[6].friction_deg;
+    std::printf("phi after 6 iterations: %.2f deg (%.0f%% of total motion)\n",
+                at6,
+                100.0 * (initial_phi - at6) /
+                    std::max(1e-9, initial_phi - last.friction_deg));
+  }
+  std::printf("CSV written to %s/fig5_inverse_iterations.csv\n",
+              cache_dir().c_str());
+  return 0;
+}

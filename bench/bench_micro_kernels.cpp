@@ -1,0 +1,176 @@
+// Micro-kernel benchmarks (google-benchmark): the per-step building
+// blocks whose throughput determines every experiment's wall time —
+// MPM step, radius-graph construction, GNS forward/backward, autograd
+// GEMM, SR expression evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "ad/nn.hpp"
+#include "ad/optim.hpp"
+#include "core/datagen.hpp"
+#include "core/trainer.hpp"
+#include "graph/neighbor_search.hpp"
+#include "mpm/scenes.hpp"
+#include "sr/genetic.hpp"
+
+namespace {
+
+using namespace gns;
+
+// ---- MPM -------------------------------------------------------------------
+
+void BM_MpmStep(benchmark::State& state) {
+  mpm::GranularSceneParams params;
+  params.cells_x = static_cast<int>(state.range(0));
+  params.cells_y = params.cells_x / 2;
+  params.domain_width = 1.0;
+  params.domain_height = 0.5;
+  mpm::Scene scene = mpm::make_column_collapse(params, 0.2, 1.5);
+  mpm::MpmSolver solver = scene.make_solver();
+  for (auto _ : state) {
+    solver.step();
+    benchmark::DoNotOptimize(solver.particles().position.data());
+  }
+  state.counters["particles"] =
+      static_cast<double>(solver.particles().size());
+  state.counters["particle_steps/s"] = benchmark::Counter(
+      static_cast<double>(solver.particles().size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MpmStep)->Arg(16)->Arg(32)->Arg(64);
+
+// ---- Neighbor search ---------------------------------------------------------
+
+void BM_RadiusGraph(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<graph::Vec2> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.uniform(0.0, 1.0);
+    p.y = rng.uniform(0.0, 0.5);
+  }
+  for (auto _ : state) {
+    graph::Graph g = graph::build_radius_graph(pts, 0.04);
+    benchmark::DoNotOptimize(g.senders.data());
+  }
+  state.counters["particles/s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RadiusGraph)->Arg(200)->Arg(1000)->Arg(5000);
+
+// ---- Autograd GEMM -----------------------------------------------------------
+
+void BM_MatmulForwardBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<ad::Real> av(n * 64), bv(64 * 64);
+  for (auto& v : av) v = rng.uniform(-1, 1);
+  for (auto& v : bv) v = rng.uniform(-1, 1);
+  ad::Tensor a = ad::Tensor::from_vector(n, 64, av);
+  ad::Tensor b = ad::Tensor::from_vector(64, 64, bv, true);
+  for (auto _ : state) {
+    ad::Tensor loss = ad::sum(ad::matmul(a, b));
+    b.zero_grad();
+    loss.backward();
+    benchmark::DoNotOptimize(b.grad().data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      3.0 * 2.0 * n * 64 * 64 * 1e-9 *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatmulForwardBackward)->Arg(512)->Arg(4096);
+
+// ---- GNS forward / training step ----------------------------------------------
+
+struct GnsFixtureData {
+  io::Dataset ds;
+  std::unique_ptr<core::LearnedSimulator> sim;
+  core::Window window;
+
+  explicit GnsFixtureData(int particles_scale) {
+    mpm::GranularSceneParams params;
+    params.cells_x = 32;
+    params.cells_y = 16;
+    params.domain_width = 1.0;
+    params.domain_height = 0.5;
+    params.particles_per_cell_dim = particles_scale;
+    ds = core::generate_column_dataset(params, {30.0}, 0.15, 2.0, 10, 10);
+    core::FeatureConfig fc;
+    fc.dim = 2;
+    fc.history = 5;
+    fc.connectivity_radius = 0.04;
+    fc.domain_lo = {0.0, 0.0};
+    fc.domain_hi = {1.0, 0.5};
+    core::GnsConfig gc;
+    gc.latent = 32;
+    gc.mlp_hidden = 32;
+    gc.mlp_layers = 2;
+    gc.message_passing_steps = 3;
+    sim = std::make_unique<core::LearnedSimulator>(
+        core::make_simulator(ds, fc, gc));
+    window = sim->window_from_trajectory(ds.trajectories[0]);
+  }
+};
+
+void BM_GnsForward(benchmark::State& state) {
+  GnsFixtureData fix(static_cast<int>(state.range(0)));
+  ad::NoGradGuard no_grad;
+  for (auto _ : state) {
+    ad::Tensor accel =
+        fix.sim->predict_acceleration(fix.window, core::SceneContext{});
+    benchmark::DoNotOptimize(accel.data());
+  }
+  state.counters["particles"] =
+      static_cast<double>(fix.ds.trajectories[0].num_particles);
+}
+BENCHMARK(BM_GnsForward)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_GnsTrainStep(benchmark::State& state) {
+  GnsFixtureData fix(2);
+  ad::Adam opt(fix.sim->model().parameters(), 1e-4);
+  for (auto _ : state) {
+    ad::Tensor accel =
+        fix.sim->predict_acceleration(fix.window, core::SceneContext{});
+    ad::Tensor loss = ad::mean(ad::square(accel));
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_GnsTrainStep);
+
+// ---- SR expression evaluation --------------------------------------------------
+
+void BM_SrEvaluate(benchmark::State& state) {
+  sr::SrProblem problem;
+  problem.var_names = {"x", "y"};
+  problem.var_dims = {sr::Dim{{0, 0}}, sr::Dim{{0, 0}}};
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-2, 2), y = rng.uniform(-2, 2);
+    problem.X.push_back({x, y});
+    problem.y.push_back(std::abs(x - y) * 3.0);
+  }
+  sr::ExprPtr e = sr::Expr::binary(
+      sr::Op::Mul,
+      sr::Expr::unary(sr::Op::Abs,
+                      sr::Expr::binary(sr::Op::Sub, sr::Expr::variable(0),
+                                       sr::Expr::variable(1))),
+      sr::Expr::constant(3.0));
+  for (auto _ : state) {
+    const sr::FitnessResult fit = sr::evaluate(*e, problem);
+    benchmark::DoNotOptimize(fit.mae);
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      5000.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SrEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

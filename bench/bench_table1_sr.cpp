@@ -1,0 +1,145 @@
+// E5 — Table 1 + Fig 6: symbolic regression on GNS edge messages of a
+// 10-body linear-spring system.
+//
+// Paper pipeline: train a GNS on n-body spring trajectories with L1
+// sparsity on messages; take the dominant message component; fit symbolic
+// expressions over (Δx, r_i, r_j, m_i, m_j) by genetic programming with
+// the weighted-complexity / −Δlog(MAE)/Δc Occam criterion; the recovered
+// law is F = k_n |Δx − r_i − r_j| with k_n = 100 (Table 1, Eq. 8).
+
+#include "bench_common.hpp"
+#include "core/interpret.hpp"
+#include "sr/report.hpp"
+
+using namespace gns;
+using namespace gns::bench;
+
+namespace {
+
+core::LearnedSimulator nbody_simulator(const io::Dataset& ds) {
+  core::FeatureConfig fc;
+  fc.dim = 1;
+  fc.history = 2;
+  // Connectivity ~ contact scale: edges exist only near interactions, so
+  // messages carry contact information (the paper's spring pairs).
+  fc.connectivity_radius = 0.18;
+  fc.static_node_attrs = 2;  // radius, mass
+  core::GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 32;
+  gc.mlp_layers = 2;
+  gc.message_passing_steps = 1;  // 1-hop: messages = pure pair interactions
+  return core::make_simulator(ds, fc, gc);
+}
+
+sr::SrProblem message_problem(const core::MessageDataset& data,
+                              const std::vector<double>& target) {
+  sr::SrProblem problem;
+  problem.var_names = {"dx", "r1", "r2", "m1", "m2"};
+  problem.var_dims = {sr::Dim{{1, 0}}, sr::Dim{{1, 0}}, sr::Dim{{1, 0}},
+                      sr::Dim{{0, 1}}, sr::Dim{{0, 1}}};
+  problem.target_dim = sr::Dim{{1, 1}};  // k_n · length
+  for (int i = 0; i < data.size(); ++i) {
+    // Restrict to receiver-right-of-sender edges so the law is single-
+    // branch (by symmetry no information is lost).
+    if (data.features[i][0] <= 0.0) continue;
+    problem.X.push_back({data.features[i][0], data.features[i][1],
+                         data.features[i][2], data.features[i][3],
+                         data.features[i][4]});
+    problem.y.push_back(target[i]);
+  }
+  return problem;
+}
+
+void run_and_print(const char* label, const sr::SrProblem& problem,
+                   std::uint64_t seed) {
+  sr::SrConfig config;
+  config.population = 768;
+  config.generations = 60;
+  config.seed = seed;
+  Timer timer;
+  sr::ParetoFront front = sr::run_sr(problem, config);
+  std::printf("\n%s  (%d samples, GP %.1f s)\n", label,
+              problem.num_samples(), timer.seconds());
+  const auto rows = sr::build_table(front, problem.var_names);
+  std::printf("%s", sr::render_table(rows).c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "E5 / Table 1 + Fig 6: symbolic regression on GNS messages",
+      "recovers F = k_n |dx - r1 - r2| with k_n = 100 (Table 1 Eq. 8)");
+
+  // Ground-truth system: 10 bodies, k_n = 100 (paper values).
+  core::NBodyDataGenConfig dg;
+  dg.system.num_bodies = 10;
+  dg.system.stiffness = 100.0;
+  dg.num_trajectories = 10;
+  dg.frames = 120;
+  dg.substeps = 8;
+  io::Dataset ds = core::generate_nbody_dataset(dg);
+
+  // Train the GNS with the L1 message-sparsity penalty of sec. 6.
+  const std::string model_path = cache_dir() + "/gns_nbody_v2.bin";
+  core::LearnedSimulator sim = [&] {
+    if (auto cached = core::load_simulator(model_path)) {
+      std::printf("[cache] loaded n-body model\n");
+      return std::move(*cached);
+    }
+    std::printf("[train] n-body GNS with L1 message sparsity...\n");
+    Timer timer;
+    core::LearnedSimulator fresh = nbody_simulator(ds);
+    core::TrainConfig tc;
+    tc.steps = 60000;
+    tc.lr = 2e-3;
+    tc.lr_final = 3e-4;
+    tc.noise_std = 1e-5;
+    tc.l1_message_weight = 0.05;
+    core::train_gns(fresh, ds, tc);
+    core::save_simulator(fresh, model_path);
+    std::printf("[train] done in %.0f s\n", timer.seconds());
+    return fresh;
+  }();
+
+  // Collect messages + physical features + true forces on a held-out run.
+  core::NBodyDataGenConfig test_cfg = dg;
+  test_cfg.seed = 4242;
+  test_cfg.num_trajectories = 1;
+  test_cfg.frames = 200;
+  io::Dataset test = core::generate_nbody_dataset(test_cfg);
+  core::MessageDataset data = core::filter_contacts(core::collect_messages(
+      sim, test.trajectories[0], test_cfg.system, /*stride=*/1,
+      /*max_samples=*/20000));
+  std::printf("\ncollected %d in-contact edge observations, latent %d\n",
+              data.size(), data.latent());
+
+  // Dominant message component and its correlation with the true force
+  // (the sec. 6 hypothesis: messages encode a linear image of the force).
+  const auto stds = core::message_component_std(data);
+  const int dominant = core::dominant_component(data);
+  const double corr = core::message_force_correlation(data, dominant);
+  std::printf("dominant message component: #%d (std %.3f)\n", dominant,
+              stds[dominant]);
+  std::printf("corr(message[%d], true force) = %+.3f  %s\n", dominant, corr,
+              std::abs(corr) > 0.7 ? "[messages encode the force law]"
+                                   : "[weak encoding]");
+
+  // (a) SR on the learned message component (the paper's experiment).
+  run_and_print("(a) SR on the dominant GNS message component",
+                message_problem(data, core::component_values(data, dominant)),
+                2024);
+
+  // (b) SR on the ground-truth force (verification: the pipeline recovers
+  // the law exactly when handed clean targets).
+  run_and_print("(b) SR on the ground-truth contact force (verification)",
+                message_problem(data, data.true_force), 4048);
+
+  print_rule();
+  std::printf(
+      "paper Table 1 chose ((dx + abs((r2*-1.0) + r1)*-1.0) * 100.0)\n"
+      "with MSE 3.76e-10 at Cx = 12; the starred row above is this\n"
+      "reproduction's Occam selection on its own trained messages.\n");
+  return 0;
+}

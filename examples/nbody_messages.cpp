@@ -1,0 +1,92 @@
+// Interpretable GNS (paper §6) at example scale: train a GNS on a chain of
+// colliding spring-balls, then show that its learned edge messages are a
+// linear image of the true contact force — and let symbolic regression
+// write the law down.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/datagen.hpp"
+#include "core/interpret.hpp"
+#include "core/trainer.hpp"
+#include "sr/report.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace gns;
+  using namespace gns::core;
+
+  std::printf("Interpretable GNS: from learned messages to a force law\n\n");
+
+  // 1. Ground truth: 10 balls on a line, linear contact springs k = 100.
+  NBodyDataGenConfig dg;
+  dg.system.num_bodies = 10;
+  dg.system.stiffness = 100.0;
+  dg.num_trajectories = 6;
+  dg.frames = 100;
+  dg.substeps = 8;
+  io::Dataset ds = generate_nbody_dataset(dg);
+  std::printf("[1/4] simulated %d spring-ball trajectories\n", ds.size());
+
+  // 2. GNS with L1-sparsified messages.
+  FeatureConfig fc;
+  fc.dim = 1;
+  fc.history = 2;
+  fc.connectivity_radius = 0.18;
+  fc.static_node_attrs = 2;  // radius, mass
+  GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 24;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 1;  // 1-hop: messages = pure pair interactions
+  LearnedSimulator sim = make_simulator(ds, fc, gc);
+  TrainConfig tc;
+  tc.steps = 60000;
+  tc.lr = 2e-3;
+  tc.noise_std = 1e-5;
+  tc.l1_message_weight = 0.05;
+  Timer train_timer;
+  TrainReport report = train_gns(sim, ds, tc);
+  std::printf("[2/4] trained with L1 message sparsity (%.0f s, loss %.3f)\n",
+              train_timer.seconds(), report.final_loss_ema);
+
+  // 3. Extract messages on held-out data, check the force correlation.
+  NBodyDataGenConfig test_cfg = dg;
+  test_cfg.seed = 999;
+  test_cfg.num_trajectories = 1;
+  test_cfg.frames = 150;
+  io::Dataset test = generate_nbody_dataset(test_cfg);
+  MessageDataset data = filter_contacts(
+      collect_messages(sim, test.trajectories[0], test_cfg.system));
+  const int dominant = dominant_component(data);
+  const double corr = message_force_correlation(data, dominant);
+  std::printf("[3/4] %d edge observations; dominant message component #%d\n",
+              data.size(), dominant);
+  std::printf("      corr(message, true force) = %+.3f\n", corr);
+
+  // 4. Symbolic regression on the dominant component.
+  sr::SrProblem problem;
+  problem.var_names = {"dx", "r1", "r2", "m1", "m2"};
+  problem.var_dims = {sr::Dim{{1, 0}}, sr::Dim{{1, 0}}, sr::Dim{{1, 0}},
+                      sr::Dim{{0, 1}}, sr::Dim{{0, 1}}};
+  problem.target_dim = sr::Dim{{1, 1}};
+  const auto target = component_values(data, dominant);
+  for (int i = 0; i < data.size(); ++i) {
+    if (data.features[i][0] <= 0.0) continue;  // one branch by symmetry
+    problem.X.push_back({data.features[i][0], data.features[i][1],
+                         data.features[i][2], data.features[i][3],
+                         data.features[i][4]});
+    problem.y.push_back(target[i]);
+  }
+  sr::SrConfig config;
+  config.population = 512;
+  config.generations = 40;
+  Timer sr_timer;
+  sr::ParetoFront front = sr::run_sr(problem, config);
+  std::printf("[4/4] symbolic regression (%.0f s):\n\n", sr_timer.seconds());
+  std::printf("%s", sr::render_table(
+                        sr::build_table(front, problem.var_names))
+                        .c_str());
+  std::printf("\n(the true interaction law is F = 100 |dx - r1 - r2|)\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the bench harness writes into ./bench_cache.
+
+Usage:
+    python3 scripts/plot_results.py [bench_cache_dir] [output_dir]
+
+Produces one PNG per known series (skips series whose CSV is missing).
+Requires matplotlib; this script is offline tooling and is not needed to
+run or validate the C++ reproduction itself.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    return {
+        key: [float(r[key]) for r in rows] for key in rows[0]
+    } if rows else {}
+
+
+def main():
+    cache = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench_cache")
+    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "bench_cache")
+    out.mkdir(parents=True, exist_ok=True)
+
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    def save(fig, name):
+        fig.tight_layout()
+        fig.savefig(out / name, dpi=150)
+        plt.close(fig)
+        print(f"wrote {out / name}")
+
+    # Fig 3: rollout error series.
+    fig3 = [
+        ("fig3_column_phi30_error.csv", "column collapse (phi=30, held out)"),
+        ("fig3_square_error.csv", "random square (unseen)"),
+        ("fig3_dambreak_error.csv", "dam break (fluid, unseen)"),
+    ]
+    series = [(cache / f, label) for f, label in fig3 if (cache / f).exists()]
+    if series:
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for path, label in series:
+            data = read_csv(path)
+            ax.plot(data["frame"], data["error_pct"], label=label)
+        ax.axhline(5.0, ls="--", c="gray", label="paper: 5% band")
+        ax.set_xlabel("rollout frame")
+        ax.set_ylabel("mean particle error (% of domain)")
+        ax.legend()
+        ax.set_title("Fig 3: GNS rollout error vs MPM")
+        save(fig, "plot_fig3_rollout_error.png")
+
+    # Fig 4: hybrid vs pure-GNS error evolution.
+    p = cache / "fig4_hybrid_error.csv"
+    if p.exists():
+        data = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        ax.plot(data["frame"], data["pure_gns_pct"], label="pure GNS")
+        ax.plot(data["frame"], data["hybrid_pct"], label="hybrid GNS/MPM")
+        ax.set_xlabel("frame")
+        ax.set_ylabel("error (% of domain)")
+        ax.legend()
+        ax.set_title("Fig 4: hybrid refinement pulls error down")
+        save(fig, "plot_fig4_hybrid.png")
+
+    # Fig 5: inverse iterations.
+    p = cache / "fig5_inverse_iterations.csv"
+    if p.exists():
+        data = read_csv(p)
+        fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(9, 4))
+        ax1.plot(data["iteration"], data["friction_deg"], marker="o")
+        ax1.axhline(30.0, ls="--", c="gray", label="target phi")
+        ax1.set_xlabel("GD iteration")
+        ax1.set_ylabel("friction angle (deg)")
+        ax1.legend()
+        ax2.semilogy(data["iteration"], data["loss"], marker="o")
+        ax2.set_xlabel("GD iteration")
+        ax2.set_ylabel("loss (m^2)")
+        fig.suptitle("Fig 5: inverse friction identification by AD")
+        save(fig, "plot_fig5_inverse.png")
+
+    # Fig 2: MeshNet rollout RMSE.
+    p = cache / "fig2_meshnet_rmse.csv"
+    if p.exists():
+        data = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        ax.plot(data["frame"], data["rmse_rel"])
+        ax.set_xlabel("rollout frame")
+        ax.set_ylabel("RMSE / flow RMS")
+        ax.set_title("Fig 2: MeshNet rollout error vs CFD")
+        save(fig, "plot_fig2_meshnet.png")
+
+    # Ablations.
+    p = cache / "ablation_hybrid_ratio.csv"
+    if p.exists():
+        data = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        ax.plot(data["speedup"], data["mean_err_pct"], marker="o")
+        for m, x, y in zip(data["gns_frames_M"], data["speedup"],
+                           data["mean_err_pct"]):
+            ax.annotate(f"M={int(m)}", (x, y))
+        ax.set_xlabel("speedup vs pure MPM")
+        ax.set_ylabel("mean error (% of domain)")
+        ax.set_title("Hybrid switching-ratio trade-off")
+        save(fig, "plot_ablation_hybrid_ratio.png")
+
+    p = cache / "ablation_noise.csv"
+    if p.exists():
+        data = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        ax.plot(data["noise_std"], data["final_err_pct"], marker="o")
+        ax.set_xscale("symlog", linthresh=1e-5)
+        ax.set_xlabel("training noise std")
+        ax.set_ylabel("final rollout error (%)")
+        ax.set_title("Training-noise ablation")
+        save(fig, "plot_ablation_noise.png")
+
+    p = cache / "ablation_attention.csv"
+    if p.exists():
+        data = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        ax.plot(data["frame"], data["plain_pct"], label="plain")
+        ax.plot(data["frame"], data["attention_pct"], label="attention")
+        ax.set_xlabel("frame")
+        ax.set_ylabel("error (%)")
+        ax.legend()
+        ax.set_title("Attention ablation")
+        save(fig, "plot_ablation_attention.png")
+
+
+if __name__ == "__main__":
+    main()

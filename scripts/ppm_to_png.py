@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Convert the P6 PPM images the benches write into PNGs (stdlib only).
+
+Usage: python3 scripts/ppm_to_png.py bench_cache/*.ppm
+"""
+
+import pathlib
+import struct
+import sys
+import zlib
+
+
+def ppm_to_png(src: pathlib.Path) -> pathlib.Path:
+    data = src.read_bytes()
+    parts = data.split(b"\n", 3)
+    if parts[0] != b"P6" or parts[2] != b"255":
+        raise ValueError(f"{src}: not an 8-bit P6 PPM")
+    width, height = map(int, parts[1].split())
+    raw = parts[3]
+    stride = width * 3
+    rows = b"".join(
+        b"\x00" + raw[y * stride : (y + 1) * stride] for y in range(height)
+    )
+
+    def chunk(tag: bytes, payload: bytes) -> bytes:
+        body = tag + payload
+        return (
+            struct.pack(">I", len(payload))
+            + body
+            + struct.pack(">I", zlib.crc32(body))
+        )
+
+    dst = src.with_suffix(".png")
+    dst.write_bytes(
+        b"\x89PNG\r\n\x1a\n"
+        + chunk(b"IHDR", struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0))
+        + chunk(b"IDAT", zlib.compress(rows, 6))
+        + chunk(b"IEND", b"")
+    )
+    return dst
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for arg in sys.argv[1:]:
+        print(ppm_to_png(pathlib.Path(arg)))

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Full validation sweep: build, tests, every experiment bench.
+# Trained models are cached in ./bench_cache (first run trains; later runs
+# are fast). Outputs land in test_output.txt / bench_output.txt.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,59 @@
+#include "ad/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gns::ad {
+
+GradCheckResult grad_check(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, Real eps, Real tolerance) {
+  for (auto& t : inputs) t.set_requires_grad(true);
+
+  // Analytic gradients.
+  Tensor loss = fn(inputs);
+  GNS_CHECK_MSG(loss.size() == 1, "grad_check objective must be scalar");
+  for (auto& t : inputs) t.zero_grad();
+  loss.backward();
+
+  std::vector<std::vector<Real>> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& t : inputs) {
+    if (t.grad().empty()) {
+      analytic.emplace_back(t.vec().size(), Real(0));
+    } else {
+      analytic.push_back(t.grad());
+    }
+  }
+
+  GradCheckResult result;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    auto& x = inputs[k].vec();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const Real saved = x[i];
+      x[i] = saved + eps;
+      const Real up = fn(inputs).item();
+      x[i] = saved - eps;
+      const Real down = fn(inputs).item();
+      x[i] = saved;
+      const Real numeric = (up - down) / (2 * eps);
+      const Real a = analytic[k][i];
+      const Real abs_err = std::abs(a - numeric);
+      const Real denom =
+          std::max({std::abs(a), std::abs(numeric), Real(1e-6)});
+      const Real rel_err = abs_err / denom;
+      if (abs_err > result.max_abs_error) result.max_abs_error = abs_err;
+      if (rel_err > result.max_rel_error) {
+        result.max_rel_error = rel_err;
+      }
+      if (std::min(abs_err, rel_err) > tolerance) {
+        result.ok = false;
+        result.worst_tensor = static_cast<int>(k);
+        result.worst_input = static_cast<int>(i);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gns::ad

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file gradcheck.hpp
+/// Finite-difference verification of reverse-mode gradients. Used by the
+/// test suite to prove every op's backward pass exact before the GNS builds
+/// anything on top of it.
+
+#include <functional>
+
+#include "ad/tensor.hpp"
+
+namespace gns::ad {
+
+struct GradCheckResult {
+  bool ok = true;
+  Real max_abs_error = Real(0);
+  Real max_rel_error = Real(0);
+  int worst_input = -1;    ///< flat index of worst-mismatching element
+  int worst_tensor = -1;   ///< which input tensor it belongs to
+};
+
+/// Compares reverse-mode gradients of `fn(inputs) -> scalar` against central
+/// finite differences, perturbing every element of every input.
+///
+/// `tolerance` bounds max(abs_err, rel_err) per element, where rel_err is
+/// relative to max(|analytic|, |numeric|, 1e-6).
+GradCheckResult grad_check(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, Real eps = Real(1e-5),
+    Real tolerance = Real(1e-6));
+
+}  // namespace gns::ad

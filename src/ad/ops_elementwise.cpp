@@ -1,0 +1,219 @@
+#include <cmath>
+
+#include "ad/ops.hpp"
+
+namespace gns::ad {
+
+namespace {
+
+/// Resolved broadcast geometry for a binary op.
+struct Broadcast {
+  int rows, cols;      // output shape
+  int a_rs, a_cs;      // operand A strides (0 => broadcast along that dim)
+  int b_rs, b_cs;
+};
+
+Broadcast resolve(const Tensor& a, const Tensor& b) {
+  const int ar = a.rows(), ac = a.cols(), br = b.rows(), bc = b.cols();
+  GNS_CHECK_MSG(ar == br || ar == 1 || br == 1,
+                "broadcast rows mismatch: " << ar << " vs " << br);
+  GNS_CHECK_MSG(ac == bc || ac == 1 || bc == 1,
+                "broadcast cols mismatch: " << ac << " vs " << bc);
+  Broadcast g;
+  g.rows = std::max(ar, br);
+  g.cols = std::max(ac, bc);
+  g.a_rs = (ar == 1) ? 0 : ac;
+  g.a_cs = (ac == 1) ? 0 : 1;
+  g.b_rs = (br == 1) ? 0 : bc;
+  g.b_cs = (bc == 1) ? 0 : 1;
+  return g;
+}
+
+template <typename Fwd, typename BwdA, typename BwdB>
+Tensor binary_op(const Tensor& a, const Tensor& b, Fwd fwd, BwdA dfda,
+                 BwdB dfdb) {
+  const Broadcast g = resolve(a, b);
+  auto pa = a.ptr();
+  auto pb = b.ptr();
+  Tensor out = make_op_result(
+      g.rows, g.cols, {pa, pb},
+      [pa, pb, g, dfda, dfdb](TensorImpl& self) {
+        const Real* av = pa->data.data();
+        const Real* bv = pb->data.data();
+        const Real* go = self.grad.data();
+        if (pa->requires_grad) {
+          pa->ensure_grad();
+          for (int r = 0; r < g.rows; ++r)
+            for (int c = 0; c < g.cols; ++c) {
+              const Real x = av[r * g.a_rs + c * g.a_cs];
+              const Real y = bv[r * g.b_rs + c * g.b_cs];
+              pa->grad[r * g.a_rs + c * g.a_cs] +=
+                  go[static_cast<std::size_t>(r) * g.cols + c] * dfda(x, y);
+            }
+        }
+        if (pb->requires_grad) {
+          pb->ensure_grad();
+          for (int r = 0; r < g.rows; ++r)
+            for (int c = 0; c < g.cols; ++c) {
+              const Real x = av[r * g.a_rs + c * g.a_cs];
+              const Real y = bv[r * g.b_rs + c * g.b_cs];
+              pb->grad[r * g.b_rs + c * g.b_cs] +=
+                  go[static_cast<std::size_t>(r) * g.cols + c] * dfdb(x, y);
+            }
+        }
+      });
+  const Real* av = a.data();
+  const Real* bv = b.data();
+  Real* ov = out.data();
+  for (int r = 0; r < g.rows; ++r)
+    for (int c = 0; c < g.cols; ++c)
+      ov[static_cast<std::size_t>(r) * g.cols + c] =
+          fwd(av[r * g.a_rs + c * g.a_cs], bv[r * g.b_rs + c * g.b_cs]);
+  return out;
+}
+
+template <typename Fwd, typename Bwd>
+Tensor unary_op(const Tensor& a, Fwd fwd, Bwd dfdx) {
+  auto pa = a.ptr();
+  Tensor out = make_op_result(
+      a.rows(), a.cols(), {pa},
+      [pa, dfdx](TensorImpl& self) {
+        if (!pa->requires_grad) return;
+        pa->ensure_grad();
+        const Real* av = pa->data.data();
+        const Real* ov = self.data.data();
+        const Real* go = self.grad.data();
+        const std::int64_t n = self.size();
+        for (std::int64_t i = 0; i < n; ++i)
+          pa->grad[i] += go[i] * dfdx(av[i], ov[i]);
+      });
+  const Real* av = a.data();
+  Real* ov = out.data();
+  const std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) ov[i] = fwd(av[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](Real x, Real y) { return x + y; },
+      [](Real, Real) { return Real(1); }, [](Real, Real) { return Real(1); });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](Real x, Real y) { return x - y; },
+      [](Real, Real) { return Real(1); }, [](Real, Real) { return Real(-1); });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](Real x, Real y) { return x * y; },
+      [](Real, Real y) { return y; }, [](Real x, Real) { return x; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](Real x, Real y) { return x / y; },
+      [](Real, Real y) { return Real(1) / y; },
+      [](Real x, Real y) { return -x / (y * y); });
+}
+
+Tensor add_scalar(const Tensor& a, Real s) {
+  return unary_op(
+      a, [s](Real x) { return x + s; }, [](Real, Real) { return Real(1); });
+}
+
+Tensor mul_scalar(const Tensor& a, Real s) {
+  return unary_op(
+      a, [s](Real x) { return x * s; }, [s](Real, Real) { return s; });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(
+      a, [](Real x) { return x > 0 ? x : Real(0); },
+      [](Real x, Real) { return x > 0 ? Real(1) : Real(0); });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  return unary_op(
+      a, [](Real x) { return std::tanh(x); },
+      [](Real, Real y) { return Real(1) - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a, [](Real x) { return Real(1) / (Real(1) + std::exp(-x)); },
+      [](Real, Real y) { return y * (Real(1) - y); });
+}
+
+Tensor exp_op(const Tensor& a) {
+  return unary_op(
+      a, [](Real x) { return std::exp(x); },
+      [](Real, Real y) { return y; });
+}
+
+Tensor log_op(const Tensor& a, Real floor) {
+  return unary_op(
+      a, [floor](Real x) { return std::log(x < floor ? floor : x); },
+      [floor](Real x, Real) {
+        return x < floor ? Real(0) : Real(1) / x;
+      });
+}
+
+Tensor sqrt_op(const Tensor& a) {
+  return unary_op(
+      a, [](Real x) { return std::sqrt(x); },
+      [](Real, Real y) { return y > 0 ? Real(0.5) / y : Real(0); });
+}
+
+Tensor abs_op(const Tensor& a) {
+  return unary_op(
+      a, [](Real x) { return std::abs(x); },
+      [](Real x, Real) {
+        return x > 0 ? Real(1) : (x < 0 ? Real(-1) : Real(0));
+      });
+}
+
+Tensor square(const Tensor& a) {
+  return unary_op(
+      a, [](Real x) { return x * x; },
+      [](Real x, Real) { return 2 * x; });
+}
+
+Tensor pow_scalar(const Tensor& a, Real exponent) {
+  return unary_op(
+      a, [exponent](Real x) { return std::pow(x, exponent); },
+      [exponent](Real x, Real) {
+        return exponent * std::pow(x, exponent - Real(1));
+      });
+}
+
+Tensor clamp(const Tensor& a, Real lo, Real hi) {
+  GNS_CHECK(lo <= hi);
+  return unary_op(
+      a, [lo, hi](Real x) { return x < lo ? lo : (x > hi ? hi : x); },
+      [lo, hi](Real x, Real) {
+        return (x > lo && x < hi) ? Real(1) : Real(0);
+      });
+}
+
+Tensor softplus(const Tensor& a) {
+  return unary_op(
+      a,
+      [](Real x) {
+        // Stable: log(1+e^x) = max(x,0) + log1p(e^{-|x|}).
+        return std::max(x, Real(0)) + std::log1p(std::exp(-std::abs(x)));
+      },
+      [](Real x, Real) { return Real(1) / (Real(1) + std::exp(-x)); });
+}
+
+Tensor leaky_relu(const Tensor& a, Real slope) {
+  return unary_op(
+      a, [slope](Real x) { return x > 0 ? x : slope * x; },
+      [slope](Real x, Real) { return x > 0 ? Real(1) : slope; });
+}
+
+}  // namespace gns::ad

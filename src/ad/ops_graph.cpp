@@ -1,0 +1,300 @@
+#include <cmath>
+
+#include "ad/ops.hpp"
+
+namespace gns::ad {
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  GNS_CHECK_MSG(!parts.empty(), "concat_cols of zero tensors");
+  const int n = parts.front().rows();
+  int total_cols = 0;
+  std::vector<TensorImplPtr> parents;
+  parents.reserve(parts.size());
+  std::vector<int> offsets;
+  offsets.reserve(parts.size());
+  for (const auto& p : parts) {
+    GNS_CHECK_MSG(p.rows() == n, "concat_cols row mismatch: " << p.rows()
+                                                              << " vs " << n);
+    offsets.push_back(total_cols);
+    total_cols += p.cols();
+    parents.push_back(p.ptr());
+  }
+  auto parents_copy = parents;
+  auto offsets_copy = offsets;
+  const int m = total_cols;
+  Tensor out = make_op_result(
+      n, m, std::move(parents),
+      [parents_copy, offsets_copy, n, m](TensorImpl& self) {
+        for (std::size_t k = 0; k < parents_copy.size(); ++k) {
+          auto& p = parents_copy[k];
+          if (!p->requires_grad) continue;
+          p->ensure_grad();
+          const int pc = p->cols;
+          const int off = offsets_copy[k];
+          for (int i = 0; i < n; ++i)
+            for (int j = 0; j < pc; ++j)
+              p->grad[static_cast<std::size_t>(i) * pc + j] +=
+                  self.grad[static_cast<std::size_t>(i) * m + off + j];
+        }
+      });
+  Real* ov = out.data();
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    const Tensor& p = parts[k];
+    const int pc = p.cols();
+    const int off = offsets[k];
+    const Real* pv = p.data();
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < pc; ++j)
+        ov[static_cast<std::size_t>(i) * m + off + j] =
+            pv[static_cast<std::size_t>(i) * pc + j];
+  }
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  GNS_CHECK_MSG(!parts.empty(), "concat_rows of zero tensors");
+  const int m = parts.front().cols();
+  int total_rows = 0;
+  std::vector<TensorImplPtr> parents;
+  std::vector<int> offsets;
+  for (const auto& p : parts) {
+    GNS_CHECK_MSG(p.cols() == m, "concat_rows column mismatch: " << p.cols()
+                                                                 << " vs "
+                                                                 << m);
+    offsets.push_back(total_rows);
+    total_rows += p.rows();
+    parents.push_back(p.ptr());
+  }
+  auto parents_copy = parents;
+  auto offsets_copy = offsets;
+  Tensor out = make_op_result(
+      total_rows, m, std::move(parents),
+      [parents_copy, offsets_copy, m](TensorImpl& self) {
+        for (std::size_t k = 0; k < parents_copy.size(); ++k) {
+          auto& p = parents_copy[k];
+          if (!p->requires_grad) continue;
+          p->ensure_grad();
+          const std::size_t count =
+              static_cast<std::size_t>(p->rows) * m;
+          const Real* src = self.grad.data() +
+                            static_cast<std::size_t>(offsets_copy[k]) * m;
+          for (std::size_t i = 0; i < count; ++i) p->grad[i] += src[i];
+        }
+      });
+  Real* ov = out.data();
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    const auto& v = parts[k].vec();
+    std::copy(v.begin(), v.end(),
+              ov + static_cast<std::size_t>(offsets[k]) * m);
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, int start, int len) {
+  GNS_CHECK_MSG(start >= 0 && len > 0 && start + len <= a.cols(),
+                "slice_cols out of range: [" << start << ", " << start + len
+                                             << ") of " << a.cols());
+  const int n = a.rows(), m = a.cols();
+  auto pa = a.ptr();
+  Tensor out = make_op_result(
+      n, len, {pa}, [pa, start, len, n, m](TensorImpl& self) {
+        if (!pa->requires_grad) return;
+        pa->ensure_grad();
+        for (int i = 0; i < n; ++i)
+          for (int j = 0; j < len; ++j)
+            pa->grad[static_cast<std::size_t>(i) * m + start + j] +=
+                self.grad[static_cast<std::size_t>(i) * len + j];
+      });
+  const Real* av = a.data();
+  Real* ov = out.data();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < len; ++j)
+      ov[static_cast<std::size_t>(i) * len + j] =
+          av[static_cast<std::size_t>(i) * m + start + j];
+  return out;
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<int>& index) {
+  GNS_CHECK_MSG(!index.empty(), "gather_rows with empty index");
+  const int n = a.rows(), m = a.cols();
+  for (int idx : index)
+    GNS_CHECK_MSG(idx >= 0 && idx < n, "gather_rows index " << idx
+                                                            << " out of [0,"
+                                                            << n << ")");
+  const int e = static_cast<int>(index.size());
+  auto pa = a.ptr();
+  auto idx_copy = index;
+  Tensor out = make_op_result(
+      e, m, {pa}, [pa, idx_copy, e, m](TensorImpl& self) {
+        if (!pa->requires_grad) return;
+        pa->ensure_grad();
+        // Serial: repeated indices make parallel accumulation racy.
+        for (int i = 0; i < e; ++i) {
+          Real* dst =
+              pa->grad.data() + static_cast<std::size_t>(idx_copy[i]) * m;
+          const Real* src = self.grad.data() + static_cast<std::size_t>(i) * m;
+          for (int j = 0; j < m; ++j) dst[j] += src[j];
+        }
+      });
+  const Real* av = a.data();
+  Real* ov = out.data();
+#pragma omp parallel for schedule(static) if (static_cast<std::int64_t>(e) * m > 1 << 15)
+  for (int i = 0; i < e; ++i) {
+    const Real* src = av + static_cast<std::size_t>(index[i]) * m;
+    Real* dst = ov + static_cast<std::size_t>(i) * m;
+    for (int j = 0; j < m; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+Tensor scatter_add_rows(const Tensor& a, const std::vector<int>& index,
+                        int num_rows) {
+  GNS_CHECK_MSG(static_cast<int>(index.size()) == a.rows(),
+                "scatter_add_rows needs one index per input row");
+  GNS_CHECK(num_rows > 0);
+  const int e = a.rows(), m = a.cols();
+  for (int idx : index)
+    GNS_CHECK_MSG(idx >= 0 && idx < num_rows,
+                  "scatter index " << idx << " out of [0," << num_rows << ")");
+  auto pa = a.ptr();
+  auto idx_copy = index;
+  Tensor out = make_op_result(
+      num_rows, m, {pa}, [pa, idx_copy, e, m](TensorImpl& self) {
+        if (!pa->requires_grad) return;
+        pa->ensure_grad();
+        // Backward of scatter-add is a gather: embarrassingly parallel.
+#pragma omp parallel for schedule(static) if (static_cast<std::int64_t>(e) * m > 1 << 15)
+        for (int i = 0; i < e; ++i) {
+          const Real* src =
+              self.grad.data() + static_cast<std::size_t>(idx_copy[i]) * m;
+          Real* dst = pa->grad.data() + static_cast<std::size_t>(i) * m;
+          for (int j = 0; j < m; ++j) dst[j] += src[j];
+        }
+      });
+  std::fill(out.vec().begin(), out.vec().end(), Real(0));
+  const Real* av = a.data();
+  Real* ov = out.data();
+  for (int i = 0; i < e; ++i) {
+    Real* dst = ov + static_cast<std::size_t>(index[i]) * m;
+    const Real* src = av + static_cast<std::size_t>(i) * m;
+    for (int j = 0; j < m; ++j) dst[j] += src[j];
+  }
+  return out;
+}
+
+Tensor segment_softmax(const Tensor& scores, const std::vector<int>& segment,
+                       int num_segments) {
+  GNS_CHECK_MSG(scores.cols() == 1, "segment_softmax expects [E,1] scores");
+  GNS_CHECK_MSG(static_cast<int>(segment.size()) == scores.rows(),
+                "segment_softmax needs one segment id per score");
+  const int e = scores.rows();
+  for (int s : segment)
+    GNS_CHECK_MSG(s >= 0 && s < num_segments, "segment id out of range");
+  auto pa = scores.ptr();
+  auto seg = segment;
+  Tensor out = make_op_result(
+      e, 1, {pa}, [pa, seg, e, num_segments](TensorImpl& self) {
+        if (!pa->requires_grad) return;
+        pa->ensure_grad();
+        // d softmax_i / d score_j (same segment) = y_i (δ_ij − y_j).
+        // Accumulate per-segment dot(g, y) first.
+        std::vector<Real> dot(num_segments, Real(0));
+        for (int i = 0; i < e; ++i)
+          dot[seg[i]] += self.grad[i] * self.data[i];
+        for (int i = 0; i < e; ++i)
+          pa->grad[i] += self.data[i] * (self.grad[i] - dot[seg[i]]);
+      });
+  // Numerically-stable forward: subtract per-segment max.
+  std::vector<Real> seg_max(num_segments,
+                            -std::numeric_limits<Real>::infinity());
+  const Real* sv = scores.data();
+  for (int i = 0; i < e; ++i)
+    seg_max[segment[i]] = std::max(seg_max[segment[i]], sv[i]);
+  std::vector<Real> seg_sum(num_segments, Real(0));
+  Real* ov = out.data();
+  for (int i = 0; i < e; ++i) {
+    ov[i] = std::exp(sv[i] - seg_max[segment[i]]);
+    seg_sum[segment[i]] += ov[i];
+  }
+  for (int i = 0; i < e; ++i) ov[i] /= seg_sum[segment[i]];
+  return out;
+}
+
+Tensor layer_norm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                  Real eps) {
+  const int n = a.rows(), m = a.cols();
+  GNS_CHECK_MSG(gamma.rows() == 1 && gamma.cols() == m &&
+                    beta.rows() == 1 && beta.cols() == m,
+                "layer_norm affine params must be [1,C]");
+  auto pa = a.ptr();
+  auto pg = gamma.ptr();
+  auto pb = beta.ptr();
+  Tensor out = make_op_result(
+      n, m, {pa, pg, pb}, [pa, pg, pb, n, m, eps](TensorImpl& self) {
+        const bool need_a = pa->requires_grad;
+        const bool need_g = pg->requires_grad;
+        const bool need_b = pb->requires_grad;
+        if (!(need_a || need_g || need_b)) return;
+        if (need_a) pa->ensure_grad();
+        if (need_g) pg->ensure_grad();
+        if (need_b) pb->ensure_grad();
+        const Real* av = pa->data.data();
+        const Real* gv = pg->data.data();
+        std::vector<Real> xhat(m);
+        // Rows are independent but gamma/beta grads are shared; keep the
+        // loop serial (n·m is small on the GNS's per-layer tensors).
+        for (int i = 0; i < n; ++i) {
+          const Real* x = av + static_cast<std::size_t>(i) * m;
+          const Real* go = self.grad.data() + static_cast<std::size_t>(i) * m;
+          Real mu = Real(0);
+          for (int j = 0; j < m; ++j) mu += x[j];
+          mu /= m;
+          Real var = Real(0);
+          for (int j = 0; j < m; ++j) var += (x[j] - mu) * (x[j] - mu);
+          var /= m;
+          const Real inv_s = Real(1) / std::sqrt(var + eps);
+          for (int j = 0; j < m; ++j) xhat[j] = (x[j] - mu) * inv_s;
+          if (need_g || need_b) {
+            for (int j = 0; j < m; ++j) {
+              if (need_g) pg->grad[j] += go[j] * xhat[j];
+              if (need_b) pb->grad[j] += go[j];
+            }
+          }
+          if (need_a) {
+            Real mean_gp = Real(0), mean_gpx = Real(0);
+            for (int j = 0; j < m; ++j) {
+              const Real gp = go[j] * gv[j];
+              mean_gp += gp;
+              mean_gpx += gp * xhat[j];
+            }
+            mean_gp /= m;
+            mean_gpx /= m;
+            Real* ga = pa->grad.data() + static_cast<std::size_t>(i) * m;
+            for (int j = 0; j < m; ++j) {
+              const Real gp = go[j] * gv[j];
+              ga[j] += inv_s * (gp - mean_gp - xhat[j] * mean_gpx);
+            }
+          }
+        }
+      });
+  const Real* av = a.data();
+  const Real* gv = gamma.data();
+  const Real* bv = beta.data();
+  Real* ov = out.data();
+#pragma omp parallel for schedule(static) if (static_cast<std::int64_t>(n) * m > 1 << 15)
+  for (int i = 0; i < n; ++i) {
+    const Real* x = av + static_cast<std::size_t>(i) * m;
+    Real* y = ov + static_cast<std::size_t>(i) * m;
+    Real mu = Real(0);
+    for (int j = 0; j < m; ++j) mu += x[j];
+    mu /= m;
+    Real var = Real(0);
+    for (int j = 0; j < m; ++j) var += (x[j] - mu) * (x[j] - mu);
+    var /= m;
+    const Real inv_s = Real(1) / std::sqrt(var + eps);
+    for (int j = 0; j < m; ++j) y[j] = gv[j] * (x[j] - mu) * inv_s + bv[j];
+  }
+  return out;
+}
+
+}  // namespace gns::ad

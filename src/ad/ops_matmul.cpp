@@ -1,0 +1,111 @@
+#include "ad/ops.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gns::ad {
+
+namespace {
+
+/// Straightforward cache-friendly (i,k,j) GEMM: C += A[NxK] * B[KxM].
+/// Parallel over output rows when the problem is large enough to amortize
+/// the fork/join.
+void gemm_acc(const Real* a, const Real* b, Real* c, int n, int k, int m) {
+  const std::int64_t work = static_cast<std::int64_t>(n) * k * m;
+#pragma omp parallel for schedule(static) if (work > 1 << 16)
+  for (int i = 0; i < n; ++i) {
+    Real* crow = c + static_cast<std::size_t>(i) * m;
+    const Real* arow = a + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const Real av = arow[p];
+      if (av == Real(0)) continue;
+      const Real* brow = b + static_cast<std::size_t>(p) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C += A^T[KxN]^T... specifically: grad_a[NxK] += grad_out[NxM] * B^T[MxK].
+void gemm_nt_acc(const Real* go, const Real* b, Real* ga, int n, int m,
+                 int k) {
+  const std::int64_t work = static_cast<std::int64_t>(n) * k * m;
+#pragma omp parallel for schedule(static) if (work > 1 << 16)
+  for (int i = 0; i < n; ++i) {
+    const Real* grow = go + static_cast<std::size_t>(i) * m;
+    Real* garow = ga + static_cast<std::size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const Real* brow = b + static_cast<std::size_t>(p) * m;
+      Real acc = Real(0);
+      for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
+      garow[p] += acc;
+    }
+  }
+}
+
+/// grad_b[KxM] += A^T[KxN] * grad_out[NxM]. Serial over k-rows inside, but
+/// parallelized over K with per-row ownership (no write conflicts).
+void gemm_tn_acc(const Real* a, const Real* go, Real* gb, int n, int k,
+                 int m) {
+  const std::int64_t work = static_cast<std::int64_t>(n) * k * m;
+#pragma omp parallel for schedule(static) if (work > 1 << 16)
+  for (int p = 0; p < k; ++p) {
+    Real* gbrow = gb + static_cast<std::size_t>(p) * m;
+    for (int i = 0; i < n; ++i) {
+      const Real av = a[static_cast<std::size_t>(i) * k + p];
+      if (av == Real(0)) continue;
+      const Real* grow = go + static_cast<std::size_t>(i) * m;
+      for (int j = 0; j < m; ++j) gbrow[j] += av * grow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  GNS_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch: "
+                                          << a.rows() << "x" << a.cols()
+                                          << " * " << b.rows() << "x"
+                                          << b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  auto pa = a.ptr();
+  auto pb = b.ptr();
+  Tensor out = make_op_result(
+      n, m, {pa, pb}, [pa, pb, n, k, m](TensorImpl& self) {
+        if (pa->requires_grad) {
+          pa->ensure_grad();
+          gemm_nt_acc(self.grad.data(), pb->data.data(), pa->grad.data(), n,
+                      m, k);
+        }
+        if (pb->requires_grad) {
+          pb->ensure_grad();
+          gemm_tn_acc(pa->data.data(), self.grad.data(), pb->grad.data(), n,
+                      k, m);
+        }
+      });
+  std::fill(out.vec().begin(), out.vec().end(), Real(0));
+  gemm_acc(a.data(), b.data(), out.data(), n, k, m);
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  auto pa = a.ptr();
+  Tensor out = make_op_result(m, n, {pa}, [pa, n, m](TensorImpl& self) {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < m; ++j)
+        pa->grad[static_cast<std::size_t>(i) * m + j] +=
+            self.grad[static_cast<std::size_t>(j) * n + i];
+  });
+  const Real* av = a.data();
+  Real* ov = out.data();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      ov[static_cast<std::size_t>(j) * n + i] =
+          av[static_cast<std::size_t>(i) * m + j];
+  return out;
+}
+
+}  // namespace gns::ad

@@ -1,0 +1,140 @@
+#include <cmath>
+
+#include "ad/ops.hpp"
+
+namespace gns::ad {
+
+Tensor sum(const Tensor& a) {
+  auto pa = a.ptr();
+  Tensor out = make_op_result(1, 1, {pa}, [pa](TensorImpl& self) {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    const Real g = self.grad[0];
+    for (auto& v : pa->grad) v += g;
+  });
+  Real acc = Real(0);
+  for (Real v : a.vec()) acc += v;
+  out.data()[0] = acc;
+  return out;
+}
+
+Tensor mean(const Tensor& a) {
+  const Real inv = Real(1) / static_cast<Real>(a.size());
+  return mul_scalar(sum(a), inv);
+}
+
+Tensor sum_rows(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  auto pa = a.ptr();
+  Tensor out = make_op_result(1, m, {pa}, [pa, n, m](TensorImpl& self) {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < m; ++j)
+        pa->grad[static_cast<std::size_t>(i) * m + j] += self.grad[j];
+  });
+  Real* ov = out.data();
+  std::fill(ov, ov + m, Real(0));
+  const Real* av = a.data();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j) ov[j] += av[static_cast<std::size_t>(i) * m + j];
+  return out;
+}
+
+Tensor sum_cols(const Tensor& a) {
+  const int n = a.rows(), m = a.cols();
+  auto pa = a.ptr();
+  Tensor out = make_op_result(n, 1, {pa}, [pa, n, m](TensorImpl& self) {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      const Real g = self.grad[i];
+      for (int j = 0; j < m; ++j)
+        pa->grad[static_cast<std::size_t>(i) * m + j] += g;
+    }
+  });
+  Real* ov = out.data();
+  const Real* av = a.data();
+  for (int i = 0; i < n; ++i) {
+    Real acc = Real(0);
+    for (int j = 0; j < m; ++j) acc += av[static_cast<std::size_t>(i) * m + j];
+    ov[i] = acc;
+  }
+  return out;
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  GNS_CHECK_MSG(pred.rows() == target.rows() && pred.cols() == target.cols(),
+                "mse_loss shape mismatch");
+  return mean(square(sub(pred, target)));
+}
+
+Tensor l1_norm(const Tensor& a) { return mean(abs_op(a)); }
+
+namespace {
+/// Shared extremum reduction; `cmp(candidate, incumbent)` returns true
+/// when the candidate should replace the incumbent.
+template <typename Cmp>
+Tensor extremum(const Tensor& a, Cmp cmp) {
+  auto pa = a.ptr();
+  std::int64_t arg = 0;
+  const Real* av = a.data();
+  for (std::int64_t i = 1; i < a.size(); ++i) {
+    if (cmp(av[i], av[arg])) arg = i;
+  }
+  Tensor out = make_op_result(1, 1, {pa}, [pa, arg](TensorImpl& self) {
+    if (!pa->requires_grad) return;
+    pa->ensure_grad();
+    pa->grad[arg] += self.grad[0];
+  });
+  out.data()[0] = av[arg];
+  return out;
+}
+}  // namespace
+
+Tensor max_reduce(const Tensor& a) {
+  return extremum(a, [](Real c, Real i) { return c > i; });
+}
+
+Tensor min_reduce(const Tensor& a) {
+  return extremum(a, [](Real c, Real i) { return c < i; });
+}
+
+Tensor huber_loss(const Tensor& pred, const Tensor& target, Real delta) {
+  GNS_CHECK_MSG(pred.rows() == target.rows() && pred.cols() == target.cols(),
+                "huber_loss shape mismatch");
+  GNS_CHECK(delta > 0);
+  auto pp = pred.ptr();
+  auto pt = target.ptr();
+  const std::int64_t n = pred.size();
+  Tensor out = make_op_result(
+      1, 1, {pp, pt}, [pp, pt, delta, n](TensorImpl& self) {
+        const Real g = self.grad[0] / static_cast<Real>(n);
+        const Real* pv = pp->data.data();
+        const Real* tv = pt->data.data();
+        auto dr = [&](std::int64_t i) {
+          const Real r = pv[i] - tv[i];
+          if (std::abs(r) <= delta) return r;
+          return std::copysign(delta, r);
+        };
+        if (pp->requires_grad) {
+          pp->ensure_grad();
+          for (std::int64_t i = 0; i < n; ++i) pp->grad[i] += g * dr(i);
+        }
+        if (pt->requires_grad) {
+          pt->ensure_grad();
+          for (std::int64_t i = 0; i < n; ++i) pt->grad[i] -= g * dr(i);
+        }
+      });
+  Real acc = Real(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Real r = pred.data()[i] - target.data()[i];
+    acc += (std::abs(r) <= delta)
+               ? Real(0.5) * r * r
+               : delta * (std::abs(r) - Real(0.5) * delta);
+  }
+  out.data()[0] = acc / static_cast<Real>(n);
+  return out;
+}
+
+}  // namespace gns::ad

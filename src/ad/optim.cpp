@@ -1,0 +1,91 @@
+#include "ad/optim.hpp"
+
+#include <cmath>
+
+namespace gns::ad {
+
+Real Optimizer::clip_grad_norm(Real max_norm) {
+  Real sq = Real(0);
+  for (auto& p : params_) {
+    for (Real g : p.grad()) sq += g * g;
+  }
+  const Real norm = std::sqrt(sq);
+  if (norm > max_norm && norm > Real(0)) {
+    const Real scale = max_norm / norm;
+    for (auto& p : params_) {
+      for (Real& g : p.grad_mut()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, Real lr, Real momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != Real(0)) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_)
+      velocity_.emplace_back(p.vec().size(), Real(0));
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    const auto& g = p.grad();
+    if (g.empty()) continue;
+    auto& x = p.vec();
+    if (momentum_ != Real(0)) {
+      auto& v = velocity_[k];
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        v[i] = momentum_ * v[i] + g[i];
+        x[i] -= lr_ * v[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < x.size(); ++i) x[i] -= lr_ * g[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, Real lr, Real beta1, Real beta2,
+           Real eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.vec().size(), Real(0));
+    v_.emplace_back(p.vec().size(), Real(0));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const Real bc1 = Real(1) - std::pow(beta1_, static_cast<Real>(t_));
+  const Real bc2 = Real(1) - std::pow(beta2_, static_cast<Real>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    const auto& g = p.grad();
+    if (g.empty()) continue;
+    auto& x = p.vec();
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      m[i] = beta1_ * m[i] + (Real(1) - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (Real(1) - beta2_) * g[i] * g[i];
+      const Real mhat = m[i] / bc1;
+      const Real vhat = v[i] / bc2;
+      x[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+Real LrSchedule::at(std::int64_t step) const {
+  return final +
+         (initial - final) *
+             std::pow(decay, static_cast<Real>(step) / decay_steps);
+}
+
+}  // namespace gns::ad

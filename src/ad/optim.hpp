@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file optim.hpp
+/// First-order optimizers. Adam drives GNS/MeshNet training (as in the
+/// paper, lr = 1e-4 class schedules); plain gradient descent drives the
+/// single-parameter inverse problem of §5, matching the paper's choice of
+/// "a simple gradient descent algorithm".
+
+#include <vector>
+
+#include "ad/tensor.hpp"
+
+namespace gns::ad {
+
+/// Base optimizer over an explicit parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Clears accumulated gradients of all parameters.
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  Real clip_grad_norm(Real max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, Real lr, Real momentum = Real(0));
+  void step() override;
+
+  void set_lr(Real lr) { lr_ = lr; }
+  [[nodiscard]] Real lr() const { return lr_; }
+
+ private:
+  Real lr_;
+  Real momentum_;
+  std::vector<std::vector<Real>> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, Real lr, Real beta1 = Real(0.9),
+       Real beta2 = Real(0.999), Real eps = Real(1e-8));
+  void step() override;
+
+  void set_lr(Real lr) { lr_ = lr; }
+  [[nodiscard]] Real lr() const { return lr_; }
+  [[nodiscard]] std::int64_t steps_taken() const { return t_; }
+
+ private:
+  Real lr_, beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<Real>> m_;
+  std::vector<std::vector<Real>> v_;
+};
+
+/// Exponential learning-rate decay used by the GNS trainer:
+/// lr(step) = final + (initial − final) · decay^(step/decay_steps).
+struct LrSchedule {
+  Real initial = Real(1e-4);
+  Real final = Real(1e-6);
+  Real decay = Real(0.1);
+  Real decay_steps = Real(5e6);
+
+  [[nodiscard]] Real at(std::int64_t step) const;
+};
+
+}  // namespace gns::ad

@@ -1,0 +1,96 @@
+#include "core/datagen.hpp"
+
+#include <cmath>
+
+namespace gns::core {
+
+double material_param_from_friction(double friction_deg) {
+  return std::tan(friction_deg * M_PI / 180.0);
+}
+
+io::Trajectory record_mpm_trajectory(mpm::MpmSolver& solver, int frames,
+                                     int substeps, double material_param) {
+  GNS_CHECK(frames > 1 && substeps > 0);
+  io::Trajectory traj;
+  traj.dim = 2;
+  traj.num_particles = solver.particles().size();
+  traj.material_param = material_param;
+  traj.domain_lo = {0.0, 0.0};
+  traj.domain_hi = {solver.grid().width(), solver.grid().height()};
+  for (int f = 0; f < frames; ++f) {
+    std::vector<double> flat(traj.num_particles * 2);
+    const auto& pos = solver.particles().position;
+    for (int i = 0; i < traj.num_particles; ++i) {
+      flat[2 * i] = pos[i].x;
+      flat[2 * i + 1] = pos[i].y;
+    }
+    traj.add_frame(std::move(flat));
+    if (f + 1 < frames) solver.run(substeps);
+  }
+  return traj;
+}
+
+io::Dataset generate_granular_dataset(const MpmDataGenConfig& config) {
+  Rng rng(config.seed);
+  io::Dataset dataset;
+  dataset.trajectories.reserve(config.num_trajectories);
+  const double mat =
+      material_param_from_friction(config.scene.material.friction_deg);
+  for (int k = 0; k < config.num_trajectories; ++k) {
+    mpm::Scene scene =
+        mpm::make_random_square(config.scene, rng, config.min_side,
+                                config.max_side, config.max_speed);
+    mpm::MpmSolver solver = scene.make_solver();
+    dataset.trajectories.push_back(
+        record_mpm_trajectory(solver, config.frames, config.substeps, mat));
+  }
+  return dataset;
+}
+
+io::Dataset generate_column_dataset(const mpm::GranularSceneParams& base,
+                                    const std::vector<double>& friction_angles,
+                                    double column_width, double aspect_ratio,
+                                    int frames, int substeps) {
+  GNS_CHECK_MSG(!friction_angles.empty(), "need at least one friction angle");
+  io::Dataset dataset;
+  dataset.trajectories.reserve(friction_angles.size());
+  for (double phi : friction_angles) {
+    mpm::GranularSceneParams params = base;
+    params.material.friction_deg = phi;
+    mpm::Scene scene =
+        mpm::make_column_collapse(params, column_width, aspect_ratio);
+    mpm::MpmSolver solver = scene.make_solver();
+    dataset.trajectories.push_back(record_mpm_trajectory(
+        solver, frames, substeps, material_param_from_friction(phi)));
+  }
+  return dataset;
+}
+
+io::Dataset generate_dam_break_dataset(const FluidDataGenConfig& config) {
+  Rng rng(config.seed);
+  io::Dataset dataset;
+  dataset.trajectories.reserve(config.num_trajectories);
+  for (int k = 0; k < config.num_trajectories; ++k) {
+    const double w = rng.uniform(config.min_width, config.max_width);
+    const double h = rng.uniform(config.min_height, config.max_height);
+    mpm::Scene scene = mpm::make_dam_break(config.scene, w, h);
+    mpm::MpmSolver solver = scene.make_solver();
+    dataset.trajectories.push_back(record_mpm_trajectory(
+        solver, config.frames, config.substeps, /*material_param=*/0.0));
+  }
+  return dataset;
+}
+
+io::Dataset generate_nbody_dataset(const NBodyDataGenConfig& config) {
+  Rng rng(config.seed);
+  io::Dataset dataset;
+  dataset.trajectories.reserve(config.num_trajectories);
+  for (int k = 0; k < config.num_trajectories; ++k) {
+    nbody::NBodySystem system = nbody::make_random_system(config.system, rng);
+    dataset.trajectories.push_back(
+        nbody::simulate(std::move(system), config.frames, config.substeps));
+  }
+  return dataset;
+}
+
+}  // namespace gns::core

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file datagen.hpp
+/// Training-data generation: runs the physics substrates and records
+/// trajectories at the GNS frame interval. This reproduces the paper's
+/// data pipeline (§3.1: 26 MPM-simulated square granular masses; §6: 30
+/// n-body spring trajectories), at laptop scale.
+
+#include "io/trajectory.hpp"
+#include "mpm/scenes.hpp"
+#include "nbody/nbody.hpp"
+
+namespace gns::core {
+
+struct MpmDataGenConfig {
+  mpm::GranularSceneParams scene;
+  int num_trajectories = 8;
+  int frames = 60;          ///< recorded GNS frames per trajectory
+  int substeps = 20;        ///< MPM steps per recorded frame
+  double min_side = 0.12;   ///< square side range
+  double max_side = 0.3;
+  double max_speed = 1.0;   ///< initial velocity magnitude bound [m/s]
+  std::uint64_t seed = 1234;
+};
+
+/// Randomized square granular masses (training set of §3.1). The recorded
+/// material_param is tan(φ) of the scene material.
+[[nodiscard]] io::Dataset generate_granular_dataset(
+    const MpmDataGenConfig& config);
+
+/// Column-collapse trajectories over a sweep of friction angles (the
+/// dataset behind the §5 inverse problem: the GNS must be φ-conditional,
+/// so it sees several φ values in training).
+[[nodiscard]] io::Dataset generate_column_dataset(
+    const mpm::GranularSceneParams& base, const std::vector<double>&
+    friction_angles, double column_width, double aspect_ratio, int frames,
+    int substeps);
+
+/// Records one trajectory from an existing solver (also used by the hybrid
+/// controller to produce reference runs).
+[[nodiscard]] io::Trajectory record_mpm_trajectory(mpm::MpmSolver& solver,
+                                                   int frames, int substeps,
+                                                   double material_param);
+
+/// Dam-break trajectories over a sweep of column geometries (the fluid
+/// counterpart of the granular training set; "particle and fluid").
+struct FluidDataGenConfig {
+  mpm::FluidSceneParams scene;
+  int num_trajectories = 6;
+  int frames = 50;
+  int substeps = 20;
+  double min_width = 0.1, max_width = 0.3;
+  double min_height = 0.15, max_height = 0.35;
+  std::uint64_t seed = 777;
+};
+
+[[nodiscard]] io::Dataset generate_dam_break_dataset(
+    const FluidDataGenConfig& config);
+
+struct NBodyDataGenConfig {
+  nbody::NBodyConfig system;
+  int num_trajectories = 10;
+  int frames = 200;
+  int substeps = 5;
+  std::uint64_t seed = 99;
+};
+
+/// Random spring-ball chains (§6 interpretability study).
+[[nodiscard]] io::Dataset generate_nbody_dataset(
+    const NBodyDataGenConfig& config);
+
+/// Normalized material parameter used everywhere for friction angle φ:
+/// tan(φ) keeps the feature O(1) over the physical range.
+[[nodiscard]] double material_param_from_friction(double friction_deg);
+
+}  // namespace gns::core

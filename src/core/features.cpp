@@ -1,0 +1,130 @@
+#include "core/features.hpp"
+
+#include <cmath>
+
+namespace gns::core {
+
+SceneContext SceneContext::from_trajectory(const FeatureConfig& config,
+                                           const io::Trajectory& traj) {
+  SceneContext ctx;
+  if (config.material_feature) {
+    ctx.material = ad::Tensor::scalar(traj.material_param);
+  }
+  if (config.static_node_attrs > 0) {
+    GNS_CHECK_MSG(traj.attr_dim == config.static_node_attrs,
+                  "trajectory has " << traj.attr_dim
+                                    << " node attributes, feature config "
+                                       "expects "
+                                    << config.static_node_attrs);
+    std::vector<ad::Real> data(traj.node_attrs.begin(),
+                               traj.node_attrs.end());
+    ctx.node_attrs = ad::Tensor::from_vector(
+        traj.num_particles, traj.attr_dim, std::move(data));
+  }
+  return ctx;
+}
+
+ad::Tensor frame_to_tensor(const std::vector<double>& flat, int dim) {
+  GNS_CHECK_MSG(dim > 0 && flat.size() % dim == 0,
+                "frame size not divisible by dim");
+  const int n = static_cast<int>(flat.size()) / dim;
+  std::vector<ad::Real> data(flat.begin(), flat.end());
+  return ad::Tensor::from_vector(n, dim, std::move(data));
+}
+
+std::vector<double> tensor_to_frame(const ad::Tensor& t) {
+  return {t.vec().begin(), t.vec().end()};
+}
+
+graph::Graph build_graph(const FeatureConfig& config,
+                         const ad::Tensor& positions) {
+  GNS_CHECK_MSG(positions.cols() == config.dim, "positions dim mismatch");
+  const int n = positions.rows();
+  std::vector<graph::Vec2> pts(n);
+  for (int i = 0; i < n; ++i) {
+    pts[i].x = positions.at(i, 0);
+    pts[i].y = (config.dim > 1) ? positions.at(i, 1) : 0.0;
+  }
+  return graph::build_radius_graph(pts, config.connectivity_radius);
+}
+
+ad::Tensor build_node_features(const FeatureConfig& config,
+                               const Normalizer& norm,
+                               const std::vector<ad::Tensor>& position_window,
+                               const SceneContext& context) {
+  GNS_CHECK_MSG(static_cast<int>(position_window.size()) ==
+                    config.window_size(),
+                "window needs " << config.window_size() << " frames, got "
+                                << position_window.size());
+  const ad::Tensor& newest = position_window.back();
+  const int n = newest.rows();
+  GNS_CHECK_MSG(newest.cols() == config.dim, "position dim mismatch");
+  GNS_CHECK_MSG(static_cast<int>(config.domain_lo.size()) >= config.dim &&
+                    static_cast<int>(config.domain_hi.size()) >= config.dim,
+                "feature config domain bounds missing");
+
+  std::vector<ad::Tensor> parts;
+  parts.reserve(config.history + 2 + 1);
+
+  // C velocity frames, oldest first, each whitened by dataset stats.
+  for (int c = 0; c < config.history; ++c) {
+    ad::Tensor v = ad::sub(position_window[c + 1], position_window[c]);
+    parts.push_back(norm.normalize_velocity(v));
+  }
+
+  // Boundary distances, clipped to [0, 1] at the connectivity radius:
+  // (x - lo)/R and (hi - x)/R per axis.
+  const double inv_r = 1.0 / config.connectivity_radius;
+  for (int d = 0; d < config.dim; ++d) {
+    ad::Tensor axis = (config.dim == 1)
+                          ? newest
+                          : ad::slice_cols(newest, d, 1);
+    ad::Tensor to_lo = ad::clamp(
+        ad::mul_scalar(ad::add_scalar(axis, -config.domain_lo[d]), inv_r),
+        0.0, 1.0);
+    ad::Tensor to_hi = ad::clamp(
+        ad::mul_scalar(
+            ad::add_scalar(ad::mul_scalar(axis, -1.0), config.domain_hi[d]),
+            inv_r),
+        0.0, 1.0);
+    parts.push_back(to_lo);
+    parts.push_back(to_hi);
+  }
+
+  if (config.material_feature) {
+    GNS_CHECK_MSG(context.material.defined() && context.material.size() == 1,
+                  "material_feature=true needs a scalar material param");
+    // Broadcast the scalar into a column: ones[N,1] * φ̂.
+    parts.push_back(ad::mul(ad::Tensor::ones(n, 1), context.material));
+  }
+
+  if (config.static_node_attrs > 0) {
+    GNS_CHECK_MSG(context.node_attrs.defined() &&
+                      context.node_attrs.rows() == n &&
+                      context.node_attrs.cols() == config.static_node_attrs,
+                  "scene context node_attrs missing or mis-shaped");
+    parts.push_back(context.node_attrs);
+  }
+
+  return ad::concat_cols(parts);
+}
+
+ad::Tensor build_edge_features(const FeatureConfig& config,
+                               const ad::Tensor& positions,
+                               const graph::Graph& graph) {
+  GNS_CHECK_MSG(graph.num_nodes == positions.rows(),
+                "graph/positions size mismatch");
+  GNS_CHECK_MSG(graph.num_edges() > 0,
+                "graph has no edges — connectivity radius too small?");
+  const double inv_r = 1.0 / config.connectivity_radius;
+  ad::Tensor xs = ad::gather_rows(positions, graph.senders);
+  ad::Tensor xr = ad::gather_rows(positions, graph.receivers);
+  ad::Tensor disp = ad::mul_scalar(ad::sub(xr, xs), inv_r);
+  // |disp| with a tiny epsilon so the sqrt gradient stays finite for
+  // coincident particles.
+  ad::Tensor norm2 = ad::sum_cols(ad::square(disp));
+  ad::Tensor dist = ad::sqrt_op(ad::add_scalar(norm2, 1e-12));
+  return ad::concat_cols({disp, dist});
+}
+
+}  // namespace gns::core

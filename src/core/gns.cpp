@@ -1,0 +1,105 @@
+#include "core/gns.hpp"
+
+namespace gns::core {
+
+namespace {
+ad::Mlp make_mlp(int in, int out, const GnsConfig& cfg, Rng& rng,
+                 bool layer_norm) {
+  return ad::Mlp(in, cfg.mlp_hidden, cfg.mlp_layers, out, rng, layer_norm);
+}
+}  // namespace
+
+GnsModel::GnsModel(GnsConfig config, Rng& rng)
+    : config_(config),
+      node_encoder_(make_mlp(config.node_in, config.latent, config, rng,
+                             /*layer_norm=*/true)),
+      edge_encoder_(make_mlp(config.edge_in, config.latent, config, rng,
+                             /*layer_norm=*/true)),
+      decoder_(make_mlp(config.latent, config.out_dim, config, rng,
+                        /*layer_norm=*/false)) {
+  GNS_CHECK_MSG(config.node_in > 0 && config.edge_in > 0,
+                "GnsConfig feature widths must be set");
+  GNS_CHECK(config.message_passing_steps > 0);
+  layers_.reserve(config.message_passing_steps);
+  for (int m = 0; m < config.message_passing_steps; ++m) {
+    ProcessorLayer layer{
+        make_mlp(3 * config.latent, config.latent, config, rng,
+                 /*layer_norm=*/true),
+        make_mlp(2 * config.latent, config.latent, config, rng,
+                 /*layer_norm=*/true),
+        nullptr};
+    if (config.attention) {
+      layer.attention_mlp = std::make_unique<ad::Mlp>(
+          3 * config.latent, config.mlp_hidden, 1, 1, rng,
+          /*output_layer_norm=*/false);
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+GnsOutput GnsModel::forward(const ad::Tensor& node_features,
+                            const ad::Tensor& edge_features,
+                            const graph::Graph& graph) const {
+  GNS_CHECK_MSG(node_features.cols() == config_.node_in,
+                "node feature width mismatch: " << node_features.cols()
+                                                << " vs " << config_.node_in);
+  GNS_CHECK_MSG(edge_features.cols() == config_.edge_in,
+                "edge feature width mismatch");
+  GNS_CHECK_MSG(node_features.rows() == graph.num_nodes,
+                "graph/node count mismatch");
+  GNS_CHECK_MSG(edge_features.rows() == graph.num_edges(),
+                "graph/edge count mismatch");
+
+  ad::Tensor v = node_encoder_.forward(node_features);
+  ad::Tensor e = edge_encoder_.forward(edge_features);
+
+  for (const auto& layer : layers_) {
+    // Edge update: φ^e(e_k, v_sender, v_receiver) + residual.
+    ad::Tensor vs = ad::gather_rows(v, graph.senders);
+    ad::Tensor vr = ad::gather_rows(v, graph.receivers);
+    ad::Tensor e_in = ad::concat_cols({e, vs, vr});
+    ad::Tensor e_new = ad::add(layer.edge_mlp.forward(e_in), e);
+
+    // Optional attention: per-receiver softmax over incoming messages.
+    ad::Tensor weighted = e_new;
+    if (layer.attention_mlp) {
+      ad::Tensor score = layer.attention_mlp->forward(e_in);
+      ad::Tensor alpha =
+          ad::segment_softmax(score, graph.receivers, graph.num_nodes);
+      weighted = ad::mul(e_new, alpha);  // [E,L] * [E,1] broadcast
+    }
+
+    // Node update: φ^v(v_i, Σ incoming messages) + residual.
+    ad::Tensor agg =
+        ad::scatter_add_rows(weighted, graph.receivers, graph.num_nodes);
+    ad::Tensor v_in = ad::concat_cols({v, agg});
+    ad::Tensor v_new = ad::add(layer.node_mlp.forward(v_in), v);
+
+    v = v_new;
+    e = e_new;
+  }
+
+  GnsOutput out;
+  out.acceleration = decoder_.forward(v);
+  out.messages = e;
+  return out;
+}
+
+std::vector<ad::Tensor> GnsModel::parameters() const {
+  std::vector<ad::Tensor> params;
+  auto append = [&params](const ad::Module& module) {
+    auto p = module.parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  };
+  append(node_encoder_);
+  append(edge_encoder_);
+  for (const auto& layer : layers_) {
+    append(layer.edge_mlp);
+    append(layer.node_mlp);
+    if (layer.attention_mlp) append(*layer.attention_mlp);
+  }
+  append(decoder_);
+  return params;
+}
+
+}  // namespace gns::core

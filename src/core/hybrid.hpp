@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file hybrid.hpp
+/// Hybrid GNS/MPM controller (§4, Figs 3–4).
+///
+/// Three phases, repeated:
+///  * Warm-up — the GNS needs the previous C velocity steps; the first
+///    window_size() frames come from the MPM physics solver with the real
+///    boundary conditions.
+///  * GNS rollout — M learned frames (each replacing `substeps` MPM steps).
+///  * Iterative refinement — the GNS output is handed back to the MPM
+///    solver for K frames, re-imposing conservation laws and pulling the
+///    state back onto the physics manifold before the next GNS leg.
+///
+/// The controller records which solver produced every frame plus per-phase
+/// wall time, so the benches can report both the error evolution (Fig 4)
+/// and the speedup split of §4 ("most of the computation time is still
+/// spent on the n·K runs").
+
+#include "core/simulator.hpp"
+#include "mpm/solver.hpp"
+#include "util/timer.hpp"
+
+namespace gns::core {
+
+enum class FrameSource : unsigned char { MpmWarmup = 0, Gns = 1,
+                                         MpmRefine = 2 };
+
+struct HybridConfig {
+  int gns_frames = 10;   ///< M: learned frames per cycle
+  int refine_frames = 5; ///< K: physics frames per cycle
+  int substeps = 20;     ///< MPM steps per recorded frame
+};
+
+struct HybridResult {
+  /// All recorded frames including the initial state (flat [N*2] layout).
+  std::vector<std::vector<double>> frames;
+  std::vector<FrameSource> sources;
+  double mpm_seconds = 0.0;
+  double gns_seconds = 0.0;
+  int gns_frame_count = 0;
+  int mpm_frame_count = 0;
+};
+
+/// Runs the hybrid loop for `total_frames` recorded frames (frame 0 is the
+/// initial state). The solver is taken by value: the controller owns and
+/// mutates its copy. `material_param` conditions the GNS (tan φ).
+[[nodiscard]] HybridResult run_hybrid(const LearnedSimulator& sim,
+                                      mpm::MpmSolver solver,
+                                      const HybridConfig& config,
+                                      int total_frames,
+                                      double material_param);
+
+/// Pure-MPM reference with identical recording cadence (also the speedup
+/// baseline). Returns frames and wall time.
+struct MpmReference {
+  std::vector<std::vector<double>> frames;
+  double seconds = 0.0;
+};
+[[nodiscard]] MpmReference run_mpm_reference(mpm::MpmSolver solver,
+                                             int total_frames, int substeps);
+
+/// Pure-GNS rollout from an MPM warm-up (the §3.1 configuration): warm-up
+/// window frames from MPM, then all remaining frames learned.
+[[nodiscard]] HybridResult run_pure_gns(const LearnedSimulator& sim,
+                                        mpm::MpmSolver solver,
+                                        int total_frames, int substeps,
+                                        double material_param);
+
+/// Per-frame mean particle-position error between two recorded runs,
+/// normalized by `length_scale`.
+[[nodiscard]] std::vector<double> frame_errors(
+    const std::vector<std::vector<double>>& a,
+    const std::vector<std::vector<double>>& b, double length_scale);
+
+}  // namespace gns::core

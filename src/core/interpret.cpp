@@ -1,0 +1,130 @@
+#include "core/interpret.hpp"
+
+#include <cmath>
+
+namespace gns::core {
+
+MessageDataset collect_messages(const LearnedSimulator& sim,
+                                const io::Trajectory& traj,
+                                const nbody::NBodyConfig& system_config,
+                                int stride, int max_samples) {
+  GNS_CHECK_MSG(sim.features().dim == 1,
+                "message collection expects the 1-D n-body simulator");
+  GNS_CHECK_MSG(traj.attr_dim == 2,
+                "trajectory must carry [radius, mass] attributes");
+  GNS_CHECK(stride > 0);
+  ad::NoGradGuard no_grad;
+
+  const int window = sim.features().window_size();
+  const int n = traj.num_particles;
+  MessageDataset data;
+
+  // Reconstruct a physics system for ground-truth forces.
+  nbody::NBodySystem truth;
+  truth.config = system_config;
+  truth.x.assign(n, 0.0);
+  truth.v.assign(n, 0.0);  // damping=0 forces are velocity-independent
+  truth.radius.resize(n);
+  truth.mass.resize(n);
+  for (int i = 0; i < n; ++i) {
+    truth.radius[i] = traj.node_attrs[2 * i];
+    truth.mass[i] = traj.node_attrs[2 * i + 1];
+  }
+
+  const SceneContext context =
+      SceneContext::from_trajectory(sim.features(), traj);
+
+  for (int t0 = 0; t0 + window <= traj.num_frames(); t0 += stride) {
+    Window win = sim.window_from_trajectory(traj, t0);
+    graph::Graph graph;
+    GnsOutput out = sim.forward_raw(win, context, &graph);
+    const int latent = out.messages.cols();
+    for (int e = 0; e < graph.num_edges(); ++e) {
+      if (data.size() >= max_samples) return data;
+      const int s = graph.senders[e];
+      const int r = graph.receivers[e];
+      for (int i = 0; i < n; ++i) truth.x[i] = traj.position(t0 + window - 1, i, 0);
+      data.features.push_back({truth.x[r] - truth.x[s], truth.radius[r],
+                               truth.radius[s], truth.mass[r],
+                               truth.mass[s]});
+      std::vector<double> msg(latent);
+      for (int c = 0; c < latent; ++c) msg[c] = out.messages.at(e, c);
+      data.messages.push_back(std::move(msg));
+      data.true_force.push_back(truth.pair_force(r, s));
+    }
+  }
+  return data;
+}
+
+MessageDataset filter_contacts(const MessageDataset& data) {
+  MessageDataset out;
+  for (int i = 0; i < data.size(); ++i) {
+    const auto& f = data.features[i];
+    if (std::abs(f[0]) < f[1] + f[2]) {
+      out.features.push_back(f);
+      out.messages.push_back(data.messages[i]);
+      out.true_force.push_back(data.true_force[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> message_component_std(const MessageDataset& data) {
+  GNS_CHECK(data.size() > 1);
+  const int latent = data.latent();
+  std::vector<double> mean(latent, 0.0), var(latent, 0.0);
+  for (const auto& msg : data.messages)
+    for (int c = 0; c < latent; ++c) mean[c] += msg[c];
+  for (auto& m : mean) m /= data.size();
+  for (const auto& msg : data.messages)
+    for (int c = 0; c < latent; ++c) {
+      const double d = msg[c] - mean[c];
+      var[c] += d * d;
+    }
+  std::vector<double> out(latent);
+  for (int c = 0; c < latent; ++c)
+    out[c] = std::sqrt(var[c] / (data.size() - 1));
+  return out;
+}
+
+int dominant_component(const MessageDataset& data) {
+  const auto stds = message_component_std(data);
+  int best = 0;
+  for (int c = 1; c < static_cast<int>(stds.size()); ++c)
+    if (stds[c] > stds[best]) best = c;
+  return best;
+}
+
+double message_force_correlation(const MessageDataset& data, int component) {
+  GNS_CHECK(data.size() > 1);
+  GNS_CHECK(component >= 0 && component < data.latent());
+  double mx = 0.0, my = 0.0;
+  const int n = data.size();
+  for (int i = 0; i < n; ++i) {
+    mx += data.messages[i][component];
+    my += data.true_force[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double dx = data.messages[i][component] - mx;
+    const double dy = data.true_force[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  return denom > 0.0 ? sxy / denom : 0.0;
+}
+
+std::vector<double> component_values(const MessageDataset& data,
+                                     int component) {
+  GNS_CHECK(component >= 0 && component < data.latent());
+  std::vector<double> out(data.size());
+  for (int i = 0; i < data.size(); ++i)
+    out[i] = data.messages[i][component];
+  return out;
+}
+
+}  // namespace gns::core

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file interpret.hpp
+/// Interpretability pipeline (§6, Table 1, Fig 6): extract the trained
+/// GNS's edge messages over test states, pair them with the physical edge
+/// features (Δx, r_i, r_j, m_i, m_j) and the ground-truth contact force,
+/// select the dominant message components by standard deviation, and hand
+/// the result to symbolic regression.
+
+#include <array>
+
+#include "core/simulator.hpp"
+#include "nbody/nbody.hpp"
+
+namespace gns::core {
+
+/// One edge observation: physical features + the latent message vector +
+/// the true pairwise force (receiver side).
+struct MessageDataset {
+  /// Physical features per edge, one row per observation:
+  /// [dx, r_recv, r_send, m_recv, m_send]. dx is signed x_recv − x_send.
+  std::vector<std::array<double, 5>> features;
+  /// Latent messages, [num_observations][latent].
+  std::vector<std::vector<double>> messages;
+  /// Ground-truth force on the receiver from the sender.
+  std::vector<double> true_force;
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(features.size());
+  }
+  [[nodiscard]] int latent() const {
+    return messages.empty() ? 0 : static_cast<int>(messages.front().size());
+  }
+};
+
+/// Runs the trained 1-D simulator over windows of `traj` (stride frames
+/// apart) and collects the message dataset. The trajectory must carry
+/// [radius, mass] node attributes; `system_config` supplies the true force
+/// law for labels.
+[[nodiscard]] MessageDataset collect_messages(
+    const LearnedSimulator& sim, const io::Trajectory& traj,
+    const nbody::NBodyConfig& system_config, int stride = 1,
+    int max_samples = 20000);
+
+/// Restricts a message dataset to edges whose pair is actually in contact
+/// (|Δx| < r_i + r_j). The interaction law is only defined on interacting
+/// pairs; non-contact edges carry zero force and dilute both the
+/// component-std ranking and the message/force correlation.
+[[nodiscard]] MessageDataset filter_contacts(const MessageDataset& data);
+
+/// Standard deviation of each message component (the paper sorts message
+/// components "based on the largest standard deviation").
+[[nodiscard]] std::vector<double> message_component_std(
+    const MessageDataset& data);
+
+/// Index of the component with the largest std.
+[[nodiscard]] int dominant_component(const MessageDataset& data);
+
+/// Pearson correlation between message component `component` and the true
+/// force — the §6 hypothesis is |corr| ≈ 1 after L1-sparsified training.
+[[nodiscard]] double message_force_correlation(const MessageDataset& data,
+                                               int component);
+
+/// Extracts one message component as the SR regression target.
+[[nodiscard]] std::vector<double> component_values(const MessageDataset& data,
+                                                   int component);
+
+}  // namespace gns::core

@@ -1,0 +1,94 @@
+#include "core/inverse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gns::core {
+
+ad::Tensor smooth_runout(const ad::Tensor& positions, double temperature) {
+  GNS_CHECK(temperature > 0.0);
+  // x column only (runout is the rightmost front).
+  ad::Tensor x = (positions.cols() == 1)
+                     ? positions
+                     : ad::slice_cols(positions, 0, 1);
+  // Shift by the (constant) hard max for overflow safety; the shift is
+  // detached so it contributes no gradient and cancels exactly in value.
+  double hard_max = -1e300;
+  for (int i = 0; i < x.rows(); ++i) hard_max = std::max(hard_max, x.at(i, 0));
+  ad::Tensor shifted = ad::mul_scalar(ad::add_scalar(x, -hard_max),
+                                      1.0 / temperature);
+  ad::Tensor lse = ad::log_op(ad::sum(ad::exp_op(shifted)));
+  return ad::add_scalar(ad::mul_scalar(lse, temperature), hard_max);
+}
+
+double smooth_runout_value(const std::vector<double>& frame, int dim,
+                           double temperature) {
+  GNS_CHECK(dim > 0 && frame.size() % dim == 0);
+  const int n = static_cast<int>(frame.size()) / dim;
+  double hard_max = -1e300;
+  for (int i = 0; i < n; ++i) hard_max = std::max(hard_max, frame[i * dim]);
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i)
+    acc += std::exp((frame[i * dim] - hard_max) / temperature);
+  return hard_max + temperature * std::log(acc);
+}
+
+InverseResult solve_friction_angle(const LearnedSimulator& sim,
+                                   const Window& window, double target_runout,
+                                   double initial_friction_deg,
+                                   const InverseConfig& config) {
+  GNS_CHECK_MSG(sim.features().material_feature,
+                "inverse problem needs a material-conditioned simulator");
+  const double min_mat =
+      std::tan(config.min_friction_deg * M_PI / 180.0);
+  const double max_mat =
+      std::tan(config.max_friction_deg * M_PI / 180.0);
+
+  double material = std::tan(initial_friction_deg * M_PI / 180.0);
+  InverseResult result;
+  result.iterates.reserve(config.max_iterations);
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    // Fresh leaf each iteration: the tape must start at φ.
+    ad::Tensor theta = ad::Tensor::scalar(material, /*requires_grad=*/true);
+    SceneContext context;
+    context.material = theta;
+
+    // Detached copy of the seed window (gradient flows to φ only, as in
+    // the paper's experiment).
+    Window seed;
+    seed.reserve(window.size());
+    for (const auto& t : window) seed.push_back(t.detach());
+
+    auto frames = sim.rollout_diff(seed, config.rollout_steps, context);
+    ad::Tensor runout = smooth_runout(frames.back(), config.smooth_temp);
+    ad::Tensor err = ad::add_scalar(runout, -target_runout);
+    ad::Tensor loss = ad::square(err);
+    loss.backward();
+
+    InverseIterate it;
+    it.iteration = iter;
+    it.material_param = material;
+    it.friction_deg = std::atan(material) * 180.0 / M_PI;
+    it.runout = runout.item();
+    it.loss = loss.item();
+    it.gradient = theta.grad().empty() ? 0.0 : theta.grad()[0];
+    result.iterates.push_back(it);
+    GNS_DEBUG("inverse iter " << iter << " phi=" << it.friction_deg
+                              << " runout=" << it.runout
+                              << " loss=" << it.loss
+                              << " grad=" << it.gradient);
+
+    if (it.loss < config.loss_tol) {
+      result.converged = true;
+      break;
+    }
+    material = std::clamp(material - config.lr * it.gradient, min_mat,
+                          max_mat);
+  }
+  return result;
+}
+
+}  // namespace gns::core

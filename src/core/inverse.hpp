@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file inverse.hpp
+/// Differentiable inverse problem (§5, Fig 5): recover the friction angle
+/// φ that produces a target runout distance.
+///
+/// The loss is J(φ) = (L_target − L(φ))² where L(φ) is the runout of a
+/// k-step differentiable GNS rollout conditioned on φ. Reverse-mode AD
+/// computes ∂J/∂φ through all k chained model applications — the thing
+/// classical forward simulators cannot do — and plain gradient descent
+/// updates φ. Matching the paper, k is kept small (30) because the tape
+/// retains every intermediate activation.
+///
+/// The runout front max_i x_i is smoothed with a log-sum-exp soft max so
+/// the objective stays differentiable; target runouts must be computed
+/// with the same smoothing (the helper below) so the bias cancels.
+
+#include "core/simulator.hpp"
+
+namespace gns::core {
+
+struct InverseConfig {
+  int rollout_steps = 30;     ///< k: differentiable rollout length
+  double lr = 0.5;            ///< gradient-descent rate on tan φ
+  int max_iterations = 25;
+  double loss_tol = 1e-6;     ///< stop when J falls below this [m²]
+  double smooth_temp = 0.01;  ///< soft-max temperature [m]
+  double min_friction_deg = 5.0;
+  double max_friction_deg = 60.0;
+};
+
+struct InverseIterate {
+  int iteration = 0;
+  double friction_deg = 0.0;
+  double material_param = 0.0;  ///< tan φ
+  double runout = 0.0;          ///< smoothed runout of this iterate [m]
+  double loss = 0.0;
+  double gradient = 0.0;        ///< dJ/d(tan φ)
+};
+
+struct InverseResult {
+  std::vector<InverseIterate> iterates;
+  bool converged = false;
+  [[nodiscard]] const InverseIterate& final() const {
+    GNS_CHECK(!iterates.empty());
+    return iterates.back();
+  }
+};
+
+/// Smoothed runout front: τ·log Σ exp(x_i/τ) over particle x coordinates
+/// (shift-stabilized). Differentiable; upper-biased by ≤ τ·log N.
+[[nodiscard]] ad::Tensor smooth_runout(const ad::Tensor& positions,
+                                       double temperature);
+
+/// Same smoothing on a flat frame (for computing targets from reference
+/// data with matching bias).
+[[nodiscard]] double smooth_runout_value(const std::vector<double>& frame,
+                                         int dim, double temperature);
+
+/// Gradient-based identification of φ. `window` seeds the rollout (e.g.
+/// the first frames of an MPM reference run); `target_runout` must come
+/// from smooth_runout_value with the same temperature.
+[[nodiscard]] InverseResult solve_friction_angle(
+    const LearnedSimulator& sim, const Window& window, double target_runout,
+    double initial_friction_deg, const InverseConfig& config);
+
+}  // namespace gns::core

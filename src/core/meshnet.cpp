@@ -1,0 +1,170 @@
+#include "core/meshnet.hpp"
+
+#include <cmath>
+
+#include "ad/optim.hpp"
+#include "util/logging.hpp"
+
+namespace gns::core {
+
+Mesh build_mesh(const cfd::CfdSolver& solver) {
+  Mesh mesh;
+  mesh.nx = solver.config().nx;
+  mesh.ny = solver.config().ny;
+  mesh.types = solver.cell_types();
+  const int n = mesh.nx * mesh.ny;
+  mesh.graph.num_nodes = n;
+
+  std::vector<ad::Real> edge_feats;
+  auto add_edge = [&](int from, int to, double dx, double dy) {
+    mesh.graph.add_edge(from, to);
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    edge_feats.push_back(dx);
+    edge_feats.push_back(dy);
+    edge_feats.push_back(dist);
+  };
+  for (int j = 0; j < mesh.ny; ++j) {
+    for (int i = 0; i < mesh.nx; ++i) {
+      const int c = j * mesh.nx + i;
+      if (i + 1 < mesh.nx) {
+        add_edge(c, c + 1, -1.0, 0.0);
+        add_edge(c + 1, c, 1.0, 0.0);
+      }
+      if (j + 1 < mesh.ny) {
+        add_edge(c, c + mesh.nx, 0.0, -1.0);
+        add_edge(c + mesh.nx, c, 0.0, 1.0);
+      }
+    }
+  }
+  mesh.edge_features = ad::Tensor::from_vector(
+      mesh.graph.num_edges(), 3, std::move(edge_feats));
+
+  std::vector<ad::Real> onehot(static_cast<std::size_t>(n) * 4, 0.0);
+  for (int c = 0; c < n; ++c)
+    onehot[c * 4 + static_cast<int>(mesh.types[c])] = 1.0;
+  mesh.node_type_onehot = ad::Tensor::from_vector(n, 4, std::move(onehot));
+  return mesh;
+}
+
+MeshNet::MeshNet(const Mesh& mesh, const MeshNetConfig& config,
+                 double velocity_std, std::uint64_t seed)
+    : mesh_(mesh), velocity_std_(velocity_std) {
+  GNS_CHECK_MSG(velocity_std > 0.0, "velocity_std must be positive");
+  GnsConfig gc;
+  gc.node_in = 2 + 4;  // velocity + type one-hot
+  gc.edge_in = 3;
+  gc.latent = config.latent;
+  gc.mlp_hidden = config.mlp_hidden;
+  gc.mlp_layers = config.mlp_layers;
+  gc.message_passing_steps = config.message_passing_steps;
+  gc.out_dim = 2;
+  Rng rng(seed);
+  model_ = std::make_shared<GnsModel>(gc, rng);
+}
+
+ad::Tensor MeshNet::predict_delta(const ad::Tensor& velocities) const {
+  GNS_CHECK_MSG(velocities.rows() == mesh_.graph.num_nodes &&
+                    velocities.cols() == 2,
+                "MeshNet velocity field shape mismatch");
+  ad::Tensor v_norm = ad::mul_scalar(velocities, 1.0 / velocity_std_);
+  ad::Tensor node_feats = ad::concat_cols({v_norm, mesh_.node_type_onehot});
+  GnsOutput out =
+      model_->forward(node_feats, mesh_.edge_features, mesh_.graph);
+  // Decoder output is the normalized delta.
+  return ad::mul_scalar(out.acceleration, velocity_std_);
+}
+
+std::vector<double> MeshNet::step(const std::vector<double>& velocities) const {
+  ad::NoGradGuard no_grad;
+  const int n = mesh_.graph.num_nodes;
+  GNS_CHECK(static_cast<int>(velocities.size()) == 2 * n);
+  ad::Tensor v = ad::Tensor::from_vector(
+      n, 2, std::vector<ad::Real>(velocities.begin(), velocities.end()));
+  ad::Tensor dv = predict_delta(v);
+  std::vector<double> next(velocities);
+  for (int i = 0; i < 2 * n; ++i) next[i] += dv.data()[i];
+  // Hard-enforce solid cells at rest — the mesh analog of boundary
+  // conditions (MeshGraphNet likewise overwrites prescribed nodes).
+  for (int c = 0; c < n; ++c) {
+    if (mesh_.types[c] == cfd::CellType::Solid) {
+      next[2 * c] = 0.0;
+      next[2 * c + 1] = 0.0;
+    }
+  }
+  return next;
+}
+
+std::vector<std::vector<double>> MeshNet::rollout(
+    const std::vector<double>& initial, int steps) const {
+  GNS_CHECK(steps > 0);
+  std::vector<std::vector<double>> frames;
+  frames.reserve(steps);
+  std::vector<double> state = initial;
+  for (int s = 0; s < steps; ++s) {
+    state = step(state);
+    frames.push_back(state);
+  }
+  return frames;
+}
+
+std::vector<double> train_meshnet(
+    MeshNet& net, const std::vector<std::vector<double>>& frames,
+    const MeshNetTrainConfig& config) {
+  GNS_CHECK_MSG(frames.size() >= 2, "need at least two frames to train");
+  const int n = net.mesh().graph.num_nodes;
+  for (const auto& f : frames)
+    GNS_CHECK_MSG(static_cast<int>(f.size()) == 2 * n,
+                  "frame size mismatch with the mesh");
+
+  Rng rng(config.seed);
+  ad::Adam opt(net.model().parameters(), config.lr);
+  const double lr_decay =
+      (config.steps > 1)
+          ? std::pow(config.lr_final / config.lr,
+                     1.0 / static_cast<double>(config.steps - 1))
+          : 1.0;
+  const double inv_std = 1.0 / net.velocity_std();
+
+  std::vector<double> losses;
+  losses.reserve(config.steps);
+  for (int step = 0; step < config.steps; ++step) {
+    const int t = static_cast<int>(rng.uniform_index(frames.size() - 1));
+    std::vector<ad::Real> vin(frames[t].begin(), frames[t].end());
+    if (config.noise_std > 0.0) {
+      for (auto& x : vin) x += rng.gauss(0.0, config.noise_std);
+    }
+    std::vector<ad::Real> target(2 * n);
+    for (int i = 0; i < 2 * n; ++i)
+      target[i] = (frames[t + 1][i] - vin[i]) * inv_std;
+
+    ad::Tensor v = ad::Tensor::from_vector(n, 2, std::move(vin));
+    ad::Tensor pred_norm =
+        ad::mul_scalar(net.predict_delta(v), inv_std);
+    ad::Tensor tgt = ad::Tensor::from_vector(n, 2, std::move(target));
+    ad::Tensor loss = ad::mse_loss(pred_norm, tgt);
+
+    opt.zero_grad();
+    loss.backward();
+    if (config.grad_clip > 0.0) opt.clip_grad_norm(config.grad_clip);
+    opt.set_lr(config.lr * std::pow(lr_decay, step));
+    opt.step();
+    losses.push_back(loss.item());
+    if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
+      GNS_INFO("meshnet step " << step + 1 << "/" << config.steps
+                               << " loss=" << losses.back());
+    }
+  }
+  return losses;
+}
+
+double field_rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  GNS_CHECK(a.size() == b.size() && !a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace gns::core

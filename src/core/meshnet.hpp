@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file meshnet.hpp
+/// MeshGraphNet (§3.2, Fig 2): the Encode–Process–Decode architecture
+/// applied to a simulation mesh instead of a particle cloud. Nodes are mesh
+/// vertices (here: CFD cell centers), edges are fixed mesh edges carrying
+/// relative mesh-space coordinates, node features combine the dynamical
+/// quantity (velocity) with a one-hot node type (fluid / solid / inflow /
+/// outflow), and the model predicts the per-node velocity change to the
+/// next frame, integrated forward for rollouts.
+
+#include <memory>
+
+#include "cfd/cfd.hpp"
+#include "core/gns.hpp"
+
+namespace gns::core {
+
+struct MeshNetConfig {
+  int latent = 32;
+  int mlp_hidden = 32;
+  int mlp_layers = 2;
+  int message_passing_steps = 5;
+};
+
+/// Static mesh description extracted from a CFD solver.
+struct Mesh {
+  graph::Graph graph;             ///< 4-neighborhood, both directions
+  ad::Tensor edge_features;       ///< [E,3]: dx, dy, dist (mesh units)
+  ad::Tensor node_type_onehot;    ///< [N,4]
+  std::vector<cfd::CellType> types;
+  int nx = 0, ny = 0;
+};
+
+/// Builds the mesh graph of a CFD domain (all cells are nodes; solid cells
+/// participate so the network can learn the boundary behaviour from their
+/// type, exactly as MeshGraphNet encodes obstacle nodes).
+[[nodiscard]] Mesh build_mesh(const cfd::CfdSolver& solver);
+
+/// The learned mesh simulator.
+class MeshNet {
+ public:
+  MeshNet(const Mesh& mesh, const MeshNetConfig& config, double velocity_std,
+          std::uint64_t seed = 7);
+
+  /// Predicted velocity delta [N,2] (physical units) for the given
+  /// velocity state [N,2].
+  [[nodiscard]] ad::Tensor predict_delta(const ad::Tensor& velocities) const;
+
+  /// One-step prediction: v + Δv.
+  [[nodiscard]] std::vector<double> step(
+      const std::vector<double>& velocities) const;
+
+  /// Autoregressive rollout from an initial state.
+  [[nodiscard]] std::vector<std::vector<double>> rollout(
+      const std::vector<double>& initial, int steps) const;
+
+  [[nodiscard]] GnsModel& model() { return *model_; }
+  [[nodiscard]] const GnsModel& model() const { return *model_; }
+  [[nodiscard]] const Mesh& mesh() const { return mesh_; }
+  [[nodiscard]] double velocity_std() const { return velocity_std_; }
+
+ private:
+  Mesh mesh_;
+  std::shared_ptr<GnsModel> model_;
+  double velocity_std_;  ///< normalization scale for velocities and deltas
+};
+
+struct MeshNetTrainConfig {
+  int steps = 400;
+  double lr = 1e-3;
+  double lr_final = 2e-4;
+  double noise_std = 0.0;   ///< optional input-velocity jitter
+  double grad_clip = 1.0;
+  std::uint64_t seed = 3;
+  int log_every = 0;
+};
+
+/// Trains on consecutive frame pairs of a CFD rollout (frames in
+/// cfd::CfdRollout layout). Returns per-step losses.
+std::vector<double> train_meshnet(
+    MeshNet& net, const std::vector<std::vector<double>>& frames,
+    const MeshNetTrainConfig& config);
+
+/// RMSE between two flat velocity fields.
+[[nodiscard]] double field_rmse(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+}  // namespace gns::core

@@ -1,0 +1,38 @@
+#include "core/normalization.hpp"
+
+namespace gns::core {
+
+namespace {
+ad::Tensor row_tensor(const std::vector<double>& values) {
+  std::vector<ad::Real> data(values.begin(), values.end());
+  return ad::Tensor::from_vector(1, static_cast<int>(values.size()),
+                                 std::move(data));
+}
+}  // namespace
+
+Normalizer::Normalizer(const io::NormalizationStats& stats)
+    : dim_(stats.dim()), stats_(stats) {
+  GNS_CHECK_MSG(dim_ > 0, "empty normalization stats");
+  vel_mean_ = row_tensor(stats.vel_mean);
+  vel_std_ = row_tensor(stats.vel_std);
+  acc_mean_ = row_tensor(stats.acc_mean);
+  acc_std_ = row_tensor(stats.acc_std);
+}
+
+ad::Tensor Normalizer::normalize_velocity(const ad::Tensor& v) const {
+  GNS_CHECK_MSG(v.cols() == dim_, "velocity dim mismatch");
+  return ad::div(ad::sub(v, vel_mean_), vel_std_);
+}
+
+ad::Tensor Normalizer::normalize_acceleration(const ad::Tensor& a) const {
+  GNS_CHECK_MSG(a.cols() == dim_, "acceleration dim mismatch");
+  return ad::div(ad::sub(a, acc_mean_), acc_std_);
+}
+
+ad::Tensor Normalizer::denormalize_acceleration(
+    const ad::Tensor& a_norm) const {
+  GNS_CHECK_MSG(a_norm.cols() == dim_, "acceleration dim mismatch");
+  return ad::add(ad::mul(a_norm, acc_std_), acc_mean_);
+}
+
+}  // namespace gns::core

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file normalization.hpp
+/// Differentiable feature/target normalization. GNS trains in normalized
+/// units: input velocities are whitened by dataset statistics and the
+/// decoder's output is interpreted as a whitened acceleration. Keeping the
+/// transform inside the autograd graph lets the inverse solver
+/// differentiate straight through it.
+
+#include "ad/ops.hpp"
+#include "io/trajectory.hpp"
+
+namespace gns::core {
+
+/// Tensor-resident copy of io::NormalizationStats.
+class Normalizer {
+ public:
+  Normalizer() = default;
+  explicit Normalizer(const io::NormalizationStats& stats);
+
+  /// (v - mean) / std, per axis; v is [N, dim].
+  [[nodiscard]] ad::Tensor normalize_velocity(const ad::Tensor& v) const;
+  /// (a - mean) / std, per axis.
+  [[nodiscard]] ad::Tensor normalize_acceleration(const ad::Tensor& a) const;
+  /// a_norm * std + mean — decoder output back to simulation units.
+  [[nodiscard]] ad::Tensor denormalize_acceleration(
+      const ad::Tensor& a_norm) const;
+
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] bool defined() const { return dim_ > 0; }
+
+  [[nodiscard]] const io::NormalizationStats& stats() const { return stats_; }
+
+ private:
+  int dim_ = 0;
+  io::NormalizationStats stats_;
+  ad::Tensor vel_mean_, vel_std_;  // [1, dim] constants
+  ad::Tensor acc_mean_, acc_std_;
+};
+
+}  // namespace gns::core

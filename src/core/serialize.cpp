@@ -1,0 +1,133 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+
+namespace gns::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x474e534d;  // "GNSM"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void wr(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+bool rd(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return in.good();
+}
+void wr_vec(std::ofstream& out, const std::vector<double>& v) {
+  wr<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+bool rd_vec(std::ifstream& in, std::vector<double>& v) {
+  std::uint64_t n = 0;
+  if (!rd(in, n) || n > (1ULL << 32)) return false;
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  return in.good();
+}
+
+}  // namespace
+
+void save_simulator(const LearnedSimulator& sim, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GNS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  wr(out, kMagic);
+  wr(out, kVersion);
+  const FeatureConfig& f = sim.features();
+  wr(out, f.dim);
+  wr(out, f.history);
+  wr(out, f.connectivity_radius);
+  wr_vec(out, f.domain_lo);
+  wr_vec(out, f.domain_hi);
+  wr<std::int32_t>(out, f.material_feature ? 1 : 0);
+  wr(out, f.static_node_attrs);
+  const GnsConfig& m = sim.model().config();
+  wr(out, m.latent);
+  wr(out, m.mlp_hidden);
+  wr(out, m.mlp_layers);
+  wr(out, m.message_passing_steps);
+  wr<std::int32_t>(out, m.attention ? 1 : 0);
+  const io::NormalizationStats& s = sim.normalizer().stats();
+  wr_vec(out, s.vel_mean);
+  wr_vec(out, s.vel_std);
+  wr_vec(out, s.acc_mean);
+  wr_vec(out, s.acc_std);
+  wr_vec(out, sim.model().state());
+}
+
+std::optional<LearnedSimulator> load_simulator(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::uint32_t magic = 0, version = 0;
+  if (!rd(in, magic) || magic != kMagic) return std::nullopt;
+  if (!rd(in, version) || version != kVersion) return std::nullopt;
+
+  FeatureConfig f;
+  std::int32_t material = 0, attention = 0;
+  if (!rd(in, f.dim) || !rd(in, f.history) ||
+      !rd(in, f.connectivity_radius) || !rd_vec(in, f.domain_lo) ||
+      !rd_vec(in, f.domain_hi) || !rd(in, material) ||
+      !rd(in, f.static_node_attrs)) {
+    return std::nullopt;
+  }
+  f.material_feature = (material != 0);
+
+  GnsConfig m;
+  if (!rd(in, m.latent) || !rd(in, m.mlp_hidden) || !rd(in, m.mlp_layers) ||
+      !rd(in, m.message_passing_steps) || !rd(in, attention)) {
+    return std::nullopt;
+  }
+  m.attention = (attention != 0);
+  m.node_in = f.node_feature_count();
+  m.edge_in = f.edge_feature_count();
+  m.out_dim = f.dim;
+
+  io::NormalizationStats s;
+  if (!rd_vec(in, s.vel_mean) || !rd_vec(in, s.vel_std) ||
+      !rd_vec(in, s.acc_mean) || !rd_vec(in, s.acc_std)) {
+    return std::nullopt;
+  }
+  std::vector<double> state;
+  if (!rd_vec(in, state)) return std::nullopt;
+
+  Rng rng(0);  // weights are overwritten immediately
+  auto model = std::make_shared<GnsModel>(m, rng);
+  if (static_cast<std::int64_t>(state.size()) != model->num_parameters())
+    return std::nullopt;
+  model->load_state(state);
+  return LearnedSimulator(std::move(model), std::move(f), Normalizer(s));
+}
+
+void save_meshnet_weights(const MeshNet& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GNS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  wr(out, kMagic);
+  wr(out, kVersion);
+  wr(out, net.velocity_std());
+  wr_vec(out, net.model().state());
+}
+
+bool load_meshnet_weights(MeshNet& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::uint32_t magic = 0, version = 0;
+  double vel_std = 0.0;
+  if (!rd(in, magic) || magic != kMagic) return false;
+  if (!rd(in, version) || version != kVersion) return false;
+  if (!rd(in, vel_std)) return false;
+  std::vector<double> state;
+  if (!rd_vec(in, state)) return false;
+  if (static_cast<std::int64_t>(state.size()) !=
+      net.model().num_parameters())
+    return false;
+  net.model().load_state(state);
+  return true;
+}
+
+}  // namespace gns::core

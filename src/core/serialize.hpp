@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Save/load of trained simulators. The bench harness trains models once
+/// and caches them on disk so every table/figure bench can reuse the same
+/// trained weights (and so re-runs are cheap); load validates that the
+/// stored architecture matches before restoring weights.
+
+#include <optional>
+#include <string>
+
+#include "core/meshnet.hpp"
+#include "core/simulator.hpp"
+
+namespace gns::core {
+
+/// Writes feature config + model config + normalization stats + weights.
+void save_simulator(const LearnedSimulator& sim, const std::string& path);
+
+/// Reconstructs a simulator from disk; nullopt when the file is absent or
+/// from an incompatible version.
+[[nodiscard]] std::optional<LearnedSimulator> load_simulator(
+    const std::string& path);
+
+/// MeshNet weights round-trip (the mesh itself is rebuilt from the CFD
+/// config by the caller; only weights + velocity scale are stored).
+void save_meshnet_weights(const MeshNet& net, const std::string& path);
+[[nodiscard]] bool load_meshnet_weights(MeshNet& net,
+                                        const std::string& path);
+
+}  // namespace gns::core

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file graph.hpp
+/// Directed graph connectivity used by the GNS and MeshNet: flat
+/// sender/receiver index arrays in the layout the autograd graph ops
+/// (gather_rows / scatter_add_rows / segment_softmax) consume directly.
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gns::graph {
+
+/// Edge list of a directed graph over `num_nodes` nodes. Edge k goes from
+/// senders[k] to receivers[k]; messages flow sender -> receiver.
+struct Graph {
+  int num_nodes = 0;
+  std::vector<int> senders;
+  std::vector<int> receivers;
+
+  [[nodiscard]] int num_edges() const {
+    return static_cast<int>(senders.size());
+  }
+
+  void add_edge(int sender, int receiver) {
+    GNS_DCHECK(sender >= 0 && sender < num_nodes);
+    GNS_DCHECK(receiver >= 0 && receiver < num_nodes);
+    senders.push_back(sender);
+    receivers.push_back(receiver);
+  }
+
+  /// In-degree of every node (used by tests and mean-aggregation).
+  [[nodiscard]] std::vector<int> in_degree() const {
+    std::vector<int> deg(num_nodes, 0);
+    for (int r : receivers) ++deg[r];
+    return deg;
+  }
+};
+
+}  // namespace gns::graph

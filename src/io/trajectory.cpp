@@ -1,0 +1,194 @@
+#include "io/trajectory.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+namespace gns::io {
+
+NormalizationStats compute_stats(const Dataset& dataset, double std_floor) {
+  GNS_CHECK_MSG(dataset.size() > 0, "compute_stats on empty dataset");
+  const int dim = dataset.trajectories.front().dim;
+  NormalizationStats stats;
+  stats.vel_mean.assign(dim, 0.0);
+  stats.vel_std.assign(dim, 0.0);
+  stats.acc_mean.assign(dim, 0.0);
+  stats.acc_std.assign(dim, 0.0);
+
+  // Two-pass: means first, then variances (numerically safe and simple).
+  std::vector<double> vsum(dim, 0.0), asum(dim, 0.0);
+  std::int64_t vcount = 0, acount = 0;
+  for (const auto& traj : dataset.trajectories) {
+    GNS_CHECK_MSG(traj.dim == dim, "mixed-dimension dataset");
+    for (int t = 1; t < traj.num_frames(); ++t) {
+      for (int p = 0; p < traj.num_particles; ++p) {
+        for (int d = 0; d < dim; ++d) {
+          const double v = traj.position(t, p, d) - traj.position(t - 1, p, d);
+          vsum[d] += v;
+        }
+      }
+      vcount += traj.num_particles;
+    }
+    for (int t = 1; t + 1 < traj.num_frames(); ++t) {
+      for (int p = 0; p < traj.num_particles; ++p) {
+        for (int d = 0; d < dim; ++d) {
+          const double a = traj.position(t + 1, p, d) -
+                           2.0 * traj.position(t, p, d) +
+                           traj.position(t - 1, p, d);
+          asum[d] += a;
+        }
+      }
+      acount += traj.num_particles;
+    }
+  }
+  GNS_CHECK_MSG(vcount > 0 && acount > 0,
+                "dataset too short for finite differences");
+  for (int d = 0; d < dim; ++d) {
+    stats.vel_mean[d] = vsum[d] / static_cast<double>(vcount);
+    stats.acc_mean[d] = asum[d] / static_cast<double>(acount);
+  }
+
+  std::vector<double> vsq(dim, 0.0), asq(dim, 0.0);
+  for (const auto& traj : dataset.trajectories) {
+    for (int t = 1; t < traj.num_frames(); ++t) {
+      for (int p = 0; p < traj.num_particles; ++p) {
+        for (int d = 0; d < dim; ++d) {
+          const double v = traj.position(t, p, d) -
+                           traj.position(t - 1, p, d) - stats.vel_mean[d];
+          vsq[d] += v * v;
+        }
+      }
+    }
+    for (int t = 1; t + 1 < traj.num_frames(); ++t) {
+      for (int p = 0; p < traj.num_particles; ++p) {
+        for (int d = 0; d < dim; ++d) {
+          const double a = traj.position(t + 1, p, d) -
+                           2.0 * traj.position(t, p, d) +
+                           traj.position(t - 1, p, d) - stats.acc_mean[d];
+          asq[d] += a * a;
+        }
+      }
+    }
+  }
+  for (int d = 0; d < dim; ++d) {
+    stats.vel_std[d] = std::max(
+        std::sqrt(vsq[d] / static_cast<double>(vcount)), std_floor);
+    stats.acc_std[d] = std::max(
+        std::sqrt(asq[d] / static_cast<double>(acount)), std_floor);
+  }
+  return stats;
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x474e5354;  // "GNST"
+constexpr std::uint32_t kVersion = 2;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  GNS_CHECK_MSG(in.good(), "trajectory file truncated");
+  return value;
+}
+
+void write_doubles(std::ofstream& out, const std::vector<double>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::vector<double> read_doubles(std::ifstream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  std::vector<double> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  GNS_CHECK_MSG(in.good(), "trajectory file truncated");
+  return v;
+}
+
+void write_one(std::ofstream& out, const Trajectory& traj) {
+  write_pod<std::int32_t>(out, traj.dim);
+  write_pod<std::int32_t>(out, traj.num_particles);
+  write_pod<double>(out, traj.material_param);
+  write_doubles(out, traj.domain_lo);
+  write_doubles(out, traj.domain_hi);
+  write_pod<std::int32_t>(out, traj.attr_dim);
+  write_doubles(out, traj.node_attrs);
+  write_pod<std::uint64_t>(out, traj.frames.size());
+  for (const auto& f : traj.frames) write_doubles(out, f);
+}
+
+Trajectory read_one(std::ifstream& in) {
+  Trajectory traj;
+  traj.dim = read_pod<std::int32_t>(in);
+  traj.num_particles = read_pod<std::int32_t>(in);
+  GNS_CHECK_MSG(traj.dim > 0 && traj.num_particles > 0,
+                "corrupt trajectory header");
+  traj.material_param = read_pod<double>(in);
+  traj.domain_lo = read_doubles(in);
+  traj.domain_hi = read_doubles(in);
+  traj.attr_dim = read_pod<std::int32_t>(in);
+  traj.node_attrs = read_doubles(in);
+  GNS_CHECK_MSG(static_cast<int>(traj.node_attrs.size()) ==
+                    traj.attr_dim * traj.num_particles,
+                "corrupt node attribute block");
+  const auto frames = read_pod<std::uint64_t>(in);
+  traj.frames.reserve(frames);
+  for (std::uint64_t t = 0; t < frames; ++t) {
+    auto f = read_doubles(in);
+    GNS_CHECK_MSG(static_cast<int>(f.size()) ==
+                      traj.num_particles * traj.dim,
+                  "corrupt trajectory frame");
+    traj.frames.push_back(std::move(f));
+  }
+  return traj;
+}
+
+}  // namespace
+
+void save_trajectory(const Trajectory& traj, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GNS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod<std::uint64_t>(out, 1);
+  write_one(out, traj);
+}
+
+Trajectory load_trajectory(const std::string& path) {
+  Dataset ds = load_dataset(path);
+  GNS_CHECK_MSG(ds.size() == 1, path << " holds a dataset, not a trajectory");
+  return std::move(ds.trajectories.front());
+}
+
+void save_dataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GNS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod<std::uint64_t>(out, dataset.trajectories.size());
+  for (const auto& t : dataset.trajectories) write_one(out, t);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GNS_CHECK_MSG(in.good(), "cannot open " << path);
+  GNS_CHECK_MSG(read_pod<std::uint32_t>(in) == kMagic,
+                path << " is not a GNS trajectory file");
+  GNS_CHECK_MSG(read_pod<std::uint32_t>(in) == kVersion,
+                "unsupported trajectory file version");
+  const auto n = read_pod<std::uint64_t>(in);
+  Dataset ds;
+  ds.trajectories.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    ds.trajectories.push_back(read_one(in));
+  return ds;
+}
+
+}  // namespace gns::io

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file trajectory.hpp
+/// Trajectory containers and datasets: the interchange format between the
+/// physics substrates (MPM, n-body, CFD) and the learned simulators.
+/// A trajectory stores particle positions at a fixed frame interval (the
+/// GNS frame time, typically many MPM substeps per frame) plus per-
+/// trajectory context such as the material parameter φ that the inverse
+/// problem differentiates with respect to.
+
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gns::io {
+
+/// Positions of N particles over T frames in D dimensions, flattened per
+/// frame as [x0, y0, x1, y1, ...].
+struct Trajectory {
+  int dim = 2;
+  int num_particles = 0;
+  /// frames[t] has num_particles * dim entries.
+  std::vector<std::vector<double>> frames;
+  /// Scene context: normalized material parameter (e.g. tan φ), carried as
+  /// a node feature during training so the model becomes φ-conditional.
+  double material_param = 0.0;
+  /// Domain bounds (lo/hi per axis), used for boundary-distance features.
+  std::vector<double> domain_lo;
+  std::vector<double> domain_hi;
+  /// Optional static per-particle attributes (e.g. radius, mass for the
+  /// n-body study), flattened [num_particles * attr_dim].
+  int attr_dim = 0;
+  std::vector<double> node_attrs;
+
+  [[nodiscard]] int num_frames() const {
+    return static_cast<int>(frames.size());
+  }
+
+  void add_frame(std::vector<double> flat) {
+    GNS_CHECK_MSG(static_cast<int>(flat.size()) == num_particles * dim,
+                  "frame size mismatch: " << flat.size() << " vs "
+                                          << num_particles * dim);
+    frames.push_back(std::move(flat));
+  }
+
+  [[nodiscard]] double position(int t, int particle, int axis) const {
+    GNS_DCHECK(t >= 0 && t < num_frames());
+    return frames[t][particle * dim + axis];
+  }
+};
+
+/// A set of trajectories plus the normalization statistics the GNS trains
+/// against (per-axis mean/std of frame-to-frame velocities and of
+/// finite-difference accelerations, computed over the whole dataset).
+struct Dataset {
+  std::vector<Trajectory> trajectories;
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(trajectories.size());
+  }
+};
+
+/// Per-axis first/second finite-difference statistics of a dataset.
+struct NormalizationStats {
+  std::vector<double> vel_mean, vel_std;
+  std::vector<double> acc_mean, acc_std;
+
+  [[nodiscard]] int dim() const { return static_cast<int>(vel_mean.size()); }
+};
+
+/// Computes velocity/acceleration statistics across all trajectories.
+/// Stds are floored at `std_floor` to avoid division blow-ups on
+/// near-static axes.
+[[nodiscard]] NormalizationStats compute_stats(const Dataset& dataset,
+                                               double std_floor = 1e-9);
+
+/// Binary serialization (versioned, little-endian host format).
+void save_trajectory(const Trajectory& traj, const std::string& path);
+[[nodiscard]] Trajectory load_trajectory(const std::string& path);
+void save_dataset(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Dataset load_dataset(const std::string& path);
+
+}  // namespace gns::io

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file grid.hpp
+/// Background Eulerian grid of the MPM. Holds nodal mass/momentum/force and
+/// applies box boundary conditions (frictional floor, free-slip walls).
+
+#include <vector>
+
+#include "mpm/types.hpp"
+#include "util/check.hpp"
+
+namespace gns::mpm {
+
+/// Uniform node-centered grid over [0, nx*h] x [0, ny*h] with (nx+1)(ny+1)
+/// nodes.
+class Grid {
+ public:
+  Grid(int cells_x, int cells_y, double spacing);
+
+  void clear();
+
+  [[nodiscard]] int cells_x() const { return nx_; }
+  [[nodiscard]] int cells_y() const { return ny_; }
+  [[nodiscard]] int nodes_x() const { return nx_ + 1; }
+  [[nodiscard]] int nodes_y() const { return ny_ + 1; }
+  [[nodiscard]] int num_nodes() const { return nodes_x() * nodes_y(); }
+  [[nodiscard]] double spacing() const { return h_; }
+  [[nodiscard]] double width() const { return nx_ * h_; }
+  [[nodiscard]] double height() const { return ny_ * h_; }
+
+  [[nodiscard]] int node_index(int ix, int iy) const {
+    GNS_DCHECK(ix >= 0 && ix < nodes_x() && iy >= 0 && iy < nodes_y());
+    return iy * nodes_x() + ix;
+  }
+
+  std::vector<double> mass;
+  std::vector<Vec2d> momentum;
+  std::vector<Vec2d> force;
+  std::vector<Vec2d> velocity;
+
+  /// Converts momentum to velocity with the explicit force update
+  /// v = (p + dt f) / m, skipping empty nodes.
+  void update_velocities(double dt, double min_mass = 1e-12);
+
+  /// Box boundary: zero inward-normal velocity at the four walls; on the
+  /// floor, Coulomb-friction the tangential component with coefficient
+  /// `floor_friction` (0 = free slip, large = effectively no slip).
+  void apply_boundary(double dt, double floor_friction);
+
+ private:
+  int nx_;
+  int ny_;
+  double h_;
+};
+
+}  // namespace gns::mpm

@@ -1,0 +1,109 @@
+#include "mpm/material.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gns::mpm {
+
+LinearElastic::LinearElastic(double youngs, double poisson, double density)
+    : youngs_(youngs), poisson_(poisson), density_(density) {
+  GNS_CHECK_MSG(youngs > 0.0, "Young's modulus must be positive");
+  GNS_CHECK_MSG(poisson > -1.0 && poisson < 0.5,
+                "Poisson's ratio must be in (-1, 0.5)");
+  GNS_CHECK_MSG(density > 0.0, "density must be positive");
+  lambda_ = youngs * poisson / ((1.0 + poisson) * (1.0 - 2.0 * poisson));
+  mu_ = youngs / (2.0 * (1.0 + poisson));
+}
+
+SymTensor2 LinearElastic::elastic_increment(const SymTensor2& de) const {
+  const double tr = de.trace();
+  SymTensor2 ds;
+  ds.xx = lambda_ * tr + 2.0 * mu_ * de.xx;
+  ds.yy = lambda_ * tr + 2.0 * mu_ * de.yy;
+  ds.zz = lambda_ * tr + 2.0 * mu_ * de.zz;  // de.zz = 0 => σzz from λ tr
+  ds.xy = 2.0 * mu_ * de.xy;
+  return ds;
+}
+
+SymTensor2 LinearElastic::update_stress(const StressState& state) const {
+  return state.stress + elastic_increment(state.dstrain);
+}
+
+double LinearElastic::wave_speed() const {
+  return std::sqrt((lambda_ + 2.0 * mu_) / density_);
+}
+
+DruckerPrager::DruckerPrager(double youngs, double poisson, double density,
+                             double friction_deg, double cohesion)
+    : LinearElastic(youngs, poisson, density),
+      friction_deg_(friction_deg),
+      cohesion_(cohesion) {
+  GNS_CHECK_MSG(friction_deg >= 0.0 && friction_deg < 90.0,
+                "friction angle must be in [0, 90) degrees");
+  GNS_CHECK_MSG(cohesion >= 0.0, "cohesion must be non-negative");
+  const double tan_phi = std::tan(friction_deg * M_PI / 180.0);
+  const double denom = std::sqrt(9.0 + 12.0 * tan_phi * tan_phi);
+  alpha_ = 3.0 * tan_phi / denom;
+  k_ = 3.0 * cohesion / denom;
+}
+
+SymTensor2 DruckerPrager::update_stress(const StressState& state) const {
+  // Elastic predictor.
+  SymTensor2 trial = state.stress + elastic_increment(state.dstrain);
+  const double p = trial.mean();
+  const double sqrt_j2 = std::sqrt(std::max(trial.j2(), 0.0));
+
+  // Apex (tensile) region: the cone admits sqrt(J2) <= k - α p; when even
+  // the hydrostatic axis is outside (k - α p < 0), return to the apex —
+  // for a cohesionless material that is the zero-stress state.
+  const double cone_radius = k_ - alpha_ * p;
+  if (cone_radius <= 0.0) {
+    const double p_apex = (alpha_ > 0.0) ? k_ / alpha_ : 0.0;
+    return {p_apex, p_apex, 0.0, p_apex};
+  }
+
+  // Inside the cone: accept the elastic trial.
+  if (sqrt_j2 <= cone_radius) return trial;
+
+  // Shear failure: scale the deviator back onto the cone, keep p (zero
+  // dilatancy return).
+  const double scale = cone_radius / sqrt_j2;
+  SymTensor2 s = trial.deviator() * scale;
+  return {s.xx + p, s.yy + p, s.xy, s.zz + p};
+}
+
+NewtonianFluid::NewtonianFluid(double rest_density, double sound_speed,
+                               double viscosity)
+    : rest_density_(rest_density),
+      sound_speed_(sound_speed),
+      viscosity_(viscosity) {
+  GNS_CHECK_MSG(rest_density > 0.0, "rest density must be positive");
+  GNS_CHECK_MSG(sound_speed > 0.0, "sound speed must be positive");
+  GNS_CHECK_MSG(viscosity >= 0.0, "viscosity must be non-negative");
+}
+
+SymTensor2 NewtonianFluid::update_stress(const StressState& state) const {
+  // Pressure from the linearized EOS; clamped at zero so free surfaces do
+  // not generate spurious tension (standard cavitation cutoff).
+  const double rho =
+      (state.density > 0.0) ? state.density : rest_density_;
+  double p = sound_speed_ * sound_speed_ * (rho - rest_density_);
+  p = std::max(p, 0.0);
+
+  // Viscous deviatoric stress from the strain *rate* = dstrain / dt.
+  SymTensor2 out{-p, -p, 0.0, -p};
+  if (state.dt > 0.0 && viscosity_ > 0.0) {
+    const double inv_dt = 1.0 / state.dt;
+    SymTensor2 rate = state.dstrain * inv_dt;
+    const SymTensor2 dev = rate.deviator();
+    out.xx += 2.0 * viscosity_ * dev.xx;
+    out.yy += 2.0 * viscosity_ * dev.yy;
+    out.zz += 2.0 * viscosity_ * dev.zz;
+    out.xy += 2.0 * viscosity_ * dev.xy;
+  }
+  return out;
+}
+
+}  // namespace gns::mpm

@@ -1,0 +1,34 @@
+#include "mpm/particles.hpp"
+
+namespace gns::mpm {
+
+Particles make_block(Vec2d lo, Vec2d hi, double spacing, double density,
+                     Vec2d v0) {
+  GNS_CHECK_MSG(spacing > 0.0, "particle spacing must be positive");
+  GNS_CHECK_MSG(hi.x > lo.x && hi.y > lo.y, "block must have positive size");
+  Particles p;
+  const double m = density * spacing * spacing;
+  const double vol = spacing * spacing;
+  // Offset half a spacing so particles sit inside cells, not on faces.
+  for (double y = lo.y + 0.5 * spacing; y < hi.y; y += spacing) {
+    for (double x = lo.x + 0.5 * spacing; x < hi.x; x += spacing) {
+      p.add({x, y}, v0, m, vol);
+    }
+  }
+  GNS_CHECK_MSG(p.size() > 0, "block too small for the given spacing");
+  return p;
+}
+
+void append(Particles& base, const Particles& extra) {
+  base.position.insert(base.position.end(), extra.position.begin(),
+                       extra.position.end());
+  base.velocity.insert(base.velocity.end(), extra.velocity.begin(),
+                       extra.velocity.end());
+  base.mass.insert(base.mass.end(), extra.mass.begin(), extra.mass.end());
+  base.volume.insert(base.volume.end(), extra.volume.begin(),
+                     extra.volume.end());
+  base.stress.insert(base.stress.end(), extra.stress.begin(),
+                     extra.stress.end());
+}
+
+}  // namespace gns::mpm

@@ -1,0 +1,109 @@
+#include "mpm/scenes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gns::mpm {
+
+namespace {
+
+MpmConfig config_from(const GranularSceneParams& params) {
+  MpmConfig cfg;
+  cfg.cells_x = params.cells_x;
+  cfg.cells_y = params.cells_y;
+  cfg.spacing = params.domain_width / params.cells_x;
+  const double sy = params.domain_height / params.cells_y;
+  GNS_CHECK_MSG(std::abs(cfg.spacing - sy) < 1e-9 * cfg.spacing,
+                "scene grid must be square: dx=" << cfg.spacing
+                                                 << " dy=" << sy);
+  cfg.floor_friction = params.floor_friction;
+  return cfg;
+}
+
+std::shared_ptr<const Material> material_from(
+    const GranularMaterialParams& m) {
+  return std::make_shared<DruckerPrager>(m.youngs, m.poisson, m.density,
+                                         m.friction_deg, m.cohesion);
+}
+
+double particle_spacing(const GranularSceneParams& params) {
+  return params.domain_width / params.cells_x /
+         params.particles_per_cell_dim;
+}
+
+}  // namespace
+
+Scene make_column_collapse(const GranularSceneParams& params,
+                           double column_width, double aspect_ratio) {
+  GNS_CHECK_MSG(column_width > 0.0 && aspect_ratio > 0.0,
+                "column geometry must be positive");
+  const double height = aspect_ratio * column_width;
+  GNS_CHECK_MSG(column_width < params.domain_width &&
+                    height < params.domain_height,
+                "column does not fit in the domain (height "
+                    << height << " vs " << params.domain_height << ")");
+  Scene scene;
+  scene.config = config_from(params);
+  scene.material = material_from(params.material);
+  const double spacing = particle_spacing(params);
+  scene.particles =
+      make_block({0.0, 0.0}, {column_width, height}, spacing,
+                 params.material.density);
+  return scene;
+}
+
+Scene make_random_square(const GranularSceneParams& params, Rng& rng,
+                         double min_side, double max_side, double max_speed) {
+  GNS_CHECK(min_side > 0.0 && max_side >= min_side);
+  GNS_CHECK_MSG(max_side < params.domain_width &&
+                    max_side < params.domain_height,
+                "square cannot exceed the domain");
+  Scene scene;
+  scene.config = config_from(params);
+  scene.material = material_from(params.material);
+  const double side = rng.uniform(min_side, max_side);
+  const double margin = 0.02 * params.domain_width;
+  const double x0 =
+      rng.uniform(margin, params.domain_width - side - margin);
+  // Bias the block upward a little so it has room to fall and flow.
+  const double y0 = rng.uniform(
+      margin, std::max(margin * 1.5, params.domain_height - side - margin));
+  const double angle = rng.uniform(0.0, 2.0 * M_PI);
+  const double speed = rng.uniform(0.0, max_speed);
+  const Vec2d v0{speed * std::cos(angle), speed * std::sin(angle)};
+  const double spacing = particle_spacing(params);
+  scene.particles = make_block({x0, y0}, {x0 + side, y0 + side}, spacing,
+                               params.material.density, v0);
+  return scene;
+}
+
+Scene make_dam_break(const FluidSceneParams& params, double width,
+                     double height, Vec2d v0) {
+  GNS_CHECK_MSG(width > 0.0 && height > 0.0, "dam geometry must be positive");
+  GNS_CHECK_MSG(width < params.domain_width &&
+                    height < params.domain_height,
+                "dam does not fit the domain");
+  Scene scene;
+  scene.config.cells_x = params.cells_x;
+  scene.config.cells_y = params.cells_y;
+  scene.config.spacing = params.domain_width / params.cells_x;
+  const double sy = params.domain_height / params.cells_y;
+  GNS_CHECK_MSG(std::abs(scene.config.spacing - sy) <
+                    1e-9 * scene.config.spacing,
+                "scene grid must be square");
+  // Fluids slide on walls; a frictional floor would be unphysical here.
+  scene.config.floor_friction = 0.0;
+  // Mostly-PIC transfer damps the ringing the weak compressibility
+  // introduces at coarse resolution.
+  scene.config.flip_blend = 0.85;
+  scene.material = std::make_shared<NewtonianFluid>(
+      params.material.rest_density, params.material.sound_speed,
+      params.material.viscosity);
+  const double spacing =
+      scene.config.spacing / params.particles_per_cell_dim;
+  scene.particles = make_block({0.0, 0.0}, {width, height}, spacing,
+                               params.material.rest_density, v0);
+  return scene;
+}
+
+}  // namespace gns::mpm

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file scenes.hpp
+/// Canonical experiment scenes from the paper: the granular column collapse
+/// (§5 inverse problem), and the randomized square granular masses that form
+/// the GNS training set (§3.1: "26 square-shaped granular mass flow
+/// trajectories in a two-dimensional box boundary ... different initial
+/// configuration regarding the size of the square granular mass, position,
+/// and velocity").
+
+#include <memory>
+
+#include "mpm/solver.hpp"
+#include "util/rng.hpp"
+
+namespace gns::mpm {
+
+/// Material parameters shared by the granular scenes. Young's modulus is
+/// kept modest so the explicit CFL timestep stays affordable at test scale —
+/// runout behaviour is governed by φ, not stiffness, once E is "stiff
+/// enough" relative to gravity loads.
+struct GranularMaterialParams {
+  double youngs = 1e6;        ///< [Pa]
+  double poisson = 0.3;
+  double density = 1800.0;    ///< [kg/m^3]
+  double friction_deg = 30.0; ///< Mohr-Coulomb φ
+  double cohesion = 0.0;      ///< [Pa]
+};
+
+/// Geometry + discretization of a box-bounded granular scene.
+struct GranularSceneParams {
+  double domain_width = 1.0;   ///< [m]
+  double domain_height = 0.5;  ///< [m]
+  int cells_x = 40;
+  int cells_y = 20;
+  int particles_per_cell_dim = 2;  ///< lattice density (2 => 4 ppc)
+  double floor_friction = 0.4;
+  GranularMaterialParams material;
+};
+
+/// A fully-assembled MPM scene ready to run.
+struct Scene {
+  std::shared_ptr<const Material> material;
+  MpmConfig config;
+  Particles particles;
+
+  [[nodiscard]] MpmSolver make_solver() const {
+    return MpmSolver(config, material, particles);
+  }
+};
+
+/// Granular column collapse: a column of width `column_width` and height
+/// `aspect_ratio * column_width` released at the left wall. The runout
+/// front max_x(t) is the observable the §5 inverse problem matches.
+[[nodiscard]] Scene make_column_collapse(const GranularSceneParams& params,
+                                         double column_width,
+                                         double aspect_ratio);
+
+/// Randomized square granular mass (training-set generator): a square block
+/// of side in [min_side, max_side], placed uniformly inside the box with an
+/// initial velocity of magnitude up to `max_speed`.
+[[nodiscard]] Scene make_random_square(const GranularSceneParams& params,
+                                       Rng& rng, double min_side = 0.12,
+                                       double max_side = 0.3,
+                                       double max_speed = 1.0);
+
+/// Weakly-compressible fluid parameters for the dam-break scenes.
+struct FluidMaterialParams {
+  double rest_density = 1000.0;  ///< [kg/m^3]
+  double sound_speed = 20.0;     ///< artificial c [m/s] (>=10x flow speed)
+  double viscosity = 5e-3;       ///< dynamic μ [Pa·s]
+};
+
+struct FluidSceneParams {
+  double domain_width = 1.0;
+  double domain_height = 0.5;
+  int cells_x = 32;
+  int cells_y = 16;
+  int particles_per_cell_dim = 2;
+  FluidMaterialParams material;
+};
+
+/// Dam break: a water column of `width` x `height` released at the left
+/// wall — the canonical fluid analog of the granular column collapse, and
+/// the fluid workload the GNS trains on.
+[[nodiscard]] Scene make_dam_break(const FluidSceneParams& params,
+                                   double width, double height,
+                                   Vec2d v0 = Vec2d{});
+
+}  // namespace gns::mpm

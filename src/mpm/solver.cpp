@@ -1,0 +1,217 @@
+#include "mpm/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gns::mpm {
+
+namespace {
+int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+}  // namespace
+
+MpmSolver::MpmSolver(MpmConfig config, std::shared_ptr<const Material> material,
+                     Particles particles)
+    : config_(config),
+      material_(std::move(material)),
+      particles_(std::move(particles)),
+      grid_(config.cells_x, config.cells_y, config.spacing) {
+  GNS_CHECK_MSG(material_ != nullptr, "MpmSolver needs a material");
+  GNS_CHECK_MSG(particles_.size() > 0, "MpmSolver needs particles");
+  GNS_CHECK(config_.flip_blend >= 0.0 && config_.flip_blend <= 1.0);
+  const int nt = max_threads();
+  local_mass_.assign(nt, std::vector<double>(grid_.num_nodes(), 0.0));
+  local_momentum_.assign(nt, std::vector<Vec2d>(grid_.num_nodes()));
+  local_force_.assign(nt, std::vector<Vec2d>(grid_.num_nodes()));
+  grid_old_velocity_.assign(grid_.num_nodes(), Vec2d{});
+}
+
+double MpmSolver::dt() const {
+  if (config_.fixed_dt > 0.0) return config_.fixed_dt;
+  double vmax = 0.0;
+  for (const auto& v : particles_.velocity) vmax = std::max(vmax, v.norm());
+  const double c = material_->wave_speed() + vmax;
+  return config_.cfl * grid_.spacing() / c;
+}
+
+double MpmSolver::step() {
+  const double dt_step = dt();
+  grid_.clear();
+  particle_to_grid(dt_step);
+
+  const int n_nodes = grid_.num_nodes();
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n_nodes; ++i) {
+    grid_old_velocity_[i] = (grid_.mass[i] > 1e-12)
+                                ? Vec2d{grid_.momentum[i].x / grid_.mass[i],
+                                        grid_.momentum[i].y / grid_.mass[i]}
+                                : Vec2d{};
+  }
+
+  grid_.update_velocities(dt_step);
+  grid_.apply_boundary(dt_step, config_.floor_friction);
+
+  grid_to_particle(dt_step);
+  time_ += dt_step;
+  ++steps_;
+  return dt_step;
+}
+
+double MpmSolver::run(int n) {
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) t += step();
+  return t;
+}
+
+void MpmSolver::set_kinematics(const std::vector<Vec2d>& positions,
+                               const std::vector<Vec2d>& velocities) {
+  GNS_CHECK_MSG(static_cast<int>(positions.size()) == particles_.size() &&
+                    static_cast<int>(velocities.size()) == particles_.size(),
+                "set_kinematics size mismatch");
+  const double eps = 1e-6;
+  for (int i = 0; i < particles_.size(); ++i) {
+    Vec2d x = positions[i];
+    x.x = std::clamp(x.x, eps, grid_.width() - eps);
+    x.y = std::clamp(x.y, eps, grid_.height() - eps);
+    particles_.position[i] = x;
+    particles_.velocity[i] = velocities[i];
+  }
+}
+
+void MpmSolver::particle_to_grid(double dt) {
+  (void)dt;
+  const int np = particles_.size();
+  const int n_nodes = grid_.num_nodes();
+  const int nxn = grid_.nodes_x();
+  const double h = grid_.spacing();
+  const ShapeKind kind = config_.shape;
+  const Vec2d g = config_.gravity;
+
+#pragma omp parallel
+  {
+    const int tid = thread_id();
+    auto& lm = local_mass_[tid];
+    auto& lp = local_momentum_[tid];
+    auto& lf = local_force_[tid];
+    std::fill(lm.begin(), lm.end(), 0.0);
+    std::fill(lp.begin(), lp.end(), Vec2d{});
+    std::fill(lf.begin(), lf.end(), Vec2d{});
+
+#pragma omp for schedule(static) nowait
+    for (int p = 0; p < np; ++p) {
+      const Vec2d x = particles_.position[p];
+      const Vec2d v = particles_.velocity[p];
+      const double m = particles_.mass[p];
+      const double vol = particles_.volume[p];
+      const SymTensor2& s = particles_.stress[p];
+      const ShapeWeights1D wx = shape_weights(kind, x.x, h);
+      const ShapeWeights1D wy = shape_weights(kind, x.y, h);
+      for (int a = 0; a < wy.count; ++a) {
+        const int iy = wy.base + a;
+        if (iy < 0 || iy >= grid_.nodes_y()) continue;
+        for (int b = 0; b < wx.count; ++b) {
+          const int ix = wx.base + b;
+          if (ix < 0 || ix >= nxn) continue;
+          const int node = iy * nxn + ix;
+          const double w = wx.w[b] * wy.w[a];
+          const double dwx = wx.dw[b] * wy.w[a];
+          const double dwy = wx.w[b] * wy.dw[a];
+          lm[node] += w * m;
+          lp[node].x += w * m * v.x;
+          lp[node].y += w * m * v.y;
+          // Internal force: f -= V σ ∇N. Gravity: f += m g N.
+          lf[node].x += -vol * (s.xx * dwx + s.xy * dwy) + w * m * g.x;
+          lf[node].y += -vol * (s.xy * dwx + s.yy * dwy) + w * m * g.y;
+        }
+      }
+    }
+  }
+
+  // Fixed-order reduction over threads keeps results deterministic for a
+  // given OMP_NUM_THREADS.
+  const int nt = static_cast<int>(local_mass_.size());
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n_nodes; ++i) {
+    double m = 0.0;
+    Vec2d mom, f;
+    for (int t = 0; t < nt; ++t) {
+      m += local_mass_[t][i];
+      mom += local_momentum_[t][i];
+      f += local_force_[t][i];
+    }
+    grid_.mass[i] = m;
+    grid_.momentum[i] = mom;
+    grid_.force[i] = f;
+  }
+}
+
+void MpmSolver::grid_to_particle(double dt) {
+  const int np = particles_.size();
+  const int nxn = grid_.nodes_x();
+  const double h = grid_.spacing();
+  const ShapeKind kind = config_.shape;
+  const double blend = config_.flip_blend;
+  const double eps = 1e-6;
+  const double wlim = grid_.width() - eps;
+  const double hlim = grid_.height() - eps;
+
+#pragma omp parallel for schedule(static)
+  for (int p = 0; p < np; ++p) {
+    const Vec2d x = particles_.position[p];
+    const ShapeWeights1D wx = shape_weights(kind, x.x, h);
+    const ShapeWeights1D wy = shape_weights(kind, x.y, h);
+    Vec2d v_pic, dv;
+    Mat2 grad;
+    for (int a = 0; a < wy.count; ++a) {
+      const int iy = wy.base + a;
+      if (iy < 0 || iy >= grid_.nodes_y()) continue;
+      for (int b = 0; b < wx.count; ++b) {
+        const int ix = wx.base + b;
+        if (ix < 0 || ix >= nxn) continue;
+        const int node = iy * nxn + ix;
+        const double w = wx.w[b] * wy.w[a];
+        const double dwx = wx.dw[b] * wy.w[a];
+        const double dwy = wx.w[b] * wy.dw[a];
+        const Vec2d vn = grid_.velocity[node];
+        v_pic += w * vn;
+        dv += w * (vn - grid_old_velocity_[node]);
+        grad.xx += dwx * vn.x;
+        grad.xy += dwy * vn.x;
+        grad.yx += dwx * vn.y;
+        grad.yy += dwy * vn.y;
+      }
+    }
+    const Vec2d v_flip = particles_.velocity[p] + dv;
+    particles_.velocity[p] = blend * v_flip + (1.0 - blend) * v_pic;
+
+    Vec2d xn = x + v_pic * dt;
+    xn.x = std::clamp(xn.x, eps, wlim);
+    xn.y = std::clamp(xn.y, eps, hlim);
+    particles_.position[p] = xn;
+
+    const SymTensor2 de = grad.sym_scaled(dt);
+    particles_.volume[p] *= (1.0 + grad.trace() * dt);
+    particles_.volume[p] = std::max(particles_.volume[p], 1e-12);
+    StressState state{particles_.stress[p], de, dt,
+                      particles_.mass[p] / particles_.volume[p]};
+    particles_.stress[p] = material_->update_stress(state);
+  }
+}
+
+}  // namespace gns::mpm

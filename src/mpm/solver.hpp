@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file solver.hpp
+/// Explicit update-stress-last Material Point Method (2-D, plane strain).
+///
+/// One step: particle-to-grid transfer (mass, momentum, internal + gravity
+/// forces) -> grid velocity update with box boundary conditions -> grid-to-
+/// particle transfer with a FLIP/PIC blend, velocity-gradient-driven
+/// constitutive update, and position advection. OpenMP parallel in both
+/// transfer directions (P2G scatters into per-thread grid buffers that are
+/// reduced in fixed order, so results are deterministic at a fixed thread
+/// count).
+///
+/// This is the substrate playing the role of CB-Geo MPM in the paper: it
+/// generates the GNS training trajectories, is the "physics refinement"
+/// phase of the hybrid GNS/MPM loop (§4), and is the speedup baseline
+/// (§3.1: GNS vs parallel CPU MPM).
+
+#include <functional>
+#include <memory>
+
+#include "mpm/grid.hpp"
+#include "mpm/material.hpp"
+#include "mpm/particles.hpp"
+#include "mpm/shape.hpp"
+
+namespace gns::mpm {
+
+struct MpmConfig {
+  int cells_x = 40;
+  int cells_y = 40;
+  double spacing = 0.025;          ///< grid cell size h [m]
+  Vec2d gravity{0.0, -9.81};
+  double cfl = 0.4;                ///< fraction of h / wave_speed per step
+  double fixed_dt = 0.0;           ///< >0 overrides CFL (time-aligned runs)
+  double flip_blend = 0.95;        ///< 1 = pure FLIP, 0 = pure PIC
+  double floor_friction = 0.4;     ///< Coulomb coefficient on the floor
+  ShapeKind shape = ShapeKind::QuadraticBSpline;
+};
+
+/// Explicit MPM solver owning the grid and the particle set.
+class MpmSolver {
+ public:
+  MpmSolver(MpmConfig config, std::shared_ptr<const Material> material,
+            Particles particles);
+
+  /// Advances one explicit step of size dt() and returns it.
+  double step();
+
+  /// Advances `n` steps; returns total simulated time.
+  double run(int n);
+
+  /// Stable timestep from the CFL condition against the material p-wave
+  /// speed (recomputed cheaply; velocity-augmented for fast flows).
+  [[nodiscard]] double dt() const;
+
+  [[nodiscard]] const Particles& particles() const { return particles_; }
+  [[nodiscard]] Particles& particles_mut() { return particles_; }
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] const MpmConfig& config() const { return config_; }
+  [[nodiscard]] const Material& material() const { return *material_; }
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] std::int64_t steps_taken() const { return steps_; }
+
+  /// Replaces particle kinematics (positions + velocities) in place —
+  /// the hybrid controller hands GNS rollout output back to the physics
+  /// solver through this. Stress state is preserved; callers that need a
+  /// fresh stress state can also zero it.
+  void set_kinematics(const std::vector<Vec2d>& positions,
+                      const std::vector<Vec2d>& velocities);
+
+ private:
+  void particle_to_grid(double dt);
+  void grid_to_particle(double dt);
+
+  MpmConfig config_;
+  std::shared_ptr<const Material> material_;
+  Particles particles_;
+  Grid grid_;
+  std::vector<Vec2d> grid_old_velocity_;
+  // Per-thread P2G scatter buffers: [thread][node].
+  std::vector<std::vector<double>> local_mass_;
+  std::vector<std::vector<Vec2d>> local_momentum_;
+  std::vector<std::vector<Vec2d>> local_force_;
+  double time_ = 0.0;
+  std::int64_t steps_ = 0;
+};
+
+}  // namespace gns::mpm

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file types.hpp
+/// Small dense 2-D vector/tensor types for the MPM and CFD substrates.
+/// Plane-strain MPM carries a 2x2 in-plane stress block plus sigma_zz.
+
+#include <cmath>
+
+namespace gns::mpm {
+
+struct Vec2d {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2d() = default;
+  Vec2d(double x_, double y_) : x(x_), y(y_) {}
+
+  Vec2d& operator+=(const Vec2d& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2d& operator-=(const Vec2d& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2d& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  friend Vec2d operator+(Vec2d a, const Vec2d& b) { return a += b; }
+  friend Vec2d operator-(Vec2d a, const Vec2d& b) { return a -= b; }
+  friend Vec2d operator*(Vec2d a, double s) { return a *= s; }
+  friend Vec2d operator*(double s, Vec2d a) { return a *= s; }
+
+  [[nodiscard]] double dot(const Vec2d& o) const { return x * o.x + y * o.y; }
+  [[nodiscard]] double norm2() const { return x * x + y * y; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Symmetric plane-strain stress/strain tensor: in-plane xx, yy, xy and the
+/// out-of-plane zz component (nonzero under plane strain).
+struct SymTensor2 {
+  double xx = 0.0;
+  double yy = 0.0;
+  double xy = 0.0;
+  double zz = 0.0;
+
+  SymTensor2& operator+=(const SymTensor2& o) {
+    xx += o.xx;
+    yy += o.yy;
+    xy += o.xy;
+    zz += o.zz;
+    return *this;
+  }
+  friend SymTensor2 operator+(SymTensor2 a, const SymTensor2& b) {
+    return a += b;
+  }
+  friend SymTensor2 operator*(SymTensor2 a, double s) {
+    a.xx *= s;
+    a.yy *= s;
+    a.xy *= s;
+    a.zz *= s;
+    return a;
+  }
+
+  /// Trace (includes zz).
+  [[nodiscard]] double trace() const { return xx + yy + zz; }
+
+  /// Mean stress p = tr/3 (tension positive).
+  [[nodiscard]] double mean() const { return trace() / 3.0; }
+
+  /// Deviatoric part.
+  [[nodiscard]] SymTensor2 deviator() const {
+    const double p = mean();
+    return {xx - p, yy - p, xy, zz - p};
+  }
+
+  /// Second deviatoric invariant J2 = 1/2 s:s (xy counts twice).
+  [[nodiscard]] double j2() const {
+    const SymTensor2 s = deviator();
+    return 0.5 * (s.xx * s.xx + s.yy * s.yy + s.zz * s.zz) + s.xy * s.xy;
+  }
+};
+
+/// Full (non-symmetric) 2x2 tensor — velocity gradients.
+struct Mat2 {
+  double xx = 0.0, xy = 0.0;
+  double yx = 0.0, yy = 0.0;
+
+  /// Symmetric part times dt = small-strain increment (plane strain:
+  /// dε_zz = 0).
+  [[nodiscard]] SymTensor2 sym_scaled(double dt) const {
+    return {xx * dt, yy * dt, 0.5 * (xy + yx) * dt, 0.0};
+  }
+
+  [[nodiscard]] double trace() const { return xx + yy; }
+};
+
+}  // namespace gns::mpm

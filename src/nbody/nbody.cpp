@@ -1,0 +1,147 @@
+#include "nbody/nbody.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gns::nbody {
+
+double NBodySystem::pair_force(int i, int j) const {
+  const double dx = x[i] - x[j];
+  const double sum_r = radius[i] + radius[j];
+  const double dist = std::abs(dx);
+  if (dist >= sum_r) return 0.0;
+  // Overlap spring pushes the pair apart; magnitude k_n·|Δx − r_i − r_j|.
+  const double overlap = sum_r - dist;
+  double f = config.stiffness * overlap;
+  // Normal dashpot (γ_n) damps the approach velocity.
+  if (config.damping > 0.0) {
+    const double approach = (v[i] - v[j]) * (dx >= 0.0 ? 1.0 : -1.0);
+    f -= config.damping * approach;
+  }
+  return (dx >= 0.0 ? f : -f);
+}
+
+std::vector<double> NBodySystem::accelerations() const {
+  const int n = size();
+  std::vector<double> acc(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double f = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j != i) f += pair_force(i, j);
+    }
+    // Walls at 0 and domain are linear springs against the ball surface.
+    const double pen_left = radius[i] - x[i];
+    if (pen_left > 0.0) f += config.wall_stiffness * pen_left;
+    const double pen_right = x[i] + radius[i] - config.domain;
+    if (pen_right > 0.0) f -= config.wall_stiffness * pen_right;
+    acc[i] = f / mass[i];
+  }
+  return acc;
+}
+
+double NBodySystem::total_energy() const {
+  double e = 0.0;
+  const int n = size();
+  for (int i = 0; i < n; ++i) e += 0.5 * mass[i] * v[i] * v[i];
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double overlap =
+          radius[i] + radius[j] - std::abs(x[i] - x[j]);
+      if (overlap > 0.0) e += 0.5 * config.stiffness * overlap * overlap;
+    }
+    const double pen_left = radius[i] - x[i];
+    if (pen_left > 0.0) e += 0.5 * config.wall_stiffness * pen_left * pen_left;
+    const double pen_right = x[i] + radius[i] - config.domain;
+    if (pen_right > 0.0)
+      e += 0.5 * config.wall_stiffness * pen_right * pen_right;
+  }
+  return e;
+}
+
+void NBodySystem::step() {
+  const auto acc = accelerations();
+  const int n = size();
+  for (int i = 0; i < n; ++i) {
+    v[i] += config.dt * acc[i];
+    x[i] += config.dt * v[i];
+  }
+}
+
+NBodySystem make_random_system(const NBodyConfig& config, Rng& rng) {
+  GNS_CHECK(config.num_bodies > 1);
+  NBodySystem sys;
+  sys.config = config;
+  const int n = config.num_bodies;
+  sys.mass.resize(n);
+  sys.radius.resize(n);
+  sys.v.resize(n);
+  sys.x.resize(n);
+  for (int i = 0; i < n; ++i) {
+    sys.mass[i] = rng.uniform(config.min_mass, config.max_mass);
+    sys.radius[i] = rng.uniform(config.min_radius, config.max_radius);
+    sys.v[i] = rng.uniform(-config.max_speed, config.max_speed);
+  }
+  // Place bodies left-to-right with random positive surface gaps so there
+  // is no initial overlap, then center the chain in the domain.
+  double cursor = sys.radius[0];
+  sys.x[0] = cursor;
+  for (int i = 1; i < n; ++i) {
+    const double gap = rng.uniform(0.005, 0.03);
+    cursor += sys.radius[i - 1] + gap + sys.radius[i];
+    sys.x[i] = cursor;
+  }
+  const double extent = sys.x[n - 1] + sys.radius[n - 1];
+  GNS_CHECK_MSG(extent < config.domain,
+                "bodies do not fit the domain: extent " << extent);
+  const double shift = 0.5 * (config.domain - extent);
+  for (auto& xi : sys.x) xi += shift;
+  return sys;
+}
+
+io::Trajectory simulate(NBodySystem system, int frames, int substeps) {
+  GNS_CHECK(frames > 0 && substeps > 0);
+  io::Trajectory traj;
+  traj.dim = 1;
+  traj.num_particles = system.size();
+  traj.domain_lo = {0.0};
+  traj.domain_hi = {system.config.domain};
+  traj.material_param = system.config.stiffness;
+  // Static node attributes: [radius, mass] per body — the GNS must see
+  // these for its messages to encode the contact law F = k|Δx − r_i − r_j|.
+  traj.attr_dim = 2;
+  traj.node_attrs.reserve(2 * system.size());
+  for (int i = 0; i < system.size(); ++i) {
+    traj.node_attrs.push_back(system.radius[i]);
+    traj.node_attrs.push_back(system.mass[i]);
+  }
+  for (int t = 0; t < frames; ++t) {
+    traj.add_frame(system.x);
+    for (int s = 0; s < substeps; ++s) system.step();
+  }
+  return traj;
+}
+
+std::vector<PairSample> collect_pair_samples(NBodySystem system, int frames,
+                                             int substeps) {
+  std::vector<PairSample> samples;
+  for (int t = 0; t < frames; ++t) {
+    const int n = system.size();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double f = system.pair_force(i, j);
+        if (f != 0.0) {
+          samples.push_back({system.x[i] - system.x[j], system.radius[i],
+                             system.radius[j], system.mass[i],
+                             system.mass[j], f});
+        }
+      }
+    }
+    for (int s = 0; s < substeps; ++s) system.step();
+  }
+  return samples;
+}
+
+}  // namespace gns::nbody

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file nbody.hpp
+/// Ground-truth n-body substrate for the interpretability study (§6,
+/// Table 1): balls on a line interacting through linear contact springs.
+/// When two balls with radii r_i, r_j overlap (|Δx| < r_i + r_j), the
+/// contact force magnitude is F = k_n · |Δx − r_i − r_j| — exactly the law
+/// the paper's symbolic regression recovers from GNS messages (Table 1,
+/// Eq. 8 with k_n = 100).
+
+#include <vector>
+
+#include "io/trajectory.hpp"
+#include "util/rng.hpp"
+
+namespace gns::nbody {
+
+struct NBodyConfig {
+  int num_bodies = 10;
+  double stiffness = 100.0;   ///< contact spring k_n
+  double damping = 0.0;       ///< normal dashpot γ_n (0 = elastic)
+  double min_radius = 0.04;
+  double max_radius = 0.08;
+  double min_mass = 0.5;
+  double max_mass = 2.0;
+  double domain = 2.0;        ///< balls confined to [0, domain] by walls
+  double wall_stiffness = 100.0;
+  double max_speed = 0.5;     ///< initial velocity magnitude bound
+  double dt = 1e-3;           ///< integrator step
+};
+
+/// State of the spring-ball chain.
+struct NBodySystem {
+  NBodyConfig config;
+  std::vector<double> x;      ///< positions
+  std::vector<double> v;      ///< velocities
+  std::vector<double> mass;
+  std::vector<double> radius;
+
+  [[nodiscard]] int size() const { return static_cast<int>(x.size()); }
+
+  /// Total energy: kinetic + spring potential (contacts + walls); conserved
+  /// when damping = 0, asserted by tests.
+  [[nodiscard]] double total_energy() const;
+
+  /// Pairwise contact force on body i from body j (signed along +x).
+  [[nodiscard]] double pair_force(int i, int j) const;
+
+  /// Per-body accelerations under the current configuration.
+  [[nodiscard]] std::vector<double> accelerations() const;
+
+  /// One semi-implicit Euler step of size config.dt.
+  void step();
+};
+
+/// Randomly initialized system: radii/masses/velocities drawn uniformly,
+/// positions spaced so no initial overlap.
+[[nodiscard]] NBodySystem make_random_system(const NBodyConfig& config,
+                                             Rng& rng);
+
+/// Simulates `frames` snapshots, `substeps` integrator steps apart.
+/// Frames store positions only (io::Trajectory layout, dim=1).
+[[nodiscard]] io::Trajectory simulate(NBodySystem system, int frames,
+                                      int substeps);
+
+/// A labelled interaction sample used to validate symbolic regression
+/// against ground truth: the pair geometry and the true force.
+struct PairSample {
+  double dx;      ///< x_i − x_j (signed relative position)
+  double r1, r2;  ///< radii of i and j
+  double m1, m2;  ///< masses of i and j
+  double force;   ///< force on i from j (signed along +x)
+};
+
+/// Collects all interacting (overlapping) pairs over a trajectory rerun,
+/// for SR ground-truth checks and message-vs-force correlation tests.
+[[nodiscard]] std::vector<PairSample> collect_pair_samples(
+    NBodySystem system, int frames, int substeps);
+
+}  // namespace gns::nbody

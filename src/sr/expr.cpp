@@ -1,0 +1,296 @@
+#include "sr/expr.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace gns::sr {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+bool near_integer(double v, double& out) {
+  const double r = std::round(v);
+  if (std::abs(v - r) < 1e-9) {
+    out = r;
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+ExprPtr Expr::constant(double v) {
+  auto e = std::make_unique<Expr>();
+  e->op = Op::Const;
+  e->value = v;
+  return e;
+}
+
+ExprPtr Expr::variable(int index) {
+  GNS_CHECK(index >= 0);
+  auto e = std::make_unique<Expr>();
+  e->op = Op::Var;
+  e->var = index;
+  return e;
+}
+
+ExprPtr Expr::unary(Op op, ExprPtr child) {
+  GNS_CHECK(arity(op) == 1 && child != nullptr);
+  auto e = std::make_unique<Expr>();
+  e->op = op;
+  e->a = std::move(child);
+  return e;
+}
+
+ExprPtr Expr::binary(Op op, ExprPtr lhs, ExprPtr rhs) {
+  GNS_CHECK(arity(op) == 2 && lhs != nullptr && rhs != nullptr);
+  auto e = std::make_unique<Expr>();
+  e->op = op;
+  e->a = std::move(lhs);
+  e->b = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->op = op;
+  e->value = value;
+  e->var = var;
+  if (a) e->a = a->clone();
+  if (b) e->b = b->clone();
+  return e;
+}
+
+double Expr::eval(const std::vector<double>& vars) const {
+  switch (op) {
+    case Op::Const: return value;
+    case Op::Var:
+      GNS_DCHECK(var >= 0 && var < static_cast<int>(vars.size()));
+      return vars[var];
+    case Op::Add: return a->eval(vars) + b->eval(vars);
+    case Op::Sub: return a->eval(vars) - b->eval(vars);
+    case Op::Mul: return a->eval(vars) * b->eval(vars);
+    case Op::Div: {
+      const double d = b->eval(vars);
+      if (std::abs(d) < 1e-12) return kNaN;
+      return a->eval(vars) / d;
+    }
+    case Op::Pow: {
+      const double base = a->eval(vars);
+      const double exponent = b->eval(vars);
+      if (base < 0.0 && std::abs(exponent - std::round(exponent)) > 1e-9)
+        return kNaN;
+      const double r = std::pow(base, exponent);
+      return std::isfinite(r) ? r : kNaN;
+    }
+    case Op::Gt: return a->eval(vars) > b->eval(vars) ? 1.0 : 0.0;
+    case Op::Lt: return a->eval(vars) < b->eval(vars) ? 1.0 : 0.0;
+    case Op::Exp: {
+      const double x = a->eval(vars);
+      if (x > 50.0) return kNaN;
+      return std::exp(x);
+    }
+    case Op::Log: {
+      const double x = a->eval(vars);
+      if (x <= 0.0) return kNaN;
+      return std::log(x);
+    }
+    case Op::Inv: {
+      const double x = a->eval(vars);
+      if (std::abs(x) < 1e-12) return kNaN;
+      return 1.0 / x;
+    }
+    case Op::Abs: return std::abs(a->eval(vars));
+    case Op::Neg: return -a->eval(vars);
+  }
+  return kNaN;
+}
+
+int Expr::complexity() const {
+  int c = op_weight(op);
+  if (a) c += a->complexity();
+  if (b) c += b->complexity();
+  return c;
+}
+
+int Expr::size() const {
+  int s = 1;
+  if (a) s += a->size();
+  if (b) s += b->size();
+  return s;
+}
+
+int Expr::depth() const {
+  int d = 0;
+  if (a) d = a->depth();
+  if (b) d = std::max(d, b->depth());
+  return d + 1;
+}
+
+Expr::DimResult Expr::infer_dim(const std::vector<Dim>& var_dims) const {
+  const DimResult fail{false, std::nullopt};
+  switch (op) {
+    case Op::Const:
+      return {true, std::nullopt};  // constants absorb any units
+    case Op::Var:
+      GNS_DCHECK(var >= 0 && var < static_cast<int>(var_dims.size()));
+      return {true, var_dims[var]};
+    case Op::Add:
+    case Op::Sub: {
+      const auto da = a->infer_dim(var_dims);
+      const auto db = b->infer_dim(var_dims);
+      if (!da.ok || !db.ok) return fail;
+      if (!da.dim) return {true, db.dim};
+      if (!db.dim) return {true, da.dim};
+      if (*da.dim != *db.dim) return fail;
+      return {true, da.dim};
+    }
+    case Op::Mul: {
+      const auto da = a->infer_dim(var_dims);
+      const auto db = b->infer_dim(var_dims);
+      if (!da.ok || !db.ok) return fail;
+      if (!da.dim || !db.dim) return {true, std::nullopt};
+      return {true, Dim{{da.dim->first + db.dim->first,
+                         da.dim->second + db.dim->second}}};
+    }
+    case Op::Div: {
+      const auto da = a->infer_dim(var_dims);
+      const auto db = b->infer_dim(var_dims);
+      if (!da.ok || !db.ok) return fail;
+      if (!da.dim || !db.dim) return {true, std::nullopt};
+      return {true, Dim{{da.dim->first - db.dim->first,
+                         da.dim->second - db.dim->second}}};
+    }
+    case Op::Pow: {
+      const auto da = a->infer_dim(var_dims);
+      const auto db = b->infer_dim(var_dims);
+      if (!da.ok || !db.ok) return fail;
+      // Exponent must be dimensionless (or a constant).
+      if (db.dim && *db.dim != std::pair<int, int>{0, 0}) return fail;
+      if (!da.dim) return {true, std::nullopt};
+      if (*da.dim == std::pair<int, int>{0, 0})
+        return {true, Dim{{0, 0}}};
+      // Dimensional base needs an integer constant exponent.
+      if (b->op == Op::Const) {
+        double e = 0.0;
+        if (near_integer(b->value, e)) {
+          return {true, Dim{{da.dim->first * static_cast<int>(e),
+                             da.dim->second * static_cast<int>(e)}}};
+        }
+      }
+      return fail;
+    }
+    case Op::Gt:
+    case Op::Lt: {
+      const auto da = a->infer_dim(var_dims);
+      const auto db = b->infer_dim(var_dims);
+      if (!da.ok || !db.ok) return fail;
+      if (da.dim && db.dim && *da.dim != *db.dim) return fail;
+      return {true, Dim{{0, 0}}};  // comparison yields a pure number
+    }
+    case Op::Exp:
+    case Op::Log: {
+      const auto da = a->infer_dim(var_dims);
+      if (!da.ok) return fail;
+      if (da.dim && *da.dim != std::pair<int, int>{0, 0}) return fail;
+      return {true, Dim{{0, 0}}};
+    }
+    case Op::Inv: {
+      const auto da = a->infer_dim(var_dims);
+      if (!da.ok) return fail;
+      if (!da.dim) return {true, std::nullopt};
+      return {true, Dim{{-da.dim->first, -da.dim->second}}};
+    }
+    case Op::Abs:
+    case Op::Neg:
+      return a->infer_dim(var_dims);
+  }
+  return fail;
+}
+
+bool Expr::dims_ok(const std::vector<Dim>& var_dims, const Dim& target) const {
+  const auto r = infer_dim(var_dims);
+  if (!r.ok) return false;
+  if (!r.dim || !target) return true;  // wildcard unifies
+  return *r.dim == *target;
+}
+
+std::string Expr::to_string(const std::vector<std::string>& var_names) const {
+  std::ostringstream os;
+  switch (op) {
+    case Op::Const: os << value; break;
+    case Op::Var:
+      GNS_DCHECK(var >= 0 && var < static_cast<int>(var_names.size()));
+      os << var_names[var];
+      break;
+    case Op::Add:
+      os << "(" << a->to_string(var_names) << " + "
+         << b->to_string(var_names) << ")";
+      break;
+    case Op::Sub:
+      os << "(" << a->to_string(var_names) << " - "
+         << b->to_string(var_names) << ")";
+      break;
+    case Op::Mul:
+      os << "(" << a->to_string(var_names) << " * "
+         << b->to_string(var_names) << ")";
+      break;
+    case Op::Div:
+      os << "(" << a->to_string(var_names) << " / "
+         << b->to_string(var_names) << ")";
+      break;
+    case Op::Pow:
+      os << "pow(" << a->to_string(var_names) << ", "
+         << b->to_string(var_names) << ")";
+      break;
+    case Op::Gt:
+      os << "(" << a->to_string(var_names) << " > "
+         << b->to_string(var_names) << ")";
+      break;
+    case Op::Lt:
+      os << "(" << a->to_string(var_names) << " < "
+         << b->to_string(var_names) << ")";
+      break;
+    case Op::Exp: os << "exp(" << a->to_string(var_names) << ")"; break;
+    case Op::Log: os << "log(" << a->to_string(var_names) << ")"; break;
+    case Op::Inv: os << "inv(" << a->to_string(var_names) << ")"; break;
+    case Op::Abs: os << "abs(" << a->to_string(var_names) << ")"; break;
+    case Op::Neg: os << "(-" << a->to_string(var_names) << ")"; break;
+  }
+  return os.str();
+}
+
+void Expr::collect(std::vector<Expr*>& nodes) {
+  nodes.push_back(this);
+  if (a) a->collect(nodes);
+  if (b) b->collect(nodes);
+}
+
+ExprPtr random_expr(const std::vector<Op>& operators, int num_vars,
+                    int max_depth, Rng& rng, double const_min,
+                    double const_max) {
+  GNS_CHECK(num_vars > 0 && max_depth >= 1);
+  const double leaf_prob = (max_depth <= 1) ? 1.0 : 0.35;
+  if (rng.uniform() < leaf_prob) {
+    if (rng.bernoulli(0.6)) {
+      return Expr::variable(static_cast<int>(rng.uniform_index(num_vars)));
+    }
+    return Expr::constant(rng.uniform(const_min, const_max));
+  }
+  const Op op = operators[rng.uniform_index(operators.size())];
+  if (arity(op) == 0) {
+    return Expr::constant(rng.uniform(const_min, const_max));
+  }
+  if (arity(op) == 1) {
+    return Expr::unary(op, random_expr(operators, num_vars, max_depth - 1,
+                                       rng, const_min, const_max));
+  }
+  return Expr::binary(
+      op,
+      random_expr(operators, num_vars, max_depth - 1, rng, const_min,
+                  const_max),
+      random_expr(operators, num_vars, max_depth - 1, rng, const_min,
+                  const_max));
+}
+
+}  // namespace gns::sr

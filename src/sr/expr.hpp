@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file expr.hpp
+/// Expression trees for symbolic regression (§6, Table 1).
+///
+/// The operator set follows the paper: +, −, *, /, >, <, pow, exp, inv,
+/// log (plus abs, which appears in the recovered law). Complexity C_x is a
+/// weighted operator/terminal count with pow/exp/inv/log weighted 3× —
+/// exactly the paper's "simple weighted counting model". Dimensional
+/// analysis (the D_a column) propagates (length, mass) exponents through
+/// the tree, with constants acting as wildcards that can absorb units.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gns::sr {
+
+enum class Op : unsigned char {
+  Const, Var,
+  Add, Sub, Mul, Div, Pow, Gt, Lt,   // binary
+  Exp, Log, Inv, Abs, Neg            // unary
+};
+
+[[nodiscard]] constexpr int arity(Op op) {
+  switch (op) {
+    case Op::Const:
+    case Op::Var: return 0;
+    case Op::Exp:
+    case Op::Log:
+    case Op::Inv:
+    case Op::Abs:
+    case Op::Neg: return 1;
+    default: return 2;
+  }
+}
+
+/// Complexity weight: pow/exp/inv/log count 3×, everything else 1 (§6).
+[[nodiscard]] constexpr int op_weight(Op op) {
+  switch (op) {
+    case Op::Pow:
+    case Op::Exp:
+    case Op::Inv:
+    case Op::Log: return 3;
+    default: return 1;
+  }
+}
+
+/// Physical dimension as (length, mass) exponents. nullopt = wildcard
+/// (constants can absorb any units).
+using Dim = std::optional<std::pair<int, int>>;
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  Op op = Op::Const;
+  double value = 0.0;  ///< for Const
+  int var = -1;        ///< for Var
+  ExprPtr a, b;
+
+  Expr() = default;
+  explicit Expr(double constant) : op(Op::Const), value(constant) {}
+  static ExprPtr constant(double v);
+  static ExprPtr variable(int index);
+  static ExprPtr unary(Op op, ExprPtr child);
+  static ExprPtr binary(Op op, ExprPtr lhs, ExprPtr rhs);
+
+  [[nodiscard]] ExprPtr clone() const;
+
+  /// Evaluates at one sample (vars[i] = value of variable i). Guards
+  /// division/log domain errors by returning quiet NaN, which fitness
+  /// treats as failure.
+  [[nodiscard]] double eval(const std::vector<double>& vars) const;
+
+  /// Weighted complexity C_x (counts every node; pow/exp/inv/log ×3).
+  [[nodiscard]] int complexity() const;
+
+  /// Number of nodes.
+  [[nodiscard]] int size() const;
+
+  /// Depth of the tree (leaf = 1).
+  [[nodiscard]] int depth() const;
+
+  /// Dimensional analysis: the inferred dimension, or nullopt-wrapped-in-
+  /// failure. Returns false in `ok` when the tree is dimensionally
+  /// inconsistent.
+  struct DimResult {
+    bool ok = true;
+    Dim dim;  ///< meaningful only when ok
+  };
+  [[nodiscard]] DimResult infer_dim(const std::vector<Dim>& var_dims) const;
+
+  /// True when the tree is dimensionally consistent AND its result can
+  /// carry `target` units (wildcards unify with anything).
+  [[nodiscard]] bool dims_ok(const std::vector<Dim>& var_dims,
+                             const Dim& target) const;
+
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& var_names) const;
+
+  /// Collects pointers to every node (pre-order) for genetic operators.
+  void collect(std::vector<Expr*>& nodes);
+};
+
+/// Uniform random tree of depth ≤ max_depth over the given operators and
+/// variable count; leaf probability grows with depth.
+[[nodiscard]] ExprPtr random_expr(const std::vector<Op>& operators,
+                                  int num_vars, int max_depth, Rng& rng,
+                                  double const_min = -5.0,
+                                  double const_max = 5.0);
+
+}  // namespace gns::sr

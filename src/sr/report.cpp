@@ -1,0 +1,46 @@
+#include "sr/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace gns::sr {
+
+std::vector<TableRow> build_table(const ParetoFront& front,
+                                  const std::vector<std::string>& var_names,
+                                  bool require_dims_ok) {
+  const ParetoEntry* chosen = front.select_occam(require_dims_ok);
+  std::vector<TableRow> rows;
+  int index = 1;
+  for (const ParetoEntry* e : front.entries()) {
+    TableRow row;
+    row.index = index++;
+    row.equation = e->expr->to_string(var_names);
+    row.mse = e->mse;
+    row.complexity = e->complexity;
+    row.dims_ok = e->dims_ok;
+    row.chosen = (e == chosen);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string render_table(const std::vector<TableRow>& rows) {
+  std::size_t eq_width = 16;
+  for (const auto& r : rows) eq_width = std::max(eq_width, r.equation.size());
+  std::ostringstream os;
+  os << std::left << std::setw(5) << "Eq." << std::setw(eq_width + 2)
+     << "Derived equation" << std::setw(14) << "MSE" << std::setw(5) << "Cx"
+     << "Da\n";
+  os << std::string(5 + eq_width + 2 + 14 + 5 + 2, '-') << "\n";
+  for (const auto& r : rows) {
+    std::string label = std::to_string(r.index);
+    if (r.chosen) label += "*";
+    os << std::left << std::setw(5) << label << std::setw(eq_width + 2)
+       << r.equation << std::setw(14) << std::scientific
+       << std::setprecision(3) << r.mse << std::setw(5) << std::defaultfloat
+       << r.complexity << (r.dims_ok ? "Y" : "N") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gns::sr

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file report.hpp
+/// Table-1-style rendering of a symbolic-regression Pareto front:
+/// Eq | Derived equation | MSE | C_x | D_a, with the Occam-selected law
+/// starred — the exact format of the paper's Table 1.
+
+#include <string>
+
+#include "sr/genetic.hpp"
+
+namespace gns::sr {
+
+struct TableRow {
+  int index = 0;
+  std::string equation;
+  double mse = 0.0;
+  int complexity = 0;
+  bool dims_ok = false;
+  bool chosen = false;
+};
+
+/// Builds the rows of the table from a front (sorted by complexity; the
+/// Occam-selected entry is flagged).
+[[nodiscard]] std::vector<TableRow> build_table(
+    const ParetoFront& front, const std::vector<std::string>& var_names,
+    bool require_dims_ok = true);
+
+/// Renders the table as aligned monospace text.
+[[nodiscard]] std::string render_table(const std::vector<TableRow>& rows);
+
+}  // namespace gns::sr

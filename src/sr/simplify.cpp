@@ -1,0 +1,105 @@
+#include "sr/simplify.hpp"
+
+#include <cmath>
+
+namespace gns::sr {
+
+namespace {
+
+bool is_const(const Expr& e, double value) {
+  return e.op == Op::Const && std::abs(e.value - value) < 1e-12;
+}
+
+bool contains_variable(const Expr& e) {
+  if (e.op == Op::Var) return true;
+  if (e.a && contains_variable(*e.a)) return true;
+  if (e.b && contains_variable(*e.b)) return true;
+  return false;
+}
+
+ExprPtr simplify_node(const Expr& e);
+
+/// Fold a fully-constant subtree when its value is finite.
+ExprPtr try_fold(const Expr& e) {
+  if (contains_variable(e)) return nullptr;
+  const double v = e.eval({});
+  if (!std::isfinite(v)) return nullptr;  // keep NaN semantics intact
+  return Expr::constant(v);
+}
+
+ExprPtr simplify_node(const Expr& e) {
+  // Leaves copy through.
+  if (arity(e.op) == 0) return e.clone();
+
+  ExprPtr a = simplify_node(*e.a);
+  ExprPtr b = e.b ? simplify_node(*e.b) : nullptr;
+
+  // Rebuild with simplified children, then try whole-subtree folding.
+  ExprPtr out;
+  if (arity(e.op) == 1) {
+    out = Expr::unary(e.op, std::move(a));
+  } else {
+    out = Expr::binary(e.op, std::move(a), std::move(b));
+  }
+  if (ExprPtr folded = try_fold(*out)) return folded;
+
+  Expr& n = *out;
+  switch (n.op) {
+    case Op::Add:
+      if (is_const(*n.a, 0.0)) return std::move(n.b);
+      if (is_const(*n.b, 0.0)) return std::move(n.a);
+      break;
+    case Op::Sub:
+      if (is_const(*n.b, 0.0)) return std::move(n.a);
+      break;
+    case Op::Mul:
+      if (is_const(*n.a, 1.0)) return std::move(n.b);
+      if (is_const(*n.b, 1.0)) return std::move(n.a);
+      if (is_const(*n.a, 0.0) || is_const(*n.b, 0.0))
+        return Expr::constant(0.0);
+      if (is_const(*n.a, -1.0)) return Expr::unary(Op::Neg, std::move(n.b));
+      if (is_const(*n.b, -1.0)) return Expr::unary(Op::Neg, std::move(n.a));
+      break;
+    case Op::Div:
+      if (is_const(*n.b, 1.0)) return std::move(n.a);
+      break;
+    case Op::Pow:
+      if (is_const(*n.b, 1.0)) return std::move(n.a);
+      if (is_const(*n.b, 0.0)) return Expr::constant(1.0);
+      break;
+    case Op::Neg:
+      if (n.a->op == Op::Neg) return std::move(n.a->a);
+      break;
+    case Op::Abs:
+      if (n.a->op == Op::Abs) return std::move(n.a);
+      if (n.a->op == Op::Neg) {
+        // |−x| = |x|
+        return Expr::unary(Op::Abs, std::move(n.a->a));
+      }
+      break;
+    case Op::Inv:
+      if (n.a->op == Op::Inv) return std::move(n.a->a);
+      break;
+    case Op::Exp:
+      if (n.a->op == Op::Log) return std::move(n.a->a);  // exp(log x) on x>0
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+ExprPtr simplify(const Expr& expr) {
+  // Iterate to a fixed point (each pass strictly shrinks or stabilizes).
+  ExprPtr current = simplify_node(expr);
+  for (int pass = 0; pass < 8; ++pass) {
+    ExprPtr next = simplify_node(*current);
+    if (next->complexity() >= current->complexity()) break;
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace gns::sr

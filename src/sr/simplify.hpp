@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file simplify.hpp
+/// Algebraic cleanup of evolved expressions. GP output is full of
+/// redundancy (x*1, +0, const-only subtrees, double negation); folding it
+/// away both shrinks reported complexity honestly and makes the Table-1
+/// rows readable. Simplification is semantics-preserving on the reals
+/// (NaN-producing subtrees are left untouched).
+
+#include "sr/expr.hpp"
+
+namespace gns::sr {
+
+/// Returns a simplified deep copy. Guaranteed: for every input x,
+/// simplified->eval(x) == expr.eval(x) up to floating-point association,
+/// and simplified->complexity() <= expr.complexity().
+[[nodiscard]] ExprPtr simplify(const Expr& expr);
+
+}  // namespace gns::sr

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file check.hpp
+/// Lightweight runtime-check macros used across the library.
+///
+/// GNS_CHECK is always on (it guards API misuse: shape mismatches, bad
+/// indices); GNS_DCHECK compiles out in release builds and guards
+/// internal invariants on hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gns {
+
+/// Exception thrown by failed GNS_CHECK assertions. Deriving from
+/// std::logic_error signals that the failure is a programming error
+/// (bad shapes, out-of-range indices), not an environmental one.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GNS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace gns
+
+#define GNS_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::gns::detail::check_failed(#cond, __FILE__, __LINE__, "");         \
+  } while (false)
+
+#define GNS_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream gns_check_os_;                                   \
+      gns_check_os_ << msg;                                               \
+      ::gns::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                  gns_check_os_.str());                   \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define GNS_DCHECK(cond) ((void)0)
+#else
+#define GNS_DCHECK(cond) GNS_CHECK(cond)
+#endif

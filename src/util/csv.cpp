@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace gns {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), width_(columns.size()) {
+  GNS_CHECK_MSG(!columns.empty(), "CSV needs at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() { out_.flush(); }
+
+void CsvWriter::row(const std::vector<double>& values) {
+  GNS_CHECK_MSG(values.size() == width_, "CSV row width mismatch: got "
+                                             << values.size() << ", expected "
+                                             << width_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::labeled_row(const std::string& label,
+                            const std::vector<double>& values) {
+  GNS_CHECK_MSG(values.size() + 1 == width_,
+                "CSV labeled row width mismatch");
+  out_ << '"' << label << '"';
+  for (double v : values) out_ << ',' << v;
+  out_ << '\n';
+}
+
+}  // namespace gns

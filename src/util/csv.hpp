@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file csv.hpp
+/// Tiny CSV writer used by benches and examples to dump series (error
+/// evolution, inverse-iteration traces) for offline plotting.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gns {
+
+/// Streams rows of doubles (plus an optional leading string column) to a
+/// CSV file. Writing is line-buffered; the file is flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens \p path for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one numeric row; must match the header width.
+  void row(const std::vector<double>& values);
+
+  /// Appends a row whose first cell is a label (e.g. an expression string).
+  void labeled_row(const std::string& label,
+                   const std::vector<double>& values);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t width_ = 0;
+};
+
+}  // namespace gns

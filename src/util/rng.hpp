@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// Every stochastic component in the library (weight init, training noise,
+/// dataset generation, genetic operators) takes an explicit Rng so that runs
+/// are bitwise reproducible at a fixed seed. The generator is xoshiro256++,
+/// seeded via splitmix64, following the reference implementations of
+/// Blackman & Vigna.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace gns {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ PRNG with convenience samplers.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also feed <random>
+/// distributions, but the built-in samplers below are platform-stable
+/// (libstdc++'s std::normal_distribution is not guaranteed identical across
+/// implementations).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6e73736e67ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    has_cached_gauss_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result =
+        rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform float in [lo, hi).
+  float uniformf(float lo, float hi) {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Multiplicative range reduction (Lemire); negligible bias for our n.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  /// Standard normal via Box–Muller with caching of the second deviate.
+  double gauss() {
+    if (has_cached_gauss_) {
+      has_cached_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_cached_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double gauss(double mean, double stddev) { return mean + stddev * gauss(); }
+
+  float gaussf(float mean, float stddev) {
+    return static_cast<float>(gauss(mean, stddev));
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator (for per-thread / per-component
+  /// streams) without perturbing this generator's own sequence more than
+  /// one draw.
+  Rng split() { return Rng(next()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_gauss_ = 0.0;
+  bool has_cached_gauss_ = false;
+};
+
+}  // namespace gns

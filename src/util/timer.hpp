@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing helpers for the benchmark harness and the hybrid
+/// GNS/MPM controller (which reports per-phase cost breakdowns).
+
+#include <chrono>
+
+namespace gns {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time across multiple start/stop windows; used for
+/// phase breakdowns (e.g. MPM time vs GNS time inside the hybrid loop).
+class AccumulatingTimer {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      ++windows_;
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] double total_seconds() const { return total_; }
+  [[nodiscard]] int windows() const { return windows_; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  int windows_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace gns

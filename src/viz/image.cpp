@@ -1,0 +1,57 @@
+#include "viz/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace gns::viz {
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(width), height_(height) {
+  GNS_CHECK_MSG(width > 0 && height > 0, "image size must be positive");
+  pixels_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+void Image::disc(int cx, int cy, int r, Rgb color) {
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      if (dx * dx + dy * dy <= r * r) set_clipped(cx + dx, cy + dy, color);
+    }
+  }
+}
+
+void Image::save_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  GNS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size() * 3));
+}
+
+namespace {
+std::uint8_t to_byte(double v) {
+  return static_cast<std::uint8_t>(
+      std::clamp(v, 0.0, 1.0) * 255.0 + 0.5);
+}
+}  // namespace
+
+Rgb colormap_viridis(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Cubic fit of the viridis control points — close enough for QC images.
+  const double r = 0.267 + t * (0.005 + t * (1.261 - t * 0.547));
+  const double g = 0.005 + t * (1.397 + t * (-0.818 + t * 0.322));
+  const double b = 0.329 + t * (1.388 + t * (-3.382 + t * 1.811));
+  return {to_byte(r), to_byte(g), to_byte(b)};
+}
+
+Rgb colormap_diverging(double t) {
+  t = std::clamp(t, -1.0, 1.0);
+  if (t < 0.0) {
+    const double s = -t;  // toward blue
+    return {to_byte(1.0 - 0.77 * s), to_byte(1.0 - 0.55 * s), 255};
+  }
+  const double s = t;  // toward red
+  return {255, to_byte(1.0 - 0.72 * s), to_byte(1.0 - 0.81 * s)};
+}
+
+}  // namespace gns::viz

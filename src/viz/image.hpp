@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file image.hpp
+/// Minimal raster image + PPM (P6) writer for in-situ visualization.
+/// The paper's authors use GNS as an oracle for in-situ visualization of
+/// landslides (Kumar et al. 2022, cited in §2); this module is the
+/// reproduction's lightweight equivalent: benches and examples dump
+/// deposit/flow images directly from the running simulation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gns::viz {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+/// Row-major 8-bit RGB image; origin at the TOP-left (standard raster).
+class Image {
+ public:
+  Image(int width, int height, Rgb fill = {255, 255, 255});
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  void set(int x, int y, Rgb color) {
+    GNS_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    pixels_[static_cast<std::size_t>(y) * width_ + x] = color;
+  }
+  [[nodiscard]] Rgb get(int x, int y) const {
+    GNS_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Ignores out-of-bounds coordinates (convenient for markers near the
+  /// frame edge).
+  void set_clipped(int x, int y, Rgb color) {
+    if (x >= 0 && x < width_ && y >= 0 && y < height_) set(x, y, color);
+  }
+
+  /// Filled disc of radius `r` pixels.
+  void disc(int cx, int cy, int r, Rgb color);
+
+  /// Binary PPM (P6).
+  void save_ppm(const std::string& path) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Rgb> pixels_;
+};
+
+/// Perceptually-reasonable colormaps on t in [0, 1] (clamped).
+[[nodiscard]] Rgb colormap_viridis(double t);
+/// Blue-white-red diverging map on t in [-1, 1] (clamped).
+[[nodiscard]] Rgb colormap_diverging(double t);
+
+}  // namespace gns::viz

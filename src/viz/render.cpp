@@ -1,0 +1,103 @@
+#include "viz/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gns::viz {
+
+namespace {
+
+struct Mapper {
+  const ViewBox& view;
+  int width, height;
+
+  [[nodiscard]] int px(double x) const {
+    return static_cast<int>(std::lround(
+        (x - view.x0) / (view.x1 - view.x0) * (width - 1)));
+  }
+  [[nodiscard]] int py(double y) const {
+    // Flip: world y-up, raster y-down.
+    return static_cast<int>(std::lround(
+        (view.y1 - y) / (view.y1 - view.y0) * (height - 1)));
+  }
+};
+
+}  // namespace
+
+Image render_particles(const std::vector<double>& frame, const ViewBox& view,
+                       const ParticleStyle& style,
+                       const std::vector<double>* prev_frame) {
+  GNS_CHECK_MSG(frame.size() % 2 == 0, "expected a dim=2 frame");
+  GNS_CHECK(view.x1 > view.x0 && view.y1 > view.y0);
+  const int width = style.image_width;
+  const int height = std::max(
+      8, static_cast<int>(width * (view.y1 - view.y0) / (view.x1 - view.x0)));
+  Image img(width, height, style.background);
+  Mapper map{view, width, height};
+
+  const int n = static_cast<int>(frame.size()) / 2;
+  std::vector<double> speed(n, 0.0);
+  double vmax = style.max_speed;
+  if (prev_frame != nullptr && prev_frame->size() == frame.size()) {
+    for (int i = 0; i < n; ++i) {
+      const double dx = frame[2 * i] - (*prev_frame)[2 * i];
+      const double dy = frame[2 * i + 1] - (*prev_frame)[2 * i + 1];
+      speed[i] = std::sqrt(dx * dx + dy * dy);
+    }
+    if (vmax <= 0.0) {
+      for (double s : speed) vmax = std::max(vmax, s);
+    }
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+
+  for (int i = 0; i < n; ++i) {
+    const Rgb color = colormap_viridis(speed[i] / vmax);
+    img.disc(map.px(frame[2 * i]), map.py(frame[2 * i + 1]),
+             style.particle_radius, color);
+  }
+  return img;
+}
+
+Image render_comparison(const std::vector<double>& reference,
+                        const std::vector<double>& prediction,
+                        const ViewBox& view, const ParticleStyle& style) {
+  Image left = render_particles(reference, view, style);
+  Image right = render_particles(prediction, view, style);
+  const int sep = 3;
+  Image out(left.width() + sep + right.width(), left.height(),
+            Rgb{40, 40, 40});
+  for (int y = 0; y < left.height(); ++y) {
+    for (int x = 0; x < left.width(); ++x) out.set(x, y, left.get(x, y));
+    for (int x = 0; x < right.width(); ++x)
+      out.set(left.width() + sep + x, y, right.get(x, y));
+  }
+  return out;
+}
+
+Image render_scalar_field(const std::vector<double>& field, int nx, int ny,
+                          double scale, int pixels_per_cell) {
+  GNS_CHECK_MSG(static_cast<int>(field.size()) == nx * ny,
+                "field size mismatch");
+  GNS_CHECK(pixels_per_cell > 0);
+  if (scale <= 0.0) {
+    for (double v : field) scale = std::max(scale, std::abs(v));
+    if (scale <= 0.0) scale = 1.0;
+  }
+  Image img(nx * pixels_per_cell, ny * pixels_per_cell);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const Rgb color =
+          colormap_diverging(field[j * nx + i] / scale);
+      for (int py = 0; py < pixels_per_cell; ++py) {
+        for (int px = 0; px < pixels_per_cell; ++px) {
+          // Row 0 of the field is the bottom of the domain: flip.
+          img.set(i * pixels_per_cell + px,
+                  (ny - 1 - j) * pixels_per_cell + py, color);
+        }
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace gns::viz

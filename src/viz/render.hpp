@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file render.hpp
+/// In-situ renderers: particle scatter plots colored by speed, scalar
+/// fields (e.g. vorticity) with a diverging map, and side-by-side
+/// truth-vs-prediction comparisons for the figure benches.
+
+#include "viz/image.hpp"
+
+namespace gns::viz {
+
+struct ViewBox {
+  double x0 = 0.0, y0 = 0.0;  ///< world lower-left
+  double x1 = 1.0, y1 = 0.5;  ///< world upper-right
+};
+
+struct ParticleStyle {
+  int image_width = 480;
+  int particle_radius = 1;  ///< pixels
+  Rgb background{250, 250, 250};
+  double max_speed = 0.0;   ///< 0 = auto from data (color scale)
+};
+
+/// Renders one flat position frame (io::Trajectory layout, dim=2), colored
+/// by per-particle speed computed from `prev_frame` when provided.
+[[nodiscard]] Image render_particles(const std::vector<double>& frame,
+                                     const ViewBox& view,
+                                     const ParticleStyle& style = {},
+                                     const std::vector<double>* prev_frame =
+                                         nullptr);
+
+/// Two frames side by side with a separator — "reference | prediction".
+[[nodiscard]] Image render_comparison(const std::vector<double>& reference,
+                                      const std::vector<double>& prediction,
+                                      const ViewBox& view,
+                                      const ParticleStyle& style = {});
+
+/// Renders a cell-centered scalar field (row-major, ny rows of nx) with
+/// the diverging colormap scaled to ±`scale` (0 = auto from |field|max).
+[[nodiscard]] Image render_scalar_field(const std::vector<double>& field,
+                                        int nx, int ny, double scale = 0.0,
+                                        int pixels_per_cell = 6);
+
+}  // namespace gns::viz

@@ -1,0 +1,131 @@
+// CFD substrate: projection enforces incompressibility, boundary
+// conditions hold, the cylinder stays at rest, wake diagnostics work.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cfd/cfd.hpp"
+
+namespace gns::cfd {
+namespace {
+
+CfdConfig small_config() {
+  CfdConfig cfg;
+  cfg.nx = 48;
+  cfg.ny = 24;
+  cfg.length = 2.0;
+  cfg.pressure_iters = 150;
+  return cfg;
+}
+
+TEST(Cfd, CellTypesPartitionDomain) {
+  CfdSolver solver(small_config());
+  int fluid = 0, solid = 0, inflow = 0, outflow = 0;
+  for (CellType t : solver.cell_types()) {
+    switch (t) {
+      case CellType::Fluid: ++fluid; break;
+      case CellType::Solid: ++solid; break;
+      case CellType::Inflow: ++inflow; break;
+      case CellType::Outflow: ++outflow; break;
+    }
+  }
+  EXPECT_EQ(fluid + solid + inflow + outflow, 48 * 24);
+  EXPECT_GT(solid, 0);       // cylinder exists
+  EXPECT_EQ(inflow, 24);     // left column
+  EXPECT_EQ(outflow, 24);    // right column
+}
+
+TEST(Cfd, CylinderPlacement) {
+  CfdSolver solver(small_config());
+  const auto& cfg = solver.config();
+  // The cell containing the cylinder center must be solid.
+  const int ci = static_cast<int>(cfg.cylinder_x / solver.dx());
+  const int cj =
+      static_cast<int>(cfg.cylinder_y * solver.height() / solver.dx());
+  EXPECT_EQ(solver.cell_type(ci, cj), CellType::Solid);
+}
+
+TEST(Cfd, ProjectionDrivesDivergenceDown) {
+  CfdSolver solver(small_config());
+  for (int i = 0; i < 10; ++i) solver.step();
+  EXPECT_LT(solver.max_divergence(), 0.1);
+}
+
+TEST(Cfd, InflowVelocityHeld) {
+  CfdSolver solver(small_config());
+  for (int i = 0; i < 20; ++i) solver.step();
+  const auto v = solver.sample_cell_velocities();
+  // First column of fluid-adjacent cells should carry ~inflow speed.
+  const int nx = solver.config().nx;
+  for (int j = 4; j < solver.config().ny - 4; ++j) {
+    EXPECT_NEAR(v[2 * (j * nx + 0)], solver.config().inflow, 0.3);
+  }
+}
+
+TEST(Cfd, SolidCellsHaveZeroVelocity) {
+  CfdSolver solver(small_config());
+  for (int i = 0; i < 20; ++i) solver.step();
+  const auto v = solver.sample_cell_velocities();
+  const int nx = solver.config().nx;
+  for (int j = 0; j < solver.config().ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (solver.cell_type(i, j) == CellType::Solid) {
+        EXPECT_NEAR(v[2 * (j * nx + i)], 0.0, 1e-12);
+        EXPECT_NEAR(v[2 * (j * nx + i) + 1], 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Cfd, VelocitiesStayBounded) {
+  CfdSolver solver(small_config());
+  for (int i = 0; i < 200; ++i) solver.step();
+  for (double u : solver.u()) EXPECT_LT(std::abs(u), 10.0);
+  for (double v : solver.v()) EXPECT_LT(std::abs(v), 10.0);
+}
+
+TEST(Cfd, TimeAdvances) {
+  CfdSolver solver(small_config());
+  const double dt1 = solver.step();
+  EXPECT_GT(dt1, 0.0);
+  EXPECT_NEAR(solver.time(), dt1, 1e-15);
+}
+
+TEST(Cfd, FixedDtRespected) {
+  CfdConfig cfg = small_config();
+  cfg.dt = 1e-3;
+  CfdSolver solver(cfg);
+  EXPECT_DOUBLE_EQ(solver.step(), 1e-3);
+}
+
+TEST(Cfd, RolloutShapes) {
+  CfdConfig cfg = small_config();
+  CfdSolver solver(cfg);
+  const CfdRollout roll = run_rollout(solver, 5, 3);
+  EXPECT_EQ(roll.velocity_frames.size(), 5u);
+  EXPECT_EQ(roll.probe_series.size(), 5u);
+  EXPECT_EQ(roll.velocity_frames[0].size(),
+            2u * cfg.nx * cfg.ny);
+  EXPECT_GT(roll.frame_dt, 0.0);
+}
+
+TEST(Cfd, DominantFrequencyOfPureSine) {
+  std::vector<double> series;
+  const double f = 2.5, dt = 0.01;
+  for (int i = 0; i < 400; ++i)
+    series.push_back(std::sin(2.0 * M_PI * f * i * dt));
+  EXPECT_NEAR(dominant_frequency(series, dt), f, 0.15);
+}
+
+TEST(Cfd, DominantFrequencyOfConstantIsZero) {
+  std::vector<double> series(100, 3.0);
+  EXPECT_EQ(dominant_frequency(series, 0.01), 0.0);
+}
+
+TEST(Cfd, DominantFrequencyHandlesShortSeries) {
+  EXPECT_EQ(dominant_frequency({1.0, 2.0}, 0.01), 0.0);
+}
+
+}  // namespace
+}  // namespace gns::cfd

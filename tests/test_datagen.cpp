@@ -1,0 +1,169 @@
+// Dataset generation: trajectory recording cadence, determinism, scene
+// sweeps, the friction-angle parameterization, and the fluid datagen.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/datagen.hpp"
+
+namespace gns::core {
+namespace {
+
+mpm::GranularSceneParams tiny_scene() {
+  mpm::GranularSceneParams params;
+  params.cells_x = 16;
+  params.cells_y = 8;
+  params.domain_width = 1.0;
+  params.domain_height = 0.5;
+  return params;
+}
+
+TEST(MaterialParam, IsTanPhi) {
+  EXPECT_NEAR(material_param_from_friction(45.0), 1.0, 1e-12);
+  EXPECT_NEAR(material_param_from_friction(30.0),
+              std::tan(30.0 * M_PI / 180.0), 1e-12);
+  EXPECT_NEAR(material_param_from_friction(0.0), 0.0, 1e-12);
+}
+
+TEST(RecordTrajectory, CadenceAndMetadata) {
+  mpm::Scene scene = mpm::make_column_collapse(tiny_scene(), 0.15, 1.5);
+  mpm::MpmSolver solver = scene.make_solver();
+  io::Trajectory traj = record_mpm_trajectory(solver, 10, 5, 0.7);
+  EXPECT_EQ(traj.num_frames(), 10);
+  EXPECT_EQ(traj.num_particles, scene.particles.size());
+  EXPECT_EQ(traj.dim, 2);
+  EXPECT_DOUBLE_EQ(traj.material_param, 0.7);
+  EXPECT_DOUBLE_EQ(traj.domain_hi[0], 1.0);
+  EXPECT_DOUBLE_EQ(traj.domain_hi[1], 0.5);
+  // 9 * 5 solver steps were taken (no advance after the last frame).
+  EXPECT_EQ(solver.steps_taken(), 45);
+  // Frame 0 is the initial condition.
+  EXPECT_DOUBLE_EQ(traj.position(0, 0, 0),
+                   scene.particles.position[0].x);
+}
+
+TEST(ColumnDataset, OneTrajectoryPerAngleWithCorrectParams) {
+  io::Dataset ds = generate_column_dataset(tiny_scene(), {20.0, 40.0}, 0.15,
+                                           1.5, 8, 5);
+  ASSERT_EQ(ds.size(), 2);
+  EXPECT_NEAR(ds.trajectories[0].material_param,
+              material_param_from_friction(20.0), 1e-12);
+  EXPECT_NEAR(ds.trajectories[1].material_param,
+              material_param_from_friction(40.0), 1e-12);
+  // Same geometry: identical particle counts and initial frames.
+  EXPECT_EQ(ds.trajectories[0].num_particles,
+            ds.trajectories[1].num_particles);
+  EXPECT_EQ(ds.trajectories[0].frames[0], ds.trajectories[1].frames[0]);
+  // Different friction: different final frames.
+  EXPECT_NE(ds.trajectories[0].frames.back(),
+            ds.trajectories[1].frames.back());
+}
+
+TEST(GranularDataset, DeterministicForFixedSeed) {
+  MpmDataGenConfig config;
+  config.scene = tiny_scene();
+  config.num_trajectories = 2;
+  config.frames = 6;
+  config.substeps = 5;
+  config.seed = 55;
+  io::Dataset a = generate_granular_dataset(config);
+  io::Dataset b = generate_granular_dataset(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (int k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a.trajectories[k].frames, b.trajectories[k].frames);
+  }
+}
+
+TEST(GranularDataset, SeedChangesScenes) {
+  MpmDataGenConfig config;
+  config.scene = tiny_scene();
+  config.num_trajectories = 1;
+  config.frames = 4;
+  config.substeps = 5;
+  config.seed = 1;
+  io::Dataset a = generate_granular_dataset(config);
+  config.seed = 2;
+  io::Dataset b = generate_granular_dataset(config);
+  const bool differs =
+      a.trajectories[0].num_particles != b.trajectories[0].num_particles ||
+      a.trajectories[0].frames[0] != b.trajectories[0].frames[0];
+  EXPECT_TRUE(differs);
+}
+
+TEST(GranularDataset, RespectsSideAndSpeedBounds) {
+  MpmDataGenConfig config;
+  config.scene = tiny_scene();
+  config.num_trajectories = 3;
+  config.frames = 3;
+  config.substeps = 2;
+  config.min_side = 0.2;
+  config.max_side = 0.22;
+  config.max_speed = 0.0;  // at rest
+  io::Dataset ds = generate_granular_dataset(config);
+  for (const auto& traj : ds.trajectories) {
+    // Frame-to-frame displacement of frame 0->1 should be tiny (gravity
+    // only, no initial velocity).
+    double max_dx = 0.0;
+    for (int p = 0; p < traj.num_particles; ++p) {
+      max_dx = std::max(max_dx, std::abs(traj.position(1, p, 0) -
+                                         traj.position(0, p, 0)));
+    }
+    EXPECT_LT(max_dx, 1e-3);
+  }
+}
+
+TEST(FluidDataset, ShapesAndVariedGeometry) {
+  FluidDataGenConfig config;
+  config.scene.cells_x = 16;
+  config.scene.cells_y = 8;
+  config.num_trajectories = 3;
+  config.frames = 5;
+  config.substeps = 5;
+  io::Dataset ds = generate_dam_break_dataset(config);
+  ASSERT_EQ(ds.size(), 3);
+  // Random widths/heights: particle counts should not all match.
+  const bool varied =
+      ds.trajectories[0].num_particles != ds.trajectories[1].num_particles ||
+      ds.trajectories[1].num_particles != ds.trajectories[2].num_particles;
+  EXPECT_TRUE(varied);
+  for (const auto& traj : ds.trajectories) {
+    EXPECT_EQ(traj.num_frames(), 5);
+    EXPECT_DOUBLE_EQ(traj.material_param, 0.0);
+  }
+}
+
+TEST(NBodyDataset, CarriesAttributesAndCount) {
+  NBodyDataGenConfig config;
+  config.num_trajectories = 4;
+  config.frames = 6;
+  config.substeps = 3;
+  io::Dataset ds = generate_nbody_dataset(config);
+  ASSERT_EQ(ds.size(), 4);
+  for (const auto& traj : ds.trajectories) {
+    EXPECT_EQ(traj.dim, 1);
+    EXPECT_EQ(traj.attr_dim, 2);
+    EXPECT_EQ(static_cast<int>(traj.node_attrs.size()),
+              2 * traj.num_particles);
+  }
+  // Different systems per trajectory.
+  EXPECT_NE(ds.trajectories[0].node_attrs, ds.trajectories[1].node_attrs);
+}
+
+TEST(Stats, GranularDatasetHasGravitySignature) {
+  MpmDataGenConfig config;
+  config.scene = tiny_scene();
+  config.num_trajectories = 2;
+  config.frames = 10;
+  config.substeps = 10;
+  config.max_speed = 0.0;
+  io::Dataset ds = generate_granular_dataset(config);
+  const io::NormalizationStats stats = io::compute_stats(ds);
+  // Mean vertical velocity negative (falling), vertical acceleration
+  // spread at least as large as the (nearly settled) horizontal one.
+  EXPECT_LT(stats.vel_mean[1], 0.0);
+  EXPECT_GT(stats.acc_std[1], 0.0);
+}
+
+}  // namespace
+}  // namespace gns::core

@@ -1,0 +1,225 @@
+// GNS model: shapes, parameter bookkeeping, permutation equivariance (the
+// structural property graphs buy us), attention variant, gradient flow.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ad/optim.hpp"
+#include "core/gns.hpp"
+
+namespace gns::core {
+namespace {
+
+GnsConfig tiny_config(bool attention = false) {
+  GnsConfig gc;
+  gc.node_in = 4;
+  gc.edge_in = 3;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 2;
+  gc.out_dim = 2;
+  gc.attention = attention;
+  return gc;
+}
+
+graph::Graph chain_graph(int n) {
+  graph::Graph g;
+  g.num_nodes = n;
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_edge(i, i + 1);
+    g.add_edge(i + 1, i);
+  }
+  return g;
+}
+
+ad::Tensor random_tensor(int r, int c, Rng& rng) {
+  std::vector<ad::Real> v(static_cast<std::size_t>(r) * c);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return ad::Tensor::from_vector(r, c, std::move(v));
+}
+
+TEST(GnsModel, OutputShapes) {
+  Rng rng(1);
+  GnsModel model(tiny_config(), rng);
+  graph::Graph g = chain_graph(5);
+  Rng drng(2);
+  GnsOutput out = model.forward(random_tensor(5, 4, drng),
+                                random_tensor(g.num_edges(), 3, drng), g);
+  EXPECT_EQ(out.acceleration.rows(), 5);
+  EXPECT_EQ(out.acceleration.cols(), 2);
+  EXPECT_EQ(out.messages.rows(), g.num_edges());
+  EXPECT_EQ(out.messages.cols(), 8);
+}
+
+TEST(GnsModel, RejectsWrongFeatureWidths) {
+  Rng rng(3);
+  GnsModel model(tiny_config(), rng);
+  graph::Graph g = chain_graph(3);
+  Rng drng(4);
+  EXPECT_THROW(model.forward(random_tensor(3, 5, drng),
+                             random_tensor(g.num_edges(), 3, drng), g),
+               CheckError);
+  EXPECT_THROW(model.forward(random_tensor(3, 4, drng),
+                             random_tensor(g.num_edges(), 2, drng), g),
+               CheckError);
+  EXPECT_THROW(model.forward(random_tensor(4, 4, drng),
+                             random_tensor(g.num_edges(), 3, drng), g),
+               CheckError);
+}
+
+TEST(GnsModel, DeterministicForward) {
+  Rng rng(5);
+  GnsModel model(tiny_config(), rng);
+  graph::Graph g = chain_graph(4);
+  Rng drng(6);
+  ad::Tensor nodes = random_tensor(4, 4, drng);
+  ad::Tensor edges = random_tensor(g.num_edges(), 3, drng);
+  GnsOutput a = model.forward(nodes, edges, g);
+  GnsOutput b = model.forward(nodes, edges, g);
+  for (int i = 0; i < a.acceleration.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.acceleration.data()[i], b.acceleration.data()[i]);
+  }
+}
+
+TEST(GnsModel, PermutationEquivariance) {
+  // Relabeling nodes (and permuting features/edges consistently) must
+  // permute the output identically — the defining GNN symmetry.
+  Rng rng(7);
+  GnsModel model(tiny_config(), rng);
+  const int n = 6;
+  graph::Graph g;
+  g.num_nodes = n;
+  // An asymmetric graph.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 0);
+  Rng drng(8);
+  ad::Tensor nodes = random_tensor(n, 4, drng);
+  ad::Tensor edges = random_tensor(g.num_edges(), 3, drng);
+  GnsOutput base = model.forward(nodes, edges, g);
+
+  const std::vector<int> perm = {3, 0, 5, 1, 4, 2};  // new index of node i
+  ad::Tensor nodes_p = ad::Tensor::zeros(n, 4);
+  for (int i = 0; i < n; ++i)
+    for (int c = 0; c < 4; ++c) nodes_p.set(perm[i], c, nodes.at(i, c));
+  graph::Graph gp;
+  gp.num_nodes = n;
+  for (int e = 0; e < g.num_edges(); ++e)
+    gp.add_edge(perm[g.senders[e]], perm[g.receivers[e]]);
+  GnsOutput permuted = model.forward(nodes_p, edges, gp);
+
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(permuted.acceleration.at(perm[i], c),
+                  base.acceleration.at(i, c), 1e-9)
+          << "node " << i;
+    }
+  }
+}
+
+TEST(GnsModel, MessagesDependOnEdges) {
+  Rng rng(9);
+  GnsModel model(tiny_config(), rng);
+  graph::Graph g = chain_graph(4);
+  Rng drng(10);
+  ad::Tensor nodes = random_tensor(4, 4, drng);
+  ad::Tensor e1 = random_tensor(g.num_edges(), 3, drng);
+  ad::Tensor e2 = random_tensor(g.num_edges(), 3, drng);
+  GnsOutput a = model.forward(nodes, e1, g);
+  GnsOutput b = model.forward(nodes, e2, g);
+  double diff = 0.0;
+  for (int i = 0; i < a.messages.size(); ++i)
+    diff += std::abs(a.messages.data()[i] - b.messages.data()[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(GnsModel, AttentionVariantRunsAndDiffers) {
+  Rng rng1(11), rng2(11);
+  GnsModel plain(tiny_config(false), rng1);
+  GnsModel attn(tiny_config(true), rng2);
+  EXPECT_GT(attn.num_parameters(), plain.num_parameters());
+  graph::Graph g = chain_graph(5);
+  Rng drng(12);
+  ad::Tensor nodes = random_tensor(5, 4, drng);
+  ad::Tensor edges = random_tensor(g.num_edges(), 3, drng);
+  GnsOutput a = attn.forward(nodes, edges, g);
+  EXPECT_EQ(a.acceleration.rows(), 5);
+  for (int i = 0; i < a.acceleration.size(); ++i)
+    EXPECT_TRUE(std::isfinite(a.acceleration.data()[i]));
+}
+
+TEST(GnsModel, ParameterCountMatchesArchitecture) {
+  Rng rng(13);
+  GnsConfig gc = tiny_config();
+  GnsModel model(gc, rng);
+  auto mlp_params = [&](int in, int out, bool ln) {
+    // hidden layers: in->h, then h->out, + LN.
+    std::int64_t p = (in * gc.mlp_hidden + gc.mlp_hidden) +
+                     (gc.mlp_hidden * out + out);
+    if (ln) p += 2 * out;
+    return p;
+  };
+  const std::int64_t expected =
+      mlp_params(gc.node_in, gc.latent, true) +
+      mlp_params(gc.edge_in, gc.latent, true) +
+      gc.message_passing_steps * (mlp_params(3 * gc.latent, gc.latent, true) +
+                                  mlp_params(2 * gc.latent, gc.latent, true)) +
+      mlp_params(gc.latent, gc.out_dim, false);
+  EXPECT_EQ(model.num_parameters(), expected);
+}
+
+TEST(GnsModel, GradientsReachEveryParameter) {
+  Rng rng(14);
+  GnsModel model(tiny_config(true), rng);
+  graph::Graph g = chain_graph(5);
+  Rng drng(15);
+  ad::Tensor nodes = random_tensor(5, 4, drng);
+  ad::Tensor edges = random_tensor(g.num_edges(), 3, drng);
+  GnsOutput out = model.forward(nodes, edges, g);
+  ad::Tensor loss = ad::add(ad::mean(ad::square(out.acceleration)),
+                            ad::l1_norm(out.messages));
+  model.zero_grad();
+  loss.backward();
+  int params_with_grad = 0, total = 0;
+  for (const auto& p : model.parameters()) {
+    ++total;
+    bool nonzero = false;
+    for (double gv : p.grad()) nonzero |= (gv != 0.0);
+    params_with_grad += nonzero;
+  }
+  // All but at most a couple (dead ReLU corner cases) must receive grads.
+  EXPECT_GE(params_with_grad, total - 2);
+}
+
+TEST(GnsModel, TrainableOnToyTask) {
+  // Fit "acceleration = mean of neighbor edge features" on a fixed graph.
+  Rng rng(16);
+  GnsConfig gc = tiny_config();
+  GnsModel model(gc, rng);
+  graph::Graph g = chain_graph(6);
+  Rng drng(17);
+  ad::Tensor nodes = random_tensor(6, 4, drng);
+  ad::Tensor edges = random_tensor(g.num_edges(), 3, drng);
+  ad::Tensor target = ad::scatter_add_rows(
+      ad::slice_cols(edges, 0, 2), g.receivers, 6);
+  ad::Adam opt(model.parameters(), 3e-3);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 150; ++step) {
+    GnsOutput out = model.forward(nodes, edges, g);
+    ad::Tensor loss = ad::mse_loss(out.acceleration, target);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+    if (step == 0) first = loss.item();
+    last = loss.item();
+  }
+  EXPECT_LT(last, 0.25 * first);
+}
+
+}  // namespace
+}  // namespace gns::core

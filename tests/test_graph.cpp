@@ -1,0 +1,163 @@
+// Neighbor search: cell-list vs brute-force equivalence (property sweep),
+// determinism, edge-list conventions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/neighbor_search.hpp"
+#include "util/rng.hpp"
+
+namespace gns::graph {
+namespace {
+
+std::vector<Vec2> random_points(int n, Rng& rng, double lo = 0.0,
+                                double hi = 1.0) {
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.uniform(lo, hi);
+    p.y = rng.uniform(lo, hi);
+  }
+  return pts;
+}
+
+std::vector<std::pair<int, int>> edge_set(const Graph& g) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(g.num_edges());
+  for (int e = 0; e < g.num_edges(); ++e)
+    edges.emplace_back(g.senders[e], g.receivers[e]);
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+TEST(Graph, AddEdgeAndDegree) {
+  Graph g;
+  g.num_nodes = 3;
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.num_edges(), 3);
+  const auto deg = g.in_degree();
+  EXPECT_EQ(deg[0], 1);
+  EXPECT_EQ(deg[1], 2);
+  EXPECT_EQ(deg[2], 0);
+}
+
+struct SweepCase {
+  int n;
+  double radius;
+  std::uint64_t seed;
+};
+
+class RadiusGraphSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RadiusGraphSweep, MatchesBruteForce) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  const auto pts = random_points(param.n, rng);
+  const Graph fast = build_radius_graph(pts, param.radius);
+  const Graph slow = brute_force_radius_graph(pts, param.radius);
+  EXPECT_EQ(edge_set(fast), edge_set(slow));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadiusGraphSweep,
+    ::testing::Values(SweepCase{2, 0.1, 1}, SweepCase{10, 0.05, 2},
+                      SweepCase{50, 0.15, 3}, SweepCase{200, 0.08, 4},
+                      SweepCase{200, 0.3, 5}, SweepCase{300, 0.02, 6},
+                      SweepCase{100, 1.5, 7},  // radius > domain: complete
+                      SweepCase{64, 0.25, 8}));
+
+TEST(RadiusGraph, NoSelfEdgesByDefault) {
+  Rng rng(9);
+  const auto pts = random_points(50, rng);
+  const Graph g = build_radius_graph(pts, 0.2);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_NE(g.senders[e], g.receivers[e]);
+  }
+}
+
+TEST(RadiusGraph, SelfEdgesWhenRequested) {
+  Rng rng(10);
+  const auto pts = random_points(20, rng);
+  const Graph g = build_radius_graph(pts, 0.1, /*include_self=*/true);
+  int self_count = 0;
+  for (int e = 0; e < g.num_edges(); ++e)
+    self_count += (g.senders[e] == g.receivers[e]);
+  EXPECT_EQ(self_count, 20);
+}
+
+TEST(RadiusGraph, SymmetricPairs) {
+  // Metric balls are symmetric: (i<-j) implies (j<-i).
+  Rng rng(11);
+  const auto pts = random_points(80, rng);
+  const Graph g = build_radius_graph(pts, 0.12);
+  auto edges = edge_set(g);
+  for (const auto& [s, r] : edges) {
+    EXPECT_TRUE(std::binary_search(edges.begin(), edges.end(),
+                                   std::make_pair(r, s)));
+  }
+}
+
+TEST(RadiusGraph, DeterministicOrdering) {
+  Rng rng(12);
+  const auto pts = random_points(100, rng);
+  const Graph a = build_radius_graph(pts, 0.1);
+  const Graph b = build_radius_graph(pts, 0.1);
+  EXPECT_EQ(a.senders, b.senders);
+  EXPECT_EQ(a.receivers, b.receivers);
+}
+
+TEST(RadiusGraph, EdgesSortedByReceiverThenSender) {
+  // The documented layout: receivers grouped, senders ascending within —
+  // segment_softmax and scatter depend only on grouping, but the order is
+  // part of the determinism contract.
+  Rng rng(13);
+  const auto pts = random_points(60, rng);
+  const Graph g = build_radius_graph(pts, 0.15);
+  for (int e = 1; e < g.num_edges(); ++e) {
+    const bool ordered =
+        g.receivers[e - 1] < g.receivers[e] ||
+        (g.receivers[e - 1] == g.receivers[e] &&
+         g.senders[e - 1] < g.senders[e]);
+    EXPECT_TRUE(ordered) << "edge " << e;
+  }
+}
+
+TEST(RadiusGraph, ClampsOutOfDomainPoints) {
+  // Points slightly outside the constructed domain must still be indexed.
+  CellList cells(0.1, {0.0, 0.0}, {1.0, 1.0});
+  std::vector<Vec2> pts = {{-0.02, 0.5}, {0.03, 0.5}, {1.05, 0.98}};
+  cells.build(pts);
+  const Graph g = cells.radius_graph(pts);
+  const Graph ref = brute_force_radius_graph(pts, 0.1);
+  EXPECT_EQ(edge_set(g), edge_set(ref));
+}
+
+TEST(CellList, NeighborsQueryMatchesGraph) {
+  Rng rng(14);
+  const auto pts = random_points(40, rng);
+  CellList cells(0.2, {0.0, 0.0}, {1.0, 1.0});
+  cells.build(pts);
+  const Graph g = cells.radius_graph(pts);
+  for (int q = 0; q < 40; ++q) {
+    std::vector<int> from_graph;
+    for (int e = 0; e < g.num_edges(); ++e)
+      if (g.receivers[e] == q) from_graph.push_back(g.senders[e]);
+    EXPECT_EQ(cells.neighbors(pts, q), from_graph);
+  }
+}
+
+TEST(CellList, InvalidConstructionThrows) {
+  EXPECT_THROW(CellList(0.0, {0, 0}, {1, 1}), CheckError);
+  EXPECT_THROW(CellList(0.1, {1, 1}, {0, 0}), CheckError);
+}
+
+TEST(RadiusGraph, BoundaryDistanceExactlyRadiusIncluded) {
+  std::vector<Vec2> pts = {{0.0, 0.0}, {0.1, 0.0}};
+  const Graph g = build_radius_graph(pts, 0.1);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+}  // namespace
+}  // namespace gns::graph

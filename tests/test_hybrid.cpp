@@ -1,0 +1,151 @@
+// Hybrid GNS/MPM controller plumbing: phase schedule, frame bookkeeping,
+// reference alignment, error metrics. (Error-vs-horizon quality needs a
+// trained model and lives in the benches; these tests pin the mechanics.)
+
+#include <gtest/gtest.h>
+
+#include "core/datagen.hpp"
+#include "core/hybrid.hpp"
+#include "core/trainer.hpp"
+
+namespace gns::core {
+namespace {
+
+mpm::Scene tiny_scene() {
+  mpm::GranularSceneParams params;
+  params.cells_x = 16;
+  params.cells_y = 8;
+  params.domain_width = 1.0;
+  params.domain_height = 0.5;
+  return mpm::make_column_collapse(params, 0.15, 1.2);
+}
+
+LearnedSimulator untrained_sim() {
+  // A random-weight simulator is enough to exercise the controller.
+  mpm::Scene scene = tiny_scene();
+  mpm::MpmSolver solver = scene.make_solver();
+  io::Dataset ds;
+  ds.trajectories.push_back(record_mpm_trajectory(solver, 12, 10, 0.5));
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.1;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 0.5};
+  GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 1;
+  return make_simulator(ds, fc, gc);
+}
+
+TEST(Hybrid, FrameCountAndSourceSchedule) {
+  LearnedSimulator sim = untrained_sim();
+  HybridConfig hc;
+  hc.gns_frames = 3;
+  hc.refine_frames = 2;
+  hc.substeps = 5;
+  const int total = 14;
+  HybridResult result =
+      run_hybrid(sim, tiny_scene().make_solver(), hc, total, 0.5);
+  ASSERT_EQ(static_cast<int>(result.frames.size()), total);
+  ASSERT_EQ(result.sources.size(), result.frames.size());
+  // Warm-up = window_size (4) frames, then 3 GNS, 2 MPM, 3 GNS, 2 MPM...
+  const int w = sim.features().window_size();
+  for (int t = 0; t < w; ++t)
+    EXPECT_EQ(result.sources[t], FrameSource::MpmWarmup) << t;
+  EXPECT_EQ(result.sources[w], FrameSource::Gns);
+  EXPECT_EQ(result.sources[w + 2], FrameSource::Gns);
+  EXPECT_EQ(result.sources[w + 3], FrameSource::MpmRefine);
+  EXPECT_EQ(result.sources[w + 4], FrameSource::MpmRefine);
+  EXPECT_EQ(result.sources[w + 5], FrameSource::Gns);
+}
+
+TEST(Hybrid, CountsMatchSources) {
+  LearnedSimulator sim = untrained_sim();
+  HybridConfig hc;
+  hc.gns_frames = 2;
+  hc.refine_frames = 2;
+  hc.substeps = 5;
+  HybridResult result =
+      run_hybrid(sim, tiny_scene().make_solver(), hc, 12, 0.5);
+  int gns = 0, mpm_frames = 0;
+  for (FrameSource s : result.sources) {
+    if (s == FrameSource::Gns) ++gns;
+    if (s != FrameSource::Gns && s != FrameSource::MpmWarmup) ++mpm_frames;
+  }
+  EXPECT_EQ(gns, result.gns_frame_count);
+  EXPECT_GT(result.mpm_frame_count, 0);
+}
+
+TEST(Hybrid, TimersAccumulate) {
+  LearnedSimulator sim = untrained_sim();
+  HybridConfig hc;
+  hc.gns_frames = 2;
+  hc.refine_frames = 1;
+  hc.substeps = 5;
+  HybridResult result =
+      run_hybrid(sim, tiny_scene().make_solver(), hc, 10, 0.5);
+  EXPECT_GT(result.mpm_seconds, 0.0);
+  EXPECT_GT(result.gns_seconds, 0.0);
+}
+
+TEST(Hybrid, PureGnsHasNoRefineFrames) {
+  LearnedSimulator sim = untrained_sim();
+  HybridResult result =
+      run_pure_gns(sim, tiny_scene().make_solver(), 10, 5, 0.5);
+  for (FrameSource s : result.sources) {
+    EXPECT_NE(s, FrameSource::MpmRefine);
+  }
+  const int w = sim.features().window_size();
+  EXPECT_EQ(result.gns_frame_count, 10 - w);
+}
+
+TEST(Hybrid, RejectsRunShorterThanWarmup) {
+  LearnedSimulator sim = untrained_sim();
+  HybridConfig hc;
+  EXPECT_THROW(run_hybrid(sim, tiny_scene().make_solver(), hc, 2, 0.5),
+               CheckError);
+}
+
+TEST(MpmReference, FramesAndTiming) {
+  MpmReference ref = run_mpm_reference(tiny_scene().make_solver(), 8, 5);
+  EXPECT_EQ(ref.frames.size(), 8u);
+  EXPECT_GE(ref.seconds, 0.0);
+  // Frame 0 is the initial state; later frames differ (the column falls).
+  EXPECT_GT(position_error(ref.frames[0], ref.frames.back(), 2), 1e-6);
+}
+
+TEST(MpmReference, WarmupFramesMatchHybridExactly) {
+  // Hybrid and reference share the MPM solver and cadence, so warm-up
+  // frames must agree bit-for-bit.
+  LearnedSimulator sim = untrained_sim();
+  HybridConfig hc;
+  hc.gns_frames = 2;
+  hc.refine_frames = 1;
+  hc.substeps = 5;
+  HybridResult hybrid =
+      run_hybrid(sim, tiny_scene().make_solver(), hc, 10, 0.5);
+  MpmReference ref = run_mpm_reference(tiny_scene().make_solver(), 10, 5);
+  const int w = sim.features().window_size();
+  for (int t = 0; t < w; ++t) {
+    EXPECT_EQ(hybrid.frames[t], ref.frames[t]) << "warm-up frame " << t;
+  }
+}
+
+TEST(FrameErrors, ZeroForIdenticalRuns) {
+  MpmReference a = run_mpm_reference(tiny_scene().make_solver(), 6, 5);
+  MpmReference b = run_mpm_reference(tiny_scene().make_solver(), 6, 5);
+  const auto errors = frame_errors(a.frames, b.frames, 1.0);
+  for (double e : errors) EXPECT_EQ(e, 0.0);
+}
+
+TEST(FrameErrors, TruncatesToShorterRun) {
+  MpmReference a = run_mpm_reference(tiny_scene().make_solver(), 6, 5);
+  MpmReference b = run_mpm_reference(tiny_scene().make_solver(), 4, 5);
+  EXPECT_EQ(frame_errors(a.frames, b.frames, 1.0).size(), 4u);
+}
+
+}  // namespace
+}  // namespace gns::core

@@ -1,0 +1,136 @@
+// End-to-end integration at miniature scale: MPM data → GNS training →
+// stable rollout; φ-conditioned training → inverse gradient points the
+// right way. These are the cheapest runs that still exercise every stage
+// of the paper's pipeline together.
+
+#include <gtest/gtest.h>
+
+#include "core/datagen.hpp"
+#include "core/hybrid.hpp"
+#include "core/inverse.hpp"
+#include "core/trainer.hpp"
+
+namespace gns::core {
+namespace {
+
+mpm::GranularSceneParams tiny_params() {
+  mpm::GranularSceneParams params;
+  params.cells_x = 16;
+  params.cells_y = 8;
+  params.domain_width = 1.0;
+  params.domain_height = 0.5;
+  return params;
+}
+
+FeatureConfig tiny_features(bool material) {
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.11;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 0.5};
+  fc.material_feature = material;
+  return fc;
+}
+
+GnsConfig tiny_model() {
+  GnsConfig gc;
+  gc.latent = 16;
+  gc.mlp_hidden = 16;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 2;
+  return gc;
+}
+
+TEST(Integration, GnsLearnsColumnCollapseOneStep) {
+  io::Dataset ds =
+      generate_column_dataset(tiny_params(), {30.0}, 0.2, 1.2, 30, 15);
+  LearnedSimulator sim = make_simulator(ds, tiny_features(false), tiny_model());
+  TrainConfig tc;
+  tc.steps = 500;
+  tc.lr = 2e-3;
+  tc.noise_std = 1e-4;
+  TrainReport report = train_gns(sim, ds, tc);
+  // Normalized one-step loss should fall well below its starting level
+  // (full convergence is the benches' job — this pins "it learns").
+  double initial = 0.0;
+  for (int i = 0; i < 20; ++i) initial += report.loss_history[i];
+  initial /= 20.0;
+  EXPECT_LT(report.final_loss_ema, 0.6 * initial);
+
+  // Short rollout stays near the reference and inside the domain.
+  const auto& traj = ds.trajectories[0];
+  Window win = sim.window_from_trajectory(traj);
+  auto frames = sim.rollout(win, 10, SceneContext{});
+  const double err = position_error(
+      frames.back(), traj.frames[sim.features().window_size() + 9], 2, 1.0);
+  EXPECT_LT(err, 0.08) << "10-frame rollout error too large";
+  for (double v : frames.back()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Integration, HybridTracksReferenceBetterAtRefinedFrames) {
+  io::Dataset ds =
+      generate_column_dataset(tiny_params(), {30.0}, 0.2, 1.2, 30, 15);
+  LearnedSimulator sim = make_simulator(ds, tiny_features(false), tiny_model());
+  TrainConfig tc;
+  tc.steps = 200;
+  tc.lr = 2e-3;
+  tc.noise_std = 3e-4;
+  train_gns(sim, ds, tc);
+
+  mpm::Scene scene = mpm::make_column_collapse(tiny_params(), 0.2, 1.2);
+  const int total = 24, substeps = 15;
+  MpmReference ref = run_mpm_reference(scene.make_solver(), total, substeps);
+  HybridConfig hc;
+  hc.gns_frames = 5;
+  hc.refine_frames = 3;
+  hc.substeps = substeps;
+  HybridResult hybrid =
+      run_hybrid(sim, scene.make_solver(), hc, total, 0.0);
+  ASSERT_EQ(hybrid.frames.size(), ref.frames.size());
+  const auto errors = frame_errors(hybrid.frames, ref.frames, 1.0);
+  // Sanity: errors finite and bounded; warm-up frames match exactly.
+  for (int t = 0; t < sim.features().window_size(); ++t)
+    EXPECT_NEAR(errors[t], 0.0, 1e-12);
+  for (double e : errors) EXPECT_LT(e, 0.5);
+}
+
+TEST(Integration, InverseGradientPointsTowardTargetPhi) {
+  // Train a φ-conditional model on two contrasting angles; the runout
+  // gradient wrt tan φ must be negative (more friction, shorter runout),
+  // which is exactly what gradient descent needs to converge in fig 5.
+  io::Dataset ds = generate_column_dataset(tiny_params(), {15.0, 45.0}, 0.2,
+                                           1.2, 30, 15);
+  LearnedSimulator sim = make_simulator(ds, tiny_features(true), tiny_model());
+  TrainConfig tc;
+  tc.steps = 350;
+  tc.lr = 2e-3;
+  tc.noise_std = 3e-4;
+  train_gns(sim, ds, tc);
+
+  // Rollout runouts at the two training angles must order correctly.
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  SceneContext lo_ctx, hi_ctx;
+  lo_ctx.material = ad::Tensor::scalar(material_param_from_friction(15.0));
+  hi_ctx.material = ad::Tensor::scalar(material_param_from_friction(45.0));
+  auto lo_frames = sim.rollout(win, 12, lo_ctx);
+  auto hi_frames = sim.rollout(win, 12, hi_ctx);
+  const double lo_runout = smooth_runout_value(lo_frames.back(), 2, 0.02);
+  const double hi_runout = smooth_runout_value(hi_frames.back(), 2, 0.02);
+  EXPECT_GT(lo_runout, hi_runout)
+      << "learned model must run out farther at lower friction";
+
+  // And the AD gradient must agree with that ordering.
+  ad::Tensor theta = ad::Tensor::scalar(
+      material_param_from_friction(30.0), /*requires_grad=*/true);
+  SceneContext ctx;
+  ctx.material = theta;
+  auto frames = sim.rollout_diff(win, 8, ctx);
+  smooth_runout(frames.back(), 0.02).backward();
+  ASSERT_FALSE(theta.grad().empty());
+  EXPECT_LT(theta.grad()[0], 0.0)
+      << "d(runout)/d(tan phi) should be negative";
+}
+
+}  // namespace
+}  // namespace gns::core

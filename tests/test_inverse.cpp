@@ -1,0 +1,181 @@
+// Inverse solver: smooth-runout properties (the differentiable objective),
+// solver mechanics and safeguards. Convergence on a trained model is
+// covered by test_integration and the fig-5 bench.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/inverse.hpp"
+#include "core/trainer.hpp"
+
+namespace gns::core {
+namespace {
+
+TEST(SmoothRunout, UpperBoundsHardMaxWithinTemperatureLogN) {
+  ad::Tensor pos =
+      ad::Tensor::from_vector(4, 2, {0.1, 0.0, 0.9, 0.5, 0.4, 0.2, 0.3, 0.1});
+  const double tau = 0.05;
+  const double smooth = smooth_runout(pos, tau).item();
+  EXPECT_GE(smooth, 0.9);
+  EXPECT_LE(smooth, 0.9 + tau * std::log(4.0) + 1e-12);
+}
+
+TEST(SmoothRunout, ApproachesHardMaxAsTemperatureVanishes) {
+  ad::Tensor pos = ad::Tensor::from_vector(3, 2, {0.1, 0, 0.7, 0, 0.5, 0});
+  EXPECT_NEAR(smooth_runout(pos, 1e-4).item(), 0.7, 1e-3);
+}
+
+TEST(SmoothRunout, MatchesScalarHelper) {
+  std::vector<double> frame = {0.1, 0.0, 0.9, 0.5, 0.4, 0.2};
+  ad::Tensor pos = ad::Tensor::from_vector(3, 2,
+                                           {0.1, 0.0, 0.9, 0.5, 0.4, 0.2});
+  for (double tau : {0.01, 0.05, 0.2}) {
+    EXPECT_NEAR(smooth_runout(pos, tau).item(),
+                smooth_runout_value(frame, 2, tau), 1e-12);
+  }
+}
+
+TEST(SmoothRunout, StableForLargeCoordinates) {
+  // The detached-shift trick must prevent exp overflow.
+  ad::Tensor pos = ad::Tensor::from_vector(2, 1, {1000.0, 999.5});
+  const double v = smooth_runout(pos, 0.001).item();
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(v, 1000.0, 0.01);
+}
+
+TEST(SmoothRunout, GradientIsSoftmaxOverX) {
+  ad::Tensor pos = ad::Tensor::from_vector(3, 2,
+                                           {0.1, 0.0, 0.6, 0.0, 0.5, 0.0});
+  pos.set_requires_grad(true);
+  smooth_runout(pos, 0.05).backward();
+  // d(smooth max)/dx_i are softmax weights: non-negative, sum to 1, and
+  // concentrated on the rightmost particle; y components get none.
+  double sum = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const double g = pos.grad()[2 * i];
+    EXPECT_GE(g, 0.0);
+    sum += g;
+    EXPECT_DOUBLE_EQ(pos.grad()[2 * i + 1], 0.0);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(pos.grad()[2 * 1], pos.grad()[2 * 0]);
+}
+
+TEST(SmoothRunout, OneDimensionalPositions) {
+  ad::Tensor pos = ad::Tensor::from_vector(3, 1, {0.2, 0.8, 0.5});
+  EXPECT_NEAR(smooth_runout(pos, 1e-3).item(), 0.8, 1e-2);
+}
+
+// --- Solver mechanics with a tiny (untrained) material-aware model ---
+
+io::Dataset two_phi_dataset() {
+  io::Dataset ds;
+  Rng rng(3);
+  for (double mat : {0.3, 0.9}) {
+    io::Trajectory traj;
+    traj.dim = 2;
+    traj.num_particles = 4;
+    traj.material_param = mat;
+    traj.domain_lo = {0.0, 0.0};
+    traj.domain_hi = {1.0, 1.0};
+    for (int t = 0; t < 10; ++t) {
+      std::vector<double> frame(8);
+      for (int i = 0; i < 8; ++i)
+        frame[i] = 0.3 + 0.05 * (i % 3) + 0.002 * t * (1.0 - mat);
+      traj.add_frame(std::move(frame));
+    }
+    ds.trajectories.push_back(std::move(traj));
+  }
+  return ds;
+}
+
+LearnedSimulator material_sim(const io::Dataset& ds) {
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.3;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 1.0};
+  fc.material_feature = true;
+  GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 1;
+  return make_simulator(ds, fc, gc);
+}
+
+TEST(InverseSolver, RecordsIteratesAndRespectsBounds) {
+  io::Dataset ds = two_phi_dataset();
+  LearnedSimulator sim = material_sim(ds);
+  InverseConfig ic;
+  ic.rollout_steps = 3;
+  ic.max_iterations = 5;
+  ic.lr = 100.0;  // deliberately aggressive: bounds must clamp
+  ic.min_friction_deg = 10.0;
+  ic.max_friction_deg = 50.0;
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  InverseResult result = solve_friction_angle(sim, win, 0.5, 45.0, ic);
+  ASSERT_FALSE(result.iterates.empty());
+  EXPECT_LE(static_cast<int>(result.iterates.size()), 5);
+  EXPECT_DOUBLE_EQ(result.iterates.front().friction_deg, 45.0);
+  for (const auto& it : result.iterates) {
+    EXPECT_GE(it.friction_deg, 10.0 - 1e-9);
+    EXPECT_LE(it.friction_deg, 50.0 + 1e-9);
+    EXPECT_TRUE(std::isfinite(it.loss));
+    EXPECT_TRUE(std::isfinite(it.gradient));
+  }
+}
+
+TEST(InverseSolver, StopsWhenLossBelowTolerance) {
+  io::Dataset ds = two_phi_dataset();
+  LearnedSimulator sim = material_sim(ds);
+  InverseConfig ic;
+  ic.rollout_steps = 2;
+  ic.max_iterations = 10;
+  ic.loss_tol = 1e9;  // everything converges instantly
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  InverseResult result = solve_friction_angle(sim, win, 0.5, 30.0, ic);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterates.size(), 1u);
+}
+
+TEST(InverseSolver, RequiresMaterialConditionedModel) {
+  io::Dataset ds = two_phi_dataset();
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.3;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 1.0};
+  fc.material_feature = false;  // <- no φ conditioning
+  GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 1;
+  LearnedSimulator sim = make_simulator(ds, fc, gc);
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  EXPECT_THROW(solve_friction_angle(sim, win, 0.5, 45.0, InverseConfig{}),
+               CheckError);
+}
+
+TEST(InverseSolver, GradientFlowsToMaterialThroughRollout) {
+  // The core §5 claim in miniature: ∂(runout)/∂φ is available via AD
+  // through chained model applications.
+  io::Dataset ds = two_phi_dataset();
+  LearnedSimulator sim = material_sim(ds);
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  ad::Tensor theta = ad::Tensor::scalar(0.6, /*requires_grad=*/true);
+  SceneContext ctx;
+  ctx.material = theta;
+  auto frames = sim.rollout_diff(win, 4, ctx);
+  smooth_runout(frames.back(), 0.02).backward();
+  ASSERT_FALSE(theta.grad().empty());
+  // A random network gives a nonzero (generically) finite gradient.
+  EXPECT_TRUE(std::isfinite(theta.grad()[0]));
+}
+
+}  // namespace
+}  // namespace gns::core

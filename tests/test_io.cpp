@@ -1,0 +1,137 @@
+// Trajectory container, dataset statistics, binary round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/trajectory.hpp"
+
+namespace gns::io {
+namespace {
+
+Trajectory linear_motion_trajectory(int frames, int particles, double vx,
+                                    double vy) {
+  Trajectory traj;
+  traj.dim = 2;
+  traj.num_particles = particles;
+  traj.domain_lo = {0.0, 0.0};
+  traj.domain_hi = {10.0, 10.0};
+  traj.material_param = 0.5;
+  for (int t = 0; t < frames; ++t) {
+    std::vector<double> frame(particles * 2);
+    for (int p = 0; p < particles; ++p) {
+      frame[2 * p] = 0.1 * p + vx * t;
+      frame[2 * p + 1] = 0.2 * p + vy * t;
+    }
+    traj.add_frame(std::move(frame));
+  }
+  return traj;
+}
+
+TEST(Trajectory, AddFrameValidatesSize) {
+  Trajectory traj;
+  traj.dim = 2;
+  traj.num_particles = 3;
+  EXPECT_THROW(traj.add_frame({1.0, 2.0}), CheckError);
+  traj.add_frame(std::vector<double>(6, 0.0));
+  EXPECT_EQ(traj.num_frames(), 1);
+}
+
+TEST(Trajectory, PositionAccessor) {
+  Trajectory traj = linear_motion_trajectory(3, 2, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(traj.position(2, 1, 0), 0.1 + 2.0);
+  EXPECT_DOUBLE_EQ(traj.position(0, 1, 1), 0.2);
+}
+
+TEST(Stats, ConstantVelocityHasZeroStd) {
+  Dataset ds;
+  ds.trajectories.push_back(linear_motion_trajectory(10, 4, 0.5, -0.25));
+  const NormalizationStats stats = compute_stats(ds);
+  EXPECT_NEAR(stats.vel_mean[0], 0.5, 1e-12);
+  EXPECT_NEAR(stats.vel_mean[1], -0.25, 1e-12);
+  // Constant velocity: std floored, accelerations zero.
+  EXPECT_NEAR(stats.acc_mean[0], 0.0, 1e-12);
+  EXPECT_LE(stats.vel_std[0], 1e-9 + 1e-15);
+}
+
+TEST(Stats, HandComputedSmallCase) {
+  // One particle, frames x = 0, 1, 3 -> velocities 1, 2; acc 1.
+  Trajectory traj;
+  traj.dim = 1;
+  traj.num_particles = 1;
+  traj.add_frame({0.0});
+  traj.add_frame({1.0});
+  traj.add_frame({3.0});
+  Dataset ds;
+  ds.trajectories.push_back(traj);
+  const NormalizationStats stats = compute_stats(ds);
+  EXPECT_NEAR(stats.vel_mean[0], 1.5, 1e-12);
+  EXPECT_NEAR(stats.vel_std[0], 0.5, 1e-12);
+  EXPECT_NEAR(stats.acc_mean[0], 1.0, 1e-12);
+}
+
+TEST(Stats, EmptyDatasetThrows) {
+  EXPECT_THROW(compute_stats(Dataset{}), CheckError);
+}
+
+TEST(Stats, MixedDimensionsThrow) {
+  Dataset ds;
+  ds.trajectories.push_back(linear_motion_trajectory(5, 2, 1, 0));
+  Trajectory one_d;
+  one_d.dim = 1;
+  one_d.num_particles = 1;
+  one_d.add_frame({0.0});
+  one_d.add_frame({1.0});
+  one_d.add_frame({2.0});
+  ds.trajectories.push_back(one_d);
+  EXPECT_THROW(compute_stats(ds), CheckError);
+}
+
+class IoRoundTrip : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "test_io_roundtrip.bin";
+};
+
+TEST_F(IoRoundTrip, TrajectoryPreservesEverything) {
+  Trajectory traj = linear_motion_trajectory(7, 3, 0.1, 0.2);
+  traj.attr_dim = 2;
+  traj.node_attrs = {1, 2, 3, 4, 5, 6};
+  save_trajectory(traj, path_);
+  const Trajectory loaded = load_trajectory(path_);
+  EXPECT_EQ(loaded.dim, traj.dim);
+  EXPECT_EQ(loaded.num_particles, traj.num_particles);
+  EXPECT_EQ(loaded.num_frames(), traj.num_frames());
+  EXPECT_EQ(loaded.frames, traj.frames);
+  EXPECT_EQ(loaded.node_attrs, traj.node_attrs);
+  EXPECT_EQ(loaded.domain_hi, traj.domain_hi);
+  EXPECT_DOUBLE_EQ(loaded.material_param, traj.material_param);
+}
+
+TEST_F(IoRoundTrip, DatasetPreservesOrder) {
+  Dataset ds;
+  ds.trajectories.push_back(linear_motion_trajectory(4, 2, 0.1, 0.0));
+  ds.trajectories.push_back(linear_motion_trajectory(6, 3, 0.0, 0.3));
+  save_dataset(ds, path_);
+  const Dataset loaded = load_dataset(path_);
+  ASSERT_EQ(loaded.size(), 2);
+  EXPECT_EQ(loaded.trajectories[0].num_frames(), 4);
+  EXPECT_EQ(loaded.trajectories[1].num_particles, 3);
+  EXPECT_EQ(loaded.trajectories[1].frames, ds.trajectories[1].frames);
+}
+
+TEST_F(IoRoundTrip, MissingFileThrows) {
+  EXPECT_THROW(load_dataset("definitely_not_here.bin"), CheckError);
+}
+
+TEST_F(IoRoundTrip, CorruptMagicRejected) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "not a trajectory file at all";
+  }
+  EXPECT_THROW(load_dataset(path_), CheckError);
+}
+
+}  // namespace
+}  // namespace gns::io

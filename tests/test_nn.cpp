@@ -1,0 +1,158 @@
+// NN modules: Linear, LayerNorm, Mlp — shapes, parameter bookkeeping,
+// state round-trips, gradient flow, and a small regression convergence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/gradcheck.hpp"
+#include "ad/nn.hpp"
+#include "ad/optim.hpp"
+
+namespace gns::ad {
+namespace {
+
+TEST(Linear, ShapesAndParamCount) {
+  Rng rng(1);
+  Linear lin(4, 3, rng);
+  EXPECT_EQ(lin.in_features(), 4);
+  EXPECT_EQ(lin.out_features(), 3);
+  EXPECT_EQ(lin.num_parameters(), 4 * 3 + 3);
+  Tensor y = lin.forward(Tensor::ones(5, 4));
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(2);
+  Linear lin(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(lin.num_parameters(), 12);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(3);
+  Linear lin(4, 3, rng);
+  EXPECT_THROW(lin.forward(Tensor::ones(5, 5)), CheckError);
+}
+
+TEST(Linear, GlorotInitBounded) {
+  Rng rng(4);
+  Linear lin(10, 10, rng);
+  const double limit = std::sqrt(6.0 / 20.0);
+  for (Real w : lin.weight().vec()) {
+    EXPECT_LE(std::abs(w), limit + 1e-12);
+  }
+}
+
+TEST(Mlp, DepthAndWidths) {
+  Rng rng(5);
+  Mlp mlp(6, 16, 2, 3, rng, /*output_layer_norm=*/true);
+  EXPECT_EQ(mlp.in_features(), 6);
+  EXPECT_EQ(mlp.out_features(), 3);
+  // 6->16, 16->16, 16->3 + LN(3)
+  const std::int64_t expected =
+      (6 * 16 + 16) + (16 * 16 + 16) + (16 * 3 + 3) + 2 * 3;
+  EXPECT_EQ(mlp.num_parameters(), expected);
+  Tensor y = mlp.forward(Tensor::ones(7, 6));
+  EXPECT_EQ(y.rows(), 7);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(Mlp, ZeroHiddenLayersIsAffine) {
+  Rng rng(6);
+  Mlp mlp(3, 99, 0, 2, rng);
+  EXPECT_EQ(mlp.num_parameters(), 3 * 2 + 2);
+}
+
+TEST(Mlp, OutputLayerNormRowsAreNormalized) {
+  Rng rng(7);
+  Mlp mlp(4, 8, 1, 6, rng, /*output_layer_norm=*/true);
+  std::vector<Real> data(3 * 4);
+  Rng data_rng(8);
+  for (auto& v : data) v = data_rng.uniform(-1, 1);
+  Tensor y = mlp.forward(Tensor::from_vector(3, 4, std::move(data)));
+  for (int r = 0; r < y.rows(); ++r) {
+    double mean = 0;
+    for (int c = 0; c < y.cols(); ++c) mean += y.at(r, c);
+    EXPECT_NEAR(mean / y.cols(), 0.0, 1e-9);
+  }
+}
+
+TEST(Module, StateRoundTrip) {
+  Rng rng(9);
+  Mlp a(4, 8, 2, 2, rng, true);
+  Mlp b(4, 8, 2, 2, rng, true);
+  // Same shape, different weights; loading a's state makes them agree.
+  b.load_state(a.state());
+  Tensor x = Tensor::ones(2, 4);
+  Tensor ya = a.forward(x);
+  Tensor yb = b.forward(x);
+  for (int i = 0; i < ya.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(Module, LoadStateRejectsWrongLength) {
+  Rng rng(10);
+  Mlp mlp(2, 4, 1, 1, rng);
+  std::vector<Real> bad(3, 0.0);
+  EXPECT_THROW(mlp.load_state(bad), CheckError);
+}
+
+TEST(Module, ZeroGradClearsAll) {
+  Rng rng(11);
+  Linear lin(3, 2, rng);
+  Tensor loss = sum(square(lin.forward(Tensor::ones(4, 3))));
+  loss.backward();
+  bool any_nonzero = false;
+  for (const auto& p : lin.parameters())
+    for (Real g : p.grad()) any_nonzero |= (g != 0.0);
+  EXPECT_TRUE(any_nonzero);
+  lin.zero_grad();
+  for (const auto& p : lin.parameters())
+    for (Real g : p.grad()) EXPECT_EQ(g, 0.0);
+}
+
+TEST(Mlp, GradCheckThroughWholeNetwork) {
+  Rng rng(12);
+  Mlp mlp(3, 6, 1, 2, rng, /*output_layer_norm=*/true, Activation::Tanh);
+  std::vector<Real> xdata(2 * 3);
+  Rng drng(13);
+  for (auto& v : xdata) v = drng.uniform(-1, 1);
+  Tensor x = Tensor::from_vector(2, 3, std::move(xdata));
+  auto params = mlp.parameters();
+  auto result = grad_check(
+      [&](const std::vector<Tensor>&) {
+        return mean(square(mlp.forward(x)));
+      },
+      params, /*eps=*/1e-6, /*tolerance=*/1e-5);
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(Mlp, LearnsLinearMap) {
+  // y = 2 x0 − x1 + 0.5; an MLP + Adam should fit this quickly.
+  Rng rng(14);
+  Mlp mlp(2, 16, 1, 1, rng);
+  Adam opt(mlp.parameters(), 1e-2);
+  Rng data_rng(15);
+  double final_loss = 1e9;
+  for (int step = 0; step < 400; ++step) {
+    std::vector<Real> x(16 * 2), y(16);
+    for (int i = 0; i < 16; ++i) {
+      x[2 * i] = data_rng.uniform(-1, 1);
+      x[2 * i + 1] = data_rng.uniform(-1, 1);
+      y[i] = 2.0 * x[2 * i] - x[2 * i + 1] + 0.5;
+    }
+    Tensor loss =
+        mse_loss(mlp.forward(Tensor::from_vector(16, 2, std::move(x))),
+                 Tensor::from_vector(16, 1, std::move(y)));
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 1e-3);
+}
+
+}  // namespace
+}  // namespace gns::ad

@@ -1,0 +1,274 @@
+// Elementwise / matmul / reduction ops: forward semantics + exhaustive
+// finite-difference gradient checks (the contract every model builds on).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/gradcheck.hpp"
+#include "ad/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gns::ad {
+namespace {
+
+Tensor random_tensor(int r, int c, Rng& rng, double lo = -2.0,
+                     double hi = 2.0) {
+  std::vector<Real> v(static_cast<std::size_t>(r) * c);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return Tensor::from_vector(r, c, std::move(v));
+}
+
+// ---------- Forward semantics ----------
+
+TEST(Ops, AddSubMulDivElementwise) {
+  Tensor a = Tensor::from_vector(1, 4, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector(1, 4, {4, 3, 2, 1});
+  EXPECT_EQ(add(a, b).at(0, 0), 5.0);
+  EXPECT_EQ(sub(a, b).at(0, 1), -1.0);
+  EXPECT_EQ(mul(a, b).at(0, 2), 6.0);
+  EXPECT_EQ(div(a, b).at(0, 3), 4.0);
+}
+
+TEST(Ops, RowBroadcast) {
+  Tensor a = Tensor::from_vector(2, 2, {1, 2, 3, 4});
+  Tensor row = Tensor::from_vector(1, 2, {10, 20});
+  Tensor out = add(a, row);
+  EXPECT_EQ(out.at(0, 0), 11.0);
+  EXPECT_EQ(out.at(1, 1), 24.0);
+}
+
+TEST(Ops, ColBroadcast) {
+  Tensor a = Tensor::from_vector(2, 2, {1, 2, 3, 4});
+  Tensor col = Tensor::from_vector(2, 1, {10, 20});
+  Tensor out = mul(a, col);
+  EXPECT_EQ(out.at(0, 1), 20.0);
+  EXPECT_EQ(out.at(1, 0), 60.0);
+}
+
+TEST(Ops, ScalarBroadcastBothWays) {
+  Tensor a = Tensor::from_vector(2, 2, {1, 2, 3, 4});
+  Tensor s = Tensor::scalar(2.0);
+  EXPECT_EQ(mul(a, s).at(1, 1), 8.0);
+  EXPECT_EQ(mul(s, a).at(1, 1), 8.0);
+}
+
+TEST(Ops, BroadcastShapeMismatchThrows) {
+  Tensor a = Tensor::zeros(2, 3);
+  Tensor b = Tensor::zeros(3, 2);
+  EXPECT_THROW(add(a, b), CheckError);
+}
+
+TEST(Ops, OperatorSugar) {
+  Tensor a = Tensor::scalar(4.0);
+  EXPECT_DOUBLE_EQ((a + 1.0).item(), 5.0);
+  EXPECT_DOUBLE_EQ((a - 1.0).item(), 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).item(), 8.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).item(), 2.0);
+  EXPECT_DOUBLE_EQ((-a).item(), -4.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).item(), 8.0);
+}
+
+TEST(Ops, UnaryForwardValues) {
+  Tensor x = Tensor::from_vector(1, 3, {-1.0, 0.0, 2.0});
+  Tensor r = relu(x);
+  EXPECT_EQ(r.at(0, 0), 0.0);
+  EXPECT_EQ(r.at(0, 2), 2.0);
+  EXPECT_NEAR(tanh_op(x).at(0, 2), std::tanh(2.0), 1e-12);
+  EXPECT_NEAR(sigmoid(x).at(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(exp_op(x).at(0, 2), std::exp(2.0), 1e-12);
+  EXPECT_NEAR(abs_op(x).at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(square(x).at(0, 2), 4.0, 1e-12);
+}
+
+TEST(Ops, LogClampsBelowFloor) {
+  Tensor x = Tensor::from_vector(1, 2, {-1.0, 1.0});
+  Tensor y = log_op(x, 1e-12);
+  EXPECT_TRUE(std::isfinite(y.at(0, 0)));
+  EXPECT_NEAR(y.at(0, 1), 0.0, 1e-12);
+}
+
+TEST(Ops, ClampForwardAndFlatGradientOutside) {
+  Tensor x = Tensor::from_vector(1, 3, {-2.0, 0.5, 2.0});
+  x.set_requires_grad(true);
+  Tensor y = clamp(x, 0.0, 1.0);
+  EXPECT_EQ(y.at(0, 0), 0.0);
+  EXPECT_EQ(y.at(0, 1), 0.5);
+  EXPECT_EQ(y.at(0, 2), 1.0);
+  sum(y).backward();
+  EXPECT_EQ(x.grad()[0], 0.0);
+  EXPECT_EQ(x.grad()[1], 1.0);
+  EXPECT_EQ(x.grad()[2], 0.0);
+}
+
+TEST(Ops, MatmulValues) {
+  Tensor a = Tensor::from_vector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0);
+  EXPECT_EQ(c.at(0, 1), 64.0);
+  EXPECT_EQ(c.at(1, 0), 139.0);
+  EXPECT_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor::zeros(2, 3), Tensor::zeros(2, 3)), CheckError);
+}
+
+TEST(Ops, TransposeValues) {
+  Tensor a = Tensor::from_vector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose(a);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.at(2, 1), 6.0);
+}
+
+TEST(Ops, Reductions) {
+  Tensor a = Tensor::from_vector(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(sum(a).item(), 21.0);
+  EXPECT_DOUBLE_EQ(mean(a).item(), 3.5);
+  Tensor sr = sum_rows(a);
+  EXPECT_EQ(sr.rows(), 1);
+  EXPECT_EQ(sr.cols(), 3);
+  EXPECT_DOUBLE_EQ(sr.at(0, 0), 5.0);
+  Tensor sc = sum_cols(a);
+  EXPECT_EQ(sc.rows(), 2);
+  EXPECT_DOUBLE_EQ(sc.at(1, 0), 15.0);
+}
+
+TEST(Ops, MseAndL1) {
+  Tensor a = Tensor::from_vector(1, 2, {1.0, 3.0});
+  Tensor b = Tensor::from_vector(1, 2, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(mse_loss(a, b).item(), (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(l1_norm(sub(a, b)).item(), 1.5);
+}
+
+// ---------- Gradient checks (parameterized over shapes) ----------
+
+struct ShapeCase {
+  int rows, cols;
+};
+
+class BinaryGradCheck : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(BinaryGradCheck, AddSubMulDiv) {
+  const auto [r, c] = GetParam();
+  Rng rng(13);
+  using Fn = Tensor (*)(const Tensor&, const Tensor&);
+  for (Fn fn : {static_cast<Fn>(add), static_cast<Fn>(sub),
+                static_cast<Fn>(mul), static_cast<Fn>(div)}) {
+    auto result = grad_check(
+        [fn](const std::vector<Tensor>& in) {
+          return sum(fn(in[0], in[1]));
+        },
+        {random_tensor(r, c, rng, 0.5, 2.0),
+         random_tensor(r, c, rng, 0.5, 2.0)});
+    EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BinaryGradCheck,
+                         ::testing::Values(ShapeCase{1, 1}, ShapeCase{1, 5},
+                                           ShapeCase{4, 1}, ShapeCase{3, 4},
+                                           ShapeCase{7, 2}));
+
+class BroadcastGradCheck
+    : public ::testing::TestWithParam<std::pair<ShapeCase, ShapeCase>> {};
+
+TEST_P(BroadcastGradCheck, MulWithBroadcast) {
+  const auto [sa, sb] = GetParam();
+  Rng rng(17);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) { return sum(mul(in[0], in[1])); },
+      {random_tensor(sa.rows, sa.cols, rng),
+       random_tensor(sb.rows, sb.cols, rng)});
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, BroadcastGradCheck,
+    ::testing::Values(std::pair{ShapeCase{3, 4}, ShapeCase{1, 4}},
+                      std::pair{ShapeCase{3, 4}, ShapeCase{3, 1}},
+                      std::pair{ShapeCase{3, 4}, ShapeCase{1, 1}},
+                      std::pair{ShapeCase{1, 4}, ShapeCase{3, 4}},
+                      std::pair{ShapeCase{3, 1}, ShapeCase{3, 4}}));
+
+TEST(OpsGrad, UnaryOps) {
+  Rng rng(19);
+  struct Case {
+    const char* name;
+    std::function<Tensor(const Tensor&)> fn;
+    double lo, hi;
+  };
+  const std::vector<Case> cases = {
+      {"relu", [](const Tensor& t) { return relu(t); }, 0.2, 2.0},
+      {"tanh", [](const Tensor& t) { return tanh_op(t); }, -2.0, 2.0},
+      {"sigmoid", [](const Tensor& t) { return sigmoid(t); }, -2.0, 2.0},
+      {"exp", [](const Tensor& t) { return exp_op(t); }, -1.0, 1.0},
+      {"log", [](const Tensor& t) { return log_op(t); }, 0.5, 3.0},
+      {"sqrt", [](const Tensor& t) { return sqrt_op(t); }, 0.5, 3.0},
+      {"abs", [](const Tensor& t) { return abs_op(t); }, 0.3, 2.0},
+      {"square", [](const Tensor& t) { return square(t); }, -2.0, 2.0},
+      {"pow2.5",
+       [](const Tensor& t) { return pow_scalar(t, 2.5); }, 0.5, 2.0},
+      {"scale", [](const Tensor& t) { return mul_scalar(t, -1.7); }, -2.0,
+       2.0},
+      {"shift", [](const Tensor& t) { return add_scalar(t, 0.3); }, -2.0,
+       2.0},
+  };
+  for (const auto& c : cases) {
+    auto result = grad_check(
+        [&c](const std::vector<Tensor>& in) { return mean(c.fn(in[0])); },
+        {random_tensor(3, 4, rng, c.lo, c.hi)});
+    EXPECT_TRUE(result.ok) << c.name << " rel=" << result.max_rel_error;
+  }
+}
+
+TEST(OpsGrad, MatmulBothSides) {
+  Rng rng(23);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) {
+        return sum(matmul(in[0], in[1]));
+      },
+      {random_tensor(3, 4, rng), random_tensor(4, 2, rng)});
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(OpsGrad, TransposeAndReductions) {
+  Rng rng(29);
+  for (auto fn : std::vector<std::function<Tensor(const Tensor&)>>{
+           [](const Tensor& t) { return sum(transpose(t)); },
+           [](const Tensor& t) { return mean(t); },
+           [](const Tensor& t) { return sum(sum_rows(t)); },
+           [](const Tensor& t) { return sum(sum_cols(t)); }}) {
+    auto result = grad_check(
+        [&fn](const std::vector<Tensor>& in) { return fn(in[0]); },
+        {random_tensor(4, 3, rng)});
+    EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+  }
+}
+
+TEST(OpsGrad, MseLoss) {
+  Rng rng(31);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) { return mse_loss(in[0], in[1]); },
+      {random_tensor(5, 2, rng), random_tensor(5, 2, rng)});
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(OpsGrad, ComposedExpression) {
+  // A GNS-flavoured composite: gradients through a deep mixed chain.
+  Rng rng(37);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) {
+        Tensor h = tanh_op(matmul(in[0], in[1]));
+        h = mul(h, sigmoid(h));
+        return mean(square(sub(h, mul_scalar(in[2], 0.3))));
+      },
+      {random_tensor(4, 3, rng), random_tensor(3, 5, rng),
+       random_tensor(4, 5, rng)});
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+}  // namespace
+}  // namespace gns::ad

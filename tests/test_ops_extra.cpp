@@ -1,0 +1,155 @@
+// Extended op set: softplus / leaky-relu / extremum reductions / Huber /
+// concat_rows — forward semantics and gradient checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/gradcheck.hpp"
+#include "ad/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gns::ad {
+namespace {
+
+Tensor random_tensor(int r, int c, Rng& rng, double lo = -2.0,
+                     double hi = 2.0) {
+  std::vector<Real> v(static_cast<std::size_t>(r) * c);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return Tensor::from_vector(r, c, std::move(v));
+}
+
+TEST(Softplus, ValuesAndStability) {
+  Tensor x = Tensor::from_vector(1, 3, {0.0, 700.0, -700.0});
+  Tensor y = softplus(x);
+  EXPECT_NEAR(y.at(0, 0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(y.at(0, 1), 700.0, 1e-9);  // no overflow
+  EXPECT_NEAR(y.at(0, 2), 0.0, 1e-12);   // no underflow blowup
+  EXPECT_TRUE(std::isfinite(y.at(0, 1)));
+}
+
+TEST(Softplus, GradCheck) {
+  Rng rng(1);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) { return mean(softplus(in[0])); },
+      {random_tensor(3, 4, rng)});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(LeakyRelu, ValuesBothSides) {
+  Tensor x = Tensor::from_vector(1, 2, {-2.0, 3.0});
+  Tensor y = leaky_relu(x, 0.1);
+  EXPECT_NEAR(y.at(0, 0), -0.2, 1e-12);
+  EXPECT_NEAR(y.at(0, 1), 3.0, 1e-12);
+}
+
+TEST(LeakyRelu, GradCheckAwayFromKink) {
+  Rng rng(2);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) {
+        return mean(leaky_relu(in[0], 0.2));
+      },
+      {random_tensor(3, 4, rng, 0.5, 2.0)});
+  EXPECT_TRUE(result.ok);
+  auto result_neg = grad_check(
+      [](const std::vector<Tensor>& in) {
+        return mean(leaky_relu(in[0], 0.2));
+      },
+      {random_tensor(3, 4, rng, -2.0, -0.5)});
+  EXPECT_TRUE(result_neg.ok);
+}
+
+TEST(MaxReduce, ValueAndGradientRouting) {
+  Tensor x = Tensor::from_vector(2, 2, {1.0, 7.0, 3.0, 2.0});
+  x.set_requires_grad(true);
+  Tensor m = max_reduce(x);
+  EXPECT_DOUBLE_EQ(m.item(), 7.0);
+  m.backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 0.0);
+  EXPECT_DOUBLE_EQ(x.grad()[1], 1.0);
+  EXPECT_DOUBLE_EQ(x.grad()[2], 0.0);
+}
+
+TEST(MinReduce, ValueAndGradientRouting) {
+  Tensor x = Tensor::from_vector(1, 3, {4.0, -1.0, 2.0});
+  x.set_requires_grad(true);
+  Tensor m = min_reduce(x);
+  EXPECT_DOUBLE_EQ(m.item(), -1.0);
+  m.backward();
+  EXPECT_DOUBLE_EQ(x.grad()[1], 1.0);
+}
+
+TEST(MaxReduce, FirstArgmaxOnTies) {
+  Tensor x = Tensor::from_vector(1, 3, {5.0, 5.0, 1.0});
+  x.set_requires_grad(true);
+  max_reduce(x).backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 1.0);
+  EXPECT_DOUBLE_EQ(x.grad()[1], 0.0);
+}
+
+TEST(HuberLoss, QuadraticInsideLinearOutside) {
+  Tensor p = Tensor::from_vector(1, 2, {0.5, 3.0});
+  Tensor t = Tensor::zeros(1, 2);
+  // residuals 0.5 (inside delta=1) and 3 (outside):
+  // 0.5*0.25 + (3 - 0.5) -> mean = (0.125 + 2.5)/2.
+  EXPECT_NEAR(huber_loss(p, t, 1.0).item(), (0.125 + 2.5) / 2.0, 1e-12);
+}
+
+TEST(HuberLoss, MatchesMseForSmallResiduals) {
+  Rng rng(3);
+  Tensor p = random_tensor(4, 2, rng, -0.1, 0.1);
+  Tensor t = Tensor::zeros(4, 2);
+  EXPECT_NEAR(huber_loss(p, t, 10.0).item(), 0.5 * mse_loss(p, t).item(),
+              1e-12);
+}
+
+TEST(HuberLoss, GradCheckBothRegimes) {
+  Rng rng(4);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) {
+        return huber_loss(in[0], in[1], 0.7);
+      },
+      {random_tensor(4, 3, rng, -2.0, 2.0),
+       random_tensor(4, 3, rng, -0.2, 0.2)});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(ConcatRows, ValuesAndShape) {
+  Tensor a = Tensor::from_vector(1, 2, {1, 2});
+  Tensor b = Tensor::from_vector(2, 2, {3, 4, 5, 6});
+  Tensor c = concat_rows({a, b});
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c.at(2, 0), 5.0);
+}
+
+TEST(ConcatRows, ColumnMismatchThrows) {
+  EXPECT_THROW(concat_rows({Tensor::zeros(1, 2), Tensor::zeros(1, 3)}),
+               CheckError);
+}
+
+TEST(ConcatRows, GradCheck) {
+  Rng rng(5);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) {
+        return sum(square(concat_rows({in[0], in[1]})));
+      },
+      {random_tensor(2, 3, rng), random_tensor(4, 3, rng)});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(ConcatRows, RoundTripsWithGather) {
+  // concat_rows then gather back the second block reproduces it.
+  Rng rng(6);
+  Tensor a = random_tensor(2, 2, rng);
+  Tensor b = random_tensor(3, 2, rng);
+  Tensor c = concat_rows({a, b});
+  Tensor back = gather_rows(c, {2, 3, 4});
+  for (int i = 0; i < b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gns::ad

@@ -1,0 +1,211 @@
+// Graph / shape ops: gather, scatter-add, segment softmax, layer norm,
+// concat, slice — semantics and gradient checks. These ops carry all
+// message passing, so their gradients must be exact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/gradcheck.hpp"
+#include "ad/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gns::ad {
+namespace {
+
+Tensor random_tensor(int r, int c, Rng& rng) {
+  std::vector<Real> v(static_cast<std::size_t>(r) * c);
+  for (auto& x : v) x = rng.uniform(-1.5, 1.5);
+  return Tensor::from_vector(r, c, std::move(v));
+}
+
+TEST(ConcatCols, ValuesAndShapes) {
+  Tensor a = Tensor::from_vector(2, 1, {1, 2});
+  Tensor b = Tensor::from_vector(2, 2, {3, 4, 5, 6});
+  Tensor c = concat_cols({a, b});
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_EQ(c.at(0, 0), 1.0);
+  EXPECT_EQ(c.at(0, 2), 4.0);
+  EXPECT_EQ(c.at(1, 1), 5.0);
+}
+
+TEST(ConcatCols, RowMismatchThrows) {
+  EXPECT_THROW(concat_cols({Tensor::zeros(2, 1), Tensor::zeros(3, 1)}),
+               CheckError);
+}
+
+TEST(SliceCols, ValuesAndBounds) {
+  Tensor a = Tensor::from_vector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor s = slice_cols(a, 1, 2);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_EQ(s.at(1, 0), 5.0);
+  EXPECT_THROW(slice_cols(a, 2, 2), CheckError);
+}
+
+TEST(GatherRows, ValuesAndRepeats) {
+  Tensor a = Tensor::from_vector(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor g = gather_rows(a, {2, 0, 2});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.at(0, 0), 5.0);
+  EXPECT_EQ(g.at(1, 1), 2.0);
+  EXPECT_EQ(g.at(2, 0), 5.0);
+  EXPECT_THROW(gather_rows(a, {3}), CheckError);
+}
+
+TEST(ScatterAddRows, AccumulatesDuplicates) {
+  Tensor a = Tensor::from_vector(3, 2, {1, 1, 2, 2, 3, 3});
+  Tensor s = scatter_add_rows(a, {1, 1, 0}, 2);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.at(0, 0), 3.0);
+  EXPECT_EQ(s.at(1, 0), 3.0);  // 1 + 2
+  EXPECT_THROW(scatter_add_rows(a, {0, 1}, 2), CheckError);
+}
+
+TEST(ScatterGather, AreAdjoint) {
+  // <scatter(a), b> == <a, gather(b)> for all index maps: the defining
+  // property that makes their gradients each other's transpose.
+  Rng rng(5);
+  const std::vector<int> idx = {0, 2, 2, 1, 0};
+  Tensor a = random_tensor(5, 3, rng);
+  Tensor b = random_tensor(3, 3, rng);
+  Tensor lhs = sum(mul(scatter_add_rows(a, idx, 3), b));
+  Tensor rhs = sum(mul(a, gather_rows(b, idx)));
+  EXPECT_NEAR(lhs.item(), rhs.item(), 1e-10);
+}
+
+TEST(SegmentSoftmax, NormalizesPerSegment) {
+  Tensor scores = Tensor::from_vector(4, 1, {1.0, 2.0, 3.0, -1.0});
+  const std::vector<int> seg = {0, 0, 1, 1};
+  Tensor p = segment_softmax(scores, seg, 2);
+  EXPECT_NEAR(p.at(0, 0) + p.at(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(p.at(2, 0) + p.at(3, 0), 1.0, 1e-12);
+  EXPECT_GT(p.at(1, 0), p.at(0, 0));
+}
+
+TEST(SegmentSoftmax, SingleEdgeSegmentsGetWeightOne) {
+  Tensor scores = Tensor::from_vector(2, 1, {5.0, -7.0});
+  Tensor p = segment_softmax(scores, {0, 1}, 2);
+  EXPECT_NEAR(p.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(p.at(1, 0), 1.0, 1e-12);
+}
+
+TEST(SegmentSoftmax, StableUnderLargeScores) {
+  Tensor scores = Tensor::from_vector(2, 1, {1000.0, 999.0});
+  Tensor p = segment_softmax(scores, {0, 0}, 1);
+  EXPECT_TRUE(std::isfinite(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(1, 0), 1.0, 1e-12);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(7);
+  Tensor x = random_tensor(4, 6, rng);
+  Tensor gamma = Tensor::ones(1, 6);
+  Tensor beta = Tensor::zeros(1, 6);
+  Tensor y = layer_norm(x, gamma, beta);
+  for (int r = 0; r < y.rows(); ++r) {
+    double mean = 0.0, var = 0.0;
+    for (int c = 0; c < y.cols(); ++c) mean += y.at(r, c);
+    mean /= y.cols();
+    for (int c = 0; c < y.cols(); ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= y.cols();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-4);
+  }
+}
+
+TEST(LayerNorm, AffineParamsApply) {
+  Tensor x = Tensor::from_vector(1, 2, {-1.0, 1.0});
+  Tensor gamma = Tensor::from_vector(1, 2, {2.0, 2.0});
+  Tensor beta = Tensor::from_vector(1, 2, {1.0, 1.0});
+  Tensor y = layer_norm(x, gamma, beta);
+  EXPECT_NEAR(y.at(0, 0), 1.0 - 2.0, 1e-4);
+  EXPECT_NEAR(y.at(0, 1), 1.0 + 2.0, 1e-4);
+}
+
+// ---------- Gradient checks ----------
+
+TEST(GraphOpsGrad, ConcatAndSlice) {
+  Rng rng(11);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) {
+        Tensor c = concat_cols({in[0], in[1]});
+        return sum(square(slice_cols(c, 1, 2)));
+      },
+      {random_tensor(3, 2, rng), random_tensor(3, 2, rng)});
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(GraphOpsGrad, GatherWithRepeats) {
+  Rng rng(13);
+  const std::vector<int> idx = {0, 1, 1, 2, 0};
+  auto result = grad_check(
+      [&idx](const std::vector<Tensor>& in) {
+        return sum(square(gather_rows(in[0], idx)));
+      },
+      {random_tensor(3, 2, rng)});
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(GraphOpsGrad, ScatterAdd) {
+  Rng rng(17);
+  const std::vector<int> idx = {2, 0, 2, 1};
+  auto result = grad_check(
+      [&idx](const std::vector<Tensor>& in) {
+        return sum(square(scatter_add_rows(in[0], idx, 3)));
+      },
+      {random_tensor(4, 3, rng)});
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(GraphOpsGrad, SegmentSoftmax) {
+  Rng rng(19);
+  const std::vector<int> seg = {0, 0, 0, 1, 1, 2};
+  auto result = grad_check(
+      [&seg](const std::vector<Tensor>& in) {
+        Tensor p = segment_softmax(in[0], seg, 3);
+        return sum(mul(p, in[1]));
+      },
+      {random_tensor(6, 1, rng), random_tensor(6, 1, rng)},
+      /*eps=*/1e-6, /*tolerance=*/1e-5);
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(GraphOpsGrad, LayerNormAllInputs) {
+  Rng rng(23);
+  auto result = grad_check(
+      [](const std::vector<Tensor>& in) {
+        return sum(square(layer_norm(in[0], in[1], in[2])));
+      },
+      {random_tensor(3, 5, rng), random_tensor(1, 5, rng),
+       random_tensor(1, 5, rng)},
+      /*eps=*/1e-6, /*tolerance=*/1e-5);
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(GraphOpsGrad, MessagePassingComposite) {
+  // One full interaction-network block: the integration test for the
+  // gradient path every GNS layer uses.
+  Rng rng(29);
+  const std::vector<int> senders = {0, 1, 2, 2, 3};
+  const std::vector<int> receivers = {1, 0, 1, 3, 2};
+  auto result = grad_check(
+      [&](const std::vector<Tensor>& in) {
+        const Tensor& nodes = in[0];
+        const Tensor& edges = in[1];
+        Tensor vs = gather_rows(nodes, senders);
+        Tensor vr = gather_rows(nodes, receivers);
+        Tensor msg = tanh_op(concat_cols({edges, vs, vr}));
+        Tensor score = sum_cols(msg);
+        Tensor alpha = segment_softmax(score, receivers, 4);
+        Tensor agg = scatter_add_rows(mul(msg, alpha), receivers, 4);
+        return mean(square(agg));
+      },
+      {random_tensor(4, 3, rng), random_tensor(5, 2, rng)},
+      /*eps=*/1e-6, /*tolerance=*/1e-5);
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+}  // namespace
+}  // namespace gns::ad

@@ -1,0 +1,118 @@
+// Optimizers: convergence on quadratics, momentum, Adam bias correction,
+// gradient clipping, LR schedules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/ops.hpp"
+#include "ad/optim.hpp"
+
+namespace gns::ad {
+namespace {
+
+double run_quadratic(Optimizer& opt, Tensor& x, int steps) {
+  double loss = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    Tensor l = sum(square(add_scalar(x, -3.0)));  // minimum at x = 3
+    opt.zero_grad();
+    l.backward();
+    opt.step();
+    loss = l.item();
+  }
+  return loss;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Tensor x = Tensor::zeros(2, 2, true);
+  Sgd opt({x}, 0.1);
+  const double loss = run_quadratic(opt, x, 100);
+  EXPECT_LT(loss, 1e-6);
+  for (Real v : x.vec()) EXPECT_NEAR(v, 3.0, 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesConvergence) {
+  Tensor x1 = Tensor::zeros(1, 1, true);
+  Tensor x2 = Tensor::zeros(1, 1, true);
+  Sgd plain({x1}, 0.01);
+  Sgd momentum({x2}, 0.01, 0.9);
+  const double loss_plain = run_quadratic(plain, x1, 50);
+  const double loss_momentum = run_quadratic(momentum, x2, 50);
+  EXPECT_LT(loss_momentum, loss_plain);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Tensor x = Tensor::zeros(3, 1, true);
+  Adam opt({x}, 0.3);
+  const double loss = run_quadratic(opt, x, 200);
+  EXPECT_LT(loss, 1e-6);
+}
+
+TEST(Adam, CountsSteps) {
+  Tensor x = Tensor::zeros(1, 1, true);
+  Adam opt({x}, 0.1);
+  run_quadratic(opt, x, 7);
+  EXPECT_EQ(opt.steps_taken(), 7);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction, the first Adam step is ~lr regardless of
+  // gradient scale.
+  Tensor x = Tensor::scalar(0.0, true);
+  Adam opt({x}, 0.05);
+  Tensor l = mul_scalar(x, 1000.0);
+  opt.zero_grad();
+  l.backward();
+  opt.step();
+  EXPECT_NEAR(x.item(), -0.05, 1e-6);
+}
+
+TEST(Optimizer, SkipsParamsWithoutGrads) {
+  Tensor used = Tensor::scalar(0.0, true);
+  Tensor unused = Tensor::scalar(42.0, true);
+  Adam opt({used, unused}, 0.1);
+  Tensor l = square(add_scalar(used, -1.0));
+  opt.zero_grad();
+  l.backward();
+  opt.step();
+  EXPECT_DOUBLE_EQ(unused.item(), 42.0);
+}
+
+TEST(Optimizer, ClipGradNormRescales) {
+  Tensor x = Tensor::from_vector(1, 2, {0.0, 0.0});
+  x.set_requires_grad(true);
+  Sgd opt({x}, 1.0);
+  Tensor l = sum(mul(x, Tensor::from_vector(1, 2, {3.0, 4.0})));
+  opt.zero_grad();
+  l.backward();
+  const Real pre_norm = opt.clip_grad_norm(1.0);
+  EXPECT_NEAR(pre_norm, 5.0, 1e-12);
+  const double clipped =
+      std::sqrt(x.grad()[0] * x.grad()[0] + x.grad()[1] * x.grad()[1]);
+  EXPECT_NEAR(clipped, 1.0, 1e-12);
+}
+
+TEST(Optimizer, ClipGradNormNoOpBelowThreshold) {
+  Tensor x = Tensor::scalar(0.0, true);
+  Sgd opt({x}, 1.0);
+  Tensor l = mul_scalar(x, 0.5);
+  opt.zero_grad();
+  l.backward();
+  opt.clip_grad_norm(10.0);
+  EXPECT_DOUBLE_EQ(x.grad()[0], 0.5);
+}
+
+TEST(LrSchedule, DecaysBetweenEndpoints) {
+  LrSchedule sched;
+  sched.initial = 1e-3;
+  sched.final = 1e-5;
+  sched.decay = 0.1;
+  sched.decay_steps = 1000;
+  EXPECT_NEAR(sched.at(0), 1e-3, 1e-12);
+  EXPECT_LT(sched.at(500), sched.at(100));
+  EXPECT_GT(sched.at(1000000), sched.final - 1e-12);
+  EXPECT_NEAR(sched.at(1000), 1e-5 + (1e-3 - 1e-5) * 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace gns::ad

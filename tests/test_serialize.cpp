@@ -1,0 +1,121 @@
+// Simulator and MeshNet persistence: byte-exact behavioural round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+
+namespace gns::core {
+namespace {
+
+io::Dataset small_dataset() {
+  io::Dataset ds;
+  io::Trajectory traj;
+  traj.dim = 2;
+  traj.num_particles = 4;
+  traj.domain_lo = {0.0, 0.0};
+  traj.domain_hi = {1.0, 1.0};
+  traj.material_param = 0.6;
+  Rng rng(2);
+  std::vector<double> base(8);
+  for (auto& v : base) v = rng.uniform(0.3, 0.7);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<double> frame(8);
+    for (int i = 0; i < 8; ++i) frame[i] = base[i] + 0.003 * t * (i % 2);
+    traj.add_frame(std::move(frame));
+  }
+  ds.trajectories.push_back(std::move(traj));
+  return ds;
+}
+
+LearnedSimulator make_small_sim(bool material = true) {
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.4;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 1.0};
+  fc.material_feature = material;
+  GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 2;
+  gc.attention = true;
+  return make_simulator(small_dataset(), fc, gc);
+}
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "test_serialize_model.bin";
+};
+
+TEST_F(SerializeTest, SimulatorRoundTripPreservesRollout) {
+  io::Dataset ds = small_dataset();
+  LearnedSimulator original = make_small_sim();
+  save_simulator(original, path_);
+  auto loaded = load_simulator(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->features().history, original.features().history);
+  EXPECT_TRUE(loaded->features().material_feature);
+  EXPECT_TRUE(loaded->model().config().attention);
+
+  Window win = original.window_from_trajectory(ds.trajectories[0]);
+  SceneContext ctx;
+  ctx.material = ad::Tensor::scalar(0.6);
+  auto a = original.rollout(win, 3, ctx);
+  auto b = loaded->rollout(win, 3, ctx);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    for (std::size_t i = 0; i < a[t].size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[t][i], b[t][i]);
+    }
+  }
+}
+
+TEST_F(SerializeTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_simulator("no_such_model.bin").has_value());
+}
+
+TEST_F(SerializeTest, GarbageFileRejected) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "garbage bytes, definitely not a model";
+  }
+  EXPECT_FALSE(load_simulator(path_).has_value());
+}
+
+TEST_F(SerializeTest, MeshNetWeightsRoundTrip) {
+  cfd::CfdConfig cfg;
+  cfg.nx = 12;
+  cfg.ny = 6;
+  cfg.pressure_iters = 30;
+  cfd::CfdSolver solver(cfg);
+  Mesh mesh = build_mesh(solver);
+  MeshNet a(mesh, MeshNetConfig{8, 8, 1, 1}, 0.8, /*seed=*/1);
+  MeshNet b(mesh, MeshNetConfig{8, 8, 1, 1}, 0.8, /*seed=*/2);
+  save_meshnet_weights(a, path_);
+  ASSERT_TRUE(load_meshnet_weights(b, path_));
+  std::vector<double> state(2 * mesh.graph.num_nodes, 0.3);
+  EXPECT_EQ(a.step(state), b.step(state));
+}
+
+TEST_F(SerializeTest, MeshNetWrongArchitectureRejected) {
+  cfd::CfdConfig cfg;
+  cfg.nx = 12;
+  cfg.ny = 6;
+  cfg.pressure_iters = 30;
+  cfd::CfdSolver solver(cfg);
+  Mesh mesh = build_mesh(solver);
+  MeshNet a(mesh, MeshNetConfig{8, 8, 1, 1}, 0.8);
+  MeshNet bigger(mesh, MeshNetConfig{16, 16, 1, 2}, 0.8);
+  save_meshnet_weights(a, path_);
+  EXPECT_FALSE(load_meshnet_weights(bigger, path_));
+}
+
+}  // namespace
+}  // namespace gns::core

@@ -1,0 +1,174 @@
+// LearnedSimulator mechanics (model weights are random here — these tests
+// pin the integrator identity, window plumbing, and the inference/
+// differentiable rollout agreement, independent of training).
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "core/trainer.hpp"
+
+namespace gns::core {
+namespace {
+
+io::Trajectory synthetic_trajectory(int frames, int particles,
+                                    std::uint64_t seed = 1) {
+  io::Trajectory traj;
+  traj.dim = 2;
+  traj.num_particles = particles;
+  traj.domain_lo = {0.0, 0.0};
+  traj.domain_hi = {1.0, 1.0};
+  Rng rng(seed);
+  std::vector<double> base(particles * 2);
+  std::vector<double> vel(particles * 2);
+  for (int i = 0; i < particles * 2; ++i) {
+    base[i] = rng.uniform(0.3, 0.7);
+    vel[i] = rng.uniform(-0.005, 0.005);
+  }
+  for (int t = 0; t < frames; ++t) {
+    std::vector<double> frame(particles * 2);
+    for (int i = 0; i < particles * 2; ++i)
+      frame[i] = base[i] + vel[i] * t - (i % 2 ? 0.0001 * t * t : 0.0);
+    traj.add_frame(std::move(frame));
+  }
+  return traj;
+}
+
+LearnedSimulator tiny_simulator(const io::Dataset& ds, int history = 3) {
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = history;
+  fc.connectivity_radius = 0.25;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 1.0};
+  GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 2;
+  return make_simulator(ds, fc, gc);
+}
+
+io::Dataset tiny_dataset() {
+  io::Dataset ds;
+  ds.trajectories.push_back(synthetic_trajectory(12, 5));
+  return ds;
+}
+
+TEST(Simulator, ConstructorValidatesWidths) {
+  io::Dataset ds = tiny_dataset();
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.25;
+  GnsConfig gc;
+  gc.node_in = 99;  // wrong on purpose
+  gc.edge_in = 3;
+  gc.out_dim = 2;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  Rng rng(2);
+  auto model = std::make_shared<GnsModel>(gc, rng);
+  EXPECT_THROW(
+      LearnedSimulator(model, fc, Normalizer(io::compute_stats(ds))),
+      CheckError);
+}
+
+TEST(Simulator, StepIsSemiImplicitEuler) {
+  io::Dataset ds = tiny_dataset();
+  LearnedSimulator sim = tiny_simulator(ds);
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  SceneContext ctx;
+  ad::Tensor accel = sim.predict_acceleration(win, ctx);
+  ad::Tensor next = sim.step(win, ctx);
+  const ad::Tensor& xt = win.back();
+  const ad::Tensor& xp = win[win.size() - 2];
+  for (int i = 0; i < next.size(); ++i) {
+    const double expected = xt.data()[i] + (xt.data()[i] - xp.data()[i]) +
+                            accel.data()[i];
+    EXPECT_NEAR(next.data()[i], expected, 1e-10);
+  }
+}
+
+TEST(Simulator, RolloutLengthAndShape) {
+  io::Dataset ds = tiny_dataset();
+  LearnedSimulator sim = tiny_simulator(ds);
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  auto frames = sim.rollout(win, 4, SceneContext{});
+  EXPECT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].size(), 10u);
+}
+
+TEST(Simulator, RolloutMatchesDifferentiableRollout) {
+  io::Dataset ds = tiny_dataset();
+  LearnedSimulator sim = tiny_simulator(ds);
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  auto fast = sim.rollout(win, 3, SceneContext{});
+  auto diff = sim.rollout_diff(win, 3, SceneContext{});
+  ASSERT_EQ(fast.size(), diff.size());
+  for (std::size_t t = 0; t < fast.size(); ++t) {
+    for (int i = 0; i < diff[t].size(); ++i) {
+      EXPECT_NEAR(fast[t][i], diff[t].data()[i], 1e-12);
+    }
+  }
+}
+
+TEST(Simulator, RolloutDiffKeepsTapeAlive) {
+  io::Dataset ds = tiny_dataset();
+  LearnedSimulator sim = tiny_simulator(ds);
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  auto frames = sim.rollout_diff(win, 2, SceneContext{});
+  EXPECT_TRUE(frames.back().requires_grad());
+  // Inference rollout must NOT tape.
+  auto fast_frames = sim.rollout(win, 2, SceneContext{});
+  (void)fast_frames;
+  EXPECT_TRUE(ad::grad_enabled());  // guard restored
+}
+
+TEST(Simulator, WindowFromTrajectoryBounds) {
+  io::Dataset ds = tiny_dataset();
+  LearnedSimulator sim = tiny_simulator(ds);
+  Window win = sim.window_from_trajectory(ds.trajectories[0], 2);
+  EXPECT_EQ(static_cast<int>(win.size()), sim.features().window_size());
+  EXPECT_THROW(sim.window_from_trajectory(ds.trajectories[0], 100),
+               CheckError);
+}
+
+TEST(Simulator, PositionErrorMetric) {
+  std::vector<double> a = {0.0, 0.0, 1.0, 1.0};
+  std::vector<double> b = {0.0, 3.0, 5.0, 4.0};  // dists 3 and 5
+  EXPECT_NEAR(position_error(a, b, 2), 4.0, 1e-12);
+  EXPECT_NEAR(position_error(a, b, 2, 2.0), 2.0, 1e-12);
+  EXPECT_THROW((void)position_error(a, {0.0}, 2), CheckError);
+}
+
+TEST(Simulator, MaterialConditioningChangesPrediction) {
+  io::Dataset ds = tiny_dataset();
+  ds.trajectories[0].material_param = 0.5;
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.25;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 1.0};
+  fc.material_feature = true;
+  GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 2;
+  LearnedSimulator sim = make_simulator(ds, fc, gc);
+  Window win = sim.window_from_trajectory(ds.trajectories[0]);
+  SceneContext lo, hi;
+  lo.material = ad::Tensor::scalar(0.2);
+  hi.material = ad::Tensor::scalar(1.2);
+  ad::Tensor a = sim.predict_acceleration(win, lo);
+  ad::Tensor b = sim.predict_acceleration(win, hi);
+  double diff = 0.0;
+  for (int i = 0; i < a.size(); ++i)
+    diff += std::abs(a.data()[i] - b.data()[i]);
+  EXPECT_GT(diff, 1e-9);
+}
+
+}  // namespace
+}  // namespace gns::core

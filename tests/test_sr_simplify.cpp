@@ -1,0 +1,136 @@
+// Expression simplification: identity elimination, constant folding,
+// semantics preservation (property-tested against random expressions).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sr/genetic.hpp"
+#include "sr/simplify.hpp"
+
+namespace gns::sr {
+namespace {
+
+ExprPtr x() { return Expr::variable(0); }
+ExprPtr c(double v) { return Expr::constant(v); }
+
+TEST(Simplify, AdditiveIdentity) {
+  ExprPtr e = Expr::binary(Op::Add, x(), c(0.0));
+  ExprPtr s = simplify(*e);
+  EXPECT_EQ(s->op, Op::Var);
+}
+
+TEST(Simplify, MultiplicativeIdentityAndZero) {
+  EXPECT_EQ(simplify(*Expr::binary(Op::Mul, x(), c(1.0)))->op, Op::Var);
+  ExprPtr zero = simplify(*Expr::binary(Op::Mul, x(), c(0.0)));
+  EXPECT_EQ(zero->op, Op::Const);
+  EXPECT_DOUBLE_EQ(zero->value, 0.0);
+}
+
+TEST(Simplify, MulMinusOneBecomesNeg) {
+  ExprPtr s = simplify(*Expr::binary(Op::Mul, x(), c(-1.0)));
+  EXPECT_EQ(s->op, Op::Neg);
+}
+
+TEST(Simplify, ConstantFolding) {
+  // (2 + 3) * 4 -> 20
+  ExprPtr e = Expr::binary(Op::Mul, Expr::binary(Op::Add, c(2), c(3)), c(4));
+  ExprPtr s = simplify(*e);
+  EXPECT_EQ(s->op, Op::Const);
+  EXPECT_DOUBLE_EQ(s->value, 20.0);
+}
+
+TEST(Simplify, FoldsConstSubtreeInsideVariableTree) {
+  // x + (2 * 3) -> x + 6
+  ExprPtr e = Expr::binary(Op::Add, x(), Expr::binary(Op::Mul, c(2), c(3)));
+  ExprPtr s = simplify(*e);
+  EXPECT_EQ(s->op, Op::Add);
+  EXPECT_EQ(s->b->op, Op::Const);
+  EXPECT_DOUBLE_EQ(s->b->value, 6.0);
+}
+
+TEST(Simplify, DoubleNegationAndAbs) {
+  EXPECT_EQ(simplify(*Expr::unary(Op::Neg, Expr::unary(Op::Neg, x())))->op,
+            Op::Var);
+  EXPECT_EQ(simplify(*Expr::unary(Op::Abs, Expr::unary(Op::Abs, x())))
+                ->complexity(),
+            2);
+  // |−x| = |x|
+  ExprPtr s = simplify(*Expr::unary(Op::Abs, Expr::unary(Op::Neg, x())));
+  EXPECT_EQ(s->op, Op::Abs);
+  EXPECT_EQ(s->a->op, Op::Var);
+}
+
+TEST(Simplify, InverseOfInverse) {
+  EXPECT_EQ(simplify(*Expr::unary(Op::Inv, Expr::unary(Op::Inv, x())))->op,
+            Op::Var);
+}
+
+TEST(Simplify, PowIdentities) {
+  EXPECT_EQ(simplify(*Expr::binary(Op::Pow, x(), c(1.0)))->op, Op::Var);
+  ExprPtr one = simplify(*Expr::binary(Op::Pow, x(), c(0.0)));
+  EXPECT_EQ(one->op, Op::Const);
+  EXPECT_DOUBLE_EQ(one->value, 1.0);
+}
+
+TEST(Simplify, DoesNotFoldNaNSubtrees) {
+  // 1/0 stays symbolic: folding it would change NaN semantics.
+  ExprPtr e = Expr::binary(Op::Div, c(1.0), c(0.0));
+  ExprPtr s = simplify(*e);
+  EXPECT_EQ(s->op, Op::Div);
+}
+
+TEST(Simplify, NeverIncreasesComplexity) {
+  Rng rng(21);
+  for (int trial = 0; trial < 300; ++trial) {
+    ExprPtr e = random_expr(paper_operator_set(), 3, 5, rng);
+    ExprPtr s = simplify(*e);
+    EXPECT_LE(s->complexity(), e->complexity());
+  }
+}
+
+TEST(Simplify, PreservesSemanticsOnRandomExpressions) {
+  Rng rng(22);
+  for (int trial = 0; trial < 200; ++trial) {
+    ExprPtr e = random_expr(paper_operator_set(), 2, 5, rng);
+    ExprPtr s = simplify(*e);
+    for (int k = 0; k < 10; ++k) {
+      const std::vector<double> point = {rng.uniform(-3, 3),
+                                         rng.uniform(-3, 3)};
+      const double ve = e->eval(point);
+      const double vs = s->eval(point);
+      if (std::isfinite(ve) && std::isfinite(vs)) {
+        const double scale = std::max({std::abs(ve), std::abs(vs), 1.0});
+        EXPECT_NEAR(ve, vs, 1e-9 * scale)
+            << e->to_string({"x", "y"}) << "  vs  "
+            << s->to_string({"x", "y"});
+      }
+    }
+  }
+}
+
+TEST(Simplify, PaperLawCleansUp) {
+  // ((dx + (abs((r2 * -1.0) + r1) * -1.0)) * 100.0): inner (r2 * -1) and
+  // the outer (* -1) fold into Neg forms, shrinking complexity.
+  ExprPtr law = Expr::binary(
+      Op::Mul,
+      Expr::binary(
+          Op::Add, Expr::variable(0),
+          Expr::binary(Op::Mul,
+                       Expr::unary(Op::Abs,
+                                   Expr::binary(Op::Add,
+                                                Expr::binary(Op::Mul,
+                                                             Expr::variable(2),
+                                                             c(-1.0)),
+                                                Expr::variable(1))),
+                       c(-1.0))),
+      c(100.0));
+  ExprPtr s = simplify(*law);
+  EXPECT_LT(s->complexity(), law->complexity());
+  // Semantics check at a sample point.
+  const std::vector<double> p = {0.07, 0.05, 0.04};
+  EXPECT_NEAR(s->eval(p), law->eval(p), 1e-12);
+}
+
+}  // namespace
+}  // namespace gns::sr

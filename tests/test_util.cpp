@@ -1,0 +1,145 @@
+// util module: check macros, CSV writer, timers, logging levels.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace gns {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(GNS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(GNS_CHECK_MSG(true, "never rendered"));
+}
+
+TEST(Check, FailureThrowsCheckErrorWithContext) {
+  try {
+    GNS_CHECK_MSG(false, "the answer is " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the answer is 42"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsLogicError) {
+  EXPECT_THROW(GNS_CHECK(false), std::logic_error);
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "test_util_csv.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.row({1.5, 2.0});
+    csv.row({-3.0, 0.25});
+  }
+  std::ifstream in(path_);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "-3,0.25");
+}
+
+TEST_F(CsvTest, LabeledRows) {
+  {
+    CsvWriter csv(path_, {"name", "value"});
+    csv.labeled_row("k*|dx|", {7.0});
+  }
+  std::ifstream in(path_);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"k*|dx|\",7");
+}
+
+TEST_F(CsvTest, WidthMismatchThrows) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.row({1.0}), CheckError);
+  EXPECT_THROW(csv.labeled_row("x", {1.0, 2.0}), CheckError);
+}
+
+TEST_F(CsvTest, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvWriter(path_, {}), CheckError);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double s = timer.seconds();
+  EXPECT_GE(s, 0.010);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(timer.millis(), timer.seconds() * 1e3, 50.0);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.01);
+}
+
+TEST(AccumulatingTimerTest, SumsWindows) {
+  AccumulatingTimer acc;
+  for (int i = 0; i < 3; ++i) {
+    acc.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    acc.stop();
+  }
+  EXPECT_EQ(acc.windows(), 3);
+  EXPECT_GE(acc.total_seconds(), 0.010);
+}
+
+TEST(AccumulatingTimerTest, StopWithoutStartIsNoop) {
+  AccumulatingTimer acc;
+  acc.stop();
+  EXPECT_EQ(acc.windows(), 0);
+  EXPECT_EQ(acc.total_seconds(), 0.0);
+}
+
+TEST(Logging, LevelThresholdFilters) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+  // Below threshold: the stream expression must not even be evaluated.
+  bool evaluated = false;
+  auto touch = [&evaluated]() {
+    evaluated = true;
+    return "x";
+  };
+  GNS_DEBUG(touch());
+  EXPECT_FALSE(evaluated);
+  set_log_level(saved);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Off);
+  bool evaluated = false;
+  auto touch = [&evaluated]() {
+    evaluated = true;
+    return "x";
+  };
+  GNS_ERROR(touch());
+  EXPECT_FALSE(evaluated);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace gns

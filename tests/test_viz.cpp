@@ -1,0 +1,172 @@
+// In-situ visualization: image semantics, PPM output, colormaps, and the
+// particle/field renderers' geometric conventions.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "viz/render.hpp"
+
+namespace gns::viz {
+namespace {
+
+TEST(Image, ConstructionAndPixels) {
+  Image img(4, 3, Rgb{1, 2, 3});
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.get(0, 0).r, 1);
+  img.set(2, 1, Rgb{9, 8, 7});
+  EXPECT_EQ(img.get(2, 1).g, 8);
+}
+
+TEST(Image, ClippedSetIgnoresOutOfBounds) {
+  Image img(2, 2);
+  img.set_clipped(-1, 0, Rgb{0, 0, 0});
+  img.set_clipped(5, 5, Rgb{0, 0, 0});
+  SUCCEED();
+}
+
+TEST(Image, DiscCoversCenter) {
+  Image img(11, 11);
+  img.disc(5, 5, 2, Rgb{0, 0, 0});
+  EXPECT_EQ(img.get(5, 5).r, 0);
+  EXPECT_EQ(img.get(7, 5).r, 0);
+  EXPECT_EQ(img.get(8, 5).r, 255);  // outside radius
+}
+
+TEST(Image, InvalidSizeThrows) {
+  EXPECT_THROW(Image(0, 4), CheckError);
+}
+
+class PpmTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "test_viz.ppm";
+};
+
+TEST_F(PpmTest, WritesValidHeaderAndPayload) {
+  Image img(5, 4, Rgb{10, 20, 30});
+  img.save_ppm(path_);
+  std::ifstream in(path_, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 5);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // the single whitespace after the header
+  std::vector<char> payload(5 * 4 * 3);
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  EXPECT_TRUE(in.good());
+  EXPECT_EQ(static_cast<unsigned char>(payload[0]), 10);
+  EXPECT_EQ(static_cast<unsigned char>(payload[2]), 30);
+}
+
+TEST(Colormap, ViridisEndpointsAndMonotoneRed) {
+  const Rgb lo = colormap_viridis(0.0);
+  const Rgb hi = colormap_viridis(1.0);
+  // viridis runs dark-purple -> yellow: red and green rise strongly.
+  EXPECT_LT(lo.r, hi.r);
+  EXPECT_LT(lo.g, hi.g);
+  EXPECT_GT(lo.b, hi.b);
+}
+
+TEST(Colormap, ViridisClampsOutOfRange) {
+  const Rgb below = colormap_viridis(-5.0);
+  const Rgb at0 = colormap_viridis(0.0);
+  EXPECT_EQ(below.r, at0.r);
+  EXPECT_EQ(below.g, at0.g);
+}
+
+TEST(Colormap, DivergingIsWhiteAtZero) {
+  const Rgb mid = colormap_diverging(0.0);
+  EXPECT_EQ(mid.r, 255);
+  EXPECT_EQ(mid.g, 255);
+  EXPECT_EQ(mid.b, 255);
+  EXPECT_EQ(colormap_diverging(1.0).r, 255);   // red side keeps full red
+  EXPECT_EQ(colormap_diverging(-1.0).b, 255);  // blue side keeps full blue
+  EXPECT_LT(colormap_diverging(1.0).b, 100);
+  EXPECT_LT(colormap_diverging(-1.0).r, 100);
+}
+
+TEST(Render, ParticlesLandWhereExpected) {
+  // One particle at the world center must paint the image center; one at
+  // the lower-left corner must paint the bottom-left (y-flip convention).
+  ViewBox view{0.0, 0.0, 1.0, 1.0};
+  ParticleStyle style;
+  style.image_width = 101;
+  style.particle_radius = 0;
+  style.background = {255, 255, 255};
+  std::vector<double> frame = {0.5, 0.5, 0.0, 0.0};
+  Image img = render_particles(frame, view, style);
+  EXPECT_EQ(img.height(), 101);
+  EXPECT_NE(img.get(50, 50).r, 255);           // center painted
+  EXPECT_NE(img.get(0, 100).r, 255);           // lower-left -> bottom row
+  EXPECT_EQ(img.get(100, 0).r, 255);           // upper-right untouched
+}
+
+TEST(Render, AspectRatioFollowsView) {
+  ViewBox view{0.0, 0.0, 2.0, 0.5};
+  ParticleStyle style;
+  style.image_width = 400;
+  std::vector<double> frame = {1.0, 0.25};
+  Image img = render_particles(frame, view, style);
+  EXPECT_EQ(img.width(), 400);
+  EXPECT_EQ(img.height(), 100);
+}
+
+TEST(Render, SpeedColoringUsesPrevFrame) {
+  ViewBox view{0.0, 0.0, 1.0, 1.0};
+  ParticleStyle style;
+  style.image_width = 64;
+  style.particle_radius = 0;
+  std::vector<double> now = {0.25, 0.5, 0.75, 0.5};
+  std::vector<double> before = {0.25, 0.5, 0.70, 0.5};  // second one moved
+  Image img = render_particles(now, view, style, &before);
+  // Fast particle (max speed) gets the viridis top color; slow one the
+  // bottom — they must differ.
+  const Rgb slow = img.get(16, 32);  // px=round(0.25*63), py=round(31.5)
+  const Rgb fast = img.get(47, 32);
+  EXPECT_TRUE(slow.r != fast.r || slow.g != fast.g || slow.b != fast.b);
+}
+
+TEST(Render, ComparisonConcatenatesWithSeparator) {
+  ViewBox view{0.0, 0.0, 1.0, 1.0};
+  ParticleStyle style;
+  style.image_width = 50;
+  std::vector<double> a = {0.5, 0.5};
+  Image img = render_comparison(a, a, view, style);
+  EXPECT_EQ(img.width(), 50 + 3 + 50);
+  // Separator column is dark.
+  EXPECT_LT(img.get(51, 10).r, 100);
+}
+
+TEST(Render, ScalarFieldFlipsVertically) {
+  // Field row 0 (bottom of the domain) must appear at the image bottom.
+  std::vector<double> field = {1.0, 1.0,   // bottom row: +
+                               -1.0, -1.0};  // top row: -
+  Image img = render_scalar_field(field, 2, 2, 1.0, 2);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 4);
+  EXPECT_GT(img.get(0, 3).r, img.get(0, 3).b);  // bottom = red (+)
+  EXPECT_GT(img.get(0, 0).b, img.get(0, 0).r);  // top = blue (-)
+}
+
+TEST(Render, ScalarFieldAutoScale) {
+  std::vector<double> field = {0.0, 5.0, -5.0, 0.0};
+  Image img = render_scalar_field(field, 2, 2, 0.0, 1);
+  // The +5 cell maps to the extreme red of the diverging map.
+  EXPECT_EQ(img.get(1, 1).r, 255);
+  EXPECT_LT(img.get(1, 1).b, 100);
+}
+
+TEST(Render, FieldSizeMismatchThrows) {
+  std::vector<double> field(5, 0.0);
+  EXPECT_THROW(render_scalar_field(field, 2, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace gns::viz
