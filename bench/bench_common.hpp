@@ -13,8 +13,16 @@
 ///                (§3.1's training distribution; out-of-distribution probe)
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "core/datagen.hpp"
 #include "core/serialize.hpp"
@@ -30,6 +38,40 @@ inline std::string cache_dir() {
   std::string dir = env ? env : "bench_cache";
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+/// Honors the GNS_NUM_THREADS environment variable: on first call pins the
+/// OpenMP pool to that many threads (and the serve benches use the same
+/// count for worker pools), so benchmark numbers are reproducible across
+/// machines with different core counts. Unset or 0 keeps the OpenMP
+/// default and reports it.
+inline int configured_threads() {
+  static const int n = [] {
+    const char* env = std::getenv("GNS_NUM_THREADS");
+    const int requested = env ? std::atoi(env) : 0;
+#ifdef _OPENMP
+    if (requested > 0) omp_set_num_threads(requested);
+    return requested > 0 ? requested : omp_get_max_threads();
+#else
+    return requested > 0 ? requested : 1;
+#endif
+  }();
+  return n;
+}
+
+/// Dumps bench results as a flat JSON object into the cache dir. Always
+/// records gns_num_threads so a result file carries the thread pinning it
+/// was measured under.
+inline void write_bench_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::ofstream out(path);
+  out.precision(10);
+  out << "{\n  \"gns_num_threads\": " << configured_threads();
+  for (const auto& [key, value] : fields)
+    out << ",\n  \"" << key << "\": " << value;
+  out << "\n}\n";
+  std::printf("[json] wrote %s\n", path.c_str());
 }
 
 // ---- Canonical granular scene (single-core-budget scale) -------------------

@@ -1,0 +1,118 @@
+// Serving throughput scaling vs worker count.
+//
+// The operational payoff of the paper's >165x forward-speedup claim is a
+// simulator that can be loaded once and queried concurrently. This bench
+// drives the serve subsystem with a fixed batch of rollout requests at
+// worker counts 1..max and reports throughput + latency percentiles per
+// configuration, so the worker-scaling curve (and its OpenMP-oversubscription
+// knee) is measurable on any machine. GNS_NUM_THREADS pins the OpenMP pool
+// inside each rollout step for reproducible numbers; the value is recorded
+// in the JSON output.
+
+#include <thread>
+
+#include "bench_common.hpp"
+#include "serve/serve.hpp"
+#include "util/csv.hpp"
+
+using namespace gns;
+using namespace gns::bench;
+using namespace gns::serve;
+
+namespace {
+
+struct Load {
+  std::shared_ptr<ModelRegistry> registry;
+  ModelRegistry::Handle sim;
+  std::vector<RolloutRequest> requests;
+};
+
+Load build_load(int requests) {
+  Load load;
+  load.registry = std::make_shared<ModelRegistry>();
+  load.registry->put("columns", columns_simulator());
+  load.sim = load.registry->get("columns");
+
+  io::Dataset probe = generate_column_dataset(
+      granular_scene(), {30.0}, kColumnWidth, kColumnAspect,
+      /*frames=*/10, kSubsteps);
+  const io::Trajectory& traj = probe.trajectories[0];
+  const int w = load.sim->features().window_size();
+  const int dim = load.sim->features().dim;
+  const int full_n = traj.num_particles;
+
+  for (int i = 0; i < requests; ++i) {
+    RolloutRequest req;
+    req.model = "columns";
+    req.steps = 4 + (i % 3) * 4;                     // 4..12 frames
+    req.material = material_param_from_friction(30.0);
+    const int n = i % 4 == 0 ? full_n / 2 : full_n;  // mixed scene sizes
+    for (int t = 0; t < w; ++t) {
+      const auto& frame = traj.frames[t];
+      req.window.emplace_back(frame.begin(), frame.begin() + n * dim);
+    }
+    load.requests.push_back(std::move(req));
+  }
+  return load;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int requests = argc > 1 ? std::atoi(argv[1]) : 64;
+  print_header("serve: rollout throughput vs worker count",
+               "operational form of the >165x forward-speedup claim");
+  const int threads = configured_threads();
+  std::printf("OpenMP threads per rollout: %d (GNS_NUM_THREADS pins)\n",
+              threads);
+
+  Load load = build_load(requests);
+  std::printf("load: %d mixed-size requests, model '%s'\n\n", requests,
+              "columns");
+  std::printf("%8s %14s %12s %12s %12s %12s\n", "workers", "rollouts/s",
+              "p50 ms", "p95 ms", "p99 ms", "speedup");
+
+  const int max_workers = std::max(
+      4, static_cast<int>(std::thread::hardware_concurrency()));
+  CsvWriter csv(cache_dir() + "/serve_throughput.csv",
+                {"workers", "throughput_rps", "p50_ms", "p95_ms", "p99_ms"});
+  double base_rps = 0.0;
+  std::vector<std::pair<std::string, double>> json_fields;
+  for (int workers = 1; workers <= max_workers; workers *= 2) {
+    JobScheduler scheduler(
+        load.registry,
+        SchedulerConfig{workers, /*queue_capacity=*/requests});
+    Timer wall;
+    std::vector<JobTicket> tickets;
+    tickets.reserve(load.requests.size());
+    for (const RolloutRequest& req : load.requests)
+      tickets.push_back(scheduler.submit(req));
+    int failed = 0;
+    for (auto& t : tickets) failed += t.result.get().ok() ? 0 : 1;
+    const double seconds = wall.seconds();
+
+    const StatsSnapshot snap = scheduler.stats().snapshot();
+    const double rps = snap.throughput(seconds);
+    if (workers == 1) base_rps = rps;
+    const double p50 = snap.total_ms.quantile(0.50);
+    const double p95 = snap.total_ms.quantile(0.95);
+    const double p99 = snap.total_ms.quantile(0.99);
+    std::printf("%8d %14.1f %12.2f %12.2f %12.2f %11.2fx%s\n", workers,
+                rps, p50, p95, p99, base_rps > 0 ? rps / base_rps : 0.0,
+                failed ? "  FAILURES!" : "");
+    csv.row({static_cast<double>(workers), rps, p50, p95, p99});
+    const std::string prefix = "w" + std::to_string(workers);
+    json_fields.emplace_back(prefix + "_throughput_rps", rps);
+    json_fields.emplace_back(prefix + "_p95_ms", p95);
+  }
+  print_rule();
+  std::printf(
+      "note: each rollout step itself runs OpenMP-parallel kernels, so\n"
+      "worker scaling saturates once workers x %d threads covers the\n"
+      "machine; pin GNS_NUM_THREADS=1 to measure pure pool scaling.\n",
+      threads);
+
+  json_fields.emplace_back("requests", static_cast<double>(requests));
+  write_bench_json(cache_dir() + "/serve_throughput.json", json_fields);
+  return 0;
+}

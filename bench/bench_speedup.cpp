@@ -19,6 +19,8 @@ using namespace gns::bench;
 int main() {
   print_header("E2: forward-simulation speedup, GNS vs MPM",
                ">165x on GPU inference vs parallel CPU MPM (sec. 3.1)");
+  std::printf("threads: %d (set GNS_NUM_THREADS to pin)\n",
+              configured_threads());
 
   LearnedSimulator sim = columns_simulator();
 
@@ -70,5 +72,11 @@ int main() {
     std::printf("%12d %16.3f %16.3f %10.2fx\n", sub, mpm_ms,
                 1e3 * gns_per_frame, mpm_ms / (1e3 * gns_per_frame));
   }
+
+  write_bench_json(cache_dir() + "/speedup.json",
+                   {{"mpm_ms_per_frame", 1e3 * mpm_per_frame},
+                    {"gns_ms_per_frame", 1e3 * gns_per_frame},
+                    {"speedup", ratio},
+                    {"substeps", static_cast<double>(kSubsteps)}});
   return 0;
 }

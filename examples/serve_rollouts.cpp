@@ -1,0 +1,205 @@
+// Rollout serving demo: load a checkpoint once, serve it concurrently.
+//
+// The deployment shape of the paper's speedup claim: a trained GNS is
+// loaded once into a ModelRegistry and queried by many clients at once
+// through a JobScheduler worker pool. This driver
+//
+//   1. trains-or-caches a small column-collapse GNS checkpoint,
+//   2. registers it from disk,
+//   3. fires N concurrent mixed-size rollout requests from client threads
+//      (full-scene and half-scene windows, varying step counts),
+//   4. prints the latency/throughput report and dumps ServerStats as
+//      CSV + JSON for scripts/plot_results.py.
+//
+// Usage: serve_rollouts [requests=48] [workers=4] [clients=8]
+// GNS_NUM_THREADS caps the OpenMP pool inside each rollout step.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/datagen.hpp"
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+#include "serve/serve.hpp"
+#include "util/timer.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+using namespace gns;
+using namespace gns::core;
+using namespace gns::serve;
+
+namespace {
+
+// Small column-collapse model: cached on disk so re-runs serve instantly.
+std::string ensure_checkpoint(const std::string& dir) {
+  const std::string path = dir + "/serve_demo_model.bin";
+  if (load_simulator(path)) return path;
+
+  std::printf("[setup] building demo checkpoint (one-time)...\n");
+  mpm::GranularSceneParams scene;
+  scene.cells_x = 24;
+  scene.cells_y = 12;
+  scene.domain_width = 1.0;
+  scene.domain_height = 0.5;
+  io::Dataset ds = generate_column_dataset(scene, {30.0}, 0.15, 1.5,
+                                           /*frames=*/24, /*substeps=*/10);
+
+  FeatureConfig features;
+  features.dim = 2;
+  features.history = 4;
+  features.connectivity_radius = 0.06;
+  features.domain_lo = {0.0, 0.0};
+  features.domain_hi = {1.0, 0.5};
+  features.material_feature = true;
+
+  GnsConfig model;
+  model.latent = 16;
+  model.mlp_hidden = 16;
+  model.mlp_layers = 2;
+  model.message_passing_steps = 2;
+
+  LearnedSimulator sim = make_simulator(ds, features, model);
+  TrainConfig tc;
+  tc.steps = 120;  // a short polish pass; serving doesn't need accuracy
+  tc.lr = 1e-3;
+  train_gns(sim, ds, tc);
+  save_simulator(sim, path);
+  std::printf("[setup] checkpoint -> %s\n", path.c_str());
+  return path;
+}
+
+RolloutRequest make_request(const LearnedSimulator& sim,
+                            const io::Trajectory& traj, int particles,
+                            int steps) {
+  RolloutRequest req;
+  req.model = "columns";
+  req.steps = steps;
+  req.material = traj.material_param;
+  req.deadline_ms = 0.0;
+  const int w = sim.features().window_size();
+  const int dim = sim.features().dim;
+  for (int t = 0; t < w; ++t) {
+    const auto& full = traj.frames[t];
+    req.window.emplace_back(full.begin(),
+                            full.begin() + particles * dim);
+  }
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int requests = argc > 1 ? std::atoi(argv[1]) : 48;
+  int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int clients = argc > 3 ? std::atoi(argv[3]) : 8;
+  if (workers < 4) workers = 4;  // acceptance shape: >= 4-worker pool
+#ifdef _OPENMP
+  if (const char* env = std::getenv("GNS_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) omp_set_num_threads(n);
+  }
+#endif
+
+  const char* cache_env = std::getenv("GNS_BENCH_CACHE");
+  const std::string cache = cache_env ? cache_env : "bench_cache";
+  std::filesystem::create_directories(cache);
+
+  // 1+2. Checkpoint on disk -> registry.
+  const std::string checkpoint = ensure_checkpoint(cache);
+  auto registry = std::make_shared<ModelRegistry>();
+  if (!registry->load("columns", checkpoint)) {
+    std::fprintf(stderr, "failed to load %s\n", checkpoint.c_str());
+    return 1;
+  }
+  ModelRegistry::Handle sim = registry->get("columns");
+  std::printf("[serve] model 'columns': %lld parameters\n",
+              static_cast<long long>(sim->model().num_parameters()));
+
+  // A seed trajectory for request windows (same scene family as training).
+  mpm::GranularSceneParams scene;
+  scene.cells_x = 24;
+  scene.cells_y = 12;
+  scene.domain_width = 1.0;
+  scene.domain_height = 0.5;
+  io::Dataset probe = generate_column_dataset(scene, {30.0}, 0.15, 1.5,
+                                              /*frames=*/10, /*substeps=*/10);
+  const io::Trajectory& traj = probe.trajectories[0];
+  const int full_n = traj.num_particles;
+  const int half_n = full_n / 2;
+
+  // 3. Concurrent mixed-size load from client threads.
+  JobScheduler scheduler(registry,
+                         SchedulerConfig{workers, /*queue_capacity=*/256});
+  std::printf("[serve] %d requests from %d clients through %d workers\n",
+              requests, clients, workers);
+
+  std::vector<std::vector<JobTicket>> tickets(
+      static_cast<std::size_t>(clients));
+  Timer wall;
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (int i = c; i < requests; i += clients) {
+        const bool big = i % 3 != 0;  // 2/3 full scene, 1/3 half scene
+        const int steps = 6 + (i % 4) * 4;  // 6..18 frames
+        tickets[static_cast<std::size_t>(c)].push_back(scheduler.submit(
+            make_request(*sim, traj, big ? full_n : half_n, steps)));
+      }
+    });
+  }
+  for (auto& t : client_threads) t.join();
+
+  int ok = 0, failed = 0;
+  for (auto& per_client : tickets) {
+    for (auto& ticket : per_client) {
+      RolloutResult result = ticket.result.get();
+      if (result.ok()) {
+        ++ok;
+      } else {
+        ++failed;
+        std::fprintf(stderr, "job %llu failed: %s (%s)\n",
+                     static_cast<unsigned long long>(result.job_id),
+                     to_string(result.status), result.error.c_str());
+      }
+    }
+  }
+  const double seconds = wall.seconds();
+
+  // 4. Report + dumps.
+  const StatsSnapshot snap = scheduler.stats().snapshot();
+  std::printf("\n==== serving report ====\n");
+  std::printf("requests      %d  (ok %d, failed %d)\n", requests, ok,
+              failed);
+  std::printf("wall time     %.2f s   throughput %.1f rollouts/s\n",
+              seconds, snap.throughput(seconds));
+  std::printf("peak queue    %d\n", snap.peak_queue_depth);
+  std::printf("latency p50   %8.2f ms   (queue %8.2f, exec %8.2f)\n",
+              snap.total_ms.quantile(0.50), snap.queue_ms.quantile(0.50),
+              snap.exec_ms.quantile(0.50));
+  std::printf("latency p95   %8.2f ms   (queue %8.2f, exec %8.2f)\n",
+              snap.total_ms.quantile(0.95), snap.queue_ms.quantile(0.95),
+              snap.exec_ms.quantile(0.95));
+  std::printf("latency p99   %8.2f ms   (queue %8.2f, exec %8.2f)\n",
+              snap.total_ms.quantile(0.99), snap.queue_ms.quantile(0.99),
+              snap.exec_ms.quantile(0.99));
+
+  scheduler.stats().write_latency_csv(cache + "/serve_latency.csv");
+  scheduler.stats().write_json(
+      cache + "/serve_stats.json",
+      {{"workers", static_cast<double>(workers)},
+       {"clients", static_cast<double>(clients)},
+       {"wall_seconds", seconds},
+       {"throughput_rps", snap.throughput(seconds)}});
+  std::printf("wrote %s/serve_latency.csv and %s/serve_stats.json\n",
+              cache.c_str(), cache.c_str());
+
+  return failed == 0 ? 0 : 1;
+}

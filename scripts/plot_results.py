@@ -121,6 +121,37 @@ def main():
         ax.set_title("Training-noise ablation")
         save(fig, "plot_ablation_noise.png")
 
+    # Serving: latency CDF (examples/serve_rollouts) and worker scaling
+    # (bench_serve_throughput).
+    p = cache / "serve_latency.csv"
+    if p.exists():
+        data = read_csv(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        ax.step(data["upper_ms"], data["cumulative_frac"], where="post")
+        for q in (0.50, 0.95, 0.99):
+            ax.axhline(q, ls="--", c="gray", lw=0.7)
+        ax.set_xscale("log")
+        ax.set_xlabel("rollout latency (ms)")
+        ax.set_ylabel("fraction of requests")
+        ax.set_title("Serving latency CDF")
+        save(fig, "plot_serve_latency_cdf.png")
+
+    p = cache / "serve_throughput.csv"
+    if p.exists():
+        data = read_csv(p)
+        fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(9, 4))
+        ax1.plot(data["workers"], data["throughput_rps"], marker="o")
+        ax1.set_xlabel("workers")
+        ax1.set_ylabel("rollouts / s")
+        ax2.plot(data["workers"], data["p50_ms"], marker="o", label="p50")
+        ax2.plot(data["workers"], data["p95_ms"], marker="o", label="p95")
+        ax2.plot(data["workers"], data["p99_ms"], marker="o", label="p99")
+        ax2.set_xlabel("workers")
+        ax2.set_ylabel("latency (ms)")
+        ax2.legend()
+        fig.suptitle("Serving throughput/latency vs worker count")
+        save(fig, "plot_serve_throughput.png")
+
     p = cache / "ablation_attention.csv"
     if p.exists():
         data = read_csv(p)

@@ -1,6 +1,8 @@
 #include "core/serialize.hpp"
 
+#include <cstring>
 #include <fstream>
+#include <type_traits>
 
 namespace gns::core {
 
@@ -13,24 +15,66 @@ template <typename T>
 void wr(std::ofstream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
-template <typename T>
-bool rd(std::ifstream& in, T& v) {
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  return in.good();
-}
 void wr_vec(std::ofstream& out, const std::vector<double>& v) {
   wr<std::uint64_t>(out, v.size());
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(double)));
 }
-bool rd_vec(std::ifstream& in, std::vector<double>& v) {
-  std::uint64_t n = 0;
-  if (!rd(in, n) || n > (1ULL << 32)) return false;
-  v.resize(n);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  return in.good();
-}
+
+/// Bounds-checked cursor over an in-memory checkpoint image. Loading the
+/// whole file first means every length prefix can be validated against the
+/// bytes that actually exist — a truncated or bit-flipped file fails a
+/// bounds check instead of driving a multi-gigabyte resize() or a partial
+/// read that leaves the caller half-mutated.
+class ByteReader {
+ public:
+  explicit ByteReader(std::vector<char> bytes) : bytes_(std::move(bytes)) {}
+
+  /// Reads the whole file; nullopt when it cannot be opened.
+  static std::optional<ByteReader> from_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in.good()) return std::nullopt;
+    const std::streamoff size = in.tellg();
+    if (size < 0) return std::nullopt;
+    std::vector<char> bytes(static_cast<std::size_t>(size));
+    in.seekg(0);
+    in.read(bytes.data(), size);
+    if (!in.good() && size > 0) return std::nullopt;
+    return ByteReader(std::move(bytes));
+  }
+
+  template <typename T>
+  [[nodiscard]] bool rd(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(&v, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  [[nodiscard]] bool rd_vec(std::vector<double>& v) {
+    std::uint64_t n = 0;
+    if (!rd(n)) return false;
+    if (n > remaining() / sizeof(double)) return false;  // truncated/corrupt
+    v.resize(n);
+    std::memcpy(v.data(), bytes_.data() + offset_, n * sizeof(double));
+    offset_ += n * sizeof(double);
+    return true;
+  }
+
+  [[nodiscard]] bool check_header() {
+    std::uint32_t magic = 0, version = 0;
+    return rd(magic) && magic == kMagic && rd(version) && version == kVersion;
+  }
+
+ private:
+  [[nodiscard]] std::size_t remaining() const {
+    return bytes_.size() - offset_;
+  }
+
+  std::vector<char> bytes_;
+  std::size_t offset_ = 0;
+};
 
 }  // namespace
 
@@ -62,46 +106,65 @@ void save_simulator(const LearnedSimulator& sim, const std::string& path) {
 }
 
 std::optional<LearnedSimulator> load_simulator(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return std::nullopt;
-  std::uint32_t magic = 0, version = 0;
-  if (!rd(in, magic) || magic != kMagic) return std::nullopt;
-  if (!rd(in, version) || version != kVersion) return std::nullopt;
+  auto reader = ByteReader::from_file(path);
+  if (!reader || !reader->check_header()) return std::nullopt;
+  ByteReader& in = *reader;
 
   FeatureConfig f;
   std::int32_t material = 0, attention = 0;
-  if (!rd(in, f.dim) || !rd(in, f.history) ||
-      !rd(in, f.connectivity_radius) || !rd_vec(in, f.domain_lo) ||
-      !rd_vec(in, f.domain_hi) || !rd(in, material) ||
-      !rd(in, f.static_node_attrs)) {
+  if (!in.rd(f.dim) || !in.rd(f.history) || !in.rd(f.connectivity_radius) ||
+      !in.rd_vec(f.domain_lo) || !in.rd_vec(f.domain_hi) ||
+      !in.rd(material) || !in.rd(f.static_node_attrs)) {
     return std::nullopt;
   }
   f.material_feature = (material != 0);
+  if (f.dim <= 0 || f.history <= 0 || f.static_node_attrs < 0 ||
+      !(f.connectivity_radius > 0.0)) {
+    return std::nullopt;
+  }
 
   GnsConfig m;
-  if (!rd(in, m.latent) || !rd(in, m.mlp_hidden) || !rd(in, m.mlp_layers) ||
-      !rd(in, m.message_passing_steps) || !rd(in, attention)) {
+  if (!in.rd(m.latent) || !in.rd(m.mlp_hidden) || !in.rd(m.mlp_layers) ||
+      !in.rd(m.message_passing_steps) || !in.rd(attention)) {
     return std::nullopt;
   }
   m.attention = (attention != 0);
+  if (m.latent <= 0 || m.mlp_hidden <= 0 || m.mlp_layers <= 0 ||
+      m.message_passing_steps <= 0) {
+    return std::nullopt;
+  }
   m.node_in = f.node_feature_count();
   m.edge_in = f.edge_feature_count();
   m.out_dim = f.dim;
 
   io::NormalizationStats s;
-  if (!rd_vec(in, s.vel_mean) || !rd_vec(in, s.vel_std) ||
-      !rd_vec(in, s.acc_mean) || !rd_vec(in, s.acc_std)) {
+  if (!in.rd_vec(s.vel_mean) || !in.rd_vec(s.vel_std) ||
+      !in.rd_vec(s.acc_mean) || !in.rd_vec(s.acc_std)) {
     return std::nullopt;
   }
   std::vector<double> state;
-  if (!rd_vec(in, state)) return std::nullopt;
+  if (!in.rd_vec(state)) return std::nullopt;
 
-  Rng rng(0);  // weights are overwritten immediately
-  auto model = std::make_shared<GnsModel>(m, rng);
-  if (static_cast<std::int64_t>(state.size()) != model->num_parameters())
+  // Model/simulator constructors GNS_CHECK internal consistency; a corrupt
+  // file that passes the parse but violates an invariant (e.g. stats of
+  // the wrong width) must surface as nullopt, not as an exception.
+  try {
+    Rng rng(0);  // weights are overwritten immediately
+    auto model = std::make_shared<GnsModel>(m, rng);
+    if (static_cast<std::int64_t>(state.size()) != model->num_parameters())
+      return std::nullopt;
+    model->load_state(state);
+    return LearnedSimulator(std::move(model), std::move(f), Normalizer(s));
+  } catch (const CheckError&) {
     return std::nullopt;
-  model->load_state(state);
-  return LearnedSimulator(std::move(model), std::move(f), Normalizer(s));
+  }
+}
+
+std::shared_ptr<const LearnedSimulator> load_simulator_shared(
+    const std::string& path) {
+  std::optional<LearnedSimulator> sim = load_simulator(path);
+  if (!sim) return nullptr;
+  return std::make_shared<const LearnedSimulator>(std::move(*sim));
 }
 
 void save_meshnet_weights(const MeshNet& net, const std::string& path) {
@@ -114,18 +177,16 @@ void save_meshnet_weights(const MeshNet& net, const std::string& path) {
 }
 
 bool load_meshnet_weights(MeshNet& net, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return false;
-  std::uint32_t magic = 0, version = 0;
+  auto reader = ByteReader::from_file(path);
+  if (!reader || !reader->check_header()) return false;
   double vel_std = 0.0;
-  if (!rd(in, magic) || magic != kMagic) return false;
-  if (!rd(in, version) || version != kVersion) return false;
-  if (!rd(in, vel_std)) return false;
+  if (!reader->rd(vel_std)) return false;
   std::vector<double> state;
-  if (!rd_vec(in, state)) return false;
+  if (!reader->rd_vec(state)) return false;
   if (static_cast<std::int64_t>(state.size()) !=
       net.model().num_parameters())
     return false;
+  // All validation passed; only now mutate the target network.
   net.model().load_state(state);
   return true;
 }

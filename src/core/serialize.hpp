@@ -6,6 +6,7 @@
 /// trained weights (and so re-runs are cheap); load validates that the
 /// stored architecture matches before restoring weights.
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -17,13 +18,25 @@ namespace gns::core {
 /// Writes feature config + model config + normalization stats + weights.
 void save_simulator(const LearnedSimulator& sim, const std::string& path);
 
-/// Reconstructs a simulator from disk; nullopt when the file is absent or
-/// from an incompatible version.
+/// Reconstructs a simulator from disk; nullopt when the file is absent,
+/// from an incompatible version, truncated, or otherwise corrupted. All
+/// length fields are validated against the actual file size before any
+/// allocation, so a corrupt header can neither crash the loader nor make
+/// it reserve absurd buffers.
 [[nodiscard]] std::optional<LearnedSimulator> load_simulator(
     const std::string& path);
 
+/// Registry-friendly variant: the loaded simulator behind a shared-
+/// ownership const handle (the serving subsystem's currency — rollout is
+/// const and shares no mutable state, so one handle can back many
+/// concurrent jobs). nullptr on any load failure.
+[[nodiscard]] std::shared_ptr<const LearnedSimulator> load_simulator_shared(
+    const std::string& path);
+
 /// MeshNet weights round-trip (the mesh itself is rebuilt from the CFD
-/// config by the caller; only weights + velocity scale are stored).
+/// config by the caller; only weights + velocity scale are stored). Load
+/// returns false on missing/truncated/corrupted files and in that case
+/// leaves `net` completely untouched (no partial mutation).
 void save_meshnet_weights(const MeshNet& net, const std::string& path);
 [[nodiscard]] bool load_meshnet_weights(MeshNet& net,
                                         const std::string& path);

@@ -122,7 +122,7 @@ std::vector<int> CellList::neighbors(const std::vector<Vec2>& positions,
 
 Graph build_radius_graph(const std::vector<Vec2>& positions, double radius,
                          bool include_self) {
-  GNS_CHECK_MSG(!positions.empty(), "radius graph of zero particles");
+  if (positions.empty()) return Graph{};  // zero nodes, zero edges
   Vec2 lo{std::numeric_limits<double>::max(),
           std::numeric_limits<double>::max()};
   Vec2 hi{std::numeric_limits<double>::lowest(),

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file job.hpp
+/// Request/result types of the rollout serving subsystem.
+///
+/// A RolloutRequest is a plain-data description of one inference job: the
+/// seed position window, the scene conditioning, a step count, and an
+/// optional wall-clock deadline. Keeping the request free of ad::Tensor
+/// handles means client threads never share tape state with workers — each
+/// worker materializes its own tensors from the flat frames, so concurrent
+/// jobs against one registered model share only immutable weights.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gns::serve {
+
+/// Terminal state of a job. Every submitted job resolves to exactly one of
+/// these; rejection paths (QueueFull, ModelNotFound, ...) are typed results,
+/// never exceptions or blocked callers.
+enum class JobStatus {
+  Ok,                ///< rollout completed all requested steps
+  QueueFull,         ///< rejected at submit: bounded queue at capacity
+  DeadlineExceeded,  ///< deadline hit while queued or mid-rollout
+  Cancelled,         ///< cancel() won the race before/while executing
+  ModelNotFound,     ///< registry has no model under the requested name
+  ExecutionError,    ///< rollout threw (bad shapes, NaN guard, ...)
+  ShutDown,          ///< scheduler shut down without draining this job
+};
+
+[[nodiscard]] inline const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::Ok: return "ok";
+    case JobStatus::QueueFull: return "queue_full";
+    case JobStatus::DeadlineExceeded: return "deadline_exceeded";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::ModelNotFound: return "model_not_found";
+    case JobStatus::ExecutionError: return "execution_error";
+    case JobStatus::ShutDown: return "shut_down";
+  }
+  return "unknown";
+}
+
+/// One rollout inference job.
+struct RolloutRequest {
+  std::string model;  ///< registry name of the simulator to run
+
+  /// Seed window: window_size() frames, oldest first, each flat [N*dim]
+  /// in the io::Trajectory layout.
+  std::vector<std::vector<double>> window;
+
+  int steps = 1;  ///< number of frames to predict
+
+  /// Material parameter (tan φ); used iff the model's feature config has
+  /// material_feature.
+  double material = 0.0;
+
+  /// Flat [N * static_node_attrs] per-particle attributes; used iff the
+  /// model's feature config has static_node_attrs > 0.
+  std::vector<double> node_attrs;
+
+  /// Wall-clock budget in milliseconds measured from submit; 0 disables.
+  /// Checked while queued and between rollout steps, so an expired job
+  /// never occupies a worker for longer than one step.
+  double deadline_ms = 0.0;
+};
+
+/// Outcome of a job. `frames` holds every frame predicted before the
+/// terminal state — a DeadlineExceeded/Cancelled job may carry a partial
+/// rollout prefix (frames computed so far), which is still a valid
+/// trajectory prefix because the rollout is strictly sequential.
+struct RolloutResult {
+  JobStatus status = JobStatus::ExecutionError;
+  std::string error;  ///< diagnostic message for ExecutionError
+
+  std::vector<std::vector<double>> frames;  ///< predicted frames, flat [N*dim]
+
+  std::uint64_t job_id = 0;
+  double queue_ms = 0.0;  ///< time spent waiting in the queue
+  double exec_ms = 0.0;   ///< time spent executing on a worker
+  double total_ms = 0.0;  ///< submit-to-resolve wall time
+
+  [[nodiscard]] bool ok() const { return status == JobStatus::Ok; }
+};
+
+}  // namespace gns::serve

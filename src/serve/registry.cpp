@@ -1,0 +1,62 @@
+#include "serve/registry.hpp"
+
+#include <mutex>
+
+#include "core/serialize.hpp"
+
+namespace gns::serve {
+
+bool ModelRegistry::load(const std::string& name, const std::string& path) {
+  // Disk I/O and weight allocation happen before taking the lock.
+  std::shared_ptr<const core::LearnedSimulator> sim =
+      core::load_simulator_shared(path);
+  if (sim == nullptr) return false;
+  std::unique_lock lock(mutex_);
+  entries_[name] = Entry{std::move(sim), path};
+  return true;
+}
+
+void ModelRegistry::put(const std::string& name,
+                        core::LearnedSimulator simulator) {
+  auto sim = std::make_shared<const core::LearnedSimulator>(
+      std::move(simulator));
+  std::unique_lock lock(mutex_);
+  entries_[name] = Entry{std::move(sim), std::string()};
+}
+
+ModelRegistry::Handle ModelRegistry::get(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.simulator;
+}
+
+bool ModelRegistry::reload(const std::string& name) {
+  std::string path;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.path.empty()) return false;
+    path = it->second.path;
+  }
+  return load(name, path);
+}
+
+bool ModelRegistry::erase(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  return entries_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace gns::serve

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file registry.hpp
+/// ModelRegistry: named, shared-ownership cache of loaded simulators.
+///
+/// The registry is the serving subsystem's source of model weights. Lookup
+/// returns a `shared_ptr<const LearnedSimulator>` handle, so
+///
+///  * in-flight rollouts keep the weights they started with alive even if
+///    the name is reloaded or erased mid-flight (hot-reload safety), and
+///  * the simulator is const through the handle — rollout is a const
+///    member function and shares no mutable state, which is what makes
+///    concurrent jobs against one model bit-reproducible.
+///
+/// Loading happens outside the lock (disk I/O + weight allocation can take
+/// long); only the map swap is serialized, so lookups never stall behind a
+/// reload.
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace gns::serve {
+
+class ModelRegistry {
+ public:
+  using Handle = std::shared_ptr<const core::LearnedSimulator>;
+
+  /// Loads a checkpoint from disk and registers it under `name`,
+  /// replacing any previous entry. Returns false (and leaves any existing
+  /// entry untouched) when the file is absent or corrupted.
+  bool load(const std::string& name, const std::string& path);
+
+  /// Registers an in-memory simulator (e.g. freshly trained) under `name`.
+  void put(const std::string& name, core::LearnedSimulator simulator);
+
+  /// Shared handle to the named model, or nullptr when unknown. The handle
+  /// stays valid for the caller's lifetime regardless of later reloads.
+  [[nodiscard]] Handle get(const std::string& name) const;
+
+  /// Re-reads the checkpoint `name` was loaded from. Returns false when
+  /// the entry is unknown, was registered via put() (no path), or the file
+  /// no longer loads; the existing entry stays live in all failure cases.
+  bool reload(const std::string& name);
+
+  /// Removes the entry; outstanding handles stay valid.
+  bool erase(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    Handle simulator;
+    std::string path;  ///< empty for put()-registered models
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace gns::serve

@@ -1,0 +1,252 @@
+#include "serve/scheduler.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+#include "core/features.hpp"
+#include "util/timer.hpp"
+
+namespace gns::serve {
+
+JobScheduler::JobScheduler(std::shared_ptr<ModelRegistry> registry,
+                           SchedulerConfig config)
+    : registry_(std::move(registry)), config_(config) {
+  GNS_CHECK_MSG(registry_ != nullptr, "JobScheduler needs a registry");
+  GNS_CHECK_MSG(config_.workers >= 1, "JobScheduler needs >= 1 worker");
+  GNS_CHECK_MSG(config_.queue_capacity >= 1,
+                "JobScheduler needs a positive queue capacity");
+  threads_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+JobScheduler::~JobScheduler() {
+  shutdown(true);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+JobTicket JobScheduler::submit(RolloutRequest request) {
+  Job job;
+  job.request = std::move(request);
+  job.cancelled = std::make_shared<std::atomic<bool>>(false);
+  job.submitted = Clock::now();
+  job.has_deadline = job.request.deadline_ms > 0.0;
+  job.deadline =
+      job.has_deadline
+          ? job.submitted + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    job.request.deadline_ms))
+          : Clock::time_point::max();
+
+  JobTicket ticket;
+  ticket.result = job.promise.get_future();
+
+  JobStatus rejection = JobStatus::Ok;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.id = next_id_++;
+    ticket.id = job.id;
+    if (stopping_) {
+      rejection = JobStatus::ShutDown;
+    } else if (static_cast<int>(queue_.size()) >= config_.queue_capacity) {
+      rejection = JobStatus::QueueFull;
+    } else {
+      live_flags_[job.id] = job.cancelled;
+      queue_.push_back(std::move(job));
+      stats_.on_submitted(static_cast<int>(queue_.size()));
+    }
+  }
+  if (rejection == JobStatus::Ok) {
+    cv_.notify_one();
+    return ticket;
+  }
+
+  // Rejection path: resolve immediately, never block the caller.
+  RolloutResult result;
+  result.status = rejection;
+  result.job_id = ticket.id;
+  result.error = rejection == JobStatus::QueueFull
+                     ? "queue at capacity"
+                     : "scheduler shutting down";
+  stats_.on_rejected(rejection);
+  job.promise.set_value(std::move(result));
+  return ticket;
+}
+
+bool JobScheduler::cancel(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = live_flags_.find(job_id);
+  if (it == live_flags_.end()) return false;
+  it->second->store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void JobScheduler::pause() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+  }
+  cv_.notify_all();
+}
+
+void JobScheduler::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void JobScheduler::shutdown(bool drain) {
+  std::deque<Job> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    paused_ = false;  // a paused scheduler must still drain and exit
+    if (!drain) orphans.swap(queue_);
+  }
+  cv_.notify_all();
+  for (Job& job : orphans) {
+    RolloutResult result;
+    result.status = JobStatus::ShutDown;
+    result.error = "scheduler shut down before execution";
+    resolve(std::move(job), std::move(result));
+  }
+}
+
+int JobScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+void JobScheduler::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;  // spurious wake while paused
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RolloutResult result = execute(job);
+    resolve(std::move(job), std::move(result));
+  }
+}
+
+RolloutResult JobScheduler::execute(Job& job) const {
+  const Clock::time_point started = Clock::now();
+  RolloutResult result;
+  result.queue_ms =
+      std::chrono::duration<double, std::milli>(started - job.submitted)
+          .count();
+
+  const auto expired = [&job] {
+    return job.has_deadline && Clock::now() > job.deadline;
+  };
+
+  if (job.cancelled->load(std::memory_order_relaxed)) {
+    result.status = JobStatus::Cancelled;
+    return result;
+  }
+  if (expired()) {
+    result.status = JobStatus::DeadlineExceeded;
+    result.error = "deadline exceeded while queued";
+    return result;
+  }
+
+  const ModelRegistry::Handle sim = registry_->get(job.request.model);
+  if (sim == nullptr) {
+    result.status = JobStatus::ModelNotFound;
+    result.error = "no model registered as '" + job.request.model + "'";
+    return result;
+  }
+
+  Timer exec_timer;
+  try {
+    const core::FeatureConfig& features = sim->features();
+    const RolloutRequest& req = job.request;
+    if (req.steps <= 0) throw std::runtime_error("steps must be positive");
+    if (static_cast<int>(req.window.size()) != features.window_size())
+      throw std::runtime_error(
+          "window must hold " + std::to_string(features.window_size()) +
+          " frames, got " + std::to_string(req.window.size()));
+    const std::size_t frame_len = req.window.front().size();
+    if (frame_len == 0 || frame_len % static_cast<std::size_t>(features.dim))
+      throw std::runtime_error("frame length must be a multiple of dim");
+    for (const auto& frame : req.window) {
+      if (frame.size() != frame_len)
+        throw std::runtime_error("window frames differ in length");
+    }
+    const int n = static_cast<int>(frame_len) / features.dim;
+
+    // Per-job tensors only; the tape is thread-local and off, so the only
+    // state shared with sibling jobs is the (const) model weights.
+    ad::NoGradGuard no_grad;
+    core::Window window;
+    window.reserve(req.window.size());
+    for (const auto& frame : req.window)
+      window.push_back(core::frame_to_tensor(frame, features.dim));
+
+    core::SceneContext context;
+    if (features.material_feature)
+      context.material = ad::Tensor::scalar(req.material);
+    if (features.static_node_attrs > 0) {
+      if (static_cast<int>(req.node_attrs.size()) !=
+          n * features.static_node_attrs)
+        throw std::runtime_error("node_attrs size mismatch");
+      context.node_attrs = ad::Tensor::from_vector(
+          n, features.static_node_attrs, req.node_attrs);
+    }
+
+    result.frames.reserve(static_cast<std::size_t>(req.steps));
+    result.status = JobStatus::Ok;
+    for (int s = 0; s < req.steps; ++s) {
+      if (job.cancelled->load(std::memory_order_relaxed)) {
+        result.status = JobStatus::Cancelled;
+        break;
+      }
+      if (expired()) {
+        result.status = JobStatus::DeadlineExceeded;
+        result.error = "deadline exceeded after " + std::to_string(s) +
+                       " of " + std::to_string(req.steps) + " steps";
+        break;
+      }
+      // Mirrors LearnedSimulator::rollout exactly (same op sequence), so
+      // chunked serving stays bit-identical to the one-shot API.
+      ad::Tensor next = sim->step(window, context);
+      result.frames.push_back(core::tensor_to_frame(next));
+      window.erase(window.begin());
+      window.push_back(next);
+    }
+  } catch (const std::exception& e) {
+    result.status = JobStatus::ExecutionError;
+    result.error = e.what();
+  }
+  result.exec_ms = exec_timer.millis();
+  return result;
+}
+
+void JobScheduler::resolve(Job&& job, RolloutResult result) {
+  result.job_id = job.id;
+  result.total_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - job.submitted)
+          .count();
+  int depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_flags_.erase(job.id);
+    depth = static_cast<int>(queue_.size());
+  }
+  stats_.on_resolved(result, depth);
+  job.promise.set_value(std::move(result));
+}
+
+}  // namespace gns::serve

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// JobScheduler: fixed worker pool + bounded queue for rollout inference.
+///
+/// Threading model: `workers` threads block on one condition variable over
+/// a FIFO deque of at most `queue_capacity` jobs. submit() never blocks —
+/// when the queue is full the returned future is already resolved with
+/// JobStatus::QueueFull (backpressure is the *client's* problem, the
+/// scheduler never buffers unboundedly). Each worker executes a rollout
+/// step-by-step under its own thread-local NoGradGuard, re-checking the
+/// job's deadline and cancellation flag between steps, so a runaway
+/// request occupies a worker for at most one extra step past its budget.
+///
+/// Workers share model weights through registry handles but build all
+/// per-job tensors locally; the autograd tape is thread-local and disabled
+/// during serving, so concurrent rollouts of one model are bit-identical
+/// to running them serially (guarded by test_serve).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/registry.hpp"
+#include "serve/stats.hpp"
+
+namespace gns::serve {
+
+struct SchedulerConfig {
+  int workers = 4;          ///< fixed pool size (>= 1)
+  int queue_capacity = 64;  ///< max queued (not yet running) jobs (>= 1)
+};
+
+/// submit()'s return: the job id (usable with cancel()) and the future
+/// that resolves to the job's terminal RolloutResult.
+struct JobTicket {
+  std::uint64_t id = 0;
+  std::future<RolloutResult> result;
+};
+
+class JobScheduler {
+ public:
+  /// The registry must outlive the scheduler. Stats are owned here and
+  /// readable at any time via stats().
+  JobScheduler(std::shared_ptr<ModelRegistry> registry,
+               SchedulerConfig config = {});
+
+  /// Drains the queue (shutdown(true)) and joins the workers.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Enqueues a job. Never blocks: a full queue or a stopped scheduler
+  /// resolves the future immediately with QueueFull / ShutDown.
+  [[nodiscard]] JobTicket submit(RolloutRequest request);
+
+  /// Requests cancellation. A queued job resolves Cancelled without
+  /// running; a running job stops after its current step and returns the
+  /// frames computed so far. Returns false when the job is unknown or
+  /// already resolved.
+  bool cancel(std::uint64_t job_id);
+
+  /// Stops workers from picking up new jobs (running jobs finish). Queued
+  /// jobs keep their place and their deadlines keep ticking. Used for
+  /// deterministic tests and drain-for-reload operations.
+  void pause();
+  void resume();
+
+  /// Stops accepting new jobs. With drain=true workers finish the queue
+  /// first; with drain=false queued jobs resolve ShutDown immediately.
+  /// Idempotent; the destructor calls shutdown(true).
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] int queue_depth() const;
+  [[nodiscard]] int workers() const {
+    return static_cast<int>(threads_.size());
+  }
+  [[nodiscard]] ServerStats& stats() { return stats_; }
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    RolloutRequest request;
+    std::promise<RolloutResult> promise;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+    std::uint64_t id = 0;
+    Clock::time_point submitted;
+    Clock::time_point deadline;  ///< time_point::max() when none
+    bool has_deadline = false;
+  };
+
+  void worker_loop();
+  /// Runs the rollout; everything but queueing. Must not hold mutex_.
+  [[nodiscard]] RolloutResult execute(Job& job) const;
+  void resolve(Job&& job, RolloutResult result);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  SchedulerConfig config_;
+  ServerStats stats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::uint64_t next_id_ = 1;
+  bool paused_ = false;
+  bool stopping_ = false;   ///< no new submissions
+  bool abandoned_ = false;  ///< queued jobs resolve ShutDown
+  std::vector<std::thread> threads_;
+
+  /// Cancellation flags of live (queued or running) jobs, so cancel() can
+  /// reach a job that a worker already popped.
+  std::map<std::uint64_t, std::shared_ptr<std::atomic<bool>>> live_flags_;
+};
+
+}  // namespace gns::serve

@@ -1,0 +1,131 @@
+#include "serve/stats.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gns::serve {
+
+void ServerStats::on_submitted(int queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++state_.submitted;
+  state_.queue_depth = queue_depth;
+  state_.peak_queue_depth = std::max(state_.peak_queue_depth, queue_depth);
+}
+
+void ServerStats::on_rejected(JobStatus status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (status == JobStatus::QueueFull)
+    ++state_.rejected_queue_full;
+  else
+    ++state_.shut_down;
+}
+
+void ServerStats::on_resolved(const RolloutResult& result, int queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_.queue_depth = queue_depth;
+  switch (result.status) {
+    case JobStatus::Ok:
+      ++state_.completed;
+      state_.total_ms.add(result.total_ms);
+      state_.queue_ms.add(result.queue_ms);
+      state_.exec_ms.add(result.exec_ms);
+      break;
+    case JobStatus::DeadlineExceeded:
+      ++state_.deadline_exceeded;
+      break;
+    case JobStatus::Cancelled:
+      ++state_.cancelled;
+      break;
+    case JobStatus::ShutDown:
+      ++state_.shut_down;
+      break;
+    case JobStatus::QueueFull:
+      ++state_.rejected_queue_full;
+      break;
+    case JobStatus::ModelNotFound:
+    case JobStatus::ExecutionError:
+      ++state_.failed;
+      break;
+  }
+}
+
+StatsSnapshot ServerStats::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+void ServerStats::write_latency_csv(const std::string& path) const {
+  const StatsSnapshot snap = snapshot();
+  std::ofstream out(path);
+  out << "upper_ms,count,cumulative_frac\n";
+  const double total =
+      snap.total_ms.count() == 0
+          ? 1.0
+          : static_cast<double>(snap.total_ms.count());
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < snap.total_ms.num_buckets(); ++b) {
+    const std::uint64_t c = snap.total_ms.bucket_count(b);
+    if (c == 0) continue;
+    cumulative += c;
+    out << snap.total_ms.bucket_upper(b) << ',' << c << ','
+        << static_cast<double>(cumulative) / total << '\n';
+  }
+}
+
+namespace {
+
+void json_field(std::ostringstream& os, const char* key, double value,
+                bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  \"" << key << "\": " << value;
+}
+
+void json_percentiles(std::ostringstream& os, const char* prefix,
+                      const Histogram& h, bool& first) {
+  std::string base(prefix);
+  json_field(os, (base + "_p50").c_str(), h.quantile(0.50), first);
+  json_field(os, (base + "_p95").c_str(), h.quantile(0.95), first);
+  json_field(os, (base + "_p99").c_str(), h.quantile(0.99), first);
+  json_field(os, (base + "_mean").c_str(), h.mean(), first);
+  json_field(os, (base + "_max").c_str(), h.max(), first);
+}
+
+}  // namespace
+
+std::string ServerStats::to_json(
+    const std::vector<std::pair<std::string, double>>& extra) const {
+  const StatsSnapshot snap = snapshot();
+  std::ostringstream os;
+  os.precision(10);
+  os << "{\n";
+  bool first = true;
+  json_field(os, "submitted", static_cast<double>(snap.submitted), first);
+  json_field(os, "completed", static_cast<double>(snap.completed), first);
+  json_field(os, "rejected_queue_full",
+             static_cast<double>(snap.rejected_queue_full), first);
+  json_field(os, "deadline_exceeded",
+             static_cast<double>(snap.deadline_exceeded), first);
+  json_field(os, "cancelled", static_cast<double>(snap.cancelled), first);
+  json_field(os, "failed", static_cast<double>(snap.failed), first);
+  json_field(os, "shut_down", static_cast<double>(snap.shut_down), first);
+  json_field(os, "peak_queue_depth",
+             static_cast<double>(snap.peak_queue_depth), first);
+  json_percentiles(os, "total_ms", snap.total_ms, first);
+  json_percentiles(os, "queue_ms", snap.queue_ms, first);
+  json_percentiles(os, "exec_ms", snap.exec_ms, first);
+  for (const auto& [key, value] : extra)
+    json_field(os, key.c_str(), value, first);
+  os << "\n}\n";
+  return os.str();
+}
+
+void ServerStats::write_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& extra) const {
+  std::ofstream out(path);
+  out << to_json(extra);
+}
+
+}  // namespace gns::serve

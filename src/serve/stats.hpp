@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file stats.hpp
+/// ServerStats: counters + latency histograms for the serving subsystem.
+///
+/// One instance is shared by the scheduler's submit path and all workers;
+/// every mutation takes the internal mutex (contention is negligible next
+/// to a rollout step). Snapshots are consistent copies; CSV/JSON dumps are
+/// built from snapshots so they can be written while the server is hot.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "serve/job.hpp"
+#include "util/histogram.hpp"
+
+namespace gns::serve {
+
+/// Consistent copy of the server counters at one instant.
+struct StatsSnapshot {
+  std::uint64_t submitted = 0;        ///< accepted into the queue
+  std::uint64_t completed = 0;        ///< resolved Ok
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;           ///< ExecutionError + ModelNotFound
+  std::uint64_t shut_down = 0;
+  int queue_depth = 0;      ///< current queued jobs
+  int peak_queue_depth = 0;
+
+  Histogram total_ms{1e-3, 1.15, 200};  ///< submit-to-resolve, Ok jobs
+  Histogram queue_ms{1e-3, 1.15, 200};  ///< queue wait, Ok jobs
+  Histogram exec_ms{1e-3, 1.15, 200};   ///< worker execution, Ok jobs
+
+  /// Ok jobs per second over the given wall-clock window.
+  [[nodiscard]] double throughput(double wall_seconds) const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(completed) / wall_seconds
+               : 0.0;
+  }
+};
+
+class ServerStats {
+ public:
+  /// A job was accepted into the queue at the given (post-push) depth.
+  void on_submitted(int queue_depth);
+
+  /// A submit was rejected (queue full / shutdown) before queueing.
+  void on_rejected(JobStatus status);
+
+  /// A job resolved with the given result; depth is the queue size after
+  /// the job left it.
+  void on_resolved(const RolloutResult& result, int queue_depth);
+
+  [[nodiscard]] StatsSnapshot snapshot() const;
+
+  /// Latency CDF of Ok jobs as CSV (columns: upper_ms, count,
+  /// cumulative_frac) for scripts/plot_results.py.
+  void write_latency_csv(const std::string& path) const;
+
+  /// All counters + p50/p95/p99 of each histogram as a JSON object.
+  /// `extra` entries (e.g. {"workers","4"}) are spliced in verbatim as
+  /// additional number-valued fields.
+  [[nodiscard]] std::string to_json(
+      const std::vector<std::pair<std::string, double>>& extra = {}) const;
+  void write_json(
+      const std::string& path,
+      const std::vector<std::pair<std::string, double>>& extra = {}) const;
+
+ private:
+  mutable std::mutex mutex_;
+  StatsSnapshot state_;
+};
+
+}  // namespace gns::serve

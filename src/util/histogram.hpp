@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Log-bucketed latency histogram for the serving subsystem and benches.
+///
+/// Values (milliseconds by convention, but any positive unit works) are
+/// binned into geometrically growing buckets, so a fixed, small memory
+/// footprint covers microseconds through hours while keeping quantile
+/// estimates within one bucket's relative width (~15% at the default
+/// growth factor). Exact min/max/sum are tracked alongside the buckets so
+/// mean and extrema are not quantized.
+///
+/// Not internally synchronized: callers (ServerStats) hold their own lock.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gns {
+
+class Histogram {
+ public:
+  /// \param min_value lower edge of the first bucket; smaller samples clamp
+  ///                  into bucket 0.
+  /// \param growth    geometric ratio between consecutive bucket edges.
+  /// \param buckets   number of buckets; larger samples clamp into the last.
+  explicit Histogram(double min_value = 1e-3, double growth = 1.15,
+                     int buckets = 200)
+      : min_value_(min_value),
+        log_growth_(std::log(growth)),
+        counts_(static_cast<std::size_t>(buckets), 0) {
+    GNS_CHECK_MSG(min_value > 0.0 && growth > 1.0 && buckets > 1,
+                  "histogram needs min_value>0, growth>1, buckets>1");
+  }
+
+  void add(double value) {
+    counts_[bucket_of(value)] += 1;
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  /// Merge another histogram with identical bucketing.
+  void merge(const Histogram& other) {
+    GNS_CHECK_MSG(counts_.size() == other.counts_.size() &&
+                      min_value_ == other.min_value_ &&
+                      log_growth_ == other.log_growth_,
+                  "histogram merge requires identical bucketing");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+      counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  /// Quantile estimate (q in [0,1]) with linear interpolation inside the
+  /// containing bucket, clamped to the exact observed [min, max].
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      const double before = static_cast<double>(cumulative);
+      cumulative += counts_[i];
+      if (static_cast<double>(cumulative) >= target) {
+        const double frac =
+            counts_[i] == 0
+                ? 0.0
+                : (target - before) / static_cast<double>(counts_[i]);
+        const double lo = bucket_lower(static_cast<int>(i));
+        const double hi = bucket_upper(static_cast<int>(i));
+        return std::clamp(lo + frac * (hi - lo), min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] int num_buckets() const {
+    return static_cast<int>(counts_.size());
+  }
+  [[nodiscard]] std::uint64_t bucket_count(int b) const {
+    return counts_[static_cast<std::size_t>(b)];
+  }
+  [[nodiscard]] double bucket_lower(int b) const {
+    return b == 0 ? 0.0 : min_value_ * std::exp(log_growth_ * b);
+  }
+  [[nodiscard]] double bucket_upper(int b) const {
+    return min_value_ * std::exp(log_growth_ * (b + 1));
+  }
+
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double value) const {
+    if (!(value > min_value_)) return 0;
+    const int b = static_cast<int>(std::log(value / min_value_) / log_growth_);
+    return static_cast<std::size_t>(
+        std::clamp(b, 0, static_cast<int>(counts_.size()) - 1));
+  }
+
+  double min_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace gns

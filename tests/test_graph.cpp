@@ -134,6 +134,50 @@ TEST(RadiusGraph, ClampsOutOfDomainPoints) {
   EXPECT_EQ(edge_set(g), edge_set(ref));
 }
 
+TEST(RadiusGraph, FarOutOfDomainPointsStillCorrect) {
+  // Particles far outside [domain_min, domain_max] clamp into boundary
+  // cells; the distance test still runs, so the graph stays exact even
+  // for badly escaped particles.
+  CellList cells(0.15, {0.0, 0.0}, {1.0, 1.0});
+  std::vector<Vec2> pts = {{-3.0, -3.0}, {-3.05, -3.1}, {-2.9, -3.0},
+                           {4.0, 4.0},   {4.1, 4.05},   {0.5, 0.5},
+                           {0.55, 0.5},  {-3.0, 4.0}};
+  cells.build(pts);
+  EXPECT_EQ(edge_set(cells.radius_graph(pts)),
+            edge_set(brute_force_radius_graph(pts, 0.15)));
+
+  // Mixed in/out of domain, denser sweep.
+  Rng rng(21);
+  auto mixed = random_points(60, rng, -0.5, 1.5);
+  cells.build(mixed);
+  EXPECT_EQ(edge_set(cells.radius_graph(mixed)),
+            edge_set(brute_force_radius_graph(mixed, 0.15)));
+}
+
+TEST(RadiusGraph, EmptyPositionListGivesEmptyGraph) {
+  const std::vector<Vec2> empty;
+  const Graph g = build_radius_graph(empty, 0.1);
+  EXPECT_EQ(g.num_nodes, 0);
+  EXPECT_EQ(g.num_edges(), 0);
+
+  CellList cells(0.1, {0.0, 0.0}, {1.0, 1.0});
+  cells.build(empty);
+  const Graph g2 = cells.radius_graph(empty);
+  EXPECT_EQ(g2.num_nodes, 0);
+  EXPECT_EQ(g2.num_edges(), 0);
+}
+
+TEST(RadiusGraph, RadiusLargerThanDomain) {
+  // Radius bigger than the whole domain: one cell, complete graph.
+  CellList cells(5.0, {0.0, 0.0}, {1.0, 1.0});
+  Rng rng(22);
+  const auto pts = random_points(25, rng);
+  cells.build(pts);
+  const Graph g = cells.radius_graph(pts);
+  EXPECT_EQ(g.num_edges(), 25 * 24);  // all ordered pairs
+  EXPECT_EQ(edge_set(g), edge_set(brute_force_radius_graph(pts, 5.0)));
+}
+
 TEST(CellList, NeighborsQueryMatchesGraph) {
   Rng rng(14);
   const auto pts = random_points(40, rng);

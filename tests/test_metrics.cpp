@@ -1,0 +1,133 @@
+// Histogram + ServerStats metrics layer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "serve/stats.hpp"
+#include "util/histogram.hpp"
+
+namespace gns {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, TracksExactMinMaxMeanSum) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+}
+
+TEST(Histogram, QuantilesWithinBucketResolution) {
+  // Uniform 1..1000: quantile(q) should be ~q*1000 within the geometric
+  // bucket width (growth 1.15 => <= 15% relative error).
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double estimate = h.quantile(q);
+    const double exact = q * 1000.0;
+    EXPECT_NEAR(estimate, exact, 0.16 * exact) << "q=" << q;
+  }
+  // Extremes clamp to the exact observed range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, ConstantSamplesGiveThatConstant) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(42.0);
+  // All mass in one bucket; clamping to [min,max] makes quantiles exact.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 42.0);
+}
+
+TEST(Histogram, ClampsOutOfRangeSamples) {
+  Histogram h(1e-3, 1.15, 16);  // deliberately tiny range
+  h.add(1e-9);                  // below the first bucket
+  h.add(1e12);                  // beyond the last bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Histogram a, b;
+  for (int i = 1; i <= 50; ++i) a.add(static_cast<double>(i));
+  for (int i = 51; i <= 100; ++i) b.add(static_cast<double>(i));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_NEAR(a.quantile(0.5), 50.0, 10.0);
+}
+
+TEST(ServerStats, CountsByOutcome) {
+  serve::ServerStats stats;
+  stats.on_submitted(1);
+  stats.on_submitted(2);
+  stats.on_rejected(serve::JobStatus::QueueFull);
+
+  serve::RolloutResult ok;
+  ok.status = serve::JobStatus::Ok;
+  ok.total_ms = 5.0;
+  ok.queue_ms = 1.0;
+  ok.exec_ms = 4.0;
+  stats.on_resolved(ok, 1);
+
+  serve::RolloutResult late;
+  late.status = serve::JobStatus::DeadlineExceeded;
+  stats.on_resolved(late, 0);
+
+  const serve::StatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.submitted, 2u);
+  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.rejected_queue_full, 1u);
+  EXPECT_EQ(snap.deadline_exceeded, 1u);
+  EXPECT_EQ(snap.peak_queue_depth, 2);
+  EXPECT_EQ(snap.total_ms.count(), 1u);
+  EXPECT_DOUBLE_EQ(snap.total_ms.max(), 5.0);
+  EXPECT_DOUBLE_EQ(snap.throughput(2.0), 0.5);
+}
+
+TEST(ServerStats, JsonAndCsvDumps) {
+  serve::ServerStats stats;
+  serve::RolloutResult ok;
+  ok.status = serve::JobStatus::Ok;
+  ok.total_ms = 10.0;
+  ok.queue_ms = 2.0;
+  ok.exec_ms = 8.0;
+  stats.on_resolved(ok, 0);
+
+  const std::string json = stats.to_json({{"workers", 4.0}});
+  EXPECT_NE(json.find("\"completed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ms_p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"workers\": 4"), std::string::npos);
+
+  const std::string path = "test_metrics_latency.csv";
+  stats.write_latency_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "upper_ms,count,cumulative_frac");
+  std::string row;
+  EXPECT_TRUE(static_cast<bool>(std::getline(in, row)));
+  in.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gns

@@ -4,6 +4,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <memory>
+#include <vector>
 
 #include "core/serialize.hpp"
 #include "core/trainer.hpp"
@@ -87,6 +90,79 @@ TEST_F(SerializeTest, GarbageFileRejected) {
     out << "garbage bytes, definitely not a model";
   }
   EXPECT_FALSE(load_simulator(path_).has_value());
+}
+
+TEST_F(SerializeTest, TruncatedFileRejectedAtEveryOffset) {
+  LearnedSimulator original = make_small_sim();
+  save_simulator(original, path_);
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Truncation anywhere — inside the header, a length prefix, or the
+  // weight payload — must yield nullopt, never a crash or a partial model.
+  const std::size_t offsets[] = {0,  1,  3,  4,  7,  8,  12, 20,
+                                 41, 64, bytes.size() / 2, bytes.size() - 1};
+  for (std::size_t cut : offsets) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    EXPECT_FALSE(load_simulator(path_).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST_F(SerializeTest, CorruptLengthPrefixRejectedWithoutHugeAllocation) {
+  LearnedSimulator original = make_small_sim();
+  save_simulator(original, path_);
+  // The first vector length prefix (domain_lo) sits after
+  // magic+version+dim+history+radius = 4+4+4+4+8 = 24 bytes. Blow it up
+  // to a size no real file could back.
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(24);
+  const std::uint64_t absurd = 1ULL << 40;
+  f.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  f.close();
+  EXPECT_FALSE(load_simulator(path_).has_value());
+}
+
+TEST_F(SerializeTest, SharedLoadMatchesValueLoad) {
+  LearnedSimulator original = make_small_sim();
+  save_simulator(original, path_);
+  std::shared_ptr<const LearnedSimulator> shared =
+      load_simulator_shared(path_);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->model().state(), original.model().state());
+  EXPECT_EQ(load_simulator_shared("no_such_model.bin"), nullptr);
+}
+
+TEST_F(SerializeTest, TruncatedMeshNetFileLeavesNetUntouched) {
+  cfd::CfdConfig cfg;
+  cfg.nx = 12;
+  cfg.ny = 6;
+  cfg.pressure_iters = 30;
+  cfd::CfdSolver solver(cfg);
+  Mesh mesh = build_mesh(solver);
+  MeshNet a(mesh, MeshNetConfig{8, 8, 1, 1}, 0.8, /*seed=*/1);
+  MeshNet b(mesh, MeshNetConfig{8, 8, 1, 1}, 0.8, /*seed=*/2);
+  save_meshnet_weights(a, path_);
+
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  const std::vector<double> before = b.model().state();
+  for (std::size_t cut : {std::size_t(0), std::size_t(6), std::size_t(14),
+                          bytes.size() / 2, bytes.size() - 1}) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    EXPECT_FALSE(load_meshnet_weights(b, path_)) << "cut at " << cut;
+    EXPECT_EQ(b.model().state(), before) << "partial mutation at " << cut;
+  }
 }
 
 TEST_F(SerializeTest, MeshNetWeightsRoundTrip) {

@@ -1,0 +1,333 @@
+// Serving subsystem: registry semantics, scheduler concurrency/backpressure,
+// and the bit-identical-to-serial guarantee for concurrent rollouts.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <thread>
+
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+#include "serve/serve.hpp"
+
+namespace gns::serve {
+namespace {
+
+using core::FeatureConfig;
+using core::GnsConfig;
+using core::LearnedSimulator;
+using core::SceneContext;
+using core::Window;
+
+io::Dataset small_dataset() {
+  io::Dataset ds;
+  io::Trajectory traj;
+  traj.dim = 2;
+  traj.num_particles = 6;
+  traj.domain_lo = {0.0, 0.0};
+  traj.domain_hi = {1.0, 1.0};
+  traj.material_param = 0.6;
+  Rng rng(7);
+  std::vector<double> base(12);
+  for (auto& v : base) v = rng.uniform(0.3, 0.7);
+  for (int t = 0; t < 12; ++t) {
+    std::vector<double> frame(12);
+    for (int i = 0; i < 12; ++i) frame[i] = base[i] + 0.002 * t * (i % 3);
+    traj.add_frame(std::move(frame));
+  }
+  ds.trajectories.push_back(std::move(traj));
+  return ds;
+}
+
+LearnedSimulator make_small_sim(std::uint64_t seed = 42) {
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.4;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 1.0};
+  fc.material_feature = true;
+  GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 2;
+  return core::make_simulator(small_dataset(), fc, gc, seed);
+}
+
+/// Request seeded from the canonical dataset's first window.
+RolloutRequest small_request(const LearnedSimulator& sim, int steps) {
+  io::Dataset ds = small_dataset();
+  const io::Trajectory& traj = ds.trajectories[0];
+  RolloutRequest req;
+  req.model = "m";
+  req.steps = steps;
+  req.material = traj.material_param;
+  const int w = sim.features().window_size();
+  for (int t = 0; t < w; ++t) req.window.push_back(traj.frames[t]);
+  return req;
+}
+
+Window window_of(const LearnedSimulator& sim) {
+  io::Dataset ds = small_dataset();
+  return sim.window_from_trajectory(ds.trajectories[0]);
+}
+
+SceneContext context_of() {
+  SceneContext ctx;
+  ctx.material = ad::Tensor::scalar(0.6);
+  return ctx;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "test_serve_model.bin";
+};
+
+TEST_F(ServeTest, RegistryLoadGetErase) {
+  auto registry = std::make_shared<ModelRegistry>();
+  EXPECT_EQ(registry->get("m"), nullptr);
+  EXPECT_FALSE(registry->load("m", "no_such_file.bin"));
+
+  core::save_simulator(make_small_sim(), path_);
+  ASSERT_TRUE(registry->load("m", path_));
+  EXPECT_EQ(registry->size(), 1u);
+  EXPECT_EQ(registry->names(), std::vector<std::string>{"m"});
+  ModelRegistry::Handle handle = registry->get("m");
+  ASSERT_NE(handle, nullptr);
+
+  EXPECT_TRUE(registry->erase("m"));
+  EXPECT_FALSE(registry->erase("m"));
+  EXPECT_EQ(registry->get("m"), nullptr);
+  // The outstanding handle survives erasure (shared ownership).
+  EXPECT_GT(handle->model().num_parameters(), 0);
+}
+
+TEST_F(ServeTest, RegistryReloadSwapsWeightsAndKeepsOldHandleAlive) {
+  core::save_simulator(make_small_sim(/*seed=*/1), path_);
+  auto registry = std::make_shared<ModelRegistry>();
+  ASSERT_TRUE(registry->load("m", path_));
+  ModelRegistry::Handle before = registry->get("m");
+
+  core::save_simulator(make_small_sim(/*seed=*/2), path_);
+  ASSERT_TRUE(registry->reload("m"));
+  ModelRegistry::Handle after = registry->get("m");
+
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(before, after);
+  EXPECT_NE(before->model().state(), after->model().state());
+  // The pre-reload handle still rolls out on its original weights.
+  auto frames = before->rollout(window_of(*before), 2, context_of());
+  EXPECT_EQ(frames.size(), 2u);
+}
+
+TEST_F(ServeTest, RegistryReloadFailsCleanly) {
+  auto registry = std::make_shared<ModelRegistry>();
+  EXPECT_FALSE(registry->reload("m"));  // unknown name
+
+  registry->put("m", make_small_sim());
+  EXPECT_FALSE(registry->reload("m"));  // no backing path
+  EXPECT_NE(registry->get("m"), nullptr);
+
+  core::save_simulator(make_small_sim(), path_);
+  ASSERT_TRUE(registry->load("disk", path_));
+  ModelRegistry::Handle before = registry->get("disk");
+  {  // corrupt the backing file: reload fails, entry stays live
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << "not a checkpoint";
+  }
+  EXPECT_FALSE(registry->reload("disk"));
+  EXPECT_EQ(registry->get("disk"), before);
+}
+
+TEST_F(ServeTest, ConcurrentRolloutsBitIdenticalToSerial) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  ASSERT_NE(sim, nullptr);
+
+  // Serial references for two job sizes, via the one-shot rollout API.
+  const auto serial_short = sim->rollout(window_of(*sim), 5, context_of());
+  const auto serial_long = sim->rollout(window_of(*sim), 9, context_of());
+
+  JobScheduler scheduler(registry, SchedulerConfig{4, 64});
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 16; ++i)
+    tickets.push_back(
+        scheduler.submit(small_request(*sim, i % 2 == 0 ? 5 : 9)));
+
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    RolloutResult result = tickets[i].result.get();
+    ASSERT_EQ(result.status, JobStatus::Ok) << result.error;
+    const auto& serial = i % 2 == 0 ? serial_short : serial_long;
+    ASSERT_EQ(result.frames.size(), serial.size());
+    for (std::size_t t = 0; t < serial.size(); ++t) {
+      ASSERT_EQ(result.frames[t].size(), serial[t].size());
+      for (std::size_t k = 0; k < serial[t].size(); ++k) {
+        // Bit-identical, not approximately equal: concurrent jobs share
+        // only immutable weights and the op schedule is deterministic.
+        ASSERT_EQ(result.frames[t][k], serial[t][k])
+            << "job " << i << " frame " << t << " component " << k;
+      }
+    }
+  }
+  const StatsSnapshot snap = scheduler.stats().snapshot();
+  EXPECT_EQ(snap.completed, 16u);
+  EXPECT_EQ(snap.failed, 0u);
+}
+
+TEST_F(ServeTest, ModelNotFoundIsTypedError) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  JobScheduler scheduler(registry, SchedulerConfig{2, 8});
+
+  RolloutRequest req = small_request(*sim, 2);
+  req.model = "missing";
+  RolloutResult result = scheduler.submit(std::move(req)).result.get();
+  EXPECT_EQ(result.status, JobStatus::ModelNotFound);
+  EXPECT_NE(result.error.find("missing"), std::string::npos);
+}
+
+TEST_F(ServeTest, QueueFullRejectsWithoutBlocking) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  JobScheduler scheduler(registry, SchedulerConfig{1, 2});
+
+  scheduler.pause();  // workers idle: the queue fills deterministically
+  JobTicket a = scheduler.submit(small_request(*sim, 2));
+  JobTicket b = scheduler.submit(small_request(*sim, 2));
+  JobTicket rejected = scheduler.submit(small_request(*sim, 2));
+
+  // The rejection resolves immediately, before any worker runs.
+  RolloutResult r = rejected.result.get();
+  EXPECT_EQ(r.status, JobStatus::QueueFull);
+  EXPECT_EQ(scheduler.queue_depth(), 2);
+
+  scheduler.resume();
+  EXPECT_EQ(a.result.get().status, JobStatus::Ok);
+  EXPECT_EQ(b.result.get().status, JobStatus::Ok);
+  const StatsSnapshot snap = scheduler.stats().snapshot();
+  EXPECT_EQ(snap.rejected_queue_full, 1u);
+  EXPECT_EQ(snap.completed, 2u);
+  EXPECT_EQ(snap.peak_queue_depth, 2);
+}
+
+TEST_F(ServeTest, DeadlineExceededWhileQueued) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  JobScheduler scheduler(registry, SchedulerConfig{1, 8});
+
+  scheduler.pause();
+  RolloutRequest req = small_request(*sim, 2);
+  req.deadline_ms = 5.0;
+  JobTicket ticket = scheduler.submit(std::move(req));
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  scheduler.resume();
+
+  RolloutResult result = ticket.result.get();
+  EXPECT_EQ(result.status, JobStatus::DeadlineExceeded);
+  EXPECT_TRUE(result.frames.empty());  // never occupied a worker
+  EXPECT_EQ(scheduler.stats().snapshot().deadline_exceeded, 1u);
+}
+
+TEST_F(ServeTest, DeadlineExceededMidRolloutReturnsPrefix) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  JobScheduler scheduler(registry, SchedulerConfig{1, 8});
+
+  RolloutRequest req = small_request(*sim, 1000000);
+  req.deadline_ms = 40.0;
+  RolloutResult result = scheduler.submit(std::move(req)).result.get();
+  EXPECT_EQ(result.status, JobStatus::DeadlineExceeded);
+  // The worker gave up between steps: a strict prefix, not the full run.
+  EXPECT_LT(result.frames.size(), 1000000u);
+}
+
+TEST_F(ServeTest, CancelQueuedJobNeverRuns) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  JobScheduler scheduler(registry, SchedulerConfig{1, 8});
+
+  EXPECT_FALSE(scheduler.cancel(12345));  // unknown id
+
+  scheduler.pause();
+  JobTicket ticket = scheduler.submit(small_request(*sim, 2));
+  EXPECT_TRUE(scheduler.cancel(ticket.id));
+  scheduler.resume();
+
+  RolloutResult result = ticket.result.get();
+  EXPECT_EQ(result.status, JobStatus::Cancelled);
+  EXPECT_TRUE(result.frames.empty());
+  EXPECT_FALSE(scheduler.cancel(ticket.id));  // already resolved
+  EXPECT_EQ(scheduler.stats().snapshot().cancelled, 1u);
+}
+
+TEST_F(ServeTest, ShutdownWithoutDrainAbandonsQueued) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  auto scheduler =
+      std::make_unique<JobScheduler>(registry, SchedulerConfig{1, 8});
+
+  scheduler->pause();
+  JobTicket a = scheduler->submit(small_request(*sim, 2));
+  JobTicket b = scheduler->submit(small_request(*sim, 2));
+  scheduler->shutdown(/*drain=*/false);
+
+  EXPECT_EQ(a.result.get().status, JobStatus::ShutDown);
+  EXPECT_EQ(b.result.get().status, JobStatus::ShutDown);
+
+  // Post-shutdown submissions are typed rejections, not hangs.
+  JobTicket late = scheduler->submit(small_request(*sim, 2));
+  EXPECT_EQ(late.result.get().status, JobStatus::ShutDown);
+  scheduler.reset();  // destructor joins cleanly after explicit shutdown
+}
+
+TEST_F(ServeTest, DestructorDrainsQueuedJobs) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  std::vector<JobTicket> tickets;
+  {
+    JobScheduler scheduler(registry, SchedulerConfig{2, 16});
+    for (int i = 0; i < 6; ++i)
+      tickets.push_back(scheduler.submit(small_request(*sim, 3)));
+  }  // ~JobScheduler drains
+  for (auto& t : tickets) EXPECT_EQ(t.result.get().status, JobStatus::Ok);
+}
+
+TEST_F(ServeTest, MalformedRequestIsExecutionErrorAndSchedulerSurvives) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  JobScheduler scheduler(registry, SchedulerConfig{2, 8});
+
+  RolloutRequest bad = small_request(*sim, 2);
+  bad.window.pop_back();  // wrong window length
+  RolloutResult r1 = scheduler.submit(std::move(bad)).result.get();
+  EXPECT_EQ(r1.status, JobStatus::ExecutionError);
+  EXPECT_FALSE(r1.error.empty());
+
+  RolloutRequest zero = small_request(*sim, 2);
+  zero.steps = 0;
+  RolloutResult r2 = scheduler.submit(std::move(zero)).result.get();
+  EXPECT_EQ(r2.status, JobStatus::ExecutionError);
+
+  // The pool is still healthy.
+  RolloutResult ok = scheduler.submit(small_request(*sim, 2)).result.get();
+  EXPECT_EQ(ok.status, JobStatus::Ok);
+  EXPECT_EQ(scheduler.stats().snapshot().failed, 2u);
+}
+
+}  // namespace
+}  // namespace gns::serve
