@@ -27,11 +27,17 @@
 #include "core/datagen.hpp"
 #include "core/serialize.hpp"
 #include "core/trainer.hpp"
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 namespace gns::bench {
 
 using namespace gns::core;
+
+/// Every bench honors GNS_TRACE / GNS_TRACE_FILE / GNS_METRICS_FILE simply
+/// by including this header: tracing and the atexit dump hooks are armed
+/// before main() runs.
+inline const bool kObsInstalled = obs::install_from_env();
 
 inline std::string cache_dir() {
   const char* env = std::getenv("GNS_BENCH_CACHE");

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mpm/scenes.hpp"
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -38,6 +39,7 @@ void render_ascii(const gns::mpm::MpmSolver& solver, int cols, int rows) {
 }  // namespace
 
 int main() {
+  gns::obs::install_from_env();
   using namespace gns::mpm;
 
   std::printf("Granular column collapse (explicit MPM, Drucker-Prager)\n\n");

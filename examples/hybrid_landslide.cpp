@@ -9,10 +9,12 @@
 #include "core/datagen.hpp"
 #include "core/hybrid.hpp"
 #include "core/trainer.hpp"
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 #include "viz/render.hpp"
 
 int main() {
+  gns::obs::install_from_env();
   using namespace gns;
   using namespace gns::core;
 

@@ -9,12 +9,14 @@
 #include <cstdio>
 
 #include "core/datagen.hpp"
-#include "core/serialize.hpp"
 #include "core/inverse.hpp"
+#include "core/serialize.hpp"
 #include "core/trainer.hpp"
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 int main() {
+  gns::obs::install_from_env();
   using namespace gns;
   using namespace gns::core;
 

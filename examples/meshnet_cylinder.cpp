@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/meshnet.hpp"
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -43,6 +44,7 @@ void render_vorticity(const gns::cfd::CfdSolver& solver,
 }  // namespace
 
 int main() {
+  gns::obs::install_from_env();
   using namespace gns;
   using namespace gns::core;
 

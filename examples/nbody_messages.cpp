@@ -9,10 +9,12 @@
 #include "core/datagen.hpp"
 #include "core/interpret.hpp"
 #include "core/trainer.hpp"
+#include "obs/obs.hpp"
 #include "sr/report.hpp"
 #include "util/timer.hpp"
 
 int main() {
+  gns::obs::install_from_env();
   using namespace gns;
   using namespace gns::core;
 

@@ -11,9 +11,11 @@
 
 #include "core/datagen.hpp"
 #include "core/trainer.hpp"
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 int main() {
+  gns::obs::install_from_env();
   using namespace gns;
   using namespace gns::core;
 

@@ -24,6 +24,7 @@
 #include "core/datagen.hpp"
 #include "core/serialize.hpp"
 #include "core/trainer.hpp"
+#include "obs/obs.hpp"
 #include "serve/serve.hpp"
 #include "util/timer.hpp"
 
@@ -96,6 +97,7 @@ RolloutRequest make_request(const LearnedSimulator& sim,
 }  // namespace
 
 int main(int argc, char** argv) {
+  gns::obs::install_from_env();
   const int requests = argc > 1 ? std::atoi(argv[1]) : 48;
   int workers = argc > 2 ? std::atoi(argv[2]) : 4;
   const int clients = argc > 3 ? std::atoi(argv[3]) : 8;

@@ -152,6 +152,60 @@ def main():
         fig.suptitle("Serving throughput/latency vs worker count")
         save(fig, "plot_serve_throughput.png")
 
+    # Per-phase time breakdown from metrics snapshots (src/obs). Produce
+    # them by running a bench with the metrics dump armed, e.g.:
+    #   GNS_METRICS_FILE=bench_cache/metrics_fig3_gns_rollout.json \
+    #     ./build/bench/bench_fig3_gns_rollout
+    def histogram_sums(path):
+        import json
+        with open(path) as fh:
+            return {name: h["sum"]
+                    for name, h in json.load(fh)["histograms"].items()}
+
+    p = cache / "metrics_fig3_gns_rollout.json"
+    if p.exists():
+        sums = histogram_sums(p)
+        phases = [
+            ("graph.neighbor_search_ms", "neighbor search"),
+            ("core.simulator.features_ms", "features"),
+            ("core.gns.encode_ms", "encode"),
+            ("core.gns.process_ms", "message passing"),
+            ("core.gns.decode_ms", "decode"),
+            ("core.simulator.integrate_ms", "integrate"),
+        ]
+        fig, ax = plt.subplots(figsize=(6, 4))
+        bottom = 0.0
+        for key, label in phases:
+            ms = sums.get(key, 0.0)
+            ax.bar(["GNS rollout"], [ms], bottom=bottom, label=label)
+            bottom += ms
+        ax.set_ylabel("total time (ms)")
+        ax.legend()
+        ax.set_title("GNS rollout: per-phase time breakdown")
+        save(fig, "plot_phase_breakdown_fig3.png")
+
+    p = cache / "metrics_fig4_hybrid.json"
+    if p.exists():
+        sums = histogram_sums(p)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        bottom = 0.0
+        for key, label in [("core.hybrid.gns_window_ms", "GNS windows"),
+                           ("core.hybrid.mpm_window_ms", "MPM windows")]:
+            ms = sums.get(key, 0.0)
+            ax.bar(["hybrid legs"], [ms], bottom=bottom, label=label)
+            bottom += ms
+        bottom = 0.0
+        for key, label in [("mpm.solver.p2g_ms", "P2G"),
+                           ("mpm.solver.grid_update_ms", "grid update"),
+                           ("mpm.solver.g2p_ms", "G2P")]:
+            ms = sums.get(key, 0.0)
+            ax.bar(["MPM sub-phases"], [ms], bottom=bottom, label=label)
+            bottom += ms
+        ax.set_ylabel("total time (ms)")
+        ax.legend()
+        ax.set_title("Hybrid run: where the time goes")
+        save(fig, "plot_phase_breakdown_fig4.png")
+
     p = cache / "ablation_attention.csv"
     if p.exists():
         data = read_csv(p)

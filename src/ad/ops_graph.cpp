@@ -1,6 +1,7 @@
 #include <cmath>
 
 #include "ad/ops.hpp"
+#include "obs/trace.hpp"
 
 namespace gns::ad {
 
@@ -115,6 +116,7 @@ Tensor slice_cols(const Tensor& a, int start, int len) {
 }
 
 Tensor gather_rows(const Tensor& a, const std::vector<int>& index) {
+  GNS_TRACE_SCOPE("ad.ops.gather_rows");
   GNS_CHECK_MSG(!index.empty(), "gather_rows with empty index");
   const int n = a.rows(), m = a.cols();
   for (int idx : index)
@@ -149,6 +151,7 @@ Tensor gather_rows(const Tensor& a, const std::vector<int>& index) {
 
 Tensor scatter_add_rows(const Tensor& a, const std::vector<int>& index,
                         int num_rows) {
+  GNS_TRACE_SCOPE("ad.ops.scatter_add_rows");
   GNS_CHECK_MSG(static_cast<int>(index.size()) == a.rows(),
                 "scatter_add_rows needs one index per input row");
   GNS_CHECK(num_rows > 0);

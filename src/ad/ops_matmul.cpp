@@ -4,6 +4,8 @@
 #include <omp.h>
 #endif
 
+#include "obs/trace.hpp"
+
 namespace gns::ad {
 
 namespace {
@@ -63,6 +65,7 @@ void gemm_tn_acc(const Real* a, const Real* go, Real* gb, int n, int k,
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  GNS_TRACE_SCOPE("ad.ops.matmul");
   GNS_CHECK_MSG(a.cols() == b.rows(), "matmul shape mismatch: "
                                           << a.rows() << "x" << a.cols()
                                           << " * " << b.rows() << "x"

@@ -1,5 +1,7 @@
 #include "core/gns.hpp"
 
+#include "obs/obs.hpp"
+
 namespace gns::core {
 
 namespace {
@@ -50,37 +52,59 @@ GnsOutput GnsModel::forward(const ad::Tensor& node_features,
   GNS_CHECK_MSG(edge_features.rows() == graph.num_edges(),
                 "graph/edge count mismatch");
 
-  ad::Tensor v = node_encoder_.forward(node_features);
-  ad::Tensor e = edge_encoder_.forward(edge_features);
+  GNS_TRACE_SCOPE("core.gns.forward");
+  static auto& encode_ms =
+      obs::MetricsRegistry::global().histogram("core.gns.encode_ms");
+  static auto& process_ms =
+      obs::MetricsRegistry::global().histogram("core.gns.process_ms");
+  static auto& decode_ms =
+      obs::MetricsRegistry::global().histogram("core.gns.decode_ms");
 
-  for (const auto& layer : layers_) {
-    // Edge update: φ^e(e_k, v_sender, v_receiver) + residual.
-    ad::Tensor vs = ad::gather_rows(v, graph.senders);
-    ad::Tensor vr = ad::gather_rows(v, graph.receivers);
-    ad::Tensor e_in = ad::concat_cols({e, vs, vr});
-    ad::Tensor e_new = ad::add(layer.edge_mlp.forward(e_in), e);
+  ad::Tensor v, e;
+  {
+    GNS_TRACE_SCOPE("core.gns.encode");
+    const obs::ScopedHistogramTimer phase_timer(encode_ms);
+    v = node_encoder_.forward(node_features);
+    e = edge_encoder_.forward(edge_features);
+  }
 
-    // Optional attention: per-receiver softmax over incoming messages.
-    ad::Tensor weighted = e_new;
-    if (layer.attention_mlp) {
-      ad::Tensor score = layer.attention_mlp->forward(e_in);
-      ad::Tensor alpha =
-          ad::segment_softmax(score, graph.receivers, graph.num_nodes);
-      weighted = ad::mul(e_new, alpha);  // [E,L] * [E,1] broadcast
+  {
+    const obs::ScopedHistogramTimer phase_timer(process_ms);
+    int round = 0;
+    for (const auto& layer : layers_) {
+      GNS_TRACE_SCOPE_I("core.gns.round", round++);
+      // Edge update: φ^e(e_k, v_sender, v_receiver) + residual.
+      ad::Tensor vs = ad::gather_rows(v, graph.senders);
+      ad::Tensor vr = ad::gather_rows(v, graph.receivers);
+      ad::Tensor e_in = ad::concat_cols({e, vs, vr});
+      ad::Tensor e_new = ad::add(layer.edge_mlp.forward(e_in), e);
+
+      // Optional attention: per-receiver softmax over incoming messages.
+      ad::Tensor weighted = e_new;
+      if (layer.attention_mlp) {
+        ad::Tensor score = layer.attention_mlp->forward(e_in);
+        ad::Tensor alpha =
+            ad::segment_softmax(score, graph.receivers, graph.num_nodes);
+        weighted = ad::mul(e_new, alpha);  // [E,L] * [E,1] broadcast
+      }
+
+      // Node update: φ^v(v_i, Σ incoming messages) + residual.
+      ad::Tensor agg =
+          ad::scatter_add_rows(weighted, graph.receivers, graph.num_nodes);
+      ad::Tensor v_in = ad::concat_cols({v, agg});
+      ad::Tensor v_new = ad::add(layer.node_mlp.forward(v_in), v);
+
+      v = v_new;
+      e = e_new;
     }
-
-    // Node update: φ^v(v_i, Σ incoming messages) + residual.
-    ad::Tensor agg =
-        ad::scatter_add_rows(weighted, graph.receivers, graph.num_nodes);
-    ad::Tensor v_in = ad::concat_cols({v, agg});
-    ad::Tensor v_new = ad::add(layer.node_mlp.forward(v_in), v);
-
-    v = v_new;
-    e = e_new;
   }
 
   GnsOutput out;
-  out.acceleration = decoder_.forward(v);
+  {
+    GNS_TRACE_SCOPE("core.gns.decode");
+    const obs::ScopedHistogramTimer phase_timer(decode_ms);
+    out.acceleration = decoder_.forward(v);
+  }
   out.messages = e;
   return out;
 }

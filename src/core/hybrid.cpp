@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace gns::core {
 
 namespace {
@@ -48,6 +50,10 @@ HybridResult run_hybrid(const LearnedSimulator& sim, mpm::MpmSolver solver,
   result.frames.reserve(total_frames);
   result.sources.reserve(total_frames);
   AccumulatingTimer mpm_timer, gns_timer;
+  static auto& gns_window_ms =
+      obs::MetricsRegistry::global().histogram("core.hybrid.gns_window_ms");
+  static auto& mpm_window_ms =
+      obs::MetricsRegistry::global().histogram("core.hybrid.mpm_window_ms");
 
   SceneContext context;
   if (sim.features().material_feature) {
@@ -57,53 +63,62 @@ HybridResult run_hybrid(const LearnedSimulator& sim, mpm::MpmSolver solver,
   // Frame 0 + warm-up: window_size frames total from MPM.
   result.frames.push_back(solver_frame(solver));
   result.sources.push_back(FrameSource::MpmWarmup);
-  mpm_timer.start();
   double frame_seconds = 0.0;
-  while (static_cast<int>(result.frames.size()) < window &&
-         static_cast<int>(result.frames.size()) < total_frames) {
-    frame_seconds = solver.run(config.substeps);
-    result.frames.push_back(solver_frame(solver));
-    result.sources.push_back(FrameSource::MpmWarmup);
-    ++result.mpm_frame_count;
+  {
+    GNS_TRACE_SCOPE("core.hybrid.warmup");
+    const ScopedAccumulate accumulate(mpm_timer);
+    const obs::ScopedHistogramTimer window_timer(mpm_window_ms);
+    while (static_cast<int>(result.frames.size()) < window &&
+           static_cast<int>(result.frames.size()) < total_frames) {
+      frame_seconds = solver.run(config.substeps);
+      result.frames.push_back(solver_frame(solver));
+      result.sources.push_back(FrameSource::MpmWarmup);
+      ++result.mpm_frame_count;
+    }
   }
-  mpm_timer.stop();
 
   // Main loop: M learned frames, K physics frames, repeat.
   while (static_cast<int>(result.frames.size()) < total_frames) {
-    // --- GNS leg ---
-    gns_timer.start();
-    Window win;
-    win.reserve(window);
-    const int have = static_cast<int>(result.frames.size());
-    for (int t = have - window; t < have; ++t)
-      win.push_back(frame_to_tensor(result.frames[t], 2));
-    const int want_gns =
-        std::min(config.gns_frames,
-                 total_frames - static_cast<int>(result.frames.size()));
-    auto gns_frames = sim.rollout(win, want_gns, context);
-    for (auto& f : gns_frames) {
-      result.frames.push_back(std::move(f));
-      result.sources.push_back(FrameSource::Gns);
-      ++result.gns_frame_count;
+    {
+      // --- GNS leg ---
+      GNS_TRACE_SCOPE("core.hybrid.gns_window");
+      const ScopedAccumulate accumulate(gns_timer);
+      const obs::ScopedHistogramTimer window_timer(gns_window_ms);
+      Window win;
+      win.reserve(window);
+      const int have = static_cast<int>(result.frames.size());
+      for (int t = have - window; t < have; ++t)
+        win.push_back(frame_to_tensor(result.frames[t], 2));
+      const int want_gns =
+          std::min(config.gns_frames,
+                   total_frames - static_cast<int>(result.frames.size()));
+      auto gns_frames = sim.rollout(win, want_gns, context);
+      for (auto& f : gns_frames) {
+        result.frames.push_back(std::move(f));
+        result.sources.push_back(FrameSource::Gns);
+        ++result.gns_frame_count;
+      }
     }
-    gns_timer.stop();
     if (static_cast<int>(result.frames.size()) >= total_frames) break;
 
-    // --- Refinement leg: hand state back to physics ---
-    mpm_timer.start();
-    const auto& curr = result.frames.back();
-    const auto& prev = result.frames[result.frames.size() - 2];
-    push_frames_to_solver(solver, prev, curr, frame_seconds);
-    const int want_mpm =
-        std::min(config.refine_frames,
-                 total_frames - static_cast<int>(result.frames.size()));
-    for (int k = 0; k < want_mpm; ++k) {
-      frame_seconds = solver.run(config.substeps);
-      result.frames.push_back(solver_frame(solver));
-      result.sources.push_back(FrameSource::MpmRefine);
-      ++result.mpm_frame_count;
+    {
+      // --- Refinement leg: hand state back to physics ---
+      GNS_TRACE_SCOPE("core.hybrid.mpm_window");
+      const ScopedAccumulate accumulate(mpm_timer);
+      const obs::ScopedHistogramTimer window_timer(mpm_window_ms);
+      const auto& curr = result.frames.back();
+      const auto& prev = result.frames[result.frames.size() - 2];
+      push_frames_to_solver(solver, prev, curr, frame_seconds);
+      const int want_mpm =
+          std::min(config.refine_frames,
+                   total_frames - static_cast<int>(result.frames.size()));
+      for (int k = 0; k < want_mpm; ++k) {
+        frame_seconds = solver.run(config.substeps);
+        result.frames.push_back(solver_frame(solver));
+        result.sources.push_back(FrameSource::MpmRefine);
+        ++result.mpm_frame_count;
+      }
     }
-    mpm_timer.stop();
   }
 
   result.mpm_seconds = mpm_timer.total_seconds();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace gns::core {
 
 LearnedSimulator::LearnedSimulator(std::shared_ptr<GnsModel> model,
@@ -26,11 +28,18 @@ LearnedSimulator::LearnedSimulator(std::shared_ptr<GnsModel> model,
 GnsOutput LearnedSimulator::forward_raw(const Window& window,
                                         const SceneContext& context,
                                         graph::Graph* out_graph) const {
+  GNS_TRACE_SCOPE("core.simulator.forward");
+  static auto& features_ms =
+      obs::MetricsRegistry::global().histogram("core.simulator.features_ms");
   const ad::Tensor& newest = window.back();
   graph::Graph graph = build_graph(features_, newest);
-  ad::Tensor node_feats =
-      build_node_features(features_, normalizer_, window, context);
-  ad::Tensor edge_feats = build_edge_features(features_, newest, graph);
+  ad::Tensor node_feats, edge_feats;
+  {
+    GNS_TRACE_SCOPE("core.simulator.features");
+    const obs::ScopedHistogramTimer phase_timer(features_ms);
+    node_feats = build_node_features(features_, normalizer_, window, context);
+    edge_feats = build_edge_features(features_, newest, graph);
+  }
   GnsOutput out = model_->forward(node_feats, edge_feats, graph);
   if (out_graph != nullptr) *out_graph = std::move(graph);
   return out;
@@ -44,7 +53,18 @@ ad::Tensor LearnedSimulator::predict_acceleration(
 
 ad::Tensor LearnedSimulator::step(const Window& window,
                                   const SceneContext& context) const {
+  GNS_TRACE_SCOPE("core.simulator.step");
+  static auto& step_ms =
+      obs::MetricsRegistry::global().histogram("core.simulator.step_ms");
+  static auto& integrate_ms =
+      obs::MetricsRegistry::global().histogram("core.simulator.integrate_ms");
+  static auto& steps =
+      obs::MetricsRegistry::global().counter("core.simulator.steps");
+  const obs::ScopedHistogramTimer step_timer(step_ms);
+  steps.add();
   ad::Tensor accel = predict_acceleration(window, context);
+  GNS_TRACE_SCOPE("core.simulator.integrate");
+  const obs::ScopedHistogramTimer phase_timer(integrate_ms);
   const ad::Tensor& xt = window.back();
   const ad::Tensor& xprev = window[window.size() - 2];
   // Semi-implicit Euler in frame units: v' = v + a; x' = x + v'.
@@ -56,6 +76,7 @@ std::vector<std::vector<double>> LearnedSimulator::rollout(
     const Window& initial_window, int steps,
     const SceneContext& context) const {
   GNS_CHECK(steps > 0);
+  GNS_TRACE_SCOPE("core.simulator.rollout");
   ad::NoGradGuard no_grad;
   Window window;
   window.reserve(initial_window.size());

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace gns::core {
@@ -55,7 +56,18 @@ TrainReport train_gns(LearnedSimulator& sim, const io::Dataset& dataset,
   double ema = 0.0;
   bool ema_init = false;
 
+  static auto& forward_ms =
+      obs::MetricsRegistry::global().histogram("core.trainer.forward_ms");
+  static auto& backward_ms =
+      obs::MetricsRegistry::global().histogram("core.trainer.backward_ms");
+  static auto& optimizer_ms =
+      obs::MetricsRegistry::global().histogram("core.trainer.optimizer_ms");
+  static auto& step_count =
+      obs::MetricsRegistry::global().counter("core.trainer.steps");
+
   for (int step = 0; step < config.steps; ++step) {
+    GNS_TRACE_SCOPE_I("core.trainer.step", step);
+    step_count.add();
     const auto& traj = dataset.trajectories[rng.uniform_index(
         dataset.trajectories.size())];
     // Sample t so frames [t, t+window] exist: window positions + target.
@@ -100,25 +112,39 @@ TrainReport train_gns(LearnedSimulator& sim, const io::Dataset& dataset,
         ad::Tensor::from_vector(n, dim, std::move(target));
 
     // Forward in normalized space.
-    const ad::Tensor& newest = win.back();
-    const graph::Graph graph = build_graph(feats, newest);
-    ad::Tensor node_feats =
-        build_node_features(feats, sim.normalizer(), win, context);
-    ad::Tensor edge_feats = build_edge_features(feats, newest, graph);
-    GnsOutput out = sim.model().forward(node_feats, edge_feats, graph);
-    ad::Tensor target_norm =
-        sim.normalizer().normalize_acceleration(target_acc);
-    ad::Tensor loss = ad::mse_loss(out.acceleration, target_norm);
-    if (config.l1_message_weight > 0.0) {
-      loss = ad::add(loss, ad::mul_scalar(ad::l1_norm(out.messages),
-                                          config.l1_message_weight));
+    ad::Tensor loss;
+    {
+      GNS_TRACE_SCOPE("core.trainer.forward");
+      const obs::ScopedHistogramTimer phase_timer(forward_ms);
+      const ad::Tensor& newest = win.back();
+      const graph::Graph graph = build_graph(feats, newest);
+      ad::Tensor node_feats =
+          build_node_features(feats, sim.normalizer(), win, context);
+      ad::Tensor edge_feats = build_edge_features(feats, newest, graph);
+      GnsOutput out = sim.model().forward(node_feats, edge_feats, graph);
+      ad::Tensor target_norm =
+          sim.normalizer().normalize_acceleration(target_acc);
+      loss = ad::mse_loss(out.acceleration, target_norm);
+      if (config.l1_message_weight > 0.0) {
+        loss = ad::add(loss, ad::mul_scalar(ad::l1_norm(out.messages),
+                                            config.l1_message_weight));
+      }
     }
 
-    opt.zero_grad();
-    loss.backward();
-    if (config.grad_clip > 0.0) opt.clip_grad_norm(config.grad_clip);
-    opt.set_lr(config.lr * std::pow(lr_decay, step));
-    opt.step();
+    {
+      GNS_TRACE_SCOPE("core.trainer.backward");
+      const obs::ScopedHistogramTimer phase_timer(backward_ms);
+      opt.zero_grad();
+      loss.backward();
+    }
+
+    {
+      GNS_TRACE_SCOPE("core.trainer.optimizer");
+      const obs::ScopedHistogramTimer phase_timer(optimizer_ms);
+      if (config.grad_clip > 0.0) opt.clip_grad_norm(config.grad_clip);
+      opt.set_lr(config.lr * std::pow(lr_decay, step));
+      opt.step();
+    }
 
     const double l = loss.item();
     report.loss_history.push_back(l);

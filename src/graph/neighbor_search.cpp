@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace gns::graph {
 
 CellList::CellList(double radius, Vec2 domain_min, Vec2 domain_max)
@@ -31,6 +33,7 @@ int CellList::cell_of(Vec2 p) const {
 }
 
 void CellList::build(const std::vector<Vec2>& positions) {
+  GNS_TRACE_SCOPE("graph.neighbor_search.build");
   const int n = static_cast<int>(positions.size());
   const int num_cells = nx_ * ny_;
   // Counting sort of particle ids by cell.
@@ -49,6 +52,7 @@ void CellList::build(const std::vector<Vec2>& positions) {
 
 Graph CellList::radius_graph(const std::vector<Vec2>& positions,
                              bool include_self) const {
+  GNS_TRACE_SCOPE("graph.neighbor_search.query");
   const int n = static_cast<int>(positions.size());
   GNS_CHECK_MSG(!cell_start_.empty(), "call build() before radius_graph()");
   Graph g;
@@ -122,6 +126,10 @@ std::vector<int> CellList::neighbors(const std::vector<Vec2>& positions,
 
 Graph build_radius_graph(const std::vector<Vec2>& positions, double radius,
                          bool include_self) {
+  GNS_TRACE_SCOPE("graph.neighbor_search.total");
+  static auto& total_ms =
+      obs::MetricsRegistry::global().histogram("graph.neighbor_search_ms");
+  const obs::ScopedHistogramTimer phase_timer(total_ms);
   if (positions.empty()) return Graph{};  // zero nodes, zero edges
   Vec2 lo{std::numeric_limits<double>::max(),
           std::numeric_limits<double>::max()};

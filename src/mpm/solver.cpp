@@ -7,6 +7,8 @@
 #include <omp.h>
 #endif
 
+#include "obs/obs.hpp"
+
 namespace gns::mpm {
 
 namespace {
@@ -51,21 +53,35 @@ double MpmSolver::dt() const {
 }
 
 double MpmSolver::step() {
+  GNS_TRACE_SCOPE("mpm.solver.step");
+  static auto& step_ms =
+      obs::MetricsRegistry::global().histogram("mpm.solver.step_ms");
+  static auto& grid_update_ms =
+      obs::MetricsRegistry::global().histogram("mpm.solver.grid_update_ms");
+  static auto& step_count =
+      obs::MetricsRegistry::global().counter("mpm.solver.steps");
+  const obs::ScopedHistogramTimer step_timer(step_ms);
+  step_count.add();
+
   const double dt_step = dt();
   grid_.clear();
   particle_to_grid(dt_step);
 
-  const int n_nodes = grid_.num_nodes();
+  {
+    GNS_TRACE_SCOPE("mpm.solver.grid_update");
+    const obs::ScopedHistogramTimer phase_timer(grid_update_ms);
+    const int n_nodes = grid_.num_nodes();
 #pragma omp parallel for schedule(static)
-  for (int i = 0; i < n_nodes; ++i) {
-    grid_old_velocity_[i] = (grid_.mass[i] > 1e-12)
-                                ? Vec2d{grid_.momentum[i].x / grid_.mass[i],
-                                        grid_.momentum[i].y / grid_.mass[i]}
-                                : Vec2d{};
-  }
+    for (int i = 0; i < n_nodes; ++i) {
+      grid_old_velocity_[i] = (grid_.mass[i] > 1e-12)
+                                  ? Vec2d{grid_.momentum[i].x / grid_.mass[i],
+                                          grid_.momentum[i].y / grid_.mass[i]}
+                                  : Vec2d{};
+    }
 
-  grid_.update_velocities(dt_step);
-  grid_.apply_boundary(dt_step, config_.floor_friction);
+    grid_.update_velocities(dt_step);
+    grid_.apply_boundary(dt_step, config_.floor_friction);
+  }
 
   grid_to_particle(dt_step);
   time_ += dt_step;
@@ -95,6 +111,10 @@ void MpmSolver::set_kinematics(const std::vector<Vec2d>& positions,
 }
 
 void MpmSolver::particle_to_grid(double dt) {
+  GNS_TRACE_SCOPE("mpm.solver.p2g");
+  static auto& p2g_ms =
+      obs::MetricsRegistry::global().histogram("mpm.solver.p2g_ms");
+  const obs::ScopedHistogramTimer phase_timer(p2g_ms);
   (void)dt;
   const int np = particles_.size();
   const int n_nodes = grid_.num_nodes();
@@ -162,6 +182,10 @@ void MpmSolver::particle_to_grid(double dt) {
 }
 
 void MpmSolver::grid_to_particle(double dt) {
+  GNS_TRACE_SCOPE("mpm.solver.g2p");
+  static auto& g2p_ms =
+      obs::MetricsRegistry::global().histogram("mpm.solver.g2p_ms");
+  const obs::ScopedHistogramTimer phase_timer(g2p_ms);
   const int np = particles_.size();
   const int nxn = grid_.nodes_x();
   const double h = grid_.spacing();

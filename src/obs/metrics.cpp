@@ -1,0 +1,157 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace gns::obs {
+
+namespace {
+
+/// Metric names are code-controlled identifiers, but escape anyway so a
+/// stray character can never produce invalid JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct HistogramRow {
+  std::string name;
+  Histogram histogram;
+};
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            double min_value, double growth,
+                                            int buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(min_value, growth,
+                                                      buckets);
+  return *slot;
+}
+
+void MetricsRegistry::reset() { reset_prefix(""); }
+
+void MetricsRegistry::reset_prefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto matches = [&prefix](const std::string& name) {
+    return name.compare(0, prefix.size(), prefix) == 0;
+  };
+  for (auto& [name, c] : counters_)
+    if (matches(name)) c->reset();
+  for (auto& [name, g] : gauges_)
+    if (matches(name)) g->reset();
+  for (auto& [name, h] : histograms_)
+    if (matches(name)) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  // Snapshot under the map lock; instrument reads are individually atomic
+  // or internally locked.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramRow> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_)
+      counters.emplace_back(name, c->value());
+    for (const auto& [name, g] : gauges_)
+      gauges.emplace_back(name, g->value());
+    for (const auto& [name, h] : histograms_)
+      histograms.push_back({name, h->snapshot()});
+  }
+
+  std::ostringstream os;
+  os.precision(10);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& row : histograms) {
+    const Histogram& h = row.histogram;
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(row.name)
+       << "\": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+       << ", \"mean\": " << h.mean() << ", \"min\": " << h.min()
+       << ", \"max\": " << h.max() << ", \"p50\": " << h.quantile(0.50)
+       << ", \"p95\": " << h.quantile(0.95)
+       << ", \"p99\": " << h.quantile(0.99) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  out << to_json();
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  out.precision(10);
+  out << "name,kind,count,value,sum,mean,min,max,p50,p95,p99\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_)
+    out << name << ",counter," << c->value() << ",,,,,,,,\n";
+  for (const auto& [name, g] : gauges_)
+    out << name << ",gauge,," << g->value() << ",,,,,,,\n";
+  for (const auto& [name, hm] : histograms_) {
+    const Histogram h = hm->snapshot();
+    out << name << ",histogram," << h.count() << ",," << h.sum() << ','
+        << h.mean() << ',' << h.min() << ',' << h.max() << ','
+        << h.quantile(0.50) << ',' << h.quantile(0.95) << ','
+        << h.quantile(0.99) << '\n';
+  }
+}
+
+}  // namespace gns::obs

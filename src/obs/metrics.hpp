@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Process-wide named metrics: counters, gauges, and latency histograms.
+///
+/// A MetricsRegistry hands out stable references to named instruments;
+/// handles stay valid for the registry's lifetime (the global registry is
+/// never destroyed), and reset()/reset_prefix() zero values without
+/// invalidating handles, so hot paths can cache a reference in a
+/// function-local static:
+///
+///     static auto& h =
+///         obs::MetricsRegistry::global().histogram("core.gns.encode_ms");
+///     obs::ScopedHistogramTimer timer(h);
+///
+/// Counters and gauges are lock-free atomics; histograms reuse
+/// util/histogram.hpp behind a per-instrument mutex. One snapshot path
+/// (to_json / write_json / write_csv) dumps everything — simulation and
+/// serving metrics land in the same file (see serve::ServerStats).
+///
+/// Naming convention: `subsystem.component.phase`, with `_ms` suffix on
+/// latency histograms.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.hpp"
+#include "util/timer.hpp"
+
+namespace gns::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, learning rate, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Monotonic max: keeps the larger of the current and given value.
+  void update_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe wrapper over util's log-bucketed Histogram.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(double min_value = 1e-3, double growth = 1.15,
+                           int buckets = 200)
+      : histogram_(min_value, growth, buckets) {}
+
+  void add(double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.add(value);
+  }
+  /// Consistent copy for quantile queries and dumps.
+  [[nodiscard]] Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.reset();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Histogram histogram_;
+};
+
+/// RAII phase timer: adds the scope's wall time in milliseconds to a
+/// histogram on destruction.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(HistogramMetric& histogram)
+      : histogram_(histogram) {}
+  ~ScopedHistogramTimer() { histogram_.add(timer_.millis()); }
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  HistogramMetric& histogram_;
+  Timer timer_;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (never destroyed, safe in atexit hooks).
+  static MetricsRegistry& global();
+
+  /// Find-or-create by name. References stay valid for the registry's
+  /// lifetime; histogram bucketing parameters only apply on first creation.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name, double min_value = 1e-3,
+                             double growth = 1.15, int buckets = 200);
+
+  /// Zero every instrument (handles stay valid).
+  void reset();
+  /// Zero instruments whose name starts with `prefix`.
+  void reset_prefix(const std::string& prefix);
+
+  /// Everything as one JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {"name": {"count":..,"sum":..,"mean":..,"min":..,
+  ///                            "max":..,"p50":..,"p95":..,"p99":..}}}
+  [[nodiscard]] std::string to_json() const;
+  void write_json(const std::string& path) const;
+  /// Flat CSV: name,kind,count,value,sum,mean,min,max,p50,p95,p99.
+  void write_csv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;  ///< guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace gns::obs

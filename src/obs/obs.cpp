@@ -1,0 +1,57 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gns::obs {
+
+namespace {
+
+// Leaked so the atexit hook can read them regardless of static-destruction
+// order across translation units.
+std::string& trace_file_path() {
+  static std::string* path = new std::string;
+  return *path;
+}
+std::string& metrics_file_path() {
+  static std::string* path = new std::string;
+  return *path;
+}
+
+bool env_truthy(const char* value) {
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+void flush_env_files() {
+  if (!trace_file_path().empty()) write_chrome_trace(trace_file_path());
+  const std::string& metrics = metrics_file_path();
+  if (!metrics.empty()) {
+    const bool csv =
+        metrics.size() >= 4 && metrics.compare(metrics.size() - 4, 4, ".csv") == 0;
+    if (csv)
+      MetricsRegistry::global().write_csv(metrics);
+    else
+      MetricsRegistry::global().write_json(metrics);
+  }
+}
+
+bool install_from_env() {
+  static const bool active = [] {
+    const char* trace_file = std::getenv("GNS_TRACE_FILE");
+    const char* metrics_file = std::getenv("GNS_METRICS_FILE");
+    const char* trace_flag = std::getenv("GNS_TRACE");
+    if (trace_file != nullptr) trace_file_path() = trace_file;
+    if (metrics_file != nullptr) metrics_file_path() = metrics_file;
+    if (env_truthy(trace_flag) || trace_file != nullptr)
+      set_trace_enabled(true);
+    if (trace_file != nullptr || metrics_file != nullptr)
+      std::atexit([] { flush_env_files(); });
+    return trace_file != nullptr || metrics_file != nullptr ||
+           env_truthy(trace_flag);
+  }();
+  return active;
+}
+
+}  // namespace gns::obs

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file obs.hpp
+/// Umbrella header for the observability layer: span tracing
+/// (GNS_TRACE_SCOPE -> Perfetto-loadable JSON) plus the process-wide
+/// MetricsRegistry, and the environment wiring that lets any binary emit
+/// both without code changes:
+///
+///   GNS_TRACE=1          enable span tracing (stderr-free, in-memory)
+///   GNS_TRACE_FILE=f     enable tracing and write Chrome trace JSON to f
+///                        at exit
+///   GNS_METRICS_FILE=f   write the unified metrics dump to f at exit
+///                        (JSON, or CSV when f ends in ".csv")
+///
+/// Benches pick these up automatically through bench_common.hpp; examples
+/// call obs::install_from_env() at the top of main.
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gns::obs {
+
+/// Reads GNS_TRACE / GNS_TRACE_FILE / GNS_METRICS_FILE, enables tracing
+/// when requested, and registers an atexit hook that writes the requested
+/// files. Idempotent (first call wins); returns whether any observability
+/// output is active.
+bool install_from_env();
+
+/// Writes the files requested via environment immediately (also runs at
+/// exit). Safe to call when nothing was requested.
+void flush_env_files();
+
+}  // namespace gns::obs

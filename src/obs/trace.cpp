@@ -1,0 +1,187 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gns::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 1u << 16;  // per thread, ~2 MiB
+
+struct Event {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::int64_t arg = kNoArg;
+};
+
+/// One thread's span storage. Appends and snapshots take `mutex` — owner
+/// appends are uncontended, so the lock costs tens of nanoseconds against
+/// spans that measure microseconds and up.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> ring{kRingCapacity};
+  std::size_t head = 0;  ///< next write slot
+  std::size_t size = 0;
+  std::uint64_t overwritten = 0;
+  int tid = 0;
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> buffers;  // leaked: valid through atexit dumps
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry;
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto* b = new ThreadBuffer;
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    b->tid = static_cast<int>(reg.buffers.size());
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+/// Copy of one buffer's events, oldest first.
+std::vector<Event> snapshot_events(ThreadBuffer& buf) {
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  std::vector<Event> out;
+  out.reserve(buf.size);
+  const std::size_t cap = buf.ring.size();
+  const std::size_t oldest = (buf.head + cap - buf.size) % cap;
+  for (std::size_t k = 0; k < buf.size; ++k)
+    out.push_back(buf.ring[(oldest + k) % cap]);
+  return out;
+}
+
+}  // namespace
+
+void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
+                 std::int64_t arg) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  Event& e = buf.ring[buf.head];
+  e.name = name;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns - start_ns;
+  e.arg = arg;
+  buf.head = (buf.head + 1) % buf.ring.size();
+  if (buf.size < buf.ring.size())
+    ++buf.size;
+  else
+    ++buf.overwritten;
+}
+
+}  // namespace detail
+
+void set_trace_enabled(bool enabled) {
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int trace_thread_count() {
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return static_cast<int>(reg.buffers.size());
+}
+
+std::uint64_t trace_event_count() {
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (auto* buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    total += buf->size;
+  }
+  return total;
+}
+
+std::uint64_t trace_overwritten_count() {
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (auto* buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    total += buf->overwritten;
+  }
+  return total;
+}
+
+void reset_trace() {
+  auto& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto* buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->head = 0;
+    buf->size = 0;
+    buf->overwritten = 0;
+  }
+}
+
+std::string chrome_trace_json() {
+  // Snapshot every buffer first so the export is consistent per thread.
+  std::vector<std::pair<int, std::vector<detail::Event>>> threads;
+  {
+    auto& reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    threads.reserve(reg.buffers.size());
+    for (auto* buf : reg.buffers)
+      threads.emplace_back(buf->tid, detail::snapshot_events(*buf));
+  }
+
+  // Rebase timestamps to the earliest span so traces start near t=0.
+  std::int64_t t0 = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [tid, events] : threads)
+    for (const auto& e : events) t0 = std::min(t0, e.start_ns);
+  if (t0 == std::numeric_limits<std::int64_t>::max()) t0 = 0;
+
+  std::string out;
+  out.reserve(1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  char line[256];
+  bool first = true;
+  for (const auto& [tid, events] : threads) {
+    for (const auto& e : events) {
+      if (!first) out += ",\n";
+      first = false;
+      // ts/dur are microseconds by Chrome trace-event convention.
+      std::snprintf(line, sizeof(line),
+                    "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+                    e.name, static_cast<double>(e.start_ns - t0) * 1e-3,
+                    static_cast<double>(e.dur_ns) * 1e-3, tid);
+      out += line;
+      if (e.arg != kNoArg) {
+        std::snprintf(line, sizeof(line), ",\"args\":{\"i\":%lld}",
+                      static_cast<long long>(e.arg));
+        out += line;
+      }
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream os(path);
+  os << chrome_trace_json();
+}
+
+}  // namespace gns::obs

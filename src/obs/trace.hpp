@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file trace.hpp
+/// Low-overhead span tracer with Chrome trace-event JSON export.
+///
+/// Usage: drop `GNS_TRACE_SCOPE("subsystem.component.phase")` at the top of
+/// a scope. When tracing is enabled (set_trace_enabled / GNS_TRACE env via
+/// obs::install_from_env) the scope's wall time is recorded as a complete
+/// ("ph":"X") event into a per-thread ring buffer; write_chrome_trace()
+/// dumps all buffers as a JSON file loadable in Perfetto or
+/// chrome://tracing. When disabled the macro costs one relaxed atomic load
+/// and a branch — no allocation, no lock, no clock read.
+///
+/// Span names must be string literals (or otherwise outlive the tracer):
+/// only the pointer is stored. Nesting is implicit: events on the same
+/// thread nest by their [ts, ts+dur) intervals, which RAII scoping
+/// guarantees are properly contained.
+///
+/// Each thread owns a fixed-capacity ring buffer (appends take the
+/// buffer's own uncontended mutex, so the exporter can snapshot a live
+/// system); when full, the oldest events are overwritten so a trace always
+/// holds the most recent window of activity. Buffers are registered
+/// globally and intentionally leaked: they stay valid for atexit dumps.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace gns::obs {
+
+/// Sentinel for "span carries no integer argument".
+inline constexpr std::int64_t kNoArg = INT64_MIN;
+
+namespace detail {
+
+extern std::atomic<bool> g_trace_enabled;
+
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Appends one finished span to the calling thread's ring buffer.
+void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
+                 std::int64_t arg);
+
+}  // namespace detail
+
+/// Global tracing switch. Off by default; flipping it on/off at runtime is
+/// safe (spans already in flight record iff they saw the flag at entry).
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool enabled);
+
+/// Number of threads that have recorded at least one span.
+int trace_thread_count();
+/// Events currently buffered across all threads.
+std::uint64_t trace_event_count();
+/// Events lost to ring-buffer overwrite since the last reset.
+std::uint64_t trace_overwritten_count();
+
+/// Clears all buffered events (buffers stay registered and valid). Callers
+/// must ensure no thread is recording concurrently.
+void reset_trace();
+
+/// The buffered spans as Chrome trace-event JSON ({"traceEvents": [...]}).
+[[nodiscard]] std::string chrome_trace_json();
+void write_chrome_trace(const std::string& path);
+
+/// RAII span. Passing a null name makes the scope a no-op; the
+/// GNS_TRACE_SCOPE macro uses that for the disabled path so the
+/// enabled-check happens exactly once, at scope entry.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, std::int64_t arg = kNoArg) noexcept
+      : name_(name), arg_(arg), start_ns_(name ? detail::now_ns() : 0) {}
+  ~TraceScope() {
+    if (name_ != nullptr)
+      detail::record_span(name_, start_ns_, detail::now_ns(), arg_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t arg_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace gns::obs
+
+#define GNS_OBS_CONCAT2(a, b) a##b
+#define GNS_OBS_CONCAT(a, b) GNS_OBS_CONCAT2(a, b)
+
+/// Traces the enclosing scope under `name` (a string literal,
+/// "subsystem.component.phase" by convention).
+#define GNS_TRACE_SCOPE(name)                                      \
+  const ::gns::obs::TraceScope GNS_OBS_CONCAT(gns_trace_scope_,    \
+                                              __COUNTER__)(        \
+      ::gns::obs::trace_enabled() ? (name) : nullptr)
+
+/// Like GNS_TRACE_SCOPE but attaches an integer argument (emitted as
+/// "args":{"i":N}) — e.g. the message-passing round index.
+#define GNS_TRACE_SCOPE_I(name, index)                             \
+  const ::gns::obs::TraceScope GNS_OBS_CONCAT(gns_trace_scope_,    \
+                                              __COUNTER__)(        \
+      ::gns::obs::trace_enabled() ? (name) : nullptr,              \
+      static_cast<std::int64_t>(index))

@@ -4,13 +4,16 @@
 #include <stdexcept>
 
 #include "core/features.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace gns::serve {
 
 JobScheduler::JobScheduler(std::shared_ptr<ModelRegistry> registry,
                            SchedulerConfig config)
-    : registry_(std::move(registry)), config_(config) {
+    : registry_(std::move(registry)),
+      config_(std::move(config)),
+      stats_(config_.stats_prefix) {
   GNS_CHECK_MSG(registry_ != nullptr, "JobScheduler needs a registry");
   GNS_CHECK_MSG(config_.workers >= 1, "JobScheduler needs >= 1 worker");
   GNS_CHECK_MSG(config_.queue_capacity >= 1,
@@ -28,6 +31,7 @@ JobScheduler::~JobScheduler() {
 }
 
 JobTicket JobScheduler::submit(RolloutRequest request) {
+  GNS_TRACE_SCOPE("serve.scheduler.submit");
   Job job;
   job.request = std::move(request);
   job.cancelled = std::make_shared<std::atomic<bool>>(false);
@@ -142,6 +146,8 @@ void JobScheduler::worker_loop() {
 }
 
 RolloutResult JobScheduler::execute(Job& job) const {
+  GNS_TRACE_SCOPE_I("serve.scheduler.execute",
+                    static_cast<std::int64_t>(job.id));
   const Clock::time_point started = Clock::now();
   RolloutResult result;
   result.queue_ms =

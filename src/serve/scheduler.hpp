@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -37,6 +38,9 @@ namespace gns::serve {
 struct SchedulerConfig {
   int workers = 4;          ///< fixed pool size (>= 1)
   int queue_capacity = 64;  ///< max queued (not yet running) jobs (>= 1)
+  /// MetricsRegistry prefix for this scheduler's ServerStats. Give every
+  /// concurrently-live scheduler a distinct prefix.
+  std::string stats_prefix = "serve";
 };
 
 /// submit()'s return: the job id (usable with cancel()) and the future

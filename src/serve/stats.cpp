@@ -6,53 +6,89 @@
 
 namespace gns::serve {
 
+namespace {
+obs::MetricsRegistry& resolve(obs::MetricsRegistry* registry) {
+  return registry != nullptr ? *registry : obs::MetricsRegistry::global();
+}
+}  // namespace
+
+ServerStats::ServerStats(std::string prefix, obs::MetricsRegistry* registry)
+    : submitted_(resolve(registry).counter(prefix + ".submitted")),
+      completed_(resolve(registry).counter(prefix + ".completed")),
+      rejected_queue_full_(
+          resolve(registry).counter(prefix + ".rejected_queue_full")),
+      deadline_exceeded_(
+          resolve(registry).counter(prefix + ".deadline_exceeded")),
+      cancelled_(resolve(registry).counter(prefix + ".cancelled")),
+      failed_(resolve(registry).counter(prefix + ".failed")),
+      shut_down_(resolve(registry).counter(prefix + ".shut_down")),
+      queue_depth_(resolve(registry).gauge(prefix + ".queue_depth")),
+      peak_queue_depth_(
+          resolve(registry).gauge(prefix + ".peak_queue_depth")),
+      total_ms_(resolve(registry).histogram(prefix + ".total_ms")),
+      queue_ms_(resolve(registry).histogram(prefix + ".queue_ms")),
+      exec_ms_(resolve(registry).histogram(prefix + ".exec_ms")) {
+  // A fresh server starts from zero even when an earlier instance used the
+  // same prefix (schedulers are built sequentially in benches/tests).
+  resolve(registry).reset_prefix(prefix + ".");
+}
+
 void ServerStats::on_submitted(int queue_depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++state_.submitted;
-  state_.queue_depth = queue_depth;
-  state_.peak_queue_depth = std::max(state_.peak_queue_depth, queue_depth);
+  submitted_.add();
+  queue_depth_.set(queue_depth);
+  peak_queue_depth_.update_max(queue_depth);
 }
 
 void ServerStats::on_rejected(JobStatus status) {
-  std::lock_guard<std::mutex> lock(mutex_);
   if (status == JobStatus::QueueFull)
-    ++state_.rejected_queue_full;
+    rejected_queue_full_.add();
   else
-    ++state_.shut_down;
+    shut_down_.add();
 }
 
 void ServerStats::on_resolved(const RolloutResult& result, int queue_depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  state_.queue_depth = queue_depth;
+  queue_depth_.set(queue_depth);
   switch (result.status) {
     case JobStatus::Ok:
-      ++state_.completed;
-      state_.total_ms.add(result.total_ms);
-      state_.queue_ms.add(result.queue_ms);
-      state_.exec_ms.add(result.exec_ms);
+      completed_.add();
+      total_ms_.add(result.total_ms);
+      queue_ms_.add(result.queue_ms);
+      exec_ms_.add(result.exec_ms);
       break;
     case JobStatus::DeadlineExceeded:
-      ++state_.deadline_exceeded;
+      deadline_exceeded_.add();
       break;
     case JobStatus::Cancelled:
-      ++state_.cancelled;
+      cancelled_.add();
       break;
     case JobStatus::ShutDown:
-      ++state_.shut_down;
+      shut_down_.add();
       break;
     case JobStatus::QueueFull:
-      ++state_.rejected_queue_full;
+      rejected_queue_full_.add();
       break;
     case JobStatus::ModelNotFound:
     case JobStatus::ExecutionError:
-      ++state_.failed;
+      failed_.add();
       break;
   }
 }
 
 StatsSnapshot ServerStats::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return state_;
+  StatsSnapshot snap;
+  snap.submitted = submitted_.value();
+  snap.completed = completed_.value();
+  snap.rejected_queue_full = rejected_queue_full_.value();
+  snap.deadline_exceeded = deadline_exceeded_.value();
+  snap.cancelled = cancelled_.value();
+  snap.failed = failed_.value();
+  snap.shut_down = shut_down_.value();
+  snap.queue_depth = static_cast<int>(queue_depth_.value());
+  snap.peak_queue_depth = static_cast<int>(peak_queue_depth_.value());
+  snap.total_ms = total_ms_.snapshot();
+  snap.queue_ms = queue_ms_.snapshot();
+  snap.exec_ms = exec_ms_.snapshot();
+  return snap;
 }
 
 void ServerStats::write_latency_csv(const std::string& path) const {

@@ -3,15 +3,22 @@
 /// \file stats.hpp
 /// ServerStats: counters + latency histograms for the serving subsystem.
 ///
-/// One instance is shared by the scheduler's submit path and all workers;
-/// every mutation takes the internal mutex (contention is negligible next
-/// to a rollout step). Snapshots are consistent copies; CSV/JSON dumps are
-/// built from snapshots so they can be written while the server is hot.
+/// The instruments live in the shared obs::MetricsRegistry (names
+/// `<prefix>.submitted`, `<prefix>.total_ms`, ...), so serving metrics
+/// appear in the same unified dump (GNS_METRICS_FILE) as the simulation
+/// metrics. ServerStats keeps cached handles for the hot path and zeroes
+/// its prefix on construction — instances sharing a prefix therefore must
+/// not coexist (give a second live scheduler its own stats_prefix).
+///
+/// Snapshots are consistent copies; CSV/JSON dumps are built from
+/// snapshots so they can be written while the server is hot. The JSON
+/// field names (p50/p95/p99 per histogram) are stable.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/job.hpp"
 #include "util/histogram.hpp"
 
@@ -43,6 +50,11 @@ struct StatsSnapshot {
 
 class ServerStats {
  public:
+  /// Binds (and zeroes) `<prefix>.*` instruments in `registry`; null means
+  /// the process-global registry.
+  explicit ServerStats(std::string prefix = "serve",
+                       obs::MetricsRegistry* registry = nullptr);
+
   /// A job was accepted into the queue at the given (post-push) depth.
   void on_submitted(int queue_depth);
 
@@ -69,8 +81,18 @@ class ServerStats {
       const std::vector<std::pair<std::string, double>>& extra = {}) const;
 
  private:
-  mutable std::mutex mutex_;
-  StatsSnapshot state_;
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Counter& rejected_queue_full_;
+  obs::Counter& deadline_exceeded_;
+  obs::Counter& cancelled_;
+  obs::Counter& failed_;
+  obs::Counter& shut_down_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& peak_queue_depth_;
+  obs::HistogramMetric& total_ms_;
+  obs::HistogramMetric& queue_ms_;
+  obs::HistogramMetric& exec_ms_;
 };
 
 }  // namespace gns::serve

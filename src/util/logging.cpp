@@ -1,11 +1,14 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace gns {
 
 namespace {
-LogLevel g_level = LogLevel::Info;
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,15 +20,27 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Small sequential id per logging thread (stabler to read than the
+/// opaque std::thread::id hash).
+int thread_log_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
   std::ostream& os = (level >= LogLevel::Warn) ? std::cerr : std::clog;
-  os << "[" << level_name(level) << "] " << message << '\n';
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  os << "[" << level_name(level) << "/t" << thread_log_id() << "] "
+     << message << '\n';
 }
 }  // namespace detail
 

@@ -2,8 +2,9 @@
 
 /// \file logging.hpp
 /// Minimal leveled logger. Defaults to Info; benches lower it to Warn so
-/// table output stays clean. Not thread-safe by design: log from the
-/// orchestrating thread, not from inside OpenMP regions.
+/// table output stays clean. Thread-safe: the level is an atomic, emission
+/// takes a mutex, and each line carries a small per-thread id (t0, t1, ...)
+/// so interleaved worker / OpenMP-region logs stay attributable.
 
 #include <sstream>
 #include <string>

@@ -33,7 +33,13 @@ class Timer {
 /// phase breakdowns (e.g. MPM time vs GNS time inside the hybrid loop).
 class AccumulatingTimer {
  public:
-  void start() { timer_.reset(); running_ = true; }
+  /// Opens a window. Calling start() while a window is already open first
+  /// accumulates the in-flight window (no time is silently discarded).
+  void start() {
+    if (running_) stop();
+    timer_.reset();
+    running_ = true;
+  }
 
   void stop() {
     if (running_) {
@@ -51,6 +57,21 @@ class AccumulatingTimer {
   double total_ = 0.0;
   int windows_ = 0;
   bool running_ = false;
+};
+
+/// RAII window on an AccumulatingTimer: start() on construction, stop() on
+/// scope exit, so early returns and exceptions can't leak an open window.
+class ScopedAccumulate {
+ public:
+  explicit ScopedAccumulate(AccumulatingTimer& timer) : timer_(timer) {
+    timer_.start();
+  }
+  ~ScopedAccumulate() { timer_.stop(); }
+  ScopedAccumulate(const ScopedAccumulate&) = delete;
+  ScopedAccumulate& operator=(const ScopedAccumulate&) = delete;
+
+ private:
+  AccumulatingTimer& timer_;
 };
 
 }  // namespace gns

@@ -1,0 +1,354 @@
+// obs module: span tracer (Chrome trace export, ring buffers, disabled
+// path) and the global MetricsRegistry under concurrency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gns {
+namespace {
+
+// ---- Minimal JSON syntax validator -----------------------------------------
+// Enough of RFC 8259 to prove the exported documents parse: objects,
+// arrays, strings with escapes, numbers, true/false/null.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Trace-event extraction -------------------------------------------------
+// The exporter emits one event object per line; pull the fields we assert
+// on with plain string searches.
+
+struct ParsedEvent {
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  int tid = -1;
+  bool has_arg = false;
+  std::int64_t arg = 0;
+};
+
+std::string field_after(const std::string& line, const std::string& key) {
+  const auto at = line.find(key);
+  if (at == std::string::npos) return {};
+  std::size_t begin = at + key.size();
+  std::size_t end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(begin, end - begin);
+}
+
+std::vector<ParsedEvent> parse_events(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  std::size_t pos = 0;
+  while ((pos = json.find("{\"name\":\"", pos)) != std::string::npos) {
+    const std::size_t line_end = json.find('\n', pos);
+    const std::string line = json.substr(pos, line_end - pos);
+    ParsedEvent e;
+    const std::size_t name_end = line.find('"', 9);
+    e.name = line.substr(9, name_end - 9);
+    e.ts = std::stod(field_after(line, "\"ts\":"));
+    e.dur = std::stod(field_after(line, "\"dur\":"));
+    e.tid = std::stoi(field_after(line, "\"tid\":"));
+    const std::string arg = field_after(line, "\"args\":{\"i\":");
+    if (!arg.empty()) {
+      e.has_arg = true;
+      e.arg = std::stoll(arg);
+    }
+    events.push_back(e);
+    pos = line_end == std::string::npos ? json.size() : line_end;
+  }
+  return events;
+}
+
+// Declared first so it observes the tracer before any test enables it.
+TEST(Trace, DisabledPathEmitsAndAllocatesNothing) {
+  ASSERT_FALSE(obs::trace_enabled());
+  const int threads_before = obs::trace_thread_count();
+  const std::uint64_t events_before = obs::trace_event_count();
+
+  {
+    GNS_TRACE_SCOPE("test.obs.disabled");
+    GNS_TRACE_SCOPE_I("test.obs.disabled_indexed", 7);
+  }
+  // A fresh thread emitting disabled spans must not even register a
+  // ring buffer.
+  std::thread t([] {
+    for (int i = 0; i < 100; ++i) {
+      GNS_TRACE_SCOPE("test.obs.disabled_thread");
+    }
+  });
+  t.join();
+
+  EXPECT_EQ(obs::trace_thread_count(), threads_before);
+  EXPECT_EQ(obs::trace_event_count(), events_before);
+}
+
+TEST(Trace, ConcurrentSpansExportValidNestedJson) {
+  obs::reset_trace();
+  obs::set_trace_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kOuter = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kOuter; ++i) {
+        GNS_TRACE_SCOPE("test.obs.outer");
+        for (int j = 0; j < 3; ++j) {
+          GNS_TRACE_SCOPE_I("test.obs.inner", j);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  obs::set_trace_enabled(false);
+
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  const auto events = parse_events(json);
+  std::map<std::string, int> by_name;
+  std::map<int, std::vector<ParsedEvent>> by_tid;
+  for (const auto& e : events) {
+    ++by_name[e.name];
+    by_tid[e.tid].push_back(e);
+    EXPECT_GE(e.ts, 0.0);
+    EXPECT_GE(e.dur, 0.0);
+  }
+  EXPECT_EQ(by_name["test.obs.outer"], kThreads * kOuter);
+  EXPECT_EQ(by_name["test.obs.inner"], kThreads * kOuter * 3);
+  EXPECT_EQ(static_cast<int>(by_tid.size()), kThreads);
+
+  // Nesting: every inner interval lies inside an outer interval of the
+  // same thread (complete events nest by containment).
+  for (const auto& [tid, list] : by_tid) {
+    for (const auto& inner : list) {
+      if (inner.name != "test.obs.inner") continue;
+      EXPECT_TRUE(inner.has_arg);
+      EXPECT_GE(inner.arg, 0);
+      EXPECT_LT(inner.arg, 3);
+      const bool contained = std::any_of(
+          list.begin(), list.end(), [&inner](const ParsedEvent& outer) {
+            return outer.name == "test.obs.outer" && outer.ts <= inner.ts &&
+                   inner.ts + inner.dur <= outer.ts + outer.dur;
+          });
+      EXPECT_TRUE(contained) << "orphan inner span on tid " << tid;
+    }
+  }
+}
+
+TEST(Trace, RingOverwriteKeepsBufferBounded) {
+  obs::reset_trace();
+  obs::set_trace_enabled(true);
+  constexpr int kSpans = 70000;  // > per-thread ring capacity (65536)
+  for (int i = 0; i < kSpans; ++i) {
+    GNS_TRACE_SCOPE("test.obs.flood");
+  }
+  obs::set_trace_enabled(false);
+  EXPECT_GT(obs::trace_overwritten_count(), 0u);
+  EXPECT_LE(obs::trace_event_count(), static_cast<std::uint64_t>(kSpans));
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  obs::reset_trace();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+  EXPECT_EQ(obs::trace_overwritten_count(), 0u);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  auto& reg = obs::MetricsRegistry::global();
+  auto& counter = reg.counter("test.metrics.concurrent_count");
+  auto& hist = reg.histogram("test.metrics.concurrent_ms");
+  counter.reset();
+  hist.reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&counter, &hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        hist.add(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const Histogram snap = hist.snapshot();
+  EXPECT_EQ(snap.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, HandlesSurviveResetAndFindOrCreateReturnsSame) {
+  auto& reg = obs::MetricsRegistry::global();
+  auto& a = reg.counter("test.metrics.stable");
+  a.add(3);
+  auto& b = reg.counter("test.metrics.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  reg.reset_prefix("test.metrics.");
+  EXPECT_EQ(a.value(), 0u);  // zeroed, not invalidated
+  a.add(1);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Metrics, ResetPrefixLeavesOthersAlone) {
+  auto& reg = obs::MetricsRegistry::global();
+  auto& mine = reg.counter("test.prefix_a.hits");
+  auto& other = reg.counter("test.prefix_b.hits");
+  mine.reset();
+  other.reset();
+  mine.add(5);
+  other.add(7);
+  reg.reset_prefix("test.prefix_a.");
+  EXPECT_EQ(mine.value(), 0u);
+  EXPECT_EQ(other.value(), 7u);
+  other.reset();
+}
+
+TEST(Metrics, GaugeTracksLastAndMax) {
+  auto& g = obs::MetricsRegistry::global().gauge("test.metrics.gauge");
+  g.reset();
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.update_max(1.0);  // smaller: no change
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.update_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(Metrics, ScopedHistogramTimerRecordsOneSample) {
+  auto& h = obs::MetricsRegistry::global().histogram("test.metrics.timer_ms");
+  h.reset();
+  {
+    const obs::ScopedHistogramTimer timer(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 1u);
+  EXPECT_GE(snap.max(), 1.0);  // slept ~2 ms
+}
+
+TEST(Metrics, JsonSnapshotIsValidAndComplete) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("test.json.count").add(2);
+  reg.gauge("test.json.depth").set(4.0);
+  reg.histogram("test.json.lat_ms").add(1.5);
+
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.lat_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gns

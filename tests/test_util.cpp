@@ -4,8 +4,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/csv.hpp"
@@ -111,6 +113,60 @@ TEST(AccumulatingTimerTest, StopWithoutStartIsNoop) {
   acc.stop();
   EXPECT_EQ(acc.windows(), 0);
   EXPECT_EQ(acc.total_seconds(), 0.0);
+}
+
+TEST(AccumulatingTimerTest, StartWhileRunningAccumulatesInFlightWindow) {
+  AccumulatingTimer acc;
+  acc.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  acc.start();  // must bank the first window, not discard it
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  acc.stop();
+  EXPECT_EQ(acc.windows(), 2);
+  EXPECT_GE(acc.total_seconds(), 0.006);
+}
+
+TEST(ScopedAccumulateTest, StartsAndStopsOnScopeExit) {
+  AccumulatingTimer acc;
+  {
+    const ScopedAccumulate window(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(acc.windows(), 1);
+  EXPECT_GE(acc.total_seconds(), 0.003);
+  {
+    const ScopedAccumulate window(acc);
+  }
+  EXPECT_EQ(acc.windows(), 2);
+}
+
+TEST(Logging, ConcurrentEmissionKeepsLinesIntact) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Info);
+  std::ostringstream captured;
+  std::streambuf* old = std::clog.rdbuf(captured.rdbuf());
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 50; ++i) GNS_INFO("worker message " << i);
+    });
+  }
+  for (auto& t : workers) t.join();
+  std::clog.rdbuf(old);
+  set_log_level(saved);
+
+  // Every line must be whole: "[INFO/tN] worker message M" — a torn or
+  // interleaved write would break the prefix or splice two messages.
+  std::istringstream lines(captured.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("[INFO/t", 0), 0u) << "bad line: " << line;
+    EXPECT_NE(line.find("] worker message "), std::string::npos)
+        << "bad line: " << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 4 * 50);
 }
 
 TEST(Logging, LevelThresholdFilters) {
