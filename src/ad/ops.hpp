@@ -101,6 +101,9 @@ Tensor concat_cols(const std::vector<Tensor>& parts);
 Tensor concat_rows(const std::vector<Tensor>& parts);
 /// Columns [start, start+len) of `a`.
 Tensor slice_cols(const Tensor& a, int start, int len);
+/// Rows [start, start+len) of `a` (the per-member read-back of a
+/// block-diagonal batched forward — see graph/batch.hpp).
+Tensor slice_rows(const Tensor& a, int start, int len);
 /// Rows `index[i]` of `a` -> [index.size(), C]. Indices may repeat.
 Tensor gather_rows(const Tensor& a, const std::vector<int>& index);
 /// out[index[i], :] += a[i, :]; result has `num_rows` rows.

@@ -115,6 +115,25 @@ Tensor slice_cols(const Tensor& a, int start, int len) {
   return out;
 }
 
+Tensor slice_rows(const Tensor& a, int start, int len) {
+  GNS_CHECK_MSG(start >= 0 && len > 0 && start + len <= a.rows(),
+                "slice_rows out of range: [" << start << ", " << start + len
+                                             << ") of " << a.rows());
+  const int m = a.cols();
+  auto pa = a.ptr();
+  Tensor out = make_op_result(
+      len, m, {pa}, [pa, start, len, m](TensorImpl& self) {
+        if (!pa->requires_grad) return;
+        pa->ensure_grad();
+        Real* dst = pa->grad.data() + static_cast<std::size_t>(start) * m;
+        const std::size_t count = static_cast<std::size_t>(len) * m;
+        for (std::size_t i = 0; i < count; ++i) dst[i] += self.grad[i];
+      });
+  const Real* src = a.data() + static_cast<std::size_t>(start) * m;
+  std::copy(src, src + static_cast<std::size_t>(len) * m, out.data());
+  return out;
+}
+
 Tensor gather_rows(const Tensor& a, const std::vector<int>& index) {
   GNS_TRACE_SCOPE("ad.ops.gather_rows");
   GNS_CHECK_MSG(!index.empty(), "gather_rows with empty index");

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file batched_simulator.hpp
+/// BatchedSimulator: steps B independent particle systems through ONE GNS
+/// forward pass per step by merging their graphs block-diagonally
+/// (graph/batch.hpp). Each member keeps its own neighbor list, window, and
+/// scene context; only the model evaluation is shared, so the per-step
+/// matmuls/gathers run over sum_g N_g nodes instead of B small tensors —
+/// the batching layer behind the serving subsystem's coalesced dispatch.
+///
+/// Equivalence contract: every op in the batched forward (MLPs, layer norm,
+/// gather/scatter, segment softmax, integration) is row- or segment-local,
+/// and batching preserves per-member row/edge order, so a batched step is
+/// bit-identical to B independent LearnedSimulator::step calls
+/// (tests/test_batching.cpp asserts this elementwise).
+
+#include <functional>
+#include <memory>
+
+#include "core/simulator.hpp"
+#include "graph/batch.hpp"
+
+namespace gns::core {
+
+class BatchedSimulator {
+ public:
+  /// The simulator handle is shared (serving hands out
+  /// ModelRegistry::Handle); weights are never copied.
+  explicit BatchedSimulator(
+      std::shared_ptr<const LearnedSimulator> simulator);
+
+  /// One integrator step for every member through a single block-diagonal
+  /// forward. windows[g] holds window_size() frames (oldest first) of
+  /// member g; members may differ in particle count. Returns x_{t+1} per
+  /// member. `out_batch` (optional) receives the merged graph built for
+  /// the step.
+  [[nodiscard]] std::vector<ad::Tensor> step(
+      const std::vector<Window>& windows,
+      const std::vector<SceneContext>& contexts,
+      graph::GraphBatch* out_batch = nullptr) const;
+
+  /// Gate polled before every batched step for each still-active member.
+  /// Return false to drop the member immediately: it keeps the frames
+  /// predicted so far and is compacted out of subsequent steps (the serve
+  /// layer uses this for per-member deadlines and cancellation).
+  using StepGate = std::function<bool(int member)>;
+
+  /// Inference rollout (taping disabled) of B members for steps[g] frames
+  /// each. Members that reach their step count — or whose gate says stop —
+  /// are compacted out while the rest keep stepping as a smaller batch.
+  /// Returns the predicted frames per member, flat [N_g * dim] each.
+  [[nodiscard]] std::vector<std::vector<std::vector<double>>> rollout(
+      const std::vector<Window>& initial_windows,
+      const std::vector<int>& steps,
+      const std::vector<SceneContext>& contexts,
+      const StepGate& gate = nullptr) const;
+
+  [[nodiscard]] const LearnedSimulator& simulator() const { return *sim_; }
+
+ private:
+  std::shared_ptr<const LearnedSimulator> sim_;
+};
+
+}  // namespace gns::core

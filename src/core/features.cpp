@@ -48,23 +48,24 @@ graph::Graph build_graph(const FeatureConfig& config,
   return graph::build_radius_graph(pts, config.connectivity_radius);
 }
 
-ad::Tensor build_node_features(const FeatureConfig& config,
-                               const Normalizer& norm,
-                               const std::vector<ad::Tensor>& position_window,
-                               const SceneContext& context) {
+namespace {
+
+/// Appends the C whitened velocity columns and the clipped boundary
+/// distances for a window of position frames. Row-local throughout, so it
+/// serves both the single-graph and the block-diagonal batched builders
+/// (a merged window produces exactly the stacked single-graph rows).
+void append_motion_features(const FeatureConfig& config, const Normalizer& norm,
+                            const std::vector<ad::Tensor>& position_window,
+                            std::vector<ad::Tensor>& parts) {
   GNS_CHECK_MSG(static_cast<int>(position_window.size()) ==
                     config.window_size(),
                 "window needs " << config.window_size() << " frames, got "
                                 << position_window.size());
   const ad::Tensor& newest = position_window.back();
-  const int n = newest.rows();
   GNS_CHECK_MSG(newest.cols() == config.dim, "position dim mismatch");
   GNS_CHECK_MSG(static_cast<int>(config.domain_lo.size()) >= config.dim &&
                     static_cast<int>(config.domain_hi.size()) >= config.dim,
                 "feature config domain bounds missing");
-
-  std::vector<ad::Tensor> parts;
-  parts.reserve(config.history + 2 + 1);
 
   // C velocity frames, oldest first, each whitened by dataset stats.
   for (int c = 0; c < config.history; ++c) {
@@ -90,6 +91,19 @@ ad::Tensor build_node_features(const FeatureConfig& config,
     parts.push_back(to_lo);
     parts.push_back(to_hi);
   }
+}
+
+}  // namespace
+
+ad::Tensor build_node_features(const FeatureConfig& config,
+                               const Normalizer& norm,
+                               const std::vector<ad::Tensor>& position_window,
+                               const SceneContext& context) {
+  const int n = position_window.empty() ? 0 : position_window.back().rows();
+
+  std::vector<ad::Tensor> parts;
+  parts.reserve(config.history + 2 + 1);
+  append_motion_features(config, norm, position_window, parts);
 
   if (config.material_feature) {
     GNS_CHECK_MSG(context.material.defined() && context.material.size() == 1,
@@ -125,6 +139,79 @@ ad::Tensor build_edge_features(const FeatureConfig& config,
   ad::Tensor norm2 = ad::sum_cols(ad::square(disp));
   ad::Tensor dist = ad::sqrt_op(ad::add_scalar(norm2, 1e-12));
   return ad::concat_cols({disp, dist});
+}
+
+ad::Tensor build_batched_node_features(
+    const FeatureConfig& config, const Normalizer& norm,
+    const std::vector<std::vector<ad::Tensor>>& windows,
+    const std::vector<SceneContext>& contexts) {
+  const int b = static_cast<int>(windows.size());
+  GNS_CHECK_MSG(b > 0, "batched node features need at least one window");
+  GNS_CHECK_MSG(static_cast<int>(contexts.size()) == b,
+                "need one scene context per window");
+  const int w = config.window_size();
+  for (const auto& window : windows)
+    GNS_CHECK_MSG(static_cast<int>(window.size()) == w,
+                  "every batched window needs " << w << " frames");
+
+  // Merge the windows frame-by-frame (rows in member order), then run the
+  // row-local motion features once over the whole batch.
+  std::vector<ad::Tensor> merged_window;
+  merged_window.reserve(w);
+  std::vector<ad::Tensor> frame_parts(b);
+  for (int t = 0; t < w; ++t) {
+    for (int g = 0; g < b; ++g) frame_parts[g] = windows[g][t];
+    merged_window.push_back(b == 1 ? frame_parts[0]
+                                   : ad::concat_rows(frame_parts));
+  }
+
+  std::vector<ad::Tensor> parts;
+  parts.reserve(config.history + 2 + 1);
+  append_motion_features(config, norm, merged_window, parts);
+
+  // The segmented features: per-member scalars/attributes broadcast only
+  // within their member's node range.
+  if (config.material_feature) {
+    std::vector<ad::Tensor> cols;
+    cols.reserve(b);
+    for (int g = 0; g < b; ++g) {
+      const SceneContext& ctx = contexts[g];
+      GNS_CHECK_MSG(ctx.material.defined() && ctx.material.size() == 1,
+                    "material_feature=true needs a scalar material param "
+                    "(batch member " << g << ")");
+      cols.push_back(ad::mul(ad::Tensor::ones(windows[g].back().rows(), 1),
+                             ctx.material));
+    }
+    parts.push_back(b == 1 ? cols[0] : ad::concat_rows(cols));
+  }
+
+  if (config.static_node_attrs > 0) {
+    std::vector<ad::Tensor> attrs;
+    attrs.reserve(b);
+    for (int g = 0; g < b; ++g) {
+      const SceneContext& ctx = contexts[g];
+      GNS_CHECK_MSG(ctx.node_attrs.defined() &&
+                        ctx.node_attrs.rows() == windows[g].back().rows() &&
+                        ctx.node_attrs.cols() == config.static_node_attrs,
+                    "scene context node_attrs missing or mis-shaped "
+                    "(batch member " << g << ")");
+      attrs.push_back(ctx.node_attrs);
+    }
+    parts.push_back(b == 1 ? attrs[0] : ad::concat_rows(attrs));
+  }
+
+  return ad::concat_cols(parts);
+}
+
+ad::Tensor build_batched_edge_features(const FeatureConfig& config,
+                                       const ad::Tensor& merged_positions,
+                                       const graph::GraphBatch& batch) {
+  GNS_CHECK_MSG(batch.merged.num_nodes == merged_positions.rows(),
+                "graph batch/positions size mismatch");
+  // The merged indices already point into the concatenated position rows,
+  // and displacement/norm are per-edge local, so the single-graph builder
+  // computes exactly the stacked per-member edge features.
+  return build_edge_features(config, merged_positions, batch.merged);
 }
 
 }  // namespace gns::core

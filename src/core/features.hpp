@@ -22,6 +22,7 @@
 
 #include "ad/ops.hpp"
 #include "core/normalization.hpp"
+#include "graph/batch.hpp"
 #include "graph/neighbor_search.hpp"
 
 namespace gns::core {
@@ -79,5 +80,28 @@ struct SceneContext {
 [[nodiscard]] ad::Tensor build_edge_features(const FeatureConfig& config,
                                              const ad::Tensor& positions,
                                              const graph::Graph& graph);
+
+// ---- Batched (block-diagonal) variants -------------------------------------
+//
+// The batched builders take B per-member windows/contexts and emit the
+// feature tensors of the merged graph (graph/batch.hpp): member g's rows
+// occupy [batch.node_offset[g], batch.node_offset[g+1]). All motion and
+// boundary features are elementwise/row-local, so every row is bit-identical
+// to the unbatched builders; the only genuinely segmented features are the
+// per-member material column and static node attributes, which broadcast
+// within their member's node range.
+
+/// Node features [sum_g N_g, node_feature_count()] for B windows (each a
+/// window_size()-frame vector, oldest first) and their scene contexts.
+[[nodiscard]] ad::Tensor build_batched_node_features(
+    const FeatureConfig& config, const Normalizer& norm,
+    const std::vector<std::vector<ad::Tensor>>& windows,
+    const std::vector<SceneContext>& contexts);
+
+/// Edge features [sum_g E_g, dim+1] from the concatenated newest positions
+/// (rows in member order) and the merged graph.
+[[nodiscard]] ad::Tensor build_batched_edge_features(
+    const FeatureConfig& config, const ad::Tensor& merged_positions,
+    const graph::GraphBatch& batch);
 
 }  // namespace gns::core

@@ -1,0 +1,52 @@
+#include "graph/batch.hpp"
+
+namespace gns::graph {
+
+std::vector<int> GraphBatch::node_segments() const {
+  std::vector<int> seg(static_cast<std::size_t>(merged.num_nodes));
+  for (int g = 0; g < num_graphs(); ++g) {
+    for (int i = node_offset[g]; i < node_offset[g + 1]; ++i) seg[i] = g;
+  }
+  return seg;
+}
+
+GraphBatch batch_graphs(const std::vector<const Graph*>& graphs) {
+  GNS_CHECK_MSG(!graphs.empty(), "batch_graphs of zero graphs");
+  GraphBatch batch;
+  batch.node_offset.reserve(graphs.size() + 1);
+  batch.edge_offset.reserve(graphs.size() + 1);
+  batch.node_offset.push_back(0);
+  batch.edge_offset.push_back(0);
+  std::size_t total_edges = 0;
+  for (const Graph* g : graphs) {
+    GNS_CHECK_MSG(g != nullptr, "batch_graphs got a null graph");
+    batch.node_offset.push_back(batch.node_offset.back() + g->num_nodes);
+    batch.edge_offset.push_back(batch.edge_offset.back() + g->num_edges());
+    total_edges += g->senders.size();
+  }
+  batch.merged.num_nodes = batch.node_offset.back();
+  batch.merged.senders.reserve(total_edges);
+  batch.merged.receivers.reserve(total_edges);
+  for (std::size_t k = 0; k < graphs.size(); ++k) {
+    const Graph& g = *graphs[k];
+    const int off = batch.node_offset[k];
+    for (int s : g.senders) {
+      GNS_DCHECK(s >= 0 && s < g.num_nodes);
+      batch.merged.senders.push_back(s + off);
+    }
+    for (int r : g.receivers) {
+      GNS_DCHECK(r >= 0 && r < g.num_nodes);
+      batch.merged.receivers.push_back(r + off);
+    }
+  }
+  return batch;
+}
+
+GraphBatch batch_graphs(const std::vector<Graph>& graphs) {
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(graphs.size());
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+  return batch_graphs(ptrs);
+}
+
+}  // namespace gns::graph

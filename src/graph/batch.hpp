@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file batch.hpp
+/// Block-diagonal graph batching: merges B independent particle graphs into
+/// one graph whose edge indices are offset per member, so a single GNS
+/// forward pass (one encoder/processor/decoder sweep over the concatenated
+/// node/edge tensors) steps B trajectories at once. Because every autograd
+/// graph op (gather/scatter/segment_softmax) is row- or segment-local, the
+/// batched forward is bit-identical per row to B independent forwards —
+/// tests/test_batching.cpp pins that equivalence.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gns::graph {
+
+/// A block-diagonal merge of B graphs plus the segmentation needed to
+/// scatter results back: `merged` is one Graph over the union of nodes
+/// (member g's nodes occupy rows [node_offset[g], node_offset[g+1])), and
+/// its edge list is member 0's edges, then member 1's, ... with sender /
+/// receiver indices shifted by the member's node offset. Edge order within
+/// a member is preserved, so per-receiver aggregation order — and therefore
+/// floating-point results — match the unbatched graphs exactly.
+struct GraphBatch {
+  Graph merged;
+  std::vector<int> node_offset;  ///< size B+1, prefix sums of member nodes
+  std::vector<int> edge_offset;  ///< size B+1, prefix sums of member edges
+
+  [[nodiscard]] int num_graphs() const {
+    return static_cast<int>(node_offset.size()) - 1;
+  }
+  [[nodiscard]] int nodes_of(int g) const {
+    return node_offset[g + 1] - node_offset[g];
+  }
+  [[nodiscard]] int edges_of(int g) const {
+    return edge_offset[g + 1] - edge_offset[g];
+  }
+
+  /// node -> member id, length merged.num_nodes (for segmented reductions).
+  [[nodiscard]] std::vector<int> node_segments() const;
+};
+
+/// Merges the given graphs into one block-diagonal graph. Members may have
+/// different node/edge counts; zero-edge members are allowed here (callers
+/// that require edges, like the GNS forward, check per member).
+[[nodiscard]] GraphBatch batch_graphs(const std::vector<const Graph*>& graphs);
+[[nodiscard]] GraphBatch batch_graphs(const std::vector<Graph>& graphs);
+
+}  // namespace gns::graph

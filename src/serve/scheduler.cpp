@@ -1,13 +1,62 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 
+#include "core/batched_simulator.hpp"
 #include "core/features.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace gns::serve {
+
+namespace {
+
+/// Validated per-job rollout inputs, shared by the single and the batched
+/// execution paths so both build bit-identical tensors.
+struct MemberInputs {
+  core::Window window;
+  core::SceneContext context;
+};
+
+/// Parses and validates one request against the model's feature config.
+/// Throws std::runtime_error on malformed input (typed to ExecutionError by
+/// the callers).
+MemberInputs build_member_inputs(const RolloutRequest& req,
+                                 const core::FeatureConfig& features) {
+  if (req.steps <= 0) throw std::runtime_error("steps must be positive");
+  if (static_cast<int>(req.window.size()) != features.window_size())
+    throw std::runtime_error(
+        "window must hold " + std::to_string(features.window_size()) +
+        " frames, got " + std::to_string(req.window.size()));
+  const std::size_t frame_len = req.window.front().size();
+  if (frame_len == 0 || frame_len % static_cast<std::size_t>(features.dim))
+    throw std::runtime_error("frame length must be a multiple of dim");
+  for (const auto& frame : req.window) {
+    if (frame.size() != frame_len)
+      throw std::runtime_error("window frames differ in length");
+  }
+  const int n = static_cast<int>(frame_len) / features.dim;
+
+  MemberInputs inputs;
+  inputs.window.reserve(req.window.size());
+  for (const auto& frame : req.window)
+    inputs.window.push_back(core::frame_to_tensor(frame, features.dim));
+
+  if (features.material_feature)
+    inputs.context.material = ad::Tensor::scalar(req.material);
+  if (features.static_node_attrs > 0) {
+    if (static_cast<int>(req.node_attrs.size()) !=
+        n * features.static_node_attrs)
+      throw std::runtime_error("node_attrs size mismatch");
+    inputs.context.node_attrs = ad::Tensor::from_vector(
+        n, features.static_node_attrs, req.node_attrs);
+  }
+  return inputs;
+}
+
+}  // namespace
 
 JobScheduler::JobScheduler(std::shared_ptr<ModelRegistry> registry,
                            SchedulerConfig config)
@@ -18,6 +67,10 @@ JobScheduler::JobScheduler(std::shared_ptr<ModelRegistry> registry,
   GNS_CHECK_MSG(config_.workers >= 1, "JobScheduler needs >= 1 worker");
   GNS_CHECK_MSG(config_.queue_capacity >= 1,
                 "JobScheduler needs a positive queue capacity");
+  GNS_CHECK_MSG(config_.max_batch >= 1,
+                "JobScheduler max_batch must be >= 1");
+  GNS_CHECK_MSG(config_.batch_window_us >= 0.0,
+                "JobScheduler batch_window_us must be >= 0");
   threads_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i)
     threads_.emplace_back([this] { worker_loop(); });
@@ -127,7 +180,7 @@ int JobScheduler::queue_depth() const {
 
 void JobScheduler::worker_loop() {
   for (;;) {
-    Job job;
+    std::vector<Job> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] {
@@ -137,11 +190,60 @@ void JobScheduler::worker_loop() {
         if (stopping_) return;
         continue;  // spurious wake while paused
       }
-      job = std::move(queue_.front());
+      batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      if (config_.max_batch > 1) {
+        collect_batch(lock, batch);
+        // The coalescing wait may have swallowed notifications aimed at
+        // idle workers; re-arm them for whatever is still queued.
+        if (!queue_.empty()) cv_.notify_one();
+      }
     }
-    RolloutResult result = execute(job);
-    resolve(std::move(job), std::move(result));
+    stats_.on_dispatch(static_cast<int>(batch.size()));
+    if (batch.size() == 1 && config_.max_batch <= 1) {
+      RolloutResult result = execute(batch.front());
+      resolve(std::move(batch.front()), std::move(result));
+    } else {
+      execute_batch(std::move(batch));
+    }
+  }
+}
+
+void JobScheduler::collect_batch(std::unique_lock<std::mutex>& lock,
+                                 std::vector<Job>& batch) {
+  // By value: growing `batch` reallocates and would dangle a reference
+  // into its front element.
+  const std::string model = batch.front().request.model;
+  const auto take_compatible = [this, &batch, &model] {
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         static_cast<int>(batch.size()) < config_.max_batch;) {
+      if (it->request.model == model) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;  // incompatible jobs keep their place for other workers
+      }
+    }
+  };
+  take_compatible();
+
+  if (config_.batch_window_us <= 0.0) return;
+  const Clock::time_point window_end =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::micro>(
+                             config_.batch_window_us));
+  while (static_cast<int>(batch.size()) < config_.max_batch && !stopping_ &&
+         !paused_) {
+    // Never hold a member past its own deadline just to fill the batch:
+    // the wait is capped by the earliest member deadline.
+    Clock::time_point wake = window_end;
+    for (const Job& job : batch) {
+      if (job.has_deadline) wake = std::min(wake, job.deadline);
+    }
+    if (Clock::now() >= wake) break;
+    cv_.wait_until(lock, wake);
+    take_compatible();
   }
 }
 
@@ -177,40 +279,13 @@ RolloutResult JobScheduler::execute(Job& job) const {
 
   Timer exec_timer;
   try {
-    const core::FeatureConfig& features = sim->features();
     const RolloutRequest& req = job.request;
-    if (req.steps <= 0) throw std::runtime_error("steps must be positive");
-    if (static_cast<int>(req.window.size()) != features.window_size())
-      throw std::runtime_error(
-          "window must hold " + std::to_string(features.window_size()) +
-          " frames, got " + std::to_string(req.window.size()));
-    const std::size_t frame_len = req.window.front().size();
-    if (frame_len == 0 || frame_len % static_cast<std::size_t>(features.dim))
-      throw std::runtime_error("frame length must be a multiple of dim");
-    for (const auto& frame : req.window) {
-      if (frame.size() != frame_len)
-        throw std::runtime_error("window frames differ in length");
-    }
-    const int n = static_cast<int>(frame_len) / features.dim;
-
     // Per-job tensors only; the tape is thread-local and off, so the only
     // state shared with sibling jobs is the (const) model weights.
     ad::NoGradGuard no_grad;
-    core::Window window;
-    window.reserve(req.window.size());
-    for (const auto& frame : req.window)
-      window.push_back(core::frame_to_tensor(frame, features.dim));
-
-    core::SceneContext context;
-    if (features.material_feature)
-      context.material = ad::Tensor::scalar(req.material);
-    if (features.static_node_attrs > 0) {
-      if (static_cast<int>(req.node_attrs.size()) !=
-          n * features.static_node_attrs)
-        throw std::runtime_error("node_attrs size mismatch");
-      context.node_attrs = ad::Tensor::from_vector(
-          n, features.static_node_attrs, req.node_attrs);
-    }
+    MemberInputs inputs = build_member_inputs(req, sim->features());
+    core::Window& window = inputs.window;
+    const core::SceneContext& context = inputs.context;
 
     result.frames.reserve(static_cast<std::size_t>(req.steps));
     result.status = JobStatus::Ok;
@@ -238,6 +313,113 @@ RolloutResult JobScheduler::execute(Job& job) const {
   }
   result.exec_ms = exec_timer.millis();
   return result;
+}
+
+void JobScheduler::execute_batch(std::vector<Job> jobs) {
+  GNS_TRACE_SCOPE_I("serve.scheduler.execute_batch",
+                    static_cast<std::int64_t>(jobs.size()));
+  const Clock::time_point started = Clock::now();
+  const std::size_t count = jobs.size();
+  std::vector<RolloutResult> results(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    results[i].queue_ms = std::chrono::duration<double, std::milli>(
+                              started - jobs[i].submitted)
+                              .count();
+  }
+
+  // collect_batch guarantees every member targets the same model, so one
+  // registry lookup covers the batch.
+  const ModelRegistry::Handle sim = registry_->get(jobs[0].request.model);
+
+  // Pre-flight: resolve members that never get to run and build validated
+  // inputs for the rest. A malformed member fails alone — it must not take
+  // its batch siblings down with it.
+  std::vector<std::size_t> members;  ///< job index per live batch member
+  std::vector<core::Window> windows;
+  std::vector<core::SceneContext> contexts;
+  std::vector<int> steps;
+  ad::NoGradGuard no_grad;
+  for (std::size_t i = 0; i < count; ++i) {
+    RolloutResult& result = results[i];
+    const Job& job = jobs[i];
+    if (job.cancelled->load(std::memory_order_relaxed)) {
+      result.status = JobStatus::Cancelled;
+      continue;
+    }
+    if (job.has_deadline && Clock::now() > job.deadline) {
+      result.status = JobStatus::DeadlineExceeded;
+      result.error = "deadline exceeded while queued";
+      continue;
+    }
+    if (sim == nullptr) {
+      result.status = JobStatus::ModelNotFound;
+      result.error = "no model registered as '" + job.request.model + "'";
+      continue;
+    }
+    try {
+      MemberInputs inputs = build_member_inputs(job.request, sim->features());
+      members.push_back(i);
+      windows.push_back(std::move(inputs.window));
+      contexts.push_back(std::move(inputs.context));
+      steps.push_back(job.request.steps);
+    } catch (const std::exception& e) {
+      result.status = JobStatus::ExecutionError;
+      result.error = e.what();
+    }
+  }
+
+  if (!members.empty()) {
+    Timer exec_timer;
+    try {
+      core::BatchedSimulator batched(sim);
+      // The gate runs before every batched step: an expired or cancelled
+      // member is compacted out with its partial frames while the rest of
+      // the batch keeps stepping — so the earliest member deadline is
+      // honored even though the members share forward passes.
+      const auto gate = [&jobs, &members, &results](int m) {
+        const Job& job = jobs[members[m]];
+        RolloutResult& result = results[members[m]];
+        if (job.cancelled->load(std::memory_order_relaxed)) {
+          result.status = JobStatus::Cancelled;
+          return false;
+        }
+        if (job.has_deadline && Clock::now() > job.deadline) {
+          result.status = JobStatus::DeadlineExceeded;
+          return false;
+        }
+        return true;
+      };
+      auto frames = batched.rollout(windows, steps, contexts, gate);
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        RolloutResult& result = results[members[m]];
+        result.frames = std::move(frames[m]);
+        if (result.status == JobStatus::DeadlineExceeded) {
+          result.error = "deadline exceeded after " +
+                         std::to_string(result.frames.size()) + " of " +
+                         std::to_string(steps[m]) + " steps";
+        } else if (result.status == JobStatus::ExecutionError &&
+                   result.error.empty()) {
+          result.status = JobStatus::Ok;  // default-initialized: ran clean
+        }
+      }
+    } catch (const std::exception& e) {
+      // A batch-level failure (bad shapes, NaN guard, ...) fails every
+      // member that was still running.
+      for (std::size_t m : members) {
+        if (results[m].status == JobStatus::ExecutionError &&
+            results[m].error.empty()) {
+          results[m].error = e.what();
+        }
+      }
+    }
+    const double exec_ms = exec_timer.millis();
+    // Forward passes are shared, so per-member execution time is the
+    // batch's wall time (the latency a member actually observed).
+    for (std::size_t m : members) results[m].exec_ms = exec_ms;
+  }
+
+  for (std::size_t i = 0; i < count; ++i)
+    resolve(std::move(jobs[i]), std::move(results[i]));
 }
 
 void JobScheduler::resolve(Job&& job, RolloutResult result) {

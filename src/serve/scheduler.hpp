@@ -12,10 +12,22 @@
 /// job's deadline and cancellation flag between steps, so a runaway
 /// request occupies a worker for at most one extra step past its budget.
 ///
+/// Batched dispatch (max_batch > 1): a worker that pops a job also pulls up
+/// to max_batch-1 more queued jobs for the *same model* (skipping
+/// incompatible ones, which stay queued for other workers), waiting at most
+/// batch_window_us for stragglers — but never past the earliest member
+/// deadline. The members run as ONE block-diagonal rollout
+/// (core::BatchedSimulator): one GNS forward per step for the whole batch.
+/// Per-member deadlines/cancellation still hold — an expired or cancelled
+/// member is compacted out between steps with its partial frames while the
+/// rest keep batching. Dispatch sizes land in the `<prefix>.batch_size`
+/// histogram.
+///
 /// Workers share model weights through registry handles but build all
 /// per-job tensors locally; the autograd tape is thread-local and disabled
-/// during serving, so concurrent rollouts of one model are bit-identical
-/// to running them serially (guarded by test_serve).
+/// during serving, so concurrent — and batched — rollouts of one model are
+/// bit-identical to running them serially (guarded by test_serve and
+/// test_batching).
 
 #include <atomic>
 #include <chrono>
@@ -38,6 +50,14 @@ namespace gns::serve {
 struct SchedulerConfig {
   int workers = 4;          ///< fixed pool size (>= 1)
   int queue_capacity = 64;  ///< max queued (not yet running) jobs (>= 1)
+  /// Max jobs coalesced into one block-diagonal rollout; 1 disables
+  /// batching (the classic one-job-per-worker path).
+  int max_batch = 1;
+  /// How long a worker holding an underfull batch waits for more
+  /// same-model jobs to arrive, in microseconds. 0 = dispatch immediately
+  /// with whatever is already queued. The wait is always capped by the
+  /// earliest member deadline.
+  double batch_window_us = 0.0;
   /// MetricsRegistry prefix for this scheduler's ServerStats. Give every
   /// concurrently-live scheduler a distinct prefix.
   std::string stats_prefix = "serve";
@@ -105,8 +125,16 @@ class JobScheduler {
   };
 
   void worker_loop();
+  /// Pulls up to max_batch-1 more same-model jobs into `batch`, waiting at
+  /// most batch_window_us (capped by the earliest member deadline). Called
+  /// with mutex_ held via `lock`.
+  void collect_batch(std::unique_lock<std::mutex>& lock,
+                     std::vector<Job>& batch);
   /// Runs the rollout; everything but queueing. Must not hold mutex_.
   [[nodiscard]] RolloutResult execute(Job& job) const;
+  /// Runs `jobs` as one block-diagonal batched rollout and resolves every
+  /// member (per-member statuses/deadlines). Must not hold mutex_.
+  void execute_batch(std::vector<Job> jobs);
   void resolve(Job&& job, RolloutResult result);
 
   std::shared_ptr<ModelRegistry> registry_;

@@ -27,7 +27,11 @@ ServerStats::ServerStats(std::string prefix, obs::MetricsRegistry* registry)
           resolve(registry).gauge(prefix + ".peak_queue_depth")),
       total_ms_(resolve(registry).histogram(prefix + ".total_ms")),
       queue_ms_(resolve(registry).histogram(prefix + ".queue_ms")),
-      exec_ms_(resolve(registry).histogram(prefix + ".exec_ms")) {
+      exec_ms_(resolve(registry).histogram(prefix + ".exec_ms")),
+      batch_size_(resolve(registry).histogram(prefix + ".batch_size",
+                                              /*min_value=*/1.0,
+                                              /*growth=*/1.15,
+                                              /*buckets=*/40)) {
   // A fresh server starts from zero even when an earlier instance used the
   // same prefix (schedulers are built sequentially in benches/tests).
   resolve(registry).reset_prefix(prefix + ".");
@@ -44,6 +48,10 @@ void ServerStats::on_rejected(JobStatus status) {
     rejected_queue_full_.add();
   else
     shut_down_.add();
+}
+
+void ServerStats::on_dispatch(int batch_size) {
+  batch_size_.add(static_cast<double>(batch_size));
 }
 
 void ServerStats::on_resolved(const RolloutResult& result, int queue_depth) {
@@ -88,6 +96,7 @@ StatsSnapshot ServerStats::snapshot() const {
   snap.total_ms = total_ms_.snapshot();
   snap.queue_ms = queue_ms_.snapshot();
   snap.exec_ms = exec_ms_.snapshot();
+  snap.batch_size = batch_size_.snapshot();
   return snap;
 }
 
@@ -151,6 +160,7 @@ std::string ServerStats::to_json(
   json_percentiles(os, "total_ms", snap.total_ms, first);
   json_percentiles(os, "queue_ms", snap.queue_ms, first);
   json_percentiles(os, "exec_ms", snap.exec_ms, first);
+  json_percentiles(os, "batch_size", snap.batch_size, first);
   for (const auto& [key, value] : extra)
     json_field(os, key.c_str(), value, first);
   os << "\n}\n";

@@ -39,6 +39,9 @@ struct StatsSnapshot {
   Histogram total_ms{1e-3, 1.15, 200};  ///< submit-to-resolve, Ok jobs
   Histogram queue_ms{1e-3, 1.15, 200};  ///< queue wait, Ok jobs
   Histogram exec_ms{1e-3, 1.15, 200};   ///< worker execution, Ok jobs
+  /// Jobs per worker dispatch (1 on the unbatched path; up to max_batch
+  /// when coalescing) — the utilization signal of batched serving.
+  Histogram batch_size{1.0, 1.15, 40};
 
   /// Ok jobs per second over the given wall-clock window.
   [[nodiscard]] double throughput(double wall_seconds) const {
@@ -60,6 +63,10 @@ class ServerStats {
 
   /// A submit was rejected (queue full / shutdown) before queueing.
   void on_rejected(JobStatus status);
+
+  /// A worker dispatched `batch_size` coalesced jobs as one execution
+  /// (1 on the unbatched path).
+  void on_dispatch(int batch_size);
 
   /// A job resolved with the given result; depth is the queue size after
   /// the job left it.
@@ -93,6 +100,7 @@ class ServerStats {
   obs::HistogramMetric& total_ms_;
   obs::HistogramMetric& queue_ms_;
   obs::HistogramMetric& exec_ms_;
+  obs::HistogramMetric& batch_size_;
 };
 
 }  // namespace gns::serve

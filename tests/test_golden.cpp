@@ -1,0 +1,215 @@
+// Golden-rollout regression tests: short deterministic rollouts of the GNS,
+// the hybrid GNS/MPM controller, and the pure-MPM substrate are compared
+// frame-by-frame against checked-in artifacts under tests/golden/. Any
+// change to numerics — op kernels, feature construction, integrator,
+// neighbor search, MPM constitutive model — shows up here as drift.
+//
+// Tolerance: max |position| drift < 1e-6 per component. The runs are
+// bit-deterministic for a fixed build (fixed seeds, serial reductions), so
+// the slack only absorbs cross-compiler / FMA-contraction / thread-count
+// reassociation noise, all orders of magnitude below 1e-6 on these short
+// horizons. Intentional numeric changes regenerate the artifacts:
+//
+//     GNS_REGEN_GOLDEN=1 ctest -L golden
+//
+// which rewrites tests/golden/*.txt in the SOURCE tree (path baked in via
+// the GNS_GOLDEN_DIR compile definition) — commit the diff alongside the
+// change that caused it. On mismatch each test also writes
+// golden_diff_<name>.txt next to the test binary (uploaded as a CI
+// artifact) with the worst offending frames.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/datagen.hpp"
+#include "core/hybrid.hpp"
+#include "core/trainer.hpp"
+#include "mpm/scenes.hpp"
+#include "mpm/solver.hpp"
+#include "util/rng.hpp"
+
+#ifndef GNS_GOLDEN_DIR
+#define GNS_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace gns {
+namespace {
+
+using Frames = std::vector<std::vector<double>>;
+
+constexpr double kTolerance = 1e-6;
+
+bool regen_requested() {
+  const char* env = std::getenv("GNS_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(GNS_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+void write_golden(const std::string& name, const Frames& frames) {
+  const std::string path = golden_path(name);
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good()) << "cannot write golden artifact " << path;
+  out << std::setprecision(17);
+  out << "# golden rollout '" << name << "': frames x flat positions.\n"
+      << "# Regenerate with GNS_REGEN_GOLDEN=1 (see test_golden.cpp).\n";
+  out << frames.size() << ' ' << (frames.empty() ? 0 : frames[0].size())
+      << '\n';
+  for (const auto& frame : frames) {
+    for (std::size_t k = 0; k < frame.size(); ++k)
+      out << (k ? " " : "") << frame[k];
+    out << '\n';
+  }
+}
+
+Frames read_golden(const std::string& name, bool* found) {
+  Frames frames;
+  std::ifstream in(golden_path(name));
+  *found = in.good();
+  if (!*found) return frames;
+  std::string line;
+  while (std::getline(in, line) && !line.empty() && line[0] == '#') {
+  }
+  std::istringstream header(line);
+  std::size_t rows = 0, cols = 0;
+  header >> rows >> cols;
+  frames.resize(rows, std::vector<double>(cols));
+  for (auto& frame : frames)
+    for (auto& v : frame) in >> v;
+  *found = in.good() || in.eof();
+  return frames;
+}
+
+/// Compares against the artifact; regenerates when GNS_REGEN_GOLDEN is
+/// set; dumps golden_diff_<name>.txt on mismatch for CI artifact upload.
+void check_against_golden(const std::string& name, const Frames& actual) {
+  if (regen_requested()) {
+    write_golden(name, actual);
+    GTEST_SKIP() << "regenerated " << golden_path(name);
+  }
+  bool found = false;
+  const Frames expected = read_golden(name, &found);
+  ASSERT_TRUE(found) << "missing golden artifact " << golden_path(name)
+                     << " — run with GNS_REGEN_GOLDEN=1 to create it";
+  ASSERT_EQ(actual.size(), expected.size()) << "frame count drifted";
+
+  double max_drift = 0.0;
+  std::size_t worst_frame = 0, worst_component = 0;
+  for (std::size_t t = 0; t < expected.size(); ++t) {
+    ASSERT_EQ(actual[t].size(), expected[t].size()) << "frame " << t;
+    for (std::size_t k = 0; k < expected[t].size(); ++k) {
+      const double d = std::abs(actual[t][k] - expected[t][k]);
+      if (d > max_drift) {
+        max_drift = d;
+        worst_frame = t;
+        worst_component = k;
+      }
+    }
+  }
+  if (max_drift >= kTolerance) {
+    const std::string diff_path = "golden_diff_" + name + ".txt";
+    std::ofstream diff(diff_path);
+    diff << std::setprecision(17);
+    diff << "golden mismatch for '" << name << "': max drift " << max_drift
+         << " at frame " << worst_frame << " component " << worst_component
+         << " (tolerance " << kTolerance << ")\n";
+    diff << "frame component expected actual absdiff\n";
+    for (std::size_t t = 0; t < expected.size(); ++t)
+      for (std::size_t k = 0; k < expected[t].size(); ++k) {
+        const double d = std::abs(actual[t][k] - expected[t][k]);
+        if (d >= kTolerance)
+          diff << t << ' ' << k << ' ' << expected[t][k] << ' '
+               << actual[t][k] << ' ' << d << '\n';
+      }
+    FAIL() << "max drift " << max_drift << " at frame " << worst_frame
+           << " component " << worst_component << " exceeds " << kTolerance
+           << "; full diff written to " << diff_path;
+  }
+  SUCCEED() << "max drift " << max_drift;
+}
+
+// ---------- Scenario builders (fixed seeds, tiny but representative) ------
+
+mpm::Scene golden_scene() {
+  mpm::GranularSceneParams params;
+  params.cells_x = 16;
+  params.cells_y = 8;
+  params.domain_width = 1.0;
+  params.domain_height = 0.5;
+  params.material.friction_deg = 30.0;
+  return mpm::make_column_collapse(params, 0.15, 1.2);
+}
+
+core::LearnedSimulator golden_sim() {
+  mpm::MpmSolver solver = golden_scene().make_solver();
+  io::Dataset ds;
+  ds.trajectories.push_back(
+      core::record_mpm_trajectory(solver, /*frames=*/12, /*substeps=*/10,
+                                  /*material_param=*/0.5));
+  core::FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.12;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 0.5};
+  fc.material_feature = true;
+  core::GnsConfig gc;
+  gc.latent = 16;
+  gc.mlp_hidden = 16;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 2;
+  gc.attention = true;
+  return core::make_simulator(ds, fc, gc, /*seed=*/17);
+}
+
+TEST(Golden, GnsRollout) {
+  core::LearnedSimulator sim = golden_sim();
+  mpm::MpmSolver solver = golden_scene().make_solver();
+  const io::Trajectory warmup =
+      core::record_mpm_trajectory(solver, sim.features().window_size(), 10,
+                                  0.5);
+  const core::Window window = sim.window_from_trajectory(warmup);
+  const core::SceneContext ctx =
+      core::SceneContext::from_trajectory(sim.features(), warmup);
+  check_against_golden("gns_rollout", sim.rollout(window, /*steps=*/15, ctx));
+}
+
+TEST(Golden, HybridController) {
+  core::LearnedSimulator sim = golden_sim();
+  core::HybridConfig hc;
+  hc.gns_frames = 3;
+  hc.refine_frames = 2;
+  hc.substeps = 10;
+  const core::HybridResult result = core::run_hybrid(
+      sim, golden_scene().make_solver(), hc, /*total_frames=*/14,
+      /*material_param=*/0.5);
+  check_against_golden("hybrid", result.frames);
+}
+
+TEST(Golden, MpmColumnCollapse) {
+  mpm::MpmSolver solver = golden_scene().make_solver();
+  Frames frames;
+  for (int f = 0; f < 12; ++f) {  // 12 recorded frames, 10 substeps apart
+    solver.run(10);
+    std::vector<double> flat;
+    flat.reserve(static_cast<std::size_t>(solver.particles().size()) * 2);
+    for (const auto& x : solver.particles().position) {
+      flat.push_back(x.x);
+      flat.push_back(x.y);
+    }
+    frames.push_back(std::move(flat));
+  }
+  check_against_golden("mpm_column", frames);
+}
+
+}  // namespace
+}  // namespace gns

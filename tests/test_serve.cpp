@@ -329,5 +329,148 @@ TEST_F(ServeTest, MalformedRequestIsExecutionErrorAndSchedulerSurvives) {
   EXPECT_EQ(scheduler.stats().snapshot().failed, 2u);
 }
 
+// ---------- Batched dispatch (max_batch > 1) ----------
+
+TEST_F(ServeTest, BatchedSchedulerMatchesSequentialBitwise) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  const auto serial_short = sim->rollout(window_of(*sim), 5, context_of());
+  const auto serial_long = sim->rollout(window_of(*sim), 9, context_of());
+
+  SchedulerConfig cfg;
+  cfg.workers = 1;  // one worker => queued jobs must coalesce
+  cfg.queue_capacity = 64;
+  cfg.max_batch = 4;
+  JobScheduler scheduler(registry, cfg);
+
+  scheduler.pause();  // fill the queue so dispatches actually batch
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 12; ++i)
+    tickets.push_back(
+        scheduler.submit(small_request(*sim, i % 2 == 0 ? 5 : 9)));
+  scheduler.resume();
+
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    RolloutResult result = tickets[i].result.get();
+    ASSERT_EQ(result.status, JobStatus::Ok) << result.error;
+    const auto& serial = i % 2 == 0 ? serial_short : serial_long;
+    ASSERT_EQ(result.frames.size(), serial.size());
+    for (std::size_t t = 0; t < serial.size(); ++t)
+      for (std::size_t k = 0; k < serial[t].size(); ++k)
+        ASSERT_EQ(result.frames[t][k], serial[t][k])
+            << "job " << i << " frame " << t << " component " << k;
+  }
+
+  const StatsSnapshot snap = scheduler.stats().snapshot();
+  EXPECT_EQ(snap.completed, 12u);
+  EXPECT_EQ(snap.failed, 0u);
+  // 12 jobs through one worker at max_batch=4: at most 12 dispatches, and
+  // at least one of them must have coalesced a full batch.
+  EXPECT_GE(snap.batch_size.count(), 1u);
+  EXPECT_LE(snap.batch_size.count(), 12u);
+  EXPECT_GE(snap.batch_size.max(), 4.0);
+}
+
+TEST_F(ServeTest, BatchedJobHonorsEarliestMemberDeadline) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  const auto serial = sim->rollout(window_of(*sim), 3, context_of());
+
+  SchedulerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.max_batch = 2;
+  JobScheduler scheduler(registry, cfg);
+
+  scheduler.pause();  // both jobs queue, then coalesce into one batch
+  RolloutRequest doomed = small_request(*sim, 1000000);
+  doomed.deadline_ms = 60.0;
+  JobTicket a = scheduler.submit(std::move(doomed));
+  JobTicket b = scheduler.submit(small_request(*sim, 3));
+  scheduler.resume();
+
+  // The unbounded member hits its deadline mid-batch and is compacted out
+  // with the frames computed so far...
+  RolloutResult ra = a.result.get();
+  EXPECT_EQ(ra.status, JobStatus::DeadlineExceeded);
+  EXPECT_LT(ra.frames.size(), 1000000u);
+  EXPECT_NE(ra.error.find("deadline exceeded"), std::string::npos);
+
+  // ...while its batch sibling finishes normally with frames bit-identical
+  // to a solo rollout.
+  RolloutResult rb = b.result.get();
+  ASSERT_EQ(rb.status, JobStatus::Ok) << rb.error;
+  ASSERT_EQ(rb.frames.size(), serial.size());
+  for (std::size_t t = 0; t < serial.size(); ++t)
+    for (std::size_t k = 0; k < serial[t].size(); ++k)
+      ASSERT_EQ(rb.frames[t][k], serial[t][k]);
+
+  EXPECT_EQ(scheduler.stats().snapshot().deadline_exceeded, 1u);
+}
+
+TEST_F(ServeTest, BatchWindowWaitIsCappedByEarliestDeadline) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+
+  SchedulerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.max_batch = 4;
+  cfg.batch_window_us = 30'000'000.0;  // 30 s: would dwarf the deadline
+  JobScheduler scheduler(registry, cfg);
+
+  RolloutRequest req = small_request(*sim, 3);
+  req.deadline_ms = 50.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  RolloutResult result = scheduler.submit(std::move(req)).result.get();
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Without the deadline cap the lone member would sit out the full 30 s
+  // window. With it, the scheduler dispatches at the deadline.
+  EXPECT_LT(waited_ms, 5000.0);
+  EXPECT_EQ(result.status, JobStatus::DeadlineExceeded);
+}
+
+TEST_F(ServeTest, BatchedMalformedMemberFailsAloneAndCancelledMemberSkipped) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  const auto serial = sim->rollout(window_of(*sim), 2, context_of());
+
+  SchedulerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.max_batch = 3;
+  JobScheduler scheduler(registry, cfg);
+
+  scheduler.pause();
+  RolloutRequest bad = small_request(*sim, 2);
+  bad.window.pop_back();  // malformed: wrong window length
+  JobTicket a = scheduler.submit(std::move(bad));
+  JobTicket b = scheduler.submit(small_request(*sim, 2));
+  JobTicket c = scheduler.submit(small_request(*sim, 2));
+  ASSERT_TRUE(scheduler.cancel(c.id));
+  scheduler.resume();
+
+  RolloutResult ra = a.result.get();
+  EXPECT_EQ(ra.status, JobStatus::ExecutionError);
+  EXPECT_FALSE(ra.error.empty());
+
+  RolloutResult rb = b.result.get();
+  ASSERT_EQ(rb.status, JobStatus::Ok) << rb.error;
+  ASSERT_EQ(rb.frames.size(), serial.size());
+  for (std::size_t t = 0; t < serial.size(); ++t)
+    for (std::size_t k = 0; k < serial[t].size(); ++k)
+      ASSERT_EQ(rb.frames[t][k], serial[t][k]);
+
+  EXPECT_EQ(c.result.get().status, JobStatus::Cancelled);
+}
+
 }  // namespace
 }  // namespace gns::serve
