@@ -65,12 +65,14 @@ inline int configured_threads() {
   return n;
 }
 
-/// Dumps bench results as a flat JSON object into the cache dir. Always
-/// records gns_num_threads so a result file carries the thread pinning it
-/// was measured under.
-inline void write_bench_json(
-    const std::string& path,
+/// Dumps bench results as a flat JSON object to
+/// `<cache_dir>/BENCH_<name>.json` — the machine-readable artifact CI
+/// uploads and gates on. Always records gns_num_threads so a result file
+/// carries the thread pinning it was measured under.
+inline void write_json(
+    const std::string& name,
     const std::vector<std::pair<std::string, double>>& fields) {
+  const std::string path = cache_dir() + "/BENCH_" + name + ".json";
   std::ofstream out(path);
   out.precision(10);
   out << "{\n  \"gns_num_threads\": " << configured_threads();

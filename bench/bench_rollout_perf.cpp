@@ -1,0 +1,201 @@
+// Perf — steady-state rollout throughput under the zero-allocation
+// optimizations: tensor arena (GNS_ARENA), fused linear kernels
+// (GNS_FUSED), and Verlet-skin neighbor reuse (GNS_SKIN).
+//
+// Sweeps all 8 on/off combinations on the Fig-3 columns configuration
+// (held-out friction angle), reports steps/sec for each, and verifies that
+// every combination produces bitwise-identical rollout frames — the
+// optimizations trade allocations and passes for speed, never results.
+//
+// `--small` runs a scaled-down fixture (tiny model trained in seconds,
+// cached) for CI perf-smoke; the JSON then carries small=1.
+//
+// Output: BENCH_rollout.json in the bench cache with one
+// a{0,1}_f{0,1}_s{0,1}_steps_per_sec field per combination plus
+// speedup_all_on and identical_outputs.
+
+#include <array>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+
+using namespace gns;
+using namespace gns::bench;
+
+namespace {
+
+constexpr double kSkinFraction = 0.25;
+
+/// Tiny fixture for --small: one short column collapse, a 16-latent model
+/// trained for a few seconds, cached like the big models.
+FeatureConfig small_features() {
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.05;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 0.5};
+  fc.material_feature = false;
+  return fc;
+}
+
+mpm::GranularSceneParams small_scene() {
+  mpm::GranularSceneParams params;
+  params.cells_x = 16;
+  params.cells_y = 8;
+  params.domain_width = 1.0;
+  params.domain_height = 0.5;
+  params.particles_per_cell_dim = 2;
+  return params;
+}
+
+io::Dataset small_dataset() {
+  return generate_column_dataset(small_scene(), {30.0}, kColumnWidth,
+                                 kColumnAspect, /*frames=*/30,
+                                 /*substeps=*/10);
+}
+
+LearnedSimulator small_simulator(const io::Dataset& ds) {
+  const std::string path = cache_dir() + "/gns_rollout_small_v1.bin";
+  if (auto sim = load_simulator(path)) {
+    std::printf("[cache] loaded small model from %s\n", path.c_str());
+    return std::move(*sim);
+  }
+  std::printf("[train] small rollout model...\n");
+  GnsConfig gc;
+  gc.latent = 16;
+  gc.mlp_hidden = 16;
+  gc.mlp_layers = 2;
+  gc.message_passing_steps = 2;
+  LearnedSimulator sim = make_simulator(ds, small_features(), gc);
+  TrainConfig tc;
+  tc.steps = 120;
+  tc.lr = 2e-3;
+  tc.noise_std = 3e-4;
+  tc.log_every = 60;
+  train_gns(sim, ds, tc);
+  save_simulator(sim, path);
+  return sim;
+}
+
+struct Combo {
+  bool arena;
+  bool fused;
+  bool skin;
+  [[nodiscard]] std::string key() const {
+    std::string k = "a";
+    k += arena ? '1' : '0';
+    k += "_f";
+    k += fused ? '1' : '0';
+    k += "_s";
+    k += skin ? '1' : '0';
+    return k;
+  }
+  void apply() const {
+    ad::set_arena_enabled(arena);
+    ad::set_fused_linear_enabled(fused);
+    graph::set_default_skin_fraction(skin ? kSkinFraction : 0.0);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool small =
+      argc > 1 && std::strcmp(argv[1], "--small") == 0;
+  print_header(
+      "Rollout perf: arena / fused kernels / Verlet-skin neighbor reuse",
+      "optimizations change cost, not results (bitwise-identical frames)");
+  configured_threads();
+
+  io::Dataset test;
+  LearnedSimulator sim = [&]() -> LearnedSimulator {
+    if (small) {
+      test = small_dataset();
+      return small_simulator(test);
+    }
+    LearnedSimulator columns = columns_simulator();
+    test = generate_column_dataset(granular_scene(), {30.0}, kColumnWidth,
+                                   kColumnAspect, kFrames, kSubsteps);
+    return columns;
+  }();
+
+  const io::Trajectory& traj = test.trajectories[0];
+  const Window win = sim.window_from_trajectory(traj);
+  SceneContext ctx;
+  if (sim.features().material_feature)
+    ctx.material = ad::Tensor::scalar(core::material_param_from_friction(30.0));
+  const int steps = traj.num_frames() - sim.features().window_size();
+  const int reps = small ? 2 : 5;
+  std::printf("\n%d particles, %d rollout steps, best of %d reps\n",
+              traj.num_particles, steps, reps);
+  std::printf("%12s %14s %12s %10s\n", "combo", "steps/sec", "nbr reuse",
+              "identical");
+
+  auto& rebuilds =
+      obs::MetricsRegistry::global().counter("graph.neighbor.rebuild");
+  auto& reuses =
+      obs::MetricsRegistry::global().counter("graph.neighbor.reuse");
+
+  // Reps are interleaved round-robin across the 8 combos (rather than
+  // timing each combo's reps back to back) so slow phases of a shared
+  // machine penalize every combo equally; best-of-reps then discards the
+  // noise floor.
+  std::vector<std::vector<double>> baseline_frames;
+  std::array<double, 8> best{};
+  std::array<double, 8> reuse_frac{};
+  std::array<bool, 8> same{};
+  bool identical = true;
+  {
+    const Combo warmup{false, false, false};
+    warmup.apply();
+    (void)sim.rollout(win, steps, ctx);  // page in weights before timing
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int mask = 0; mask < 8; ++mask) {
+      const Combo combo{(mask & 4) != 0, (mask & 2) != 0, (mask & 1) != 0};
+      combo.apply();
+      const std::uint64_t rb0 = rebuilds.value(), ru0 = reuses.value();
+      Timer timer;
+      const std::vector<std::vector<double>> frames =
+          sim.rollout(win, steps, ctx);
+      best[mask] = std::max(best[mask], steps / timer.seconds());
+      const std::uint64_t rb = rebuilds.value() - rb0;
+      const std::uint64_t ru = reuses.value() - ru0;
+      reuse_frac[mask] =
+          rb + ru > 0
+              ? static_cast<double>(ru) / static_cast<double>(rb + ru)
+              : 0.0;
+      if (rep == 0 && mask == 0) baseline_frames = frames;
+      same[mask] = frames == baseline_frames;
+      identical = identical && same[mask];
+    }
+  }
+  std::vector<std::pair<std::string, double>> fields;
+  for (int mask = 0; mask < 8; ++mask) {
+    const Combo combo{(mask & 4) != 0, (mask & 2) != 0, (mask & 1) != 0};
+    std::printf("%12s %14.2f %11.0f%% %10s\n", combo.key().c_str(),
+                best[mask], 100.0 * reuse_frac[mask],
+                same[mask] ? "yes" : "NO");
+    fields.emplace_back(combo.key() + "_steps_per_sec", best[mask]);
+  }
+  const double baseline_sps = best[0];
+  const double all_on_sps = best[7];
+  ad::set_arena_enabled(false);
+  ad::set_fused_linear_enabled(false);
+  graph::set_default_skin_fraction(0.0);
+
+  const double speedup = baseline_sps > 0.0 ? all_on_sps / baseline_sps : 0.0;
+  print_rule();
+  std::printf("all-on speedup over all-off: %.2fx   outputs %s\n", speedup,
+              identical ? "bitwise identical across all 8 combos"
+                        : "DIVERGED — optimization bug");
+  fields.emplace_back("speedup_all_on", speedup);
+  fields.emplace_back("identical_outputs", identical ? 1.0 : 0.0);
+  fields.emplace_back("particles", static_cast<double>(traj.num_particles));
+  fields.emplace_back("rollout_steps", static_cast<double>(steps));
+  fields.emplace_back("small", small ? 1.0 : 0.0);
+  write_json("rollout", fields);
+  return identical ? 0 : 1;
+}

@@ -185,6 +185,6 @@ int main(int argc, char** argv) {
       ">=4 cores max_batch=8 should clear 1.5x over max_batch=1.\n");
 
   json_fields.emplace_back("requests", static_cast<double>(requests));
-  write_bench_json(cache_dir() + "/serve_throughput.json", json_fields);
+  write_json("serve_throughput", json_fields);
   return 0;
 }

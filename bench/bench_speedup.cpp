@@ -73,7 +73,7 @@ int main() {
                 1e3 * gns_per_frame, mpm_ms / (1e3 * gns_per_frame));
   }
 
-  write_bench_json(cache_dir() + "/speedup.json",
+  write_json("speedup",
                    {{"mpm_ms_per_frame", 1e3 * mpm_per_frame},
                     {"gns_ms_per_frame", 1e3 * gns_per_frame},
                     {"speedup", ratio},

@@ -70,6 +70,26 @@ Tensor leaky_relu(const Tensor& a, Real slope = Real(0.01));
 Tensor matmul(const Tensor& a, const Tensor& b);
 Tensor transpose(const Tensor& a);
 
+// ---- Fused linear layer -----------------------------------------------------
+
+/// Activation applied by the fused linear kernel.
+enum class FusedAct { Identity, ReLU, Tanh };
+
+/// Fused act(x·W + b): one pass over each output tile instead of three
+/// tensors (matmul, +bias, activation). `b` is [1,M] or undefined (no
+/// bias). Forward values and backward gradients are bitwise identical to
+/// the unfused op chain — the kernels replicate matmul's accumulation
+/// order exactly — so the fused path can be toggled freely without
+/// perturbing rollouts or training (tests/test_nn.cpp asserts equality).
+Tensor linear_act(const Tensor& x, const Tensor& w, const Tensor& b,
+                  FusedAct act);
+
+/// Global switch for Mlp's fused forward path. Defaults to the GNS_FUSED
+/// environment variable (unset/"0" = off, i.e. the reference unfused
+/// op-chain path used by gradcheck cross-validation).
+[[nodiscard]] bool fused_linear_enabled();
+void set_fused_linear_enabled(bool enabled);
+
 // ---- Reductions -------------------------------------------------------------
 
 /// Sum of all elements -> [1,1].

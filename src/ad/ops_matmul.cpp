@@ -1,3 +1,12 @@
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 #include "ad/ops.hpp"
 
 #ifdef _OPENMP
@@ -62,7 +71,182 @@ void gemm_tn_acc(const Real* a, const Real* go, Real* gb, int n, int k,
   }
 }
 
+/// One fused output row, portable path: the exact gemm_acc accumulation
+/// (same ascending-p order, same zero-skip) followed by bias add and
+/// activation while the row is still cache-hot. Element-for-element this
+/// performs the identical FP operation sequence as matmul -> add -> act,
+/// so results are bitwise equal to the unfused chain.
+void fused_row_scalar(const Real* arow, const Real* w, const Real* bias,
+                      Real* crow, int k, int m, FusedAct act) {
+  for (int p = 0; p < k; ++p) {
+    const Real av = arow[p];
+    if (av == Real(0)) continue;
+    const Real* wrow = w + static_cast<std::size_t>(p) * m;
+    for (int j = 0; j < m; ++j) crow[j] += av * wrow[j];
+  }
+  switch (act) {
+    case FusedAct::Identity:
+      if (bias != nullptr)
+        for (int j = 0; j < m; ++j) crow[j] = crow[j] + bias[j];
+      break;
+    case FusedAct::ReLU:
+      for (int j = 0; j < m; ++j) {
+        const Real v = bias != nullptr ? crow[j] + bias[j] : crow[j];
+        crow[j] = v > 0 ? v : Real(0);
+      }
+      break;
+    case FusedAct::Tanh:
+      for (int j = 0; j < m; ++j) {
+        const Real v = bias != nullptr ? crow[j] + bias[j] : crow[j];
+        crow[j] = std::tanh(v);
+      }
+      break;
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define GNS_FUSED_AVX2_KERNEL 1
+
+/// One NV*4-column block of one fused output row, AVX2. Bitwise-identical
+/// to fused_row_scalar: separate _mm256_mul_pd / _mm256_add_pd (never FMA
+/// — a fused multiply-add would skip the intermediate rounding), each lane
+/// runs the same correctly-rounded IEEE ops in the same ascending-p order
+/// with the same zero-skip, and _mm256_max_pd(v, 0) matches `v > 0 ? v : 0`
+/// exactly (both return +0.0 for v == -0.0 and the second operand, 0, for
+/// NaN). What the vector version buys is the block held in NV ymm
+/// accumulators across the whole p loop — independent dependency chains
+/// (8 at the hot 32-column width, enough to hide addpd latency) — instead
+/// of a memory round-trip per p. Tanh stays scalar libm so transcendentals
+/// match the unfused op.
+template <int NV>
+__attribute__((target("avx2"))) void fused_avx2_block(const Real* arow,
+                                                      const Real* wblk,
+                                                      const Real* bias,
+                                                      Real* cblk, int k,
+                                                      int m, FusedAct act) {
+  __m256d acc[NV];
+  for (int u = 0; u < NV; ++u) acc[u] = _mm256_loadu_pd(cblk + 4 * u);
+  for (int p = 0; p < k; ++p) {
+    const Real av = arow[p];
+    if (av == Real(0)) continue;
+    const __m256d vav = _mm256_set1_pd(av);
+    const Real* wrow = wblk + static_cast<std::size_t>(p) * m;
+    for (int u = 0; u < NV; ++u)
+      acc[u] = _mm256_add_pd(
+          acc[u], _mm256_mul_pd(vav, _mm256_loadu_pd(wrow + 4 * u)));
+  }
+  if (bias != nullptr)
+    for (int u = 0; u < NV; ++u)
+      acc[u] = _mm256_add_pd(acc[u], _mm256_loadu_pd(bias + 4 * u));
+  if (act == FusedAct::ReLU) {
+    const __m256d zero = _mm256_setzero_pd();
+    for (int u = 0; u < NV; ++u) acc[u] = _mm256_max_pd(acc[u], zero);
+  }
+  for (int u = 0; u < NV; ++u) _mm256_storeu_pd(cblk + 4 * u, acc[u]);
+  if (act == FusedAct::Tanh)
+    for (int u = 0; u < 4 * NV; ++u) cblk[u] = std::tanh(cblk[u]);
+}
+
+/// One fused output row, AVX2 path: widest block first (wider = more
+/// latency-hiding chains and fewer re-scans of arow), then narrower
+/// blocks, then a scalar column tail (e.g. the dim-2 decoder head).
+__attribute__((target("avx2"))) void fused_row_avx2(const Real* arow,
+                                                    const Real* w,
+                                                    const Real* bias,
+                                                    Real* crow, int k, int m,
+                                                    FusedAct act) {
+  int j = 0;
+  for (; j + 32 <= m; j += 32)
+    fused_avx2_block<8>(arow, w + j, bias != nullptr ? bias + j : nullptr,
+                        crow + j, k, m, act);
+  for (; j + 16 <= m; j += 16)
+    fused_avx2_block<4>(arow, w + j, bias != nullptr ? bias + j : nullptr,
+                        crow + j, k, m, act);
+  for (; j + 8 <= m; j += 8)
+    fused_avx2_block<2>(arow, w + j, bias != nullptr ? bias + j : nullptr,
+                        crow + j, k, m, act);
+  for (; j + 4 <= m; j += 4)
+    fused_avx2_block<1>(arow, w + j, bias != nullptr ? bias + j : nullptr,
+                        crow + j, k, m, act);
+  // Columns past the last multiple of 4: scalar, one accumulator per
+  // column, same op order as above.
+  for (; j < m; ++j) {
+    Real acc = crow[j];
+    for (int p = 0; p < k; ++p) {
+      const Real av = arow[p];
+      if (av == Real(0)) continue;
+      acc += av * w[static_cast<std::size_t>(p) * m + j];
+    }
+    Real v = bias != nullptr ? acc + bias[j] : acc;
+    if (act == FusedAct::ReLU)
+      v = v > 0 ? v : Real(0);
+    else if (act == FusedAct::Tanh)
+      v = std::tanh(v);
+    crow[j] = v;
+  }
+}
+
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+#endif  // GNS_FUSED_AVX2_KERNEL
+
+/// Fused forward: per output row, gemm accumulation + bias + activation in
+/// one pass (see the row kernels above for the bitwise-identity argument).
+void fused_linear_fwd(const Real* a, const Real* w, const Real* bias, Real* c,
+                      int n, int k, int m, FusedAct act) {
+  const std::int64_t work = static_cast<std::int64_t>(n) * k * m;
+#ifdef GNS_FUSED_AVX2_KERNEL
+  if (cpu_has_avx2()) {
+#pragma omp parallel for schedule(static) if (work > 1 << 16)
+    for (int i = 0; i < n; ++i)
+      fused_row_avx2(a + static_cast<std::size_t>(i) * k, w, bias,
+                     c + static_cast<std::size_t>(i) * m, k, m, act);
+    return;
+  }
+#endif
+#pragma omp parallel for schedule(static) if (work > 1 << 16)
+  for (int i = 0; i < n; ++i)
+    fused_row_scalar(a + static_cast<std::size_t>(i) * k, w, bias,
+                     c + static_cast<std::size_t>(i) * m, k, m, act);
+}
+
+/// d(act)/d(pre-activation) recovered from the *output* value (valid for
+/// ReLU: out > 0 <=> pre > 0; for Tanh: 1 - out^2 — both match the unfused
+/// elementwise backward exactly).
+Real act_grad_from_output(FusedAct act, Real out) {
+  switch (act) {
+    case FusedAct::ReLU:
+      return out > 0 ? Real(1) : Real(0);
+    case FusedAct::Tanh:
+      return Real(1) - out * out;
+    case FusedAct::Identity:
+      break;
+  }
+  return Real(1);
+}
+
+// -1 = unset (read GNS_FUSED on first query), else 0/1.
+std::atomic<int> g_fused_state{-1};
+
 }  // namespace
+
+bool fused_linear_enabled() {
+  int s = g_fused_state.load(std::memory_order_relaxed);
+  if (s < 0) {
+    const char* env = std::getenv("GNS_FUSED");
+    s = (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0)
+            ? 1
+            : 0;
+    g_fused_state.store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void set_fused_linear_enabled(bool enabled) {
+  g_fused_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   GNS_TRACE_SCOPE("ad.ops.matmul");
@@ -92,11 +276,15 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor transpose(const Tensor& a) {
+  GNS_TRACE_SCOPE("ad.ops.transpose");
   const int n = a.rows(), m = a.cols();
+  const std::int64_t work = static_cast<std::int64_t>(n) * m;
   auto pa = a.ptr();
-  Tensor out = make_op_result(m, n, {pa}, [pa, n, m](TensorImpl& self) {
+  Tensor out = make_op_result(m, n, {pa}, [pa, n, m, work](TensorImpl& self) {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
+    // Parallel over input rows: each i owns grad row i (no write races).
+#pragma omp parallel for schedule(static) if (work > 1 << 16)
     for (int i = 0; i < n; ++i)
       for (int j = 0; j < m; ++j)
         pa->grad[static_cast<std::size_t>(i) * m + j] +=
@@ -104,10 +292,71 @@ Tensor transpose(const Tensor& a) {
   });
   const Real* av = a.data();
   Real* ov = out.data();
-  for (int i = 0; i < n; ++i)
-    for (int j = 0; j < m; ++j)
+  // Parallel over output rows j; pure copies, so any order is bitwise
+  // identical to the serial loop.
+#pragma omp parallel for schedule(static) if (work > 1 << 16)
+  for (int j = 0; j < m; ++j)
+    for (int i = 0; i < n; ++i)
       ov[static_cast<std::size_t>(j) * n + i] =
           av[static_cast<std::size_t>(i) * m + j];
+  return out;
+}
+
+Tensor linear_act(const Tensor& x, const Tensor& w, const Tensor& b,
+                  FusedAct act) {
+  GNS_TRACE_SCOPE("ad.ops.linear_act");
+  GNS_CHECK_MSG(x.cols() == w.rows(), "linear_act shape mismatch: "
+                                          << x.rows() << "x" << x.cols()
+                                          << " * " << w.rows() << "x"
+                                          << w.cols());
+  const bool has_bias = b.defined();
+  if (has_bias) {
+    GNS_CHECK_MSG(b.rows() == 1 && b.cols() == w.cols(),
+                  "linear_act bias must be [1," << w.cols() << "], got "
+                                                << b.rows() << "x"
+                                                << b.cols());
+  }
+  const int n = x.rows(), k = x.cols(), m = w.cols();
+  auto px = x.ptr();
+  auto pw = w.ptr();
+  auto pb = has_bias ? b.ptr() : TensorImplPtr{};
+  std::vector<TensorImplPtr> parents{px, pw};
+  if (has_bias) parents.push_back(pb);
+  Tensor out = make_op_result(
+      n, m, std::move(parents), [px, pw, pb, n, k, m, act](TensorImpl& self) {
+        // dpre = upstream grad * act'(output); for Identity it aliases the
+        // upstream grad directly (no copy).
+        const Real* go = self.grad.data();
+        std::vector<Real> dpre_store;
+        const Real* dpre = go;
+        if (act != FusedAct::Identity) {
+          arena::acquire(dpre_store, static_cast<std::size_t>(n) * m);
+          const Real* ov = self.data.data();
+          const std::int64_t total = static_cast<std::int64_t>(n) * m;
+          for (std::int64_t i = 0; i < total; ++i)
+            dpre_store[i] = go[i] * act_grad_from_output(act, ov[i]);
+          dpre = dpre_store.data();
+        }
+        if (px->requires_grad) {
+          px->ensure_grad();
+          gemm_nt_acc(dpre, pw->data.data(), px->grad.data(), n, m, k);
+        }
+        if (pw->requires_grad) {
+          pw->ensure_grad();
+          gemm_tn_acc(px->data.data(), dpre, pw->grad.data(), n, k, m);
+        }
+        if (pb && pb->requires_grad) {
+          pb->ensure_grad();
+          // Same accumulation order as add()'s broadcast backward
+          // (rows outer, cols inner) for bitwise-equal bias grads.
+          for (int r = 0; r < n; ++r)
+            for (int c = 0; c < m; ++c)
+              pb->grad[c] += dpre[static_cast<std::size_t>(r) * m + c];
+        }
+        arena::recycle(dpre_store);
+      });
+  fused_linear_fwd(x.data(), w.data(), has_bias ? b.data() : nullptr,
+                   out.data(), n, k, m, act);
   return out;
 }
 

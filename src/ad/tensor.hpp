@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "ad/arena.hpp"
 #include "util/check.hpp"
 
 namespace gns::ad {
@@ -42,13 +43,24 @@ class Tensor;
 struct TensorImpl;
 using TensorImplPtr = std::shared_ptr<TensorImpl>;
 
-/// Node of the autograd tape.
+/// Node of the autograd tape. On destruction the data/grad storage is
+/// donated to the thread-local tensor arena when one is active (see
+/// arena.hpp), so steady-state rollouts recycle buffers instead of hitting
+/// the allocator every op.
 struct TensorImpl {
   int rows = 0;
   int cols = 0;
   std::vector<Real> data;
   std::vector<Real> grad;  ///< lazily allocated on first accumulation
   bool requires_grad = false;
+
+  TensorImpl() = default;
+  ~TensorImpl() {
+    arena::recycle(data);
+    arena::recycle(grad);
+  }
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
 
   /// Parents in the computation graph (inputs of the op that produced this).
   std::vector<TensorImplPtr> parents;
@@ -59,7 +71,7 @@ struct TensorImpl {
     return static_cast<std::int64_t>(rows) * cols;
   }
   void ensure_grad() {
-    if (grad.empty()) grad.assign(data.size(), Real(0));
+    if (grad.empty()) arena::acquire(grad, data.size());
   }
 };
 

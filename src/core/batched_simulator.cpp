@@ -14,8 +14,8 @@ BatchedSimulator::BatchedSimulator(
 
 std::vector<ad::Tensor> BatchedSimulator::step(
     const std::vector<Window>& windows,
-    const std::vector<SceneContext>& contexts,
-    graph::GraphBatch* out_batch) const {
+    const std::vector<SceneContext>& contexts, graph::GraphBatch* out_batch,
+    const std::vector<graph::CellList*>& neighbor_caches) const {
   GNS_TRACE_SCOPE("core.batched.step");
   static auto& step_ms =
       obs::MetricsRegistry::global().histogram("core.batched.step_ms");
@@ -28,6 +28,9 @@ std::vector<ad::Tensor> BatchedSimulator::step(
   GNS_CHECK_MSG(static_cast<int>(contexts.size()) == b,
                 "need one scene context per member");
   steps_total.add(static_cast<std::uint64_t>(b));
+  GNS_CHECK_MSG(neighbor_caches.empty() ||
+                    static_cast<int>(neighbor_caches.size()) == b,
+                "need one neighbor cache entry per member (or none)");
   const FeatureConfig& fc = sim_->features();
   const Normalizer& norm = sim_->normalizer();
 
@@ -39,7 +42,11 @@ std::vector<ad::Tensor> BatchedSimulator::step(
     GNS_CHECK_MSG(static_cast<int>(windows[g].size()) == fc.window_size(),
                   "batch member " << g << " window needs "
                                   << fc.window_size() << " frames");
-    graphs.push_back(build_graph(fc, windows[g].back()));
+    graph::CellList* cache =
+        neighbor_caches.empty() ? nullptr : neighbor_caches[g];
+    graphs.push_back(cache != nullptr
+                         ? build_graph_cached(fc, windows[g].back(), *cache)
+                         : build_graph(fc, windows[g].back()));
     GNS_CHECK_MSG(graphs.back().num_edges() > 0,
                   "batch member " << g
                                   << " has no edges — connectivity radius "
@@ -99,6 +106,17 @@ std::vector<std::vector<std::vector<double>>> BatchedSimulator::rollout(
       windows[g].push_back(t.detach());
   }
 
+  // One Verlet skin list per member, persisting across steps (members are
+  // compacted out of the batch but their caches stay put).
+  const FeatureConfig& fc = sim_->features();
+  const double skin =
+      graph::default_skin_fraction() * fc.connectivity_radius;
+  std::vector<std::unique_ptr<graph::CellList>> caches;
+  caches.reserve(initial_windows.size());
+  for (int g = 0; g < b; ++g)
+    caches.push_back(
+        std::make_unique<graph::CellList>(make_rollout_cells(fc, skin)));
+
   std::vector<std::vector<std::vector<double>>> frames(
       initial_windows.size());
   for (int g = 0; g < b; ++g)
@@ -109,6 +127,7 @@ std::vector<std::vector<std::vector<double>>> BatchedSimulator::rollout(
 
   std::vector<Window> step_windows;
   std::vector<SceneContext> step_contexts;
+  std::vector<graph::CellList*> step_caches;
   while (!active.empty()) {
     if (gate) {
       active.erase(std::remove_if(active.begin(), active.end(),
@@ -119,11 +138,17 @@ std::vector<std::vector<std::vector<double>>> BatchedSimulator::rollout(
 
     step_windows.clear();
     step_contexts.clear();
+    step_caches.clear();
     for (int g : active) {
       step_windows.push_back(windows[g]);
       step_contexts.push_back(contexts[g]);
+      step_caches.push_back(caches[g].get());
     }
-    std::vector<ad::Tensor> next = step(step_windows, step_contexts);
+    // Per-step arena frame: tensors from this step are recycled once the
+    // sliding windows release them.
+    ad::ArenaScope arena_frame;
+    std::vector<ad::Tensor> next =
+        step(step_windows, step_contexts, nullptr, step_caches);
 
     std::vector<int> still_active;
     still_active.reserve(active.size());

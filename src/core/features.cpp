@@ -36,8 +36,10 @@ std::vector<double> tensor_to_frame(const ad::Tensor& t) {
   return {t.vec().begin(), t.vec().end()};
 }
 
-graph::Graph build_graph(const FeatureConfig& config,
-                         const ad::Tensor& positions) {
+namespace {
+
+std::vector<graph::Vec2> positions_to_points(const FeatureConfig& config,
+                                             const ad::Tensor& positions) {
   GNS_CHECK_MSG(positions.cols() == config.dim, "positions dim mismatch");
   const int n = positions.rows();
   std::vector<graph::Vec2> pts(n);
@@ -45,7 +47,42 @@ graph::Graph build_graph(const FeatureConfig& config,
     pts[i].x = positions.at(i, 0);
     pts[i].y = (config.dim > 1) ? positions.at(i, 1) : 0.0;
   }
-  return graph::build_radius_graph(pts, config.connectivity_radius);
+  return pts;
+}
+
+}  // namespace
+
+graph::Graph build_graph(const FeatureConfig& config,
+                         const ad::Tensor& positions) {
+  return graph::build_radius_graph(positions_to_points(config, positions),
+                                   config.connectivity_radius);
+}
+
+graph::CellList make_rollout_cells(const FeatureConfig& config, double skin) {
+  const double r = config.connectivity_radius;
+  const double cell = r + std::max(skin, 0.0);
+  graph::Vec2 lo{config.domain_lo[0] - cell, 0.0};
+  graph::Vec2 hi{config.domain_hi[0] + cell, 0.0};
+  if (config.dim > 1) {
+    lo.y = config.domain_lo[1] - cell;
+    hi.y = config.domain_hi[1] + cell;
+  } else {
+    // 1-D positions carry y = 0; give the grid one cell of y extent.
+    lo.y = -cell;
+    hi.y = cell;
+  }
+  return graph::CellList(r, lo, hi, skin);
+}
+
+graph::Graph build_graph_cached(const FeatureConfig& config,
+                                const ad::Tensor& positions,
+                                graph::CellList& cells) {
+  GNS_CHECK_MSG(cells.radius() == config.connectivity_radius,
+                "cached CellList radius does not match feature config");
+  const std::vector<graph::Vec2> pts =
+      positions_to_points(config, positions);
+  cells.maybe_rebuild(pts);
+  return cells.radius_graph(pts);
 }
 
 namespace {

@@ -69,6 +69,20 @@ struct SceneContext {
 [[nodiscard]] graph::Graph build_graph(const FeatureConfig& config,
                                        const ad::Tensor& positions);
 
+/// A CellList sized for rollouts under `config`: domain from the feature
+/// config padded by one cell so slightly escaping particles keep indexing
+/// cheaply, `skin` in absolute units (0 = rebuild every step). Pass the
+/// result to build_graph_cached across consecutive steps.
+[[nodiscard]] graph::CellList make_rollout_cells(const FeatureConfig& config,
+                                                 double skin);
+
+/// Like build_graph but reuses `cells` across calls via maybe_rebuild:
+/// identical edges, amortized build cost. The CellList must come from
+/// make_rollout_cells (or otherwise have radius == connectivity_radius).
+[[nodiscard]] graph::Graph build_graph_cached(const FeatureConfig& config,
+                                              const ad::Tensor& positions,
+                                              graph::CellList& cells);
+
 /// Node feature matrix [N, node_feature_count()] from a window of
 /// `window_size()` position tensors (oldest first) plus the scene context.
 [[nodiscard]] ad::Tensor build_node_features(

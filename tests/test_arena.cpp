@@ -1,0 +1,169 @@
+// Tensor arena: pooling is opt-in (global switch AND an ArenaScope),
+// recycles only storage of destroyed TensorImpls (never aliases live
+// tensors), zero-fills on acquire so results match fresh allocations
+// bitwise, and survives NoGradGuard / nested-scope combinations.
+
+#include <gtest/gtest.h>
+
+#include "ad/arena.hpp"
+#include "ad/nn.hpp"
+#include "ad/ops.hpp"
+#include "ad/tensor.hpp"
+
+namespace gns::ad {
+namespace {
+
+/// Restores the arena switch (and drains the pool) on scope exit so tests
+/// cannot leak an enabled arena into each other.
+struct ArenaSwitchGuard {
+  ArenaSwitchGuard() : previous(arena_enabled()) {}
+  ~ArenaSwitchGuard() {
+    set_arena_enabled(previous);
+    arena_clear();
+  }
+  bool previous;
+};
+
+TEST(Arena, NoPoolingWhenSwitchOff) {
+  ArenaSwitchGuard guard;
+  set_arena_enabled(false);
+  ArenaScope scope;
+  const ArenaStats s0 = arena_thread_stats();
+  { Tensor t = Tensor::zeros(16, 16); }
+  Tensor t2 = Tensor::zeros(16, 16);
+  const ArenaStats s1 = arena_thread_stats();
+  EXPECT_EQ(s1.recycled, s0.recycled);
+  EXPECT_EQ(s1.hits, s0.hits);
+  EXPECT_EQ(s1.misses, s0.misses);
+}
+
+TEST(Arena, NoPoolingOutsideScope) {
+  ArenaSwitchGuard guard;
+  set_arena_enabled(true);
+  const ArenaStats s0 = arena_thread_stats();
+  { Tensor t = Tensor::zeros(16, 16); }
+  Tensor t2 = Tensor::zeros(16, 16);
+  const ArenaStats s1 = arena_thread_stats();
+  EXPECT_EQ(s1.recycled, s0.recycled);
+  EXPECT_EQ(s1.hits, s0.hits);
+}
+
+TEST(Arena, RecyclesAcrossFrames) {
+  ArenaSwitchGuard guard;
+  set_arena_enabled(true);
+  arena_clear();
+  ArenaScope scope;
+  const ArenaStats s0 = arena_thread_stats();
+  { Tensor t = Tensor::zeros(16, 16); }  // destroyed -> storage pooled
+  const ArenaStats s1 = arena_thread_stats();
+  EXPECT_EQ(s1.recycled, s0.recycled + 1);
+  EXPECT_GT(s1.bytes_pooled, 0u);
+  Tensor t2 = Tensor::zeros(16, 16);  // same size class -> pool hit
+  const ArenaStats s2 = arena_thread_stats();
+  EXPECT_EQ(s2.hits, s1.hits + 1);
+}
+
+TEST(Arena, AcquiredBuffersAreZeroFilled) {
+  ArenaSwitchGuard guard;
+  set_arena_enabled(true);
+  arena_clear();
+  ArenaScope scope;
+  {
+    Tensor dirty = Tensor::full(8, 8, 3.5);
+  }  // pooled with nonzero contents
+  Tensor clean = Tensor::zeros(8, 8);
+  for (Real v : clean.vec()) ASSERT_EQ(v, 0.0);
+}
+
+TEST(Arena, NeverAliasesLiveTensors) {
+  ArenaSwitchGuard guard;
+  set_arena_enabled(true);
+  arena_clear();
+  ArenaScope scope;
+  Tensor live = Tensor::full(8, 8, 7.0);
+  const Real* live_ptr = live.data();
+  { Tensor dying = Tensor::full(8, 8, 1.0); }
+  Tensor recycled = Tensor::zeros(8, 8);
+  EXPECT_NE(recycled.data(), live_ptr);
+  for (Real v : live.vec()) ASSERT_EQ(v, 7.0);
+}
+
+TEST(Arena, NestedScopesKeepPoolingUntilOutermostExits) {
+  ArenaSwitchGuard guard;
+  set_arena_enabled(true);
+  arena_clear();
+  ArenaScope outer;
+  {
+    ArenaScope inner;
+    { Tensor t = Tensor::zeros(4, 4); }
+  }
+  // Inner scope exited; outer still active, so pooling continues.
+  const ArenaStats s0 = arena_thread_stats();
+  { Tensor t = Tensor::zeros(4, 4); }
+  const ArenaStats s1 = arena_thread_stats();
+  EXPECT_GT(s1.hits + s1.recycled, s0.hits + s0.recycled);
+}
+
+TEST(Arena, BitwiseIdenticalResultsWithNoGradRollout) {
+  // The contract the golden suite leans on: an op chain run inside
+  // NoGradGuard + ArenaScope (tensors created and recycled every
+  // iteration) produces exactly the values of the arena-off run.
+  Rng rng(7);
+  Mlp mlp(6, 16, 2, 3, rng, /*output_layer_norm=*/true);
+  std::vector<Real> xdata(5 * 6);
+  Rng drng(8);
+  for (auto& v : xdata) v = drng.uniform(-1, 1);
+  const Tensor x = Tensor::from_vector(5, 6, xdata);
+
+  auto run = [&]() {
+    NoGradGuard no_grad;
+    Tensor h = x;
+    for (int i = 0; i < 10; ++i) {
+      ArenaScope frame;
+      h = relu(mlp.forward(h.detach()));
+      h = concat_cols({h, h});
+    }
+    return h.vec();
+  };
+
+  ArenaSwitchGuard guard;
+  set_arena_enabled(false);
+  const std::vector<Real> reference = run();
+  set_arena_enabled(true);
+  arena_clear();
+  const std::vector<Real> pooled = run();
+  EXPECT_EQ(pooled, reference);  // bitwise, not approximate
+}
+
+TEST(Arena, GradientsUnaffectedByPooling) {
+  Rng rng(9);
+  Mlp mlp(4, 8, 1, 2, rng);
+  std::vector<Real> xdata(3 * 4);
+  Rng drng(10);
+  for (auto& v : xdata) v = drng.uniform(-1, 1);
+  const Tensor x = Tensor::from_vector(3, 4, xdata);
+
+  auto grads = [&]() {
+    mlp.zero_grad();
+    {
+      ArenaScope frame;
+      Tensor loss = mean(square(mlp.forward(x)));
+      loss.backward();
+    }
+    std::vector<Real> flat;
+    for (const auto& p : mlp.parameters())
+      flat.insert(flat.end(), p.grad().begin(), p.grad().end());
+    return flat;
+  };
+
+  ArenaSwitchGuard guard;
+  set_arena_enabled(false);
+  const std::vector<Real> reference = grads();
+  set_arena_enabled(true);
+  arena_clear();
+  const std::vector<Real> pooled = grads();
+  EXPECT_EQ(pooled, reference);
+}
+
+}  // namespace
+}  // namespace gns::ad

@@ -154,5 +154,137 @@ TEST(Mlp, LearnsLinearMap) {
   EXPECT_LT(final_loss, 1e-3);
 }
 
+// ---- Fused linear kernels ---------------------------------------------------
+
+/// Restores the fused-path switch on scope exit.
+struct FusedSwitchGuard {
+  FusedSwitchGuard() : previous(fused_linear_enabled()) {}
+  ~FusedSwitchGuard() { set_fused_linear_enabled(previous); }
+  bool previous;
+};
+
+Tensor random_input(int rows, int cols, unsigned seed) {
+  Rng rng(seed);
+  std::vector<Real> data(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : data) v = rng.uniform(-1, 1);
+  return Tensor::from_vector(rows, cols, std::move(data));
+}
+
+TEST(FusedLinear, MatchesUnfusedChainBitwise) {
+  // The fused kernel replicates matmul -> +bias -> activation's exact FP
+  // operation sequence, so forward values must be equal, not just close.
+  Rng rng(40);
+  Linear lin(7, 5, rng);
+  const Tensor x = random_input(9, 7, 41);
+  const Tensor ref_relu = relu(lin.forward(x));
+  const Tensor ref_tanh = tanh_op(lin.forward(x));
+  const Tensor ref_id = lin.forward(x);
+  EXPECT_EQ(linear_act(x, lin.weight(), lin.bias(), FusedAct::ReLU).vec(),
+            ref_relu.vec());
+  EXPECT_EQ(linear_act(x, lin.weight(), lin.bias(), FusedAct::Tanh).vec(),
+            ref_tanh.vec());
+  EXPECT_EQ(linear_act(x, lin.weight(), lin.bias(), FusedAct::Identity).vec(),
+            ref_id.vec());
+}
+
+TEST(FusedLinear, NoBiasVariant) {
+  Rng rng(42);
+  Linear lin(4, 3, rng, /*bias=*/false);
+  const Tensor x = random_input(6, 4, 43);
+  const Tensor fused = linear_act(x, lin.weight(), Tensor{}, FusedAct::ReLU);
+  EXPECT_EQ(fused.vec(), relu(matmul(x, lin.weight())).vec());
+}
+
+TEST(FusedLinear, RejectsBadShapes) {
+  Rng rng(44);
+  Linear lin(4, 3, rng);
+  EXPECT_THROW(
+      linear_act(Tensor::ones(2, 5), lin.weight(), lin.bias(), FusedAct::ReLU),
+      CheckError);
+  EXPECT_THROW(
+      linear_act(Tensor::ones(2, 4), lin.weight(), Tensor::ones(1, 2),
+                 FusedAct::ReLU),
+      CheckError);
+}
+
+TEST(FusedLinear, GradCheckAllActivations) {
+  for (FusedAct act :
+       {FusedAct::Identity, FusedAct::ReLU, FusedAct::Tanh}) {
+    Rng rng(45);
+    Linear lin(3, 4, rng);
+    Tensor x = random_input(5, 3, 46).set_requires_grad();
+    std::vector<Tensor> params = lin.parameters();
+    params.push_back(x);
+    auto result = grad_check(
+        [&](const std::vector<Tensor>&) {
+          return mean(square(
+              linear_act(x, lin.weight(), lin.bias(), act)));
+        },
+        params, /*eps=*/1e-6, /*tolerance=*/1e-5);
+    EXPECT_TRUE(result.ok) << "act=" << static_cast<int>(act)
+                           << " rel=" << result.max_rel_error;
+  }
+}
+
+TEST(FusedLinear, GradientsMatchUnfusedBitwise) {
+  // Same accumulation order in the backward kernels too: parameter and
+  // input grads of the fused op equal the unfused chain's exactly.
+  Rng rng(47);
+  Linear lin(6, 4, rng);
+  auto grads = [&](bool fused) {
+    Tensor x = random_input(8, 6, 48).set_requires_grad();
+    lin.zero_grad();
+    Tensor y = fused
+                   ? linear_act(x, lin.weight(), lin.bias(), FusedAct::Tanh)
+                   : tanh_op(lin.forward(x));
+    mean(square(y)).backward();
+    std::vector<Real> flat = x.grad();
+    for (const auto& p : lin.parameters())
+      flat.insert(flat.end(), p.grad().begin(), p.grad().end());
+    return flat;
+  };
+  EXPECT_EQ(grads(true), grads(false));
+}
+
+TEST(FusedLinear, MlpForwardIdenticalUnderSwitch) {
+  // Mlp::forward picks the fused path from the global switch; both paths
+  // must produce identical outputs and gradients (ReLU and Tanh nets,
+  // with and without the output LayerNorm).
+  FusedSwitchGuard guard;
+  for (Activation act : {Activation::ReLU, Activation::Tanh}) {
+    Rng rng(49);
+    Mlp mlp(5, 12, 2, 3, rng, /*output_layer_norm=*/true, act);
+    const Tensor x = random_input(7, 5, 50);
+    auto run = [&]() {
+      mlp.zero_grad();
+      Tensor y = mlp.forward(x);
+      mean(square(y)).backward();
+      std::vector<Real> flat = y.vec();
+      for (const auto& p : mlp.parameters())
+        flat.insert(flat.end(), p.grad().begin(), p.grad().end());
+      return flat;
+    };
+    set_fused_linear_enabled(false);
+    const std::vector<Real> reference = run();
+    set_fused_linear_enabled(true);
+    EXPECT_EQ(run(), reference);
+  }
+}
+
+TEST(FusedLinear, MlpGradCheckWithFusedPath) {
+  FusedSwitchGuard guard;
+  set_fused_linear_enabled(true);
+  Rng rng(51);
+  Mlp mlp(3, 6, 1, 2, rng, /*output_layer_norm=*/true, Activation::Tanh);
+  const Tensor x = random_input(2, 3, 52);
+  auto params = mlp.parameters();
+  auto result = grad_check(
+      [&](const std::vector<Tensor>&) {
+        return mean(square(mlp.forward(x)));
+      },
+      params, /*eps=*/1e-6, /*tolerance=*/1e-5);
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
 }  // namespace
 }  // namespace gns::ad
