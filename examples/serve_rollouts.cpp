@@ -12,8 +12,17 @@
 //      CSV + JSON for scripts/plot_results.py.
 //
 // Usage: serve_rollouts [requests=48] [workers=4] [clients=8]
+//        serve_rollouts --listen <port> [workers=4]
 // GNS_NUM_THREADS caps the OpenMP pool inside each rollout step.
+//
+// --listen serves the same checkpoint over TCP (src/net wire protocol,
+// 127.0.0.1 unless GNS_LISTEN_HOST overrides) until SIGINT/SIGTERM, then
+// drains gracefully: in-flight jobs finish, replies flush, and the
+// GNS_TRACE_FILE / GNS_METRICS_FILE observability dumps are written.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -24,6 +33,7 @@
 #include "core/datagen.hpp"
 #include "core/serialize.hpp"
 #include "core/trainer.hpp"
+#include "net/net.hpp"
 #include "obs/obs.hpp"
 #include "serve/serve.hpp"
 #include "util/timer.hpp"
@@ -94,10 +104,70 @@ RolloutRequest make_request(const LearnedSimulator& sim,
   return req;
 }
 
+// Signal-to-drain plumbing: the handler only flips an async-signal-safe
+// flag; the main thread notices and runs the actual (lock-taking) drain.
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+/// `serve_rollouts --listen <port>`: serve the checkpoint over TCP until a
+/// SIGINT/SIGTERM triggers a graceful drain.
+int run_listen_mode(int port, int workers, const std::string& cache) {
+  const std::string checkpoint = ensure_checkpoint(cache);
+  auto registry = std::make_shared<ModelRegistry>();
+  if (!registry->load("columns", checkpoint)) {
+    std::fprintf(stderr, "failed to load %s\n", checkpoint.c_str());
+    return 1;
+  }
+  JobScheduler scheduler(registry,
+                         SchedulerConfig{workers, /*queue_capacity=*/256});
+
+  net::ServerConfig config;
+  config.port = port;
+  if (const char* host = std::getenv("GNS_LISTEN_HOST")) config.host = host;
+  net::Server server(scheduler, config);
+  if (!server.start()) return 1;
+  std::printf("[serve] listening on %s:%d (model 'columns', %d workers)\n",
+              config.host.c_str(), server.port(), workers);
+  std::printf("[serve] Ctrl-C (SIGINT) or SIGTERM drains and exits\n");
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_signal.load(std::memory_order_relaxed) == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::printf("[serve] signal %d: draining...\n",
+              g_signal.load(std::memory_order_relaxed));
+  server.stop();  // finishes in-flight jobs, flushes replies + obs files
+  scheduler.shutdown(/*drain=*/true);
+
+  const StatsSnapshot snap = scheduler.stats().snapshot();
+  std::printf("[serve] drained: %llu completed, %llu failed\n",
+              static_cast<unsigned long long>(snap.completed),
+              static_cast<unsigned long long>(snap.failed));
+  scheduler.stats().write_json(cache + "/serve_listen_stats.json");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   gns::obs::install_from_env();
+
+  const char* cache_env_early = std::getenv("GNS_BENCH_CACHE");
+  if (argc > 1 && std::string(argv[1]) == "--listen") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: serve_rollouts --listen <port> [workers]\n");
+      return 2;
+    }
+    const int port = std::atoi(argv[2]);
+    int listen_workers = argc > 3 ? std::atoi(argv[3]) : 4;
+    if (listen_workers < 1) listen_workers = 1;
+    const std::string cache = cache_env_early ? cache_env_early : "bench_cache";
+    std::filesystem::create_directories(cache);
+    return run_listen_mode(port, listen_workers, cache);
+  }
+
   const int requests = argc > 1 ? std::atoi(argv[1]) : 48;
   int workers = argc > 2 ? std::atoi(argv[2]) : 4;
   const int clients = argc > 3 ? std::atoi(argv[3]) : 8;

@@ -1,0 +1,240 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace gns::net {
+
+namespace {
+
+timeval to_timeval(double ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  return tv;
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {}
+
+Client::~Client() { close(); }
+
+bool Client::connect() {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+
+  const timeval send_tv = to_timeval(config_.connect_timeout_ms);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
+  const timeval recv_tv = to_timeval(config_.recv_timeout_ms);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &recv_tv, sizeof(recv_tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close();
+    return false;
+  }
+  buf_.clear();
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+  consumed_ = 0;
+}
+
+ClientResult Client::rollout(const serve::RolloutRequest& request) {
+  ClientResult result;
+  double backoff_ms = config_.busy_backoff_ms;
+  Timer rtt;
+  for (int attempt = 0;; ++attempt) {
+    result = exchange(request, next_request_id_++);
+    result.busy_retries = attempt;
+    const bool busy = result.transport_ok && result.is_net_error &&
+                      result.net_error == NetError::Busy;
+    if (!busy || attempt >= config_.busy_max_retries) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2.0, config_.busy_backoff_max_ms);
+  }
+  result.rtt_ms = rtt.millis();
+  return result;
+}
+
+ClientResult Client::exchange(const serve::RolloutRequest& request,
+                              std::uint64_t request_id) {
+  ClientResult result;
+  if (fd_ < 0 && !connect()) {
+    result.transport_error = "connect to " + config_.host + ":" +
+                             std::to_string(config_.port) + " failed: " +
+                             std::strerror(errno);
+    return result;
+  }
+
+  const std::vector<std::uint8_t> wire =
+      encode_rollout_request(request_id, request);
+  if (!send_all(fd_, wire.data(), wire.size())) {
+    result.transport_error = std::string("send failed: ") +
+                             std::strerror(errno);
+    close();
+    return result;
+  }
+
+  // Collect chunks until the terminal frame for our request id. The server
+  // may interleave replies to other ids on a shared connection; those are
+  // impossible here (one outstanding request per Client) and are treated
+  // as a protocol error to fail loudly rather than mis-assemble frames.
+  std::size_t expected_next_frame = 0;
+  for (;;) {
+    FrameView frame;
+    std::string read_error;
+    if (!read_frame(frame, read_error)) {
+      result.transport_error = read_error;
+      close();
+      return result;
+    }
+    if (frame.request_id != request_id) {
+      result.transport_error = "reply for unexpected request id " +
+                               std::to_string(frame.request_id);
+      close();
+      return result;
+    }
+
+    std::string parse_error;
+    switch (frame.type) {
+      case MessageType::RolloutChunk: {
+        WireChunk chunk;
+        if (!decode_rollout_chunk(frame, chunk, parse_error)) {
+          result.transport_error = "bad chunk: " + parse_error;
+          close();
+          return result;
+        }
+        if (chunk.first_frame != expected_next_frame) {
+          result.transport_error = "chunk out of order";
+          close();
+          return result;
+        }
+        for (std::uint32_t f = 0; f < chunk.num_frames(); ++f) {
+          const auto begin =
+              chunk.data.begin() +
+              static_cast<std::ptrdiff_t>(f) * chunk.frame_len;
+          result.frames.emplace_back(begin, begin + chunk.frame_len);
+        }
+        expected_next_frame += chunk.num_frames();
+        continue;
+      }
+      case MessageType::StatusReply: {
+        WireStatus status;
+        if (!decode_status_reply(frame, status, parse_error)) {
+          result.transport_error = "bad status reply: " + parse_error;
+          close();
+          return result;
+        }
+        if (status.total_frames != result.frames.size()) {
+          result.transport_error = "status frame count mismatch";
+          close();
+          return result;
+        }
+        result.transport_ok = true;
+        result.status = status.status;
+        result.error = status.error;
+        result.queue_ms = status.queue_ms;
+        result.exec_ms = status.exec_ms;
+        result.total_ms = status.total_ms;
+        return result;
+      }
+      case MessageType::ErrorReply: {
+        WireError error;
+        if (!decode_error_reply(frame, error, parse_error)) {
+          result.transport_error = "bad error reply: " + parse_error;
+          close();
+          return result;
+        }
+        result.transport_ok = true;
+        result.is_net_error = true;
+        result.net_error = error.code;
+        result.error = error.message;
+        result.frames.clear();
+        return result;
+      }
+      case MessageType::RolloutRequest:
+        result.transport_error = "server sent a request frame";
+        close();
+        return result;
+    }
+  }
+}
+
+bool Client::read_frame(FrameView& frame, std::string& error) {
+  // Drop the frame handed out by the previous call now that the caller is
+  // done with its borrowed FrameView.
+  if (consumed_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(
+                                                consumed_));
+    consumed_ = 0;
+  }
+  for (;;) {
+    DecodeError decode_error;
+    const DecodeStatus status =
+        try_decode_frame(buf_.data(), buf_.size(), frame, decode_error);
+    if (status == DecodeStatus::Ok) {
+      consumed_ = frame.frame_bytes;
+      break;
+    }
+    if (status == DecodeStatus::Error) {
+      error = "protocol error from server: " + decode_error.message;
+      return false;
+    }
+    std::uint8_t chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      error = "server closed the connection";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error = std::string("recv failed: ") + std::strerror(errno);
+      return false;
+    }
+    buf_.insert(buf_.end(), chunk, chunk + n);
+  }
+  return true;
+}
+
+}  // namespace gns::net

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file net.hpp
+/// Umbrella header of the network serving front-end.
+///
+/// The subsystem puts the in-process serving stack (serve::ModelRegistry +
+/// serve::JobScheduler) behind a TCP socket:
+///
+///   protocol — length-prefixed binary frames ("GNS1" magic, versioned),
+///              strict bounds-checked decoding, typed transport errors;
+///   Server   — poll()-based acceptor + handler threads, nonblocking
+///              sockets, bounded in-flight caps (Busy backpressure),
+///              deadline propagation, graceful drain on stop();
+///   Client   — blocking request/stream-response with Busy retry/backoff.
+///
+/// See examples/serve_rollouts.cpp --listen for a server driver,
+/// bench/bench_net_throughput.cpp for the load generator, and DESIGN.md §8
+/// for the wire-format specification.
+
+#include "net/client.hpp"    // IWYU pragma: export
+#include "net/protocol.hpp"  // IWYU pragma: export
+#include "net/server.hpp"    // IWYU pragma: export

@@ -1,0 +1,565 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace gns::net {
+
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+/// Compact the read buffer once this many decoded bytes sit at its front.
+constexpr std::size_t kCompactThreshold = 256 * 1024;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+double ms_since(std::chrono::steady_clock::time_point then,
+                std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+}  // namespace
+
+Server::Server(serve::JobScheduler& scheduler, ServerConfig config)
+    : scheduler_(scheduler),
+      config_(std::move(config)),
+      accepted_(obs::MetricsRegistry::global().counter(
+          config_.metrics_prefix + ".accepted")),
+      frames_rx_(obs::MetricsRegistry::global().counter(
+          config_.metrics_prefix + ".frames_rx")),
+      frames_tx_(obs::MetricsRegistry::global().counter(
+          config_.metrics_prefix + ".frames_tx")),
+      bytes_rx_(obs::MetricsRegistry::global().counter(
+          config_.metrics_prefix + ".bytes_rx")),
+      bytes_tx_(obs::MetricsRegistry::global().counter(
+          config_.metrics_prefix + ".bytes_tx")),
+      rejected_backpressure_(obs::MetricsRegistry::global().counter(
+          config_.metrics_prefix + ".rejected_backpressure")),
+      decode_errors_(obs::MetricsRegistry::global().counter(
+          config_.metrics_prefix + ".decode_errors")),
+      timeouts_(obs::MetricsRegistry::global().counter(
+          config_.metrics_prefix + ".timeouts")),
+      active_connections_gauge_(obs::MetricsRegistry::global().gauge(
+          config_.metrics_prefix + ".active_connections")),
+      request_ms_(obs::MetricsRegistry::global().histogram(
+          config_.metrics_prefix + ".request_ms")) {
+  GNS_CHECK_MSG(config_.handler_threads >= 1,
+                "Server needs >= 1 handler thread");
+  GNS_CHECK_MSG(config_.max_inflight_per_connection >= 1 &&
+                    config_.max_inflight_global >= 1,
+                "Server in-flight caps must be >= 1");
+  GNS_CHECK_MSG(config_.chunk_frames >= 1,
+                "Server chunk_frames must be >= 1");
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  GNS_CHECK_MSG(!running_.load(), "Server::start called twice");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    GNS_ERROR("net: socket() failed: " << std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    GNS_ERROR("net: bad bind address '" << config_.host << "'");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0 || !set_nonblocking(listen_fd_)) {
+    GNS_ERROR("net: bind/listen on " << config_.host << ":" << config_.port
+                                     << " failed: " << std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  shared_.clear();
+  for (int i = 0; i < config_.handler_threads; ++i) {
+    auto shared = std::make_unique<HandlerShared>();
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      GNS_ERROR("net: pipe() failed: " << std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      for (auto& s : shared_) {
+        ::close(s->wake_read);
+        ::close(s->wake_write);
+      }
+      shared_.clear();
+      return false;
+    }
+    set_nonblocking(pipe_fds[0]);
+    set_nonblocking(pipe_fds[1]);
+    shared->wake_read = pipe_fds[0];
+    shared->wake_write = pipe_fds[1];
+    shared_.push_back(std::move(shared));
+  }
+
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (int i = 0; i < config_.handler_threads; ++i)
+    handlers_.emplace_back([this, i] { handler_loop(i); });
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  GNS_INFO("net: serving on " << config_.host << ":" << port_ << " ("
+                              << config_.handler_threads
+                              << " handler threads)");
+  return true;
+}
+
+void Server::stop() {
+  std::call_once(stop_once_, [this] {
+    if (!running_.load(std::memory_order_acquire)) return;
+    GNS_INFO("net: draining (stop accepting, flush in-flight)");
+    draining_.store(true, std::memory_order_release);
+    // 1. Stop accepting: close the listener and join the acceptor.
+    if (acceptor_.joinable()) acceptor_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // 2. Handlers observe draining_, reject new requests, finish in-flight
+    //    jobs, flush write queues, then close their connections and exit
+    //    (bounded by drain_timeout_ms).
+    for (auto& shared : shared_) wake(*shared);
+    for (std::thread& t : handlers_) {
+      if (t.joinable()) t.join();
+    }
+    handlers_.clear();
+    for (auto& shared : shared_) {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      for (int fd : shared->incoming_fds) ::close(fd);
+      shared->incoming_fds.clear();
+      ::close(shared->wake_read);
+      ::close(shared->wake_write);
+    }
+    shared_.clear();
+    running_.store(false, std::memory_order_release);
+    // 3. Persist what this process observed: the obs env files are the
+    //    operator's only record once the server goes away.
+    obs::flush_env_files();
+    GNS_INFO("net: drained and stopped");
+  });
+}
+
+int Server::active_connections() const {
+  return active_connections_.load(std::memory_order_relaxed);
+}
+
+void Server::wake(HandlerShared& shared) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(shared.wake_write, &byte, 1);
+}
+
+void Server::acceptor_loop() {
+  std::size_t next_handler = 0;
+  while (!draining_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0 || !(pfd.revents & POLLIN)) continue;
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN or transient error: back to poll
+      if (active_connections_.load(std::memory_order_relaxed) >=
+              config_.max_connections ||
+          !set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      accepted_.add();
+      active_connections_.fetch_add(1, std::memory_order_relaxed);
+      active_connections_gauge_.set(
+          active_connections_.load(std::memory_order_relaxed));
+      HandlerShared& shared = *shared_[next_handler];
+      next_handler = (next_handler + 1) % shared_.size();
+      {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        shared.incoming_fds.push_back(fd);
+      }
+      wake(shared);
+    }
+  }
+}
+
+void Server::handler_loop(int index) {
+  HandlerShared& shared = *shared_[index];
+  std::vector<Connection> conns;
+  std::vector<pollfd> pfds;
+  bool drain_seen = false;
+  Clock::time_point drain_deadline{};
+
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && !drain_seen) {
+      drain_seen = true;
+      drain_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 config_.drain_timeout_ms));
+    }
+
+    // Adopt connections the acceptor handed over.
+    {
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      while (!shared.incoming_fds.empty()) {
+        Connection conn;
+        conn.fd = shared.incoming_fds.front();
+        shared.incoming_fds.pop_front();
+        conn.last_activity = Clock::now();
+        conns.push_back(std::move(conn));
+      }
+    }
+
+    bool any_inflight = false;
+    pfds.clear();
+    pfds.push_back({shared.wake_read, POLLIN, 0});
+    for (Connection& conn : conns) {
+      short events = POLLIN;
+      if (!conn.wqueue.empty()) events |= POLLOUT;
+      pfds.push_back({conn.fd, events, 0});
+      if (!conn.inflight.empty()) any_inflight = true;
+    }
+
+    if (drain_seen) {
+      // Drain exit: every in-flight job resolved and every reply flushed
+      // (or the drain deadline passed — then in-flight work is abandoned
+      // and logged, never silently).
+      bool dirty = any_inflight;
+      for (Connection& conn : conns)
+        if (!conn.wqueue.empty()) dirty = true;
+      if (!dirty || Clock::now() >= drain_deadline) {
+        if (dirty)
+          GNS_WARN("net: drain timeout, abandoning " << conns.size()
+                                                     << " connections");
+        for (Connection& conn : conns) close_connection(conn);
+        conns.clear();
+        return;
+      }
+    }
+
+    // Tight tick while jobs are in flight (futures are poll-checked);
+    // relaxed tick otherwise. The self-pipe cuts accept latency anyway.
+    const int timeout_ms = (any_inflight || drain_seen) ? 2 : 50;
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      GNS_ERROR("net: poll failed: " << std::strerror(errno));
+      for (Connection& conn : conns) close_connection(conn);
+      return;
+    }
+
+    if (pfds[0].revents & POLLIN) {  // drain the wake pipe
+      char buf[64];
+      while (::read(shared.wake_read, buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Connection& conn = conns[i];
+      const short revents = pfds[i + 1].revents;
+      bool alive = true;
+
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+      if (alive && (revents & POLLIN)) {
+        alive = read_some(conn);
+        if (alive) process_rbuf(conn);
+      }
+      if (alive) pump_completions(conn);
+      if (alive && !conn.wqueue.empty()) alive = flush_writes(conn);
+      if (alive && conn.close_after_flush && conn.wqueue.empty())
+        alive = false;
+
+      // Timeouts: a stalled partial frame (read timeout) or a connection
+      // with nothing pending for too long (idle timeout).
+      if (alive && config_.read_timeout_ms > 0 && conn.has_partial &&
+          ms_since(conn.partial_since, now) > config_.read_timeout_ms) {
+        timeouts_.add();
+        alive = false;
+      }
+      if (alive && config_.idle_timeout_ms > 0 && conn.inflight.empty() &&
+          conn.wqueue.empty() && !conn.has_partial &&
+          ms_since(conn.last_activity, now) > config_.idle_timeout_ms) {
+        timeouts_.add();
+        alive = false;
+      }
+
+      if (!alive) {
+        close_connection(conn);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        pfds.erase(pfds.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        --i;
+      }
+    }
+  }
+}
+
+bool Server::read_some(Connection& conn) {
+  GNS_TRACE_SCOPE("net.conn.read");
+  for (;;) {
+    const std::size_t old_size = conn.rbuf.size();
+    conn.rbuf.resize(old_size + kReadChunkBytes);
+    const ssize_t n =
+        ::recv(conn.fd, conn.rbuf.data() + old_size, kReadChunkBytes, 0);
+    if (n > 0) {
+      conn.rbuf.resize(old_size + static_cast<std::size_t>(n));
+      bytes_rx_.add(static_cast<std::uint64_t>(n));
+      conn.last_activity = Clock::now();
+      if (static_cast<std::size_t>(n) < kReadChunkBytes) return true;
+      continue;  // kernel buffer may hold more
+    }
+    conn.rbuf.resize(old_size);
+    if (n == 0) return false;  // orderly peer close
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+}
+
+void Server::process_rbuf(Connection& conn) {
+  GNS_TRACE_SCOPE("net.conn.decode");
+  for (;;) {
+    const std::uint8_t* data = conn.rbuf.data() + conn.rbuf_consumed;
+    const std::size_t len = conn.rbuf.size() - conn.rbuf_consumed;
+    if (len == 0) {
+      conn.has_partial = false;
+      break;
+    }
+    FrameView frame;
+    DecodeError error;
+    const DecodeStatus status = try_decode_frame(data, len, frame, error);
+    if (status == DecodeStatus::NeedMore) {
+      if (!conn.has_partial) {
+        conn.has_partial = true;
+        conn.partial_since = Clock::now();
+      }
+      break;
+    }
+    const double buffered_ms =
+        conn.has_partial ? ms_since(conn.partial_since, Clock::now()) : 0.0;
+    conn.has_partial = false;
+    if (status == DecodeStatus::Error) {
+      decode_errors_.add();
+      enqueue_error(conn, error.request_id, error.code, error.message);
+      if (error.fatal) {
+        // Framing is lost: discard the buffer and close once the error
+        // reply has flushed.
+        conn.rbuf_consumed = conn.rbuf.size();
+        conn.close_after_flush = true;
+        break;
+      }
+      conn.rbuf_consumed += error.skip_bytes;
+      continue;
+    }
+
+    frames_rx_.add();
+    if (frame.type == MessageType::RolloutRequest) {
+      handle_request(conn, frame, buffered_ms);
+    } else {
+      // Reply types flowing client->server are framing-correct but
+      // semantically invalid; answer and keep the stream.
+      decode_errors_.add();
+      enqueue_error(conn, frame.request_id, NetError::Malformed,
+                    "unexpected message type from client");
+    }
+    conn.rbuf_consumed += frame.frame_bytes;
+  }
+
+  // Compact lazily: memmove only when a big decoded prefix has built up.
+  if (conn.rbuf_consumed == conn.rbuf.size()) {
+    conn.rbuf.clear();
+    conn.rbuf_consumed = 0;
+  } else if (conn.rbuf_consumed > kCompactThreshold) {
+    conn.rbuf.erase(conn.rbuf.begin(),
+                    conn.rbuf.begin() +
+                        static_cast<std::ptrdiff_t>(conn.rbuf_consumed));
+    conn.rbuf_consumed = 0;
+  }
+}
+
+void Server::handle_request(Connection& conn, const FrameView& frame,
+                            double buffered_ms) {
+  GNS_TRACE_SCOPE("net.conn.submit");
+  serve::RolloutRequest request;
+  std::string parse_error;
+  if (!decode_rollout_request(frame, request, parse_error)) {
+    decode_errors_.add();
+    enqueue_error(conn, frame.request_id, NetError::Malformed, parse_error);
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    enqueue_error(conn, frame.request_id, NetError::ShuttingDown,
+                  "server is draining");
+    return;
+  }
+  if (static_cast<int>(conn.inflight.size()) >=
+          config_.max_inflight_per_connection ||
+      global_inflight_.load(std::memory_order_relaxed) >=
+          config_.max_inflight_global) {
+    rejected_backpressure_.add();
+    enqueue_error(conn, frame.request_id, NetError::Busy,
+                  "in-flight request cap reached; retry with backoff");
+    return;
+  }
+
+  // Deadline propagation: time the request spent straddling reads already
+  // counts against its budget, so a deadline that died in the read buffer
+  // reaches the scheduler as expired (<= 0) and is rejected at submit
+  // instead of occupying a batch slot.
+  if (request.deadline_ms > 0.0) {
+    request.deadline_ms -= buffered_ms;
+    if (request.deadline_ms == 0.0) request.deadline_ms = -1.0;  // 0 = none
+  }
+
+  serve::JobTicket ticket = scheduler_.submit(std::move(request));
+  // The scheduler resolves rejections (QueueFull / expired deadline /
+  // ShutDown) immediately; pump_completions translates them. QueueFull is
+  // additionally counted as backpressure when it surfaces there.
+  Pending pending;
+  pending.request_id = frame.request_id;
+  pending.job_id = ticket.id;
+  pending.future = std::move(ticket.result);
+  pending.decoded = Clock::now();
+  conn.inflight.push_back(std::move(pending));
+  global_inflight_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t Server::pump_completions(Connection& conn) {
+  for (std::size_t i = 0; i < conn.inflight.size();) {
+    Pending& pending = conn.inflight[i];
+    if (pending.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++i;
+      continue;
+    }
+    const serve::RolloutResult result = pending.future.get();
+    request_ms_.add(ms_since(pending.decoded, Clock::now()));
+    enqueue_result(conn, pending.request_id, result);
+    conn.inflight.erase(conn.inflight.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    global_inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return conn.inflight.size();
+}
+
+void Server::enqueue_result(Connection& conn, std::uint64_t request_id,
+                            const serve::RolloutResult& result) {
+  GNS_TRACE_SCOPE("net.conn.encode");
+  if (result.status == serve::JobStatus::QueueFull) {
+    // Scheduler-level backpressure surfaces as Busy, same as the server's
+    // own in-flight caps: clients have one retry path.
+    rejected_backpressure_.add();
+    enqueue_error(conn, request_id, NetError::Busy, "scheduler queue full");
+    return;
+  }
+
+  // Stream the predicted frames (even a partial prefix from a deadline or
+  // cancellation) as chunks, then the terminal status.
+  const std::size_t total = result.frames.size();
+  for (std::size_t first = 0; first < total;
+       first += static_cast<std::size_t>(config_.chunk_frames)) {
+    const std::size_t count = std::min(
+        static_cast<std::size_t>(config_.chunk_frames), total - first);
+    WireChunk chunk;
+    chunk.first_frame = static_cast<std::uint32_t>(first);
+    chunk.frame_len =
+        static_cast<std::uint32_t>(result.frames[first].size());
+    chunk.data.reserve(count * chunk.frame_len);
+    for (std::size_t f = first; f < first + count; ++f) {
+      GNS_CHECK_MSG(result.frames[f].size() == chunk.frame_len,
+                    "rollout frames differ in length");
+      chunk.data.insert(chunk.data.end(), result.frames[f].begin(),
+                        result.frames[f].end());
+    }
+    conn.wqueue.push_back(encode_rollout_chunk(request_id, chunk));
+    frames_tx_.add();
+  }
+
+  WireStatus status;
+  status.status = result.status;
+  status.total_frames = static_cast<std::uint32_t>(total);
+  status.queue_ms = result.queue_ms;
+  status.exec_ms = result.exec_ms;
+  status.total_ms = result.total_ms;
+  status.error = result.error;
+  conn.wqueue.push_back(encode_status_reply(request_id, status));
+  frames_tx_.add();
+}
+
+void Server::enqueue_error(Connection& conn, std::uint64_t request_id,
+                           NetError code, const std::string& message) {
+  conn.wqueue.push_back(encode_error_reply(request_id, {code, message}));
+  frames_tx_.add();
+}
+
+bool Server::flush_writes(Connection& conn) {
+  GNS_TRACE_SCOPE("net.conn.write");
+  while (!conn.wqueue.empty()) {
+    const std::vector<std::uint8_t>& front = conn.wqueue.front();
+    while (conn.woff < front.size()) {
+      const ssize_t n =
+          ::send(conn.fd, front.data() + conn.woff, front.size() - conn.woff,
+                 MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+          return true;  // kernel buffer full: wait for POLLOUT
+        return false;
+      }
+      conn.woff += static_cast<std::size_t>(n);
+      bytes_tx_.add(static_cast<std::uint64_t>(n));
+      conn.last_activity = Clock::now();
+    }
+    conn.wqueue.pop_front();
+    conn.woff = 0;
+  }
+  return true;
+}
+
+void Server::close_connection(Connection& conn) {
+  if (conn.fd < 0) return;
+  // The peer is gone: nobody will read these results. Cancel what the
+  // scheduler has not started and release the in-flight slots.
+  for (Pending& pending : conn.inflight) {
+    scheduler_.cancel(pending.job_id);
+    global_inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  conn.inflight.clear();
+  ::close(conn.fd);
+  conn.fd = -1;
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  active_connections_gauge_.set(
+      active_connections_.load(std::memory_order_relaxed));
+}
+
+}  // namespace gns::net

@@ -1,0 +1,193 @@
+#pragma once
+
+/// \file server.hpp
+/// TCP front-end of the rollout serving subsystem.
+///
+/// Threading model: one acceptor thread blocks in poll() on the listening
+/// socket and hands accepted connections round-robin to N handler threads.
+/// Each handler owns a disjoint set of nonblocking connections and runs its
+/// own poll() loop over them (plus a self-pipe the acceptor and stop() use
+/// as a wakeup): reads append to a per-connection buffer, complete frames
+/// are decoded and submitted to the serve::JobScheduler, resolved futures
+/// are encoded into a per-connection write queue, and writes drain on
+/// POLLOUT. No locks are held across a poll cycle except the short handoff
+/// queue mutex.
+///
+/// Backpressure is explicit and bounded everywhere: a request beyond the
+/// per-connection or global in-flight cap — or one the scheduler rejects
+/// with QueueFull — is answered with ErrorReply{Busy} immediately; the
+/// server never queues unboundedly on behalf of a client (read buffers are
+/// capped by the protocol's frame cap, write queues by the in-flight cap).
+///
+/// Deadlines propagate: a request's deadline_ms is re-based to the moment
+/// the frame finished decoding, so time spent in the server's buffers
+/// counts against the client's budget and an already-expired job is
+/// rejected by the scheduler at submit time (DeadlineExceeded) instead of
+/// occupying a batch slot.
+///
+/// stop() drains gracefully: the listener closes, new requests get
+/// ErrorReply{ShuttingDown}, in-flight jobs run to completion and their
+/// replies are flushed, then connections close and the obs env files
+/// (GNS_TRACE_FILE / GNS_METRICS_FILE) are flushed. No accepted job is
+/// ever dropped by a drain.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "serve/scheduler.hpp"
+
+namespace gns::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";  ///< bind address
+  int port = 0;                    ///< 0 picks an ephemeral port (see port())
+  int handler_threads = 2;         ///< connection-handler poll loops (>= 1)
+  int max_connections = 64;        ///< accepted beyond this are closed
+  /// In-flight (submitted, unresolved) request caps; exceeding either is a
+  /// Busy reply, never a queue.
+  int max_inflight_per_connection = 4;
+  int max_inflight_global = 64;
+  /// A connection with no traffic and no in-flight jobs for this long is
+  /// closed. <= 0 disables.
+  double idle_timeout_ms = 60'000.0;
+  /// A partial frame that stops growing for this long closes the
+  /// connection (slowloris guard). <= 0 disables.
+  double read_timeout_ms = 10'000.0;
+  /// Predicted frames per RolloutChunk when streaming a finished rollout.
+  int chunk_frames = 8;
+  /// stop() waits at most this long for in-flight jobs + flushes.
+  double drain_timeout_ms = 60'000.0;
+  std::string metrics_prefix = "net";  ///< net.* instrument prefix
+};
+
+/// TCP server bridging the wire protocol onto a JobScheduler. The
+/// scheduler (and its registry) must outlive the server.
+class Server {
+ public:
+  Server(serve::JobScheduler& scheduler, ServerConfig config = {});
+  /// Calls stop() if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the acceptor + handler threads. Returns
+  /// false (with the OS error logged) when the socket setup fails.
+  [[nodiscard]] bool start();
+
+  /// Graceful drain: stop accepting, fail new requests with ShuttingDown,
+  /// wait for in-flight jobs and flush their replies (bounded by
+  /// drain_timeout_ms), close everything, then flush the obs env files.
+  /// Idempotent and safe to call from a signal-watcher thread.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (resolves port=0 to the ephemeral choice); 0 before
+  /// start().
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] int active_connections() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One submitted request whose future has not resolved yet.
+  struct Pending {
+    std::uint64_t request_id = 0;       ///< wire id, echoed in replies
+    std::uint64_t job_id = 0;           ///< scheduler id, for cancel()
+    std::future<serve::RolloutResult> future;
+    Clock::time_point decoded;  ///< when the request finished decoding
+  };
+
+  struct Connection {
+    // Explicitly move-only: std::deque's move ctor is not noexcept in
+    // libstdc++, so without a deleted copy ctor vector reallocation would
+    // try to copy the (move-only) futures and fail to compile.
+    Connection() = default;
+    Connection(Connection&&) = default;
+    Connection& operator=(Connection&&) = default;
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    int fd = -1;
+    std::vector<std::uint8_t> rbuf;
+    std::size_t rbuf_consumed = 0;  ///< decoded prefix, compacted lazily
+    std::deque<std::vector<std::uint8_t>> wqueue;
+    std::size_t woff = 0;  ///< bytes of wqueue.front() already written
+    std::vector<Pending> inflight;
+    Clock::time_point last_activity;
+    Clock::time_point partial_since;  ///< first byte of an incomplete frame
+    bool has_partial = false;
+    bool close_after_flush = false;  ///< fatal decode error: drop politely
+  };
+
+  struct HandlerShared {
+    std::mutex mutex;
+    std::deque<int> incoming_fds;  ///< acceptor -> handler handoff
+    int wake_read = -1;            ///< self-pipe, poll()ed by the handler
+    int wake_write = -1;
+  };
+
+  void acceptor_loop();
+  void handler_loop(int index);
+  /// Drains socket -> rbuf; false when the peer closed or errored.
+  bool read_some(Connection& conn);
+  /// Decodes and dispatches every complete frame in rbuf.
+  void process_rbuf(Connection& conn);
+  /// `buffered_ms` is how long the frame straddled reads in rbuf — it is
+  /// charged against the request's deadline before submit.
+  void handle_request(Connection& conn, const FrameView& frame,
+                      double buffered_ms);
+  /// Moves resolved futures into the write queue; returns in-flight count.
+  std::size_t pump_completions(Connection& conn);
+  /// Streams one resolved result as RolloutChunks + a StatusReply.
+  void enqueue_result(Connection& conn, std::uint64_t request_id,
+                      const serve::RolloutResult& result);
+  void enqueue_error(Connection& conn, std::uint64_t request_id,
+                     NetError code, const std::string& message);
+  /// Writes wqueue to the socket; false when the peer errored.
+  bool flush_writes(Connection& conn);
+  void close_connection(Connection& conn);
+  static void wake(HandlerShared& shared);
+
+  serve::JobScheduler& scheduler_;
+  ServerConfig config_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> global_inflight_{0};
+  std::atomic<int> active_connections_{0};
+  std::once_flag stop_once_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+  std::vector<std::unique_ptr<HandlerShared>> shared_;
+
+  // net.* instruments (cached handles; registry owns them).
+  obs::Counter& accepted_;
+  obs::Counter& frames_rx_;
+  obs::Counter& frames_tx_;
+  obs::Counter& bytes_rx_;
+  obs::Counter& bytes_tx_;
+  obs::Counter& rejected_backpressure_;
+  obs::Counter& decode_errors_;
+  obs::Counter& timeouts_;
+  obs::Gauge& active_connections_gauge_;
+  obs::HistogramMetric& request_ms_;
+};
+
+}  // namespace gns::net

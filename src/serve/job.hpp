@@ -62,7 +62,10 @@ struct RolloutRequest {
 
   /// Wall-clock budget in milliseconds measured from submit; 0 disables.
   /// Checked while queued and between rollout steps, so an expired job
-  /// never occupies a worker for longer than one step.
+  /// never occupies a worker for longer than one step. A negative value
+  /// means the deadline already expired upstream (e.g. the net front-end
+  /// charged buffering time against it): submit() rejects it immediately
+  /// with DeadlineExceeded instead of queueing it.
   double deadline_ms = 0.0;
 };
 

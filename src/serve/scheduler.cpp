@@ -107,6 +107,12 @@ JobTicket JobScheduler::submit(RolloutRequest request) {
     ticket.id = job.id;
     if (stopping_) {
       rejection = JobStatus::ShutDown;
+    } else if (job.request.deadline_ms < 0.0) {
+      // An already-expired deadline (deadline propagation upstream can eat
+      // the whole budget before submit) is rejected here: such a job must
+      // never occupy a queue or batch slot, and must not be mistaken for
+      // an unbounded one.
+      rejection = JobStatus::DeadlineExceeded;
     } else if (static_cast<int>(queue_.size()) >= config_.queue_capacity) {
       rejection = JobStatus::QueueFull;
     } else {
@@ -124,9 +130,17 @@ JobTicket JobScheduler::submit(RolloutRequest request) {
   RolloutResult result;
   result.status = rejection;
   result.job_id = ticket.id;
-  result.error = rejection == JobStatus::QueueFull
-                     ? "queue at capacity"
-                     : "scheduler shutting down";
+  switch (rejection) {
+    case JobStatus::QueueFull:
+      result.error = "queue at capacity";
+      break;
+    case JobStatus::DeadlineExceeded:
+      result.error = "deadline already expired at submit";
+      break;
+    default:
+      result.error = "scheduler shutting down";
+      break;
+  }
   stats_.on_rejected(rejection);
   job.promise.set_value(std::move(result));
   return ticket;

@@ -83,8 +83,9 @@ class JobScheduler {
   JobScheduler(const JobScheduler&) = delete;
   JobScheduler& operator=(const JobScheduler&) = delete;
 
-  /// Enqueues a job. Never blocks: a full queue or a stopped scheduler
-  /// resolves the future immediately with QueueFull / ShutDown.
+  /// Enqueues a job. Never blocks: a full queue, a stopped scheduler, or
+  /// an already-expired deadline (request.deadline_ms < 0) resolves the
+  /// future immediately with QueueFull / ShutDown / DeadlineExceeded.
   [[nodiscard]] JobTicket submit(RolloutRequest request);
 
   /// Requests cancellation. A queued job resolves Cancelled without

@@ -46,6 +46,8 @@ void ServerStats::on_submitted(int queue_depth) {
 void ServerStats::on_rejected(JobStatus status) {
   if (status == JobStatus::QueueFull)
     rejected_queue_full_.add();
+  else if (status == JobStatus::DeadlineExceeded)
+    deadline_exceeded_.add();
   else
     shut_down_.add();
 }

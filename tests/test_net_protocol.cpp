@@ -1,0 +1,293 @@
+// Wire protocol: round-trip fidelity and fuzz-style decode robustness.
+//
+// The decode path is the server's attack surface: it must classify
+// truncated, bit-flipped, oversized-length, wrong-magic, and plain random
+// garbage frames as typed errors (or NeedMore) without crashing, leaking,
+// or allocating proportionally to attacker-chosen lengths. This suite runs
+// under the ASan/UBSan CI job, so "no crashes/leaks" is machine-checked.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace gns::net {
+namespace {
+
+serve::RolloutRequest sample_request() {
+  serve::RolloutRequest req;
+  req.model = "columns";
+  req.steps = 12;
+  req.material = 0.577;
+  req.deadline_ms = 250.0;
+  req.window = {{0.1, 0.2, 0.3, 0.4}, {0.15, 0.25, 0.35, 0.45},
+                {0.2, 0.3, 0.4, 0.5}};
+  req.node_attrs = {1.0, 0.0};
+  return req;
+}
+
+/// Decodes the frame at the buffer head, asserting it frames correctly.
+FrameView must_frame(const std::vector<std::uint8_t>& wire) {
+  FrameView frame;
+  DecodeError error;
+  EXPECT_EQ(try_decode_frame(wire.data(), wire.size(), frame, error),
+            DecodeStatus::Ok)
+      << error.message;
+  return frame;
+}
+
+TEST(NetProtocol, RolloutRequestRoundTripIsExact) {
+  const serve::RolloutRequest req = sample_request();
+  const auto wire = encode_rollout_request(77, req);
+  const FrameView frame = must_frame(wire);
+  EXPECT_EQ(frame.type, MessageType::RolloutRequest);
+  EXPECT_EQ(frame.request_id, 77u);
+  EXPECT_EQ(frame.frame_bytes, wire.size());
+
+  serve::RolloutRequest out;
+  std::string error;
+  ASSERT_TRUE(decode_rollout_request(frame, out, error)) << error;
+  EXPECT_EQ(out.model, req.model);
+  EXPECT_EQ(out.steps, req.steps);
+  EXPECT_EQ(out.material, req.material);  // bitwise: doubles travel as-is
+  EXPECT_EQ(out.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(out.window, req.window);
+  EXPECT_EQ(out.node_attrs, req.node_attrs);
+}
+
+TEST(NetProtocol, ChunkStatusErrorRoundTrip) {
+  WireChunk chunk;
+  chunk.first_frame = 5;
+  chunk.frame_len = 3;
+  chunk.data = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  {
+    const auto wire = encode_rollout_chunk(9, chunk);
+    WireChunk out;
+    std::string error;
+    ASSERT_TRUE(decode_rollout_chunk(must_frame(wire), out, error)) << error;
+    EXPECT_EQ(out.first_frame, 5u);
+    EXPECT_EQ(out.num_frames(), 2u);
+    EXPECT_EQ(out.data, chunk.data);
+  }
+  {
+    WireStatus status;
+    status.status = serve::JobStatus::DeadlineExceeded;
+    status.total_frames = 4;
+    status.queue_ms = 1.5;
+    status.exec_ms = 2.5;
+    status.total_ms = 4.25;
+    status.error = "deadline exceeded after 4 of 9 steps";
+    const auto wire = encode_status_reply(11, status);
+    WireStatus out;
+    std::string error;
+    ASSERT_TRUE(decode_status_reply(must_frame(wire), out, error)) << error;
+    EXPECT_EQ(out.status, serve::JobStatus::DeadlineExceeded);
+    EXPECT_EQ(out.total_frames, 4u);
+    EXPECT_EQ(out.total_ms, 4.25);
+    EXPECT_EQ(out.error, status.error);
+  }
+  {
+    const auto wire = encode_error_reply(13, {NetError::Busy, "try later"});
+    WireError out;
+    std::string error;
+    ASSERT_TRUE(decode_error_reply(must_frame(wire), out, error)) << error;
+    EXPECT_EQ(out.code, NetError::Busy);
+    EXPECT_EQ(out.message, "try later");
+  }
+}
+
+TEST(NetProtocol, EveryTruncationIsNeedMoreNeverError) {
+  const auto wire = encode_rollout_request(1, sample_request());
+  // A prefix of a valid frame is always an incomplete frame — the decoder
+  // must ask for more bytes, never misclassify or read past the end.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    FrameView frame;
+    DecodeError error;
+    EXPECT_EQ(try_decode_frame(wire.data(), len, frame, error),
+              DecodeStatus::NeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(NetProtocol, WrongMagicIsFatalTypedError) {
+  auto wire = encode_rollout_request(1, sample_request());
+  wire[0] ^= 0xFF;
+  FrameView frame;
+  DecodeError error;
+  ASSERT_EQ(try_decode_frame(wire.data(), wire.size(), frame, error),
+            DecodeStatus::Error);
+  EXPECT_EQ(error.code, NetError::BadMagic);
+  EXPECT_TRUE(error.fatal);
+}
+
+TEST(NetProtocol, OversizedLengthRejectedBeforeBufferingOrAllocation) {
+  auto wire = encode_rollout_request(1, sample_request());
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(wire.data() + 16, &huge, sizeof(huge));  // payload_len field
+  FrameView frame;
+  DecodeError error;
+  // Only the 20-byte header is present, yet the verdict is immediate: a
+  // hostile length must never make the server buffer toward it.
+  ASSERT_EQ(try_decode_frame(wire.data(), kHeaderBytes, frame, error),
+            DecodeStatus::Error);
+  EXPECT_EQ(error.code, NetError::TooLarge);
+  EXPECT_TRUE(error.fatal);
+}
+
+TEST(NetProtocol, UnknownVersionAndTypeAreTyped) {
+  {
+    auto wire = encode_rollout_request(1, sample_request());
+    wire[4] = 99;  // version
+    FrameView frame;
+    DecodeError error;
+    ASSERT_EQ(try_decode_frame(wire.data(), wire.size(), frame, error),
+              DecodeStatus::Error);
+    EXPECT_EQ(error.code, NetError::BadVersion);
+    EXPECT_TRUE(error.fatal);
+  }
+  {
+    auto wire = encode_rollout_request(42, sample_request());
+    wire[5] = 200;  // type: framing survives, the frame is skippable
+    FrameView frame;
+    DecodeError error;
+    ASSERT_EQ(try_decode_frame(wire.data(), wire.size(), frame, error),
+              DecodeStatus::Error);
+    EXPECT_EQ(error.code, NetError::BadType);
+    EXPECT_FALSE(error.fatal);
+    EXPECT_EQ(error.skip_bytes, wire.size());
+    EXPECT_EQ(error.request_id, 42u);  // echoable in the ErrorReply
+  }
+}
+
+TEST(NetProtocol, EveryBitFlipDecodesWithoutCrashing) {
+  const auto pristine = encode_rollout_request(7, sample_request());
+  // Flip every bit of the frame one at a time; each mutant must decode to
+  // Ok / NeedMore / a typed error — and payload parsing, when reached,
+  // must validate without crashing (ASan/UBSan enforce the "cleanly" part).
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutant = pristine;
+      mutant[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameView frame;
+      DecodeError error;
+      const DecodeStatus status =
+          try_decode_frame(mutant.data(), mutant.size(), frame, error);
+      if (status != DecodeStatus::Ok) continue;
+      serve::RolloutRequest out;
+      std::string parse_error;
+      (void)decode_rollout_request(frame, out, parse_error);
+    }
+  }
+}
+
+TEST(NetProtocol, RandomGarbageNeverCrashes) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t len =
+        static_cast<std::size_t>(rng.uniform(0.0, 96.0));
+    std::vector<std::uint8_t> garbage(len);
+    for (auto& b : garbage)
+      b = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+    FrameView frame;
+    DecodeError error;
+    const DecodeStatus status =
+        try_decode_frame(garbage.data(), garbage.size(), frame, error);
+    if (status != DecodeStatus::Ok) continue;
+    serve::RolloutRequest req_out;
+    WireChunk chunk_out;
+    WireStatus status_out;
+    WireError error_out;
+    std::string parse_error;
+    switch (frame.type) {
+      case MessageType::RolloutRequest:
+        (void)decode_rollout_request(frame, req_out, parse_error);
+        break;
+      case MessageType::RolloutChunk:
+        (void)decode_rollout_chunk(frame, chunk_out, parse_error);
+        break;
+      case MessageType::StatusReply:
+        (void)decode_status_reply(frame, status_out, parse_error);
+        break;
+      case MessageType::ErrorReply:
+        (void)decode_error_reply(frame, error_out, parse_error);
+        break;
+    }
+  }
+}
+
+TEST(NetProtocol, PayloadCountMismatchesAreMalformed) {
+  // Declared window bigger than the bytes present.
+  {
+    auto wire = encode_rollout_request(1, sample_request());
+    FrameView frame = must_frame(wire);
+    // Patch num_window_frames (after model string + steps + 2 doubles).
+    const std::size_t off = kHeaderBytes + 2 + 7 + 4 + 8 + 8;
+    const std::uint32_t bogus = 60;
+    std::memcpy(wire.data() + off, &bogus, sizeof(bogus));
+    frame = must_frame(wire);
+    serve::RolloutRequest out;
+    std::string error;
+    EXPECT_FALSE(decode_rollout_request(frame, out, error));
+    EXPECT_FALSE(error.empty());
+  }
+  // Trailing bytes after a complete request payload.
+  {
+    auto wire = encode_rollout_request(1, sample_request());
+    wire.insert(wire.end(), {0, 0, 0, 0});  // 4 junk bytes inside the frame
+    std::uint32_t payload_len;
+    std::memcpy(&payload_len, wire.data() + 16, sizeof(payload_len));
+    payload_len += 4;
+    std::memcpy(wire.data() + 16, &payload_len, sizeof(payload_len));
+    serve::RolloutRequest out;
+    std::string error;
+    EXPECT_FALSE(decode_rollout_request(must_frame(wire), out, error));
+  }
+  // Chunk whose data does not tile into whole frames.
+  {
+    WireChunk chunk;
+    chunk.first_frame = 0;
+    chunk.frame_len = 3;
+    chunk.data = {1.0, 2.0, 3.0};
+    auto wire = encode_rollout_chunk(1, chunk);
+    // Patch frame_len to 2: 3 doubles no longer tile.
+    const std::uint32_t bogus = 2;
+    std::memcpy(wire.data() + kHeaderBytes + 8, &bogus, sizeof(bogus));
+    WireChunk out;
+    std::string error;
+    EXPECT_FALSE(decode_rollout_chunk(must_frame(wire), out, error));
+  }
+  // Status with an out-of-range JobStatus byte.
+  {
+    WireStatus status;
+    auto wire = encode_status_reply(1, status);
+    wire[kHeaderBytes] = 250;
+    WireStatus out;
+    std::string error;
+    EXPECT_FALSE(decode_status_reply(must_frame(wire), out, error));
+  }
+}
+
+TEST(NetProtocol, BackToBackFramesDecodeSequentially) {
+  const auto a = encode_error_reply(1, {NetError::Busy, "a"});
+  const auto b = encode_status_reply(2, {});
+  std::vector<std::uint8_t> stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  FrameView frame;
+  DecodeError error;
+  ASSERT_EQ(try_decode_frame(stream.data(), stream.size(), frame, error),
+            DecodeStatus::Ok);
+  EXPECT_EQ(frame.type, MessageType::ErrorReply);
+  EXPECT_EQ(frame.request_id, 1u);
+
+  ASSERT_EQ(try_decode_frame(stream.data() + frame.frame_bytes,
+                             stream.size() - frame.frame_bytes, frame, error),
+            DecodeStatus::Ok);
+  EXPECT_EQ(frame.type, MessageType::StatusReply);
+  EXPECT_EQ(frame.request_id, 2u);
+}
+
+}  // namespace
+}  // namespace gns::net

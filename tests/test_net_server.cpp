@@ -1,0 +1,455 @@
+// Net front-end E2E over loopback: streamed results bitwise-identical to
+// in-process rollouts, concurrent clients with mixed valid/invalid traffic,
+// typed errors for raw garbage, Busy backpressure + client retry, and a
+// graceful drain that drops zero in-flight jobs.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "net/net.hpp"
+#include "serve/serve.hpp"
+
+namespace gns::net {
+namespace {
+
+using core::FeatureConfig;
+using core::GnsConfig;
+using core::LearnedSimulator;
+using core::SceneContext;
+
+io::Dataset small_dataset() {
+  io::Dataset ds;
+  io::Trajectory traj;
+  traj.dim = 2;
+  traj.num_particles = 6;
+  traj.domain_lo = {0.0, 0.0};
+  traj.domain_hi = {1.0, 1.0};
+  traj.material_param = 0.6;
+  Rng rng(7);
+  std::vector<double> base(12);
+  for (auto& v : base) v = rng.uniform(0.3, 0.7);
+  for (int t = 0; t < 12; ++t) {
+    std::vector<double> frame(12);
+    for (int i = 0; i < 12; ++i) frame[i] = base[i] + 0.002 * t * (i % 3);
+    traj.add_frame(std::move(frame));
+  }
+  ds.trajectories.push_back(std::move(traj));
+  return ds;
+}
+
+LearnedSimulator make_small_sim() {
+  FeatureConfig fc;
+  fc.dim = 2;
+  fc.history = 3;
+  fc.connectivity_radius = 0.4;
+  fc.domain_lo = {0.0, 0.0};
+  fc.domain_hi = {1.0, 1.0};
+  fc.material_feature = true;
+  GnsConfig gc;
+  gc.latent = 8;
+  gc.mlp_hidden = 8;
+  gc.mlp_layers = 1;
+  gc.message_passing_steps = 2;
+  return core::make_simulator(small_dataset(), fc, gc, /*seed=*/42);
+}
+
+serve::RolloutRequest small_request(const LearnedSimulator& sim, int steps) {
+  io::Dataset ds = small_dataset();
+  const io::Trajectory& traj = ds.trajectories[0];
+  serve::RolloutRequest req;
+  req.model = "m";
+  req.steps = steps;
+  req.material = traj.material_param;
+  const int w = sim.features().window_size();
+  for (int t = 0; t < w; ++t) req.window.push_back(traj.frames[t]);
+  return req;
+}
+
+/// Direct in-process rollout of the same request: the loopback reference.
+std::vector<std::vector<double>> direct_rollout(const LearnedSimulator& sim,
+                                                int steps) {
+  io::Dataset ds = small_dataset();
+  SceneContext ctx;
+  ctx.material = ad::Tensor::scalar(ds.trajectories[0].material_param);
+  return sim.rollout(sim.window_from_trajectory(ds.trajectories[0]), steps,
+                     ctx);
+}
+
+/// Everything one loopback test needs, on an ephemeral port.
+struct Harness {
+  explicit Harness(ServerConfig net_config = {},
+                   serve::SchedulerConfig sched_config = {2, 32}) {
+    registry = std::make_shared<serve::ModelRegistry>();
+    registry->put("m", make_small_sim());
+    sim = registry->get("m");
+    sched_config.stats_prefix = "serve_net_test";
+    scheduler =
+        std::make_unique<serve::JobScheduler>(registry, sched_config);
+    net_config.port = 0;  // ephemeral
+    server = std::make_unique<Server>(*scheduler, std::move(net_config));
+  }
+
+  [[nodiscard]] bool start() { return server->start(); }
+
+  [[nodiscard]] ClientConfig client_config() const {
+    ClientConfig cfg;
+    cfg.port = server->port();
+    return cfg;
+  }
+
+  std::shared_ptr<serve::ModelRegistry> registry;
+  serve::ModelRegistry::Handle sim;
+  std::unique_ptr<serve::JobScheduler> scheduler;
+  std::unique_ptr<Server> server;
+};
+
+void expect_bitwise_equal(const std::vector<std::vector<double>>& got,
+                          const std::vector<std::vector<double>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t t = 0; t < want.size(); ++t) {
+    ASSERT_EQ(got[t].size(), want[t].size());
+    for (std::size_t k = 0; k < want[t].size(); ++k) {
+      // Bitwise, not approximate: the wire carries raw IEEE doubles and the
+      // scheduler's rollouts are bit-identical to serial execution.
+      ASSERT_EQ(got[t][k], want[t][k]) << "frame " << t << " component " << k;
+    }
+  }
+}
+
+// ---- Raw-socket helpers for malformed traffic ------------------------------
+
+int raw_connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void raw_send(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Blocking-reads one frame; returns false on orderly close.
+bool raw_read_frame(int fd, std::vector<std::uint8_t>& buf, FrameView& frame) {
+  for (;;) {
+    DecodeError error;
+    if (try_decode_frame(buf.data(), buf.size(), frame, error) ==
+        DecodeStatus::Ok) {
+      return true;
+    }
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+}
+
+/// True when the peer half-closed (recv returns 0) within ~2s.
+bool raw_wait_close(int fd) {
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::uint8_t scratch[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd, scratch, sizeof(scratch), 0);
+    if (n == 0) return true;
+    if (n < 0) return false;
+  }
+}
+
+// ---- Tests -----------------------------------------------------------------
+
+TEST(NetServer, LoopbackRolloutBitwiseEqualsDirect) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t1";
+  cfg.chunk_frames = 3;  // exercise multi-chunk reassembly: 7 % 3 != 0
+  Harness h(cfg);
+  ASSERT_TRUE(h.start());
+
+  Client client(h.client_config());
+  const ClientResult result = client.rollout(small_request(*h.sim, 7));
+  ASSERT_TRUE(result.transport_ok) << result.transport_error;
+  ASSERT_TRUE(result.ok()) << result.error;
+  expect_bitwise_equal(result.frames, direct_rollout(*h.sim, 7));
+  EXPECT_GT(result.exec_ms, 0.0);
+
+  h.server->stop();
+}
+
+TEST(NetServer, EightConcurrentClientsMixedValidInvalid) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t2";
+  cfg.handler_threads = 3;
+  Harness h(cfg, serve::SchedulerConfig{4, 64});
+  ASSERT_TRUE(h.start());
+
+  const auto want_short = direct_rollout(*h.sim, 3);
+  const auto want_long = direct_rollout(*h.sim, 6);
+
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(h.client_config());
+      // Invalid first: a missing model must come back as a typed job
+      // status without poisoning the connection.
+      serve::RolloutRequest bad = small_request(*h.sim, 2);
+      bad.model = "no_such_model";
+      const ClientResult bad_result = client.rollout(bad);
+      if (!bad_result.transport_ok || bad_result.is_net_error ||
+          bad_result.status != serve::JobStatus::ModelNotFound) {
+        ++failures;
+        return;
+      }
+      // Then a valid rollout on the same connection.
+      const int steps = c % 2 == 0 ? 3 : 6;
+      const ClientResult good = client.rollout(small_request(*h.sim, steps));
+      if (!good.ok()) {
+        ++failures;
+        return;
+      }
+      const auto& want = c % 2 == 0 ? want_short : want_long;
+      if (good.frames.size() != want.size()) {
+        ++failures;
+        return;
+      }
+      for (std::size_t t = 0; t < want.size(); ++t) {
+        if (good.frames[t] != want[t]) {  // bitwise (vector operator==)
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const serve::StatsSnapshot snap = h.scheduler->stats().snapshot();
+  EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(snap.failed, static_cast<std::uint64_t>(kClients));  // bad model
+
+  h.server->stop();
+}
+
+TEST(NetServer, RawGarbageGetsTypedErrorsWithoutKillingValidTraffic) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t3";
+  Harness h(cfg);
+  ASSERT_TRUE(h.start());
+
+  // Fatal framing error: bad magic gets ErrorReply{BadMagic}, then close.
+  {
+    const int fd = raw_connect(h.server->port());
+    auto wire = encode_rollout_request(1, small_request(*h.sim, 2));
+    wire[0] ^= 0xFF;
+    raw_send(fd, wire);
+    std::vector<std::uint8_t> buf;
+    FrameView frame;
+    ASSERT_TRUE(raw_read_frame(fd, buf, frame));
+    ASSERT_EQ(frame.type, MessageType::ErrorReply);
+    WireError error;
+    std::string parse_error;
+    ASSERT_TRUE(decode_error_reply(frame, error, parse_error));
+    EXPECT_EQ(error.code, NetError::BadMagic);
+    buf.erase(buf.begin(), buf.begin() +
+                               static_cast<std::ptrdiff_t>(frame.frame_bytes));
+    EXPECT_TRUE(raw_wait_close(fd));  // framing lost -> server hangs up
+    ::close(fd);
+  }
+
+  // Non-fatal: an unknown-type frame is answered and skipped; a valid
+  // request on the same connection still succeeds.
+  {
+    const int fd = raw_connect(h.server->port());
+    auto unknown = encode_rollout_request(9, small_request(*h.sim, 2));
+    unknown[5] = 77;  // type byte: framing intact, type invalid
+    auto valid = encode_rollout_request(10, small_request(*h.sim, 2));
+    std::vector<std::uint8_t> both = unknown;
+    both.insert(both.end(), valid.begin(), valid.end());
+    raw_send(fd, both);
+
+    std::vector<std::uint8_t> buf;
+    FrameView frame;
+    ASSERT_TRUE(raw_read_frame(fd, buf, frame));
+    ASSERT_EQ(frame.type, MessageType::ErrorReply);
+    EXPECT_EQ(frame.request_id, 9u);
+    WireError error;
+    std::string parse_error;
+    ASSERT_TRUE(decode_error_reply(frame, error, parse_error));
+    EXPECT_EQ(error.code, NetError::BadType);
+
+    // The valid request streams back chunks + Ok status.
+    bool got_status = false;
+    std::size_t streamed = 0;
+    while (!got_status) {
+      buf.erase(buf.begin(),
+                buf.begin() + static_cast<std::ptrdiff_t>(frame.frame_bytes));
+      ASSERT_TRUE(raw_read_frame(fd, buf, frame));
+      EXPECT_EQ(frame.request_id, 10u);
+      if (frame.type == MessageType::RolloutChunk) {
+        WireChunk chunk;
+        ASSERT_TRUE(decode_rollout_chunk(frame, chunk, parse_error));
+        streamed += chunk.num_frames();
+      } else {
+        ASSERT_EQ(frame.type, MessageType::StatusReply);
+        WireStatus status;
+        ASSERT_TRUE(decode_status_reply(frame, status, parse_error));
+        EXPECT_EQ(status.status, serve::JobStatus::Ok);
+        EXPECT_EQ(status.total_frames, 2u);
+        got_status = true;
+      }
+    }
+    EXPECT_EQ(streamed, 2u);
+    ::close(fd);
+  }
+
+  h.server->stop();
+}
+
+TEST(NetServer, BackpressureBusyThenRetrySucceeds) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t4";
+  cfg.max_inflight_global = 1;  // one in-flight job fills the server
+  Harness h(cfg, serve::SchedulerConfig{1, 8});
+  ASSERT_TRUE(h.start());
+
+  // Paused workers pin the first job in-flight deterministically.
+  h.scheduler->pause();
+  std::thread first([&] {
+    Client client(h.client_config());
+    const ClientResult r = client.rollout(small_request(*h.sim, 2));
+    EXPECT_TRUE(r.ok()) << r.error << r.transport_error;
+  });
+  // The job is in-flight once it reaches the scheduler queue.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (h.scheduler->queue_depth() < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "job never queued";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // No-retry client: the cap surfaces as a Busy error.
+  {
+    ClientConfig no_retry = h.client_config();
+    no_retry.busy_max_retries = 0;
+    Client client(no_retry);
+    const ClientResult r = client.rollout(small_request(*h.sim, 2));
+    ASSERT_TRUE(r.transport_ok) << r.transport_error;
+    EXPECT_TRUE(r.is_net_error);
+    EXPECT_EQ(r.net_error, NetError::Busy);
+  }
+
+  // Retrying client started while the server is still full: it must absorb
+  // at least one Busy before the slot frees up.
+  std::thread second([&] {
+    ClientConfig retry = h.client_config();
+    retry.busy_max_retries = 100;
+    retry.busy_backoff_ms = 2.0;
+    Client client(retry);
+    const ClientResult r = client.rollout(small_request(*h.sim, 2));
+    EXPECT_TRUE(r.ok()) << r.error << r.transport_error;
+    EXPECT_GE(r.busy_retries, 1);
+  });
+  // Hold the server full until the retrying client has been rejected once.
+  obs::Counter& busy_count =
+      obs::MetricsRegistry::global().counter("net_t4.rejected_backpressure");
+  while (busy_count.value() < 2) {  // no-retry client + second's 1st attempt
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "second client never saw Busy";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  h.scheduler->resume();
+
+  first.join();
+  second.join();
+  h.server->stop();
+}
+
+TEST(NetServer, GracefulDrainDropsNoInflightJobs) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t5";
+  cfg.handler_threads = 2;
+  Harness h(cfg, serve::SchedulerConfig{2, 32});
+  ASSERT_TRUE(h.start());
+
+  const auto want = direct_rollout(*h.sim, 5);
+
+  // Pin 4 jobs in-flight (paused scheduler), plus one idle connection that
+  // will try to submit *during* the drain.
+  h.scheduler->pause();
+  constexpr int kClients = 4;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      Client client(h.client_config());
+      const ClientResult r = client.rollout(small_request(*h.sim, 5));
+      if (r.ok() && r.frames.size() == want.size()) ++ok_count;
+    });
+  }
+  Client late(h.client_config());
+  ASSERT_TRUE(late.connect());  // accepted before the listener closes
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (h.scheduler->queue_depth() < kClients) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "jobs never queued";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // stop() blocks until the drain completes, so it runs on its own thread;
+  // the in-flight jobs only finish once the scheduler resumes.
+  std::thread stopper([&] { h.server->stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // A request arriving mid-drain is refused, not queued and not dropped.
+  const ClientResult refused = late.rollout(small_request(*h.sim, 5));
+  ASSERT_TRUE(refused.transport_ok) << refused.transport_error;
+  EXPECT_TRUE(refused.is_net_error);
+  EXPECT_EQ(refused.net_error, NetError::ShuttingDown);
+
+  h.scheduler->resume();
+  for (auto& t : clients) t.join();
+  stopper.join();
+
+  // Zero dropped: every in-flight job resolved Ok and its reply arrived.
+  EXPECT_EQ(ok_count.load(), kClients);
+  const serve::StatsSnapshot snap = h.scheduler->stats().snapshot();
+  EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(snap.cancelled, 0u);
+  EXPECT_EQ(snap.shut_down, 0u);
+
+  // The listener is gone: new connections are refused.
+  Client post_drain(h.client_config());
+  EXPECT_FALSE(post_drain.connect());
+  EXPECT_EQ(h.server->active_connections(), 0);
+}
+
+}  // namespace
+}  // namespace gns::net

@@ -238,6 +238,31 @@ TEST_F(ServeTest, DeadlineExceededWhileQueued) {
   EXPECT_EQ(scheduler.stats().snapshot().deadline_exceeded, 1u);
 }
 
+TEST_F(ServeTest, ExpiredDeadlineRejectedAtSubmitWithoutQueueing) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->put("m", make_small_sim());
+  ModelRegistry::Handle sim = registry->get("m");
+  JobScheduler scheduler(registry, SchedulerConfig{1, 8});
+
+  // Paused workers make the queue observable: if the expired job were
+  // enqueued (the old behavior treated negative deadline_ms as unbounded),
+  // queue_depth would read 1 here.
+  scheduler.pause();
+  RolloutRequest req = small_request(*sim, 2);
+  req.deadline_ms = -1.0;  // expired upstream (e.g. net deadline rebase)
+  JobTicket ticket = scheduler.submit(std::move(req));
+
+  RolloutResult result = ticket.result.get();  // resolves immediately
+  EXPECT_EQ(result.status, JobStatus::DeadlineExceeded);
+  EXPECT_TRUE(result.frames.empty());
+  EXPECT_EQ(scheduler.queue_depth(), 0);  // never occupied a slot
+  scheduler.resume();
+
+  const StatsSnapshot snap = scheduler.stats().snapshot();
+  EXPECT_EQ(snap.deadline_exceeded, 1u);
+  EXPECT_EQ(snap.completed, 0u);
+}
+
 TEST_F(ServeTest, DeadlineExceededMidRolloutReturnsPrefix) {
   auto registry = std::make_shared<ModelRegistry>();
   registry->put("m", make_small_sim());
