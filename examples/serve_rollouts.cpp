@@ -13,6 +13,12 @@
 //
 // Usage: serve_rollouts [requests=48] [workers=4] [clients=8]
 //        serve_rollouts --listen <port> [workers=4]
+// Both modes accept --cache-dir <dir> anywhere on the line: it enables
+// the content-addressed rollout cache (src/store) backed by that
+// directory, so repeated identical requests are served from the mmap'd
+// trajectory store instead of re-running the model. Without the flag,
+// GNS_CACHE_DIR enables the same thing from the environment, and
+// GNS_CACHE_BYTES caps the resident LRU budget (bytes) either way.
 // GNS_NUM_THREADS caps the OpenMP pool inside each rollout step.
 //
 // --listen serves the same checkpoint over TCP (src/net wire protocol,
@@ -36,6 +42,7 @@
 #include "net/net.hpp"
 #include "obs/obs.hpp"
 #include "serve/serve.hpp"
+#include "store/store.hpp"
 #include "util/timer.hpp"
 
 #ifdef _OPENMP
@@ -104,6 +111,45 @@ RolloutRequest make_request(const LearnedSimulator& sim,
   return req;
 }
 
+// --cache-dir beats GNS_CACHE_DIR; either way GNS_CACHE_BYTES caps the
+// resident budget. nullptr (caching off) when neither is given.
+std::shared_ptr<store::RolloutCache> open_rollout_cache(
+    const std::string& flag_dir) {
+  if (flag_dir.empty()) return store::make_cache_from_env();
+  store::CacheConfig config;
+  config.dir = flag_dir;
+  if (const char* bytes = std::getenv("GNS_CACHE_BYTES")) {
+    const long long parsed = std::atoll(bytes);
+    if (parsed > 0) config.byte_budget = static_cast<std::uint64_t>(parsed);
+  }
+  return std::make_shared<store::RolloutCache>(config);
+}
+
+void print_cache_report(const store::RolloutCache* cache) {
+  if (cache == nullptr) {
+    std::printf("cache         off  (--cache-dir or GNS_CACHE_DIR enables)\n");
+    return;
+  }
+  auto& metrics = obs::MetricsRegistry::global();
+  const std::string p = cache->config().metrics_prefix + ".";
+  std::printf("cache         hit %llu  miss %llu  insert %llu  "
+              "coalesced %llu  evicted %llu\n",
+              static_cast<unsigned long long>(
+                  metrics.counter(p + "hit").value()),
+              static_cast<unsigned long long>(
+                  metrics.counter(p + "miss").value()),
+              static_cast<unsigned long long>(
+                  metrics.counter(p + "insert").value()),
+              static_cast<unsigned long long>(
+                  metrics.counter(p + "singleflight_coalesced").value()),
+              static_cast<unsigned long long>(
+                  metrics.counter(p + "evictions").value()));
+  std::printf("cache store   %zu entries resident, %.1f KiB (%s)\n",
+              cache->resident_entries(),
+              static_cast<double>(cache->resident_bytes()) / 1024.0,
+              cache->config().dir.c_str());
+}
+
 // Signal-to-drain plumbing: the handler only flips an async-signal-safe
 // flag; the main thread notices and runs the actual (lock-taking) drain.
 std::atomic<int> g_signal{0};
@@ -112,15 +158,23 @@ void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
 
 /// `serve_rollouts --listen <port>`: serve the checkpoint over TCP until a
 /// SIGINT/SIGTERM triggers a graceful drain.
-int run_listen_mode(int port, int workers, const std::string& cache) {
+int run_listen_mode(int port, int workers, const std::string& cache,
+                    const std::string& cache_dir_flag) {
   const std::string checkpoint = ensure_checkpoint(cache);
   auto registry = std::make_shared<ModelRegistry>();
   if (!registry->load("columns", checkpoint)) {
     std::fprintf(stderr, "failed to load %s\n", checkpoint.c_str());
     return 1;
   }
-  JobScheduler scheduler(registry,
-                         SchedulerConfig{workers, /*queue_capacity=*/256});
+  SchedulerConfig sched_config;
+  sched_config.workers = workers;
+  sched_config.queue_capacity = 256;
+  sched_config.cache = open_rollout_cache(cache_dir_flag);
+  if (sched_config.cache)
+    std::printf("[serve] rollout cache at %s (%zu entries warm)\n",
+                sched_config.cache->config().dir.c_str(),
+                sched_config.cache->resident_entries());
+  JobScheduler scheduler(registry, sched_config);
 
   net::ServerConfig config;
   config.port = port;
@@ -145,6 +199,7 @@ int run_listen_mode(int port, int workers, const std::string& cache) {
   std::printf("[serve] drained: %llu completed, %llu failed\n",
               static_cast<unsigned long long>(snap.completed),
               static_cast<unsigned long long>(snap.failed));
+  print_cache_report(sched_config.cache.get());
   scheduler.stats().write_json(cache + "/serve_listen_stats.json");
   return 0;
 }
@@ -154,23 +209,42 @@ int run_listen_mode(int port, int workers, const std::string& cache) {
 int main(int argc, char** argv) {
   gns::obs::install_from_env();
 
+  // --cache-dir <dir> is recognized anywhere on the line, in both modes;
+  // the remaining args keep their positional meaning.
+  std::vector<std::string> args;
+  std::string cache_dir_flag;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--cache-dir requires a directory argument\n");
+        return 2;
+      }
+      cache_dir_flag = argv[++i];
+      continue;
+    }
+    args.push_back(arg);
+  }
+
   const char* cache_env_early = std::getenv("GNS_BENCH_CACHE");
-  if (argc > 1 && std::string(argv[1]) == "--listen") {
-    if (argc < 3) {
-      std::fprintf(stderr, "usage: serve_rollouts --listen <port> [workers]\n");
+  if (!args.empty() && args[0] == "--listen") {
+    if (args.size() < 2) {
+      std::fprintf(stderr,
+                   "usage: serve_rollouts --listen <port> [workers] "
+                   "[--cache-dir <dir>]\n");
       return 2;
     }
-    const int port = std::atoi(argv[2]);
-    int listen_workers = argc > 3 ? std::atoi(argv[3]) : 4;
+    const int port = std::atoi(args[1].c_str());
+    int listen_workers = args.size() > 2 ? std::atoi(args[2].c_str()) : 4;
     if (listen_workers < 1) listen_workers = 1;
     const std::string cache = cache_env_early ? cache_env_early : "bench_cache";
     std::filesystem::create_directories(cache);
-    return run_listen_mode(port, listen_workers, cache);
+    return run_listen_mode(port, listen_workers, cache, cache_dir_flag);
   }
 
-  const int requests = argc > 1 ? std::atoi(argv[1]) : 48;
-  int workers = argc > 2 ? std::atoi(argv[2]) : 4;
-  const int clients = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int requests = !args.empty() ? std::atoi(args[0].c_str()) : 48;
+  int workers = args.size() > 1 ? std::atoi(args[1].c_str()) : 4;
+  const int clients = args.size() > 2 ? std::atoi(args[2].c_str()) : 8;
   if (workers < 4) workers = 4;  // acceptance shape: >= 4-worker pool
 #ifdef _OPENMP
   if (const char* env = std::getenv("GNS_NUM_THREADS")) {
@@ -207,8 +281,15 @@ int main(int argc, char** argv) {
   const int half_n = full_n / 2;
 
   // 3. Concurrent mixed-size load from client threads.
-  JobScheduler scheduler(registry,
-                         SchedulerConfig{workers, /*queue_capacity=*/256});
+  SchedulerConfig sched_config;
+  sched_config.workers = workers;
+  sched_config.queue_capacity = 256;
+  sched_config.cache = open_rollout_cache(cache_dir_flag);
+  if (sched_config.cache)
+    std::printf("[serve] rollout cache at %s (%zu entries warm)\n",
+                sched_config.cache->config().dir.c_str(),
+                sched_config.cache->resident_entries());
+  JobScheduler scheduler(registry, sched_config);
   std::printf("[serve] %d requests from %d clients through %d workers\n",
               requests, clients, workers);
 
@@ -262,6 +343,7 @@ int main(int argc, char** argv) {
   std::printf("latency p99   %8.2f ms   (queue %8.2f, exec %8.2f)\n",
               snap.total_ms.quantile(0.99), snap.queue_ms.quantile(0.99),
               snap.exec_ms.quantile(0.99));
+  print_cache_report(sched_config.cache.get());
 
   scheduler.stats().write_latency_csv(cache + "/serve_latency.csv");
   scheduler.stats().write_json(

@@ -48,8 +48,12 @@ Client::~Client() { close(); }
 
 bool Client::connect() {
   close();
+  last_connect_errno_ = 0;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return false;
+  if (fd_ < 0) {
+    last_connect_errno_ = errno;
+    return false;
+  }
 
   const timeval send_tv = to_timeval(config_.connect_timeout_ms);
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
@@ -61,8 +65,12 @@ bool Client::connect() {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
-  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    close();  // malformed address: not transient, last_connect_errno_ = 0
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    last_connect_errno_ = errno;
     close();
     return false;
   }
@@ -82,13 +90,33 @@ void Client::close() {
 ClientResult Client::rollout(const serve::RolloutRequest& request) {
   ClientResult result;
   double backoff_ms = config_.busy_backoff_ms;
+  int busy_retries = 0;
+  int connect_retries = 0;
   Timer rtt;
-  for (int attempt = 0;; ++attempt) {
+  for (;;) {
     result = exchange(request, next_request_id_++);
-    result.busy_retries = attempt;
+    result.busy_retries = busy_retries;
+    result.connect_retries = connect_retries;
     const bool busy = result.transport_ok && result.is_net_error &&
                       result.net_error == NetError::Busy;
-    if (!busy || attempt >= config_.busy_max_retries) break;
+    // ECONNREFUSED: nothing listening *yet* (server still binding, or
+    // restarting). ECONNRESET: the kernel dropped us from an overflowing
+    // listen backlog. Both are the transient shapes of "server busy
+    // coming up", so they share the Busy backoff policy; anything else
+    // (unreachable host, bad address) fails immediately.
+    const bool transient_connect =
+        !result.transport_ok && result.connect_failed &&
+        (last_connect_errno_ == ECONNREFUSED ||
+         last_connect_errno_ == ECONNRESET);
+    if (busy) {
+      if (busy_retries >= config_.busy_max_retries) break;
+      ++busy_retries;
+    } else if (transient_connect) {
+      if (connect_retries >= config_.busy_max_retries) break;
+      ++connect_retries;
+    } else {
+      break;
+    }
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(backoff_ms));
     backoff_ms = std::min(backoff_ms * 2.0, config_.busy_backoff_max_ms);
@@ -101,9 +129,13 @@ ClientResult Client::exchange(const serve::RolloutRequest& request,
                               std::uint64_t request_id) {
   ClientResult result;
   if (fd_ < 0 && !connect()) {
-    result.transport_error = "connect to " + config_.host + ":" +
-                             std::to_string(config_.port) + " failed: " +
-                             std::strerror(errno);
+    result.connect_failed = true;
+    result.transport_error =
+        "connect to " + config_.host + ":" + std::to_string(config_.port) +
+        " failed" +
+        (last_connect_errno_ != 0
+             ? std::string(": ") + std::strerror(last_connect_errno_)
+             : std::string());
     return result;
   }
 

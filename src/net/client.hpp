@@ -13,8 +13,12 @@
 /// Backpressure is handled here, not by callers: an ErrorReply{Busy} —
 /// the server's in-flight cap or the scheduler's bounded queue — is
 /// retried with exponential backoff up to busy_max_retries times before
-/// surfacing. Every other error (transport, protocol, typed job failure)
-/// is returned on the first occurrence.
+/// surfacing. Transient connect failures (ECONNREFUSED while the server
+/// is still binding, ECONNRESET from a listen backlog overflow) get the
+/// same backoff treatment, so clients racing a server start converge
+/// instead of failing once and giving up. Every other error (transport
+/// mid-exchange, protocol, typed job failure) is returned on the first
+/// occurrence.
 ///
 /// Used by tests/test_net_server.cpp and bench/bench_net_throughput.cpp;
 /// also the reference implementation for external clients.
@@ -34,7 +38,9 @@ struct ClientConfig {
   double connect_timeout_ms = 5000.0;  ///< per connect() attempt
   double recv_timeout_ms = 120'000.0;  ///< silence on the socket -> error
   /// Busy-retry policy: sleep busy_backoff_ms, double it each retry (cap
-  /// busy_backoff_max_ms), give up after busy_max_retries retries.
+  /// busy_backoff_max_ms), give up after busy_max_retries retries. The
+  /// same policy governs transient connect errors (ECONNREFUSED /
+  /// ECONNRESET during connect), counted separately up to the same cap.
   int busy_max_retries = 8;
   double busy_backoff_ms = 5.0;
   double busy_backoff_max_ms = 500.0;
@@ -46,6 +52,10 @@ struct ClientResult {
   /// fields except transport_error are meaningless then.
   bool transport_ok = false;
   std::string transport_error;
+  /// True when the failure was establishing the connection (as opposed to
+  /// mid-exchange). A true value with transport_ok == false after
+  /// rollout() means connect retries were exhausted too.
+  bool connect_failed = false;
 
   /// True when the terminal frame was an ErrorReply (net_error says why —
   /// a Busy here means retries were exhausted).
@@ -65,6 +75,7 @@ struct ClientResult {
   double total_ms = 0.0;
   double rtt_ms = 0.0;  ///< client-observed send-to-terminal wall time
   int busy_retries = 0;  ///< Busy replies absorbed before this outcome
+  int connect_retries = 0;  ///< transient connect failures absorbed
 
   [[nodiscard]] bool ok() const {
     return transport_ok && !is_net_error &&
@@ -99,6 +110,10 @@ class Client {
 
   ClientConfig config_;
   int fd_ = -1;
+  /// errno captured at the failing connect() syscall (close() in the
+  /// cleanup path may clobber the thread-local errno before callers see
+  /// it); 0 for non-syscall failures like a malformed host address.
+  int last_connect_errno_ = 0;
   std::uint64_t next_request_id_ = 1;
   std::vector<std::uint8_t> buf_;  ///< partial-frame carryover between reads
   /// Bytes of buf_ the previous read_frame() handed out as a FrameView;

@@ -1,0 +1,56 @@
+#include "serve/cache_key.hpp"
+
+#include "util/hash.hpp"
+
+namespace gns::serve {
+
+namespace {
+
+void update_tensor(Fnv1a& h, const ad::Tensor& t) {
+  h.update_i32(t.rows());
+  h.update_i32(t.cols());
+  h.update(t.data(), static_cast<std::size_t>(t.rows()) *
+                         static_cast<std::size_t>(t.cols()) * sizeof(double));
+}
+
+void update_features(Fnv1a& h, const core::FeatureConfig& f) {
+  h.update_i32(f.dim);
+  h.update_i32(f.history);
+  h.update_double(f.connectivity_radius);
+  h.update_doubles(f.domain_lo);
+  h.update_doubles(f.domain_hi);
+  h.update_u32(f.material_feature ? 1u : 0u);
+  h.update_i32(f.static_node_attrs);
+}
+
+}  // namespace
+
+std::uint64_t model_digest(const core::LearnedSimulator& sim) {
+  Fnv1a h;
+  for (const ad::Tensor& p : sim.model().parameters()) update_tensor(h, p);
+  const io::NormalizationStats& stats = sim.normalizer().stats();
+  h.update_doubles(stats.vel_mean);
+  h.update_doubles(stats.vel_std);
+  h.update_doubles(stats.acc_mean);
+  h.update_doubles(stats.acc_std);
+  update_features(h, sim.features());
+  return h.digest();
+}
+
+std::uint64_t compute_cache_key(const RolloutRequest& request,
+                                std::uint64_t digest,
+                                const core::FeatureConfig& features) {
+  Fnv1a h;
+  h.update_string(request.model);
+  h.update_u64(digest);
+  update_features(h, features);
+  h.update_u64(static_cast<std::uint64_t>(request.window.size()));
+  for (const std::vector<double>& frame : request.window) {
+    h.update_doubles(frame);
+  }
+  h.update_double(request.material);
+  h.update_doubles(request.node_attrs);
+  return h.digest();
+}
+
+}  // namespace gns::serve

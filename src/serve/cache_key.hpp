@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file cache_key.hpp
+/// Content-address derivation for the rollout cache (store/ subsystem).
+///
+/// A cached rollout is reusable iff recomputing it would produce the
+/// bitwise-identical frame stream. With the repo's determinism
+/// guarantees that reduces to: same weights, same normalization, same
+/// feature construction, same seed window, same scene conditioning. The
+/// key therefore hashes
+///
+///   model name + checkpoint digest        (which function)
+///   feature config                        (how inputs are built)
+///   seed window bytes                     (initial state)
+///   material + static node attributes     (scene conditioning)
+///
+/// and deliberately EXCLUDES the step count: rollouts are strictly
+/// sequential, so a stored K-step rollout answers any request for
+/// <= K steps by truncation (prefix hits, see store/rollout_cache.hpp).
+/// Deadlines are execution policy, not content, and are excluded too.
+///
+/// The checkpoint digest hashes the weights themselves (every parameter
+/// tensor) plus the normalization statistics, so a hot reload that
+/// changes the weights changes every key derived from the model — stale
+/// frames cannot be served across a reload — while reloading an
+/// unchanged checkpoint keeps the cache warm.
+
+#include <cstdint>
+
+#include "core/simulator.hpp"
+#include "serve/job.hpp"
+
+namespace gns::serve {
+
+/// Digest of everything that determines a simulator's input→output map:
+/// parameter tensor shapes and bytes, normalization statistics, and the
+/// feature configuration. Stable across process restarts for the same
+/// checkpoint; changes whenever a reload swaps in different weights.
+[[nodiscard]] std::uint64_t model_digest(const core::LearnedSimulator& sim);
+
+/// Content address of `request` against a resolved model. `digest` is
+/// the registry's model_digest for request.model; `features` the
+/// simulator's feature config. The step count and deadline are not part
+/// of the address (see file comment).
+[[nodiscard]] std::uint64_t compute_cache_key(
+    const RolloutRequest& request, std::uint64_t digest,
+    const core::FeatureConfig& features);
+
+}  // namespace gns::serve

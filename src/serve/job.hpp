@@ -84,6 +84,12 @@ struct RolloutResult {
   double exec_ms = 0.0;   ///< time spent executing on a worker
   double total_ms = 0.0;  ///< submit-to-resolve wall time
 
+  /// True when no rollout ran on this job's behalf: the frames came from
+  /// the rollout cache (hit) or from an identical in-flight computation
+  /// (single-flight coalescing). Bitwise identical to a live rollout
+  /// either way — this flag is observability, not a quality marker.
+  bool cached = false;
+
   [[nodiscard]] bool ok() const { return status == JobStatus::Ok; }
 };
 

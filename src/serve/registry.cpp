@@ -3,16 +3,18 @@
 #include <mutex>
 
 #include "core/serialize.hpp"
+#include "serve/cache_key.hpp"
 
 namespace gns::serve {
 
 bool ModelRegistry::load(const std::string& name, const std::string& path) {
-  // Disk I/O and weight allocation happen before taking the lock.
+  // Disk I/O, weight allocation, and digesting happen before the lock.
   std::shared_ptr<const core::LearnedSimulator> sim =
       core::load_simulator_shared(path);
   if (sim == nullptr) return false;
+  const std::uint64_t digest = model_digest(*sim);
   std::unique_lock lock(mutex_);
-  entries_[name] = Entry{std::move(sim), path};
+  entries_[name] = Entry{std::move(sim), path, digest};
   return true;
 }
 
@@ -20,14 +22,22 @@ void ModelRegistry::put(const std::string& name,
                         core::LearnedSimulator simulator) {
   auto sim = std::make_shared<const core::LearnedSimulator>(
       std::move(simulator));
+  const std::uint64_t digest = model_digest(*sim);
   std::unique_lock lock(mutex_);
-  entries_[name] = Entry{std::move(sim), std::string()};
+  entries_[name] = Entry{std::move(sim), std::string(), digest};
 }
 
 ModelRegistry::Handle ModelRegistry::get(const std::string& name) const {
   std::shared_lock lock(mutex_);
   auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second.simulator;
+}
+
+ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return Resolved{};
+  return Resolved{it->second.simulator, it->second.digest};
 }
 
 bool ModelRegistry::reload(const std::string& name) {

@@ -16,6 +16,7 @@
 /// long); only the map swap is serialized, so lookups never stall behind a
 /// reload.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -30,6 +31,16 @@ class ModelRegistry {
  public:
   using Handle = std::shared_ptr<const core::LearnedSimulator>;
 
+  /// A handle plus the weight digest it was registered with (see
+  /// serve/cache_key.hpp). The digest is computed once per
+  /// load()/put()/reload() — never per lookup — and changes whenever a
+  /// reload swaps in different weights, which is what invalidates every
+  /// rollout-cache key derived from the model.
+  struct Resolved {
+    Handle simulator;            ///< nullptr when the name is unknown
+    std::uint64_t digest = 0;
+  };
+
   /// Loads a checkpoint from disk and registers it under `name`,
   /// replacing any previous entry. Returns false (and leaves any existing
   /// entry untouched) when the file is absent or corrupted.
@@ -41,6 +52,10 @@ class ModelRegistry {
   /// Shared handle to the named model, or nullptr when unknown. The handle
   /// stays valid for the caller's lifetime regardless of later reloads.
   [[nodiscard]] Handle get(const std::string& name) const;
+
+  /// Like get(), but also returns the entry's weight digest (0 when the
+  /// name is unknown).
+  [[nodiscard]] Resolved resolve(const std::string& name) const;
 
   /// Re-reads the checkpoint `name` was loaded from. Returns false when
   /// the entry is unknown, was registered via put() (no path), or the file
@@ -56,7 +71,8 @@ class ModelRegistry {
  private:
   struct Entry {
     Handle simulator;
-    std::string path;  ///< empty for put()-registered models
+    std::string path;           ///< empty for put()-registered models
+    std::uint64_t digest = 0;   ///< weight digest at registration time
   };
 
   mutable std::shared_mutex mutex_;

@@ -7,6 +7,7 @@
 #include "core/batched_simulator.hpp"
 #include "core/features.hpp"
 #include "obs/trace.hpp"
+#include "serve/cache_key.hpp"
 #include "util/timer.hpp"
 
 namespace gns::serve {
@@ -113,6 +114,19 @@ JobTicket JobScheduler::submit(RolloutRequest request) {
       // never occupy a queue or batch slot, and must not be mistaken for
       // an unbounded one.
       rejection = JobStatus::DeadlineExceeded;
+    }
+  }
+
+  if (rejection == JobStatus::Ok && config_.cache != nullptr &&
+      consult_cache(job) == CacheOutcome::Resolved) {
+    return ticket;  // hit (already fulfilled) or joined an in-flight twin
+  }
+
+  if (rejection == JobStatus::Ok) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Re-check: the cache consult ran without the lock held.
+    if (stopping_) {
+      rejection = JobStatus::ShutDown;
     } else if (static_cast<int>(queue_.size()) >= config_.queue_capacity) {
       rejection = JobStatus::QueueFull;
     } else {
@@ -141,9 +155,134 @@ JobTicket JobScheduler::submit(RolloutRequest request) {
       result.error = "scheduler shutting down";
       break;
   }
+  if (job.has_cache_key) {
+    // The job claimed flight leadership before being rejected: release
+    // the flight so followers fail fast instead of waiting forever, and
+    // drop the cancel-flag registration the consult made.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      live_flags_.erase(job.id);
+    }
+    config_.cache->abandon(job.cache_key, {},
+                           static_cast<int>(rejection), result.error);
+  }
   stats_.on_rejected(rejection);
   job.promise.set_value(std::move(result));
   return ticket;
+}
+
+JobScheduler::CacheOutcome JobScheduler::consult_cache(Job& job) {
+  if (job.request.steps <= 0) return CacheOutcome::Enqueue;
+  const ModelRegistry::Resolved model = registry_->resolve(job.request.model);
+  if (model.simulator == nullptr) {
+    return CacheOutcome::Enqueue;  // execute() will type ModelNotFound
+  }
+  const std::uint64_t key = compute_cache_key(job.request, model.digest,
+                                              model.simulator->features());
+  job.cache_key = key;
+
+  // Everything follower fulfillment needs, detached from the Job (which
+  // dies when submit returns). The promise lives here for ALL outcomes
+  // and is moved back on Hit/Lead.
+  struct FollowerState {
+    std::promise<RolloutResult> promise;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+    std::uint64_t id = 0;
+    Clock::time_point submitted;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+  };
+  auto state = std::make_shared<FollowerState>();
+  state->promise = std::move(job.promise);
+  state->cancelled = job.cancelled;
+  state->id = job.id;
+  state->submitted = job.submitted;
+  state->deadline = job.deadline;
+  state->has_deadline = job.has_deadline;
+
+  // Register the cancel flag BEFORE the join attempt: the leader can
+  // finish on another thread the instant lookup_or_join returns, and its
+  // callback erases this registration. (Hit/Lead paths clean up below —
+  // for Lead the enqueue overwrites the same entry idempotently.)
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_flags_[job.id] = job.cancelled;
+  }
+
+  store::FollowerFn on_done = [this, state](store::Frames frames,
+                                            bool complete, int code,
+                                            const std::string& error) {
+    RolloutResult result;
+    result.cached = true;
+    result.frames = std::move(frames);
+    if (state->cancelled->load(std::memory_order_relaxed)) {
+      result.status = JobStatus::Cancelled;
+      result.frames.clear();  // a cancelled job returns no frames it ran for
+    } else if (state->has_deadline && Clock::now() > state->deadline) {
+      result.status = JobStatus::DeadlineExceeded;
+      result.error = "deadline exceeded while coalesced onto an identical "
+                     "in-flight rollout";
+    } else if (complete) {
+      result.status = JobStatus::Ok;
+    } else {
+      result.status = static_cast<JobStatus>(code);
+      result.error = error;
+    }
+    result.job_id = state->id;
+    const double wait_ms = std::chrono::duration<double, std::milli>(
+                               Clock::now() - state->submitted)
+                               .count();
+    result.queue_ms = wait_ms;  // a follower's whole life is queue wait
+    int depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      live_flags_.erase(state->id);
+      depth = static_cast<int>(queue_.size());
+    }
+    stats_.on_resolved(result, depth);
+    state->promise.set_value(std::move(result));
+  };
+
+  store::RolloutCache::Lookup found =
+      config_.cache->lookup_or_join(key, job.request.steps, std::move(on_done));
+
+  switch (found.outcome) {
+    case store::RolloutCache::Outcome::Hit: {
+      job.promise = std::move(state->promise);
+      int depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        live_flags_.erase(job.id);
+        depth = static_cast<int>(queue_.size());
+      }
+      RolloutResult result;
+      result.status = JobStatus::Ok;
+      result.cached = true;
+      result.frames = std::move(found.frames);
+      result.job_id = job.id;
+      result.total_ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - job.submitted)
+                            .count();
+      stats_.on_submitted(depth);
+      stats_.on_resolved(result, depth);
+      job.promise.set_value(std::move(result));
+      return CacheOutcome::Resolved;
+    }
+    case store::RolloutCache::Outcome::Joined: {
+      int depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        depth = static_cast<int>(queue_.size());
+      }
+      stats_.on_submitted(depth);  // accepted work, just not queued work
+      return CacheOutcome::Resolved;
+    }
+    case store::RolloutCache::Outcome::Lead:
+      job.promise = std::move(state->promise);
+      job.has_cache_key = true;
+      return CacheOutcome::Enqueue;
+  }
+  return CacheOutcome::Enqueue;  // unreachable
 }
 
 bool JobScheduler::cancel(std::uint64_t job_id) {
@@ -441,6 +580,22 @@ void JobScheduler::resolve(Job&& job, RolloutResult result) {
   result.total_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - job.submitted)
           .count();
+  // Flight-leader funnel: every terminal path of a leading job releases
+  // its flight exactly once — complete() after a bitwise-complete rollout
+  // (which also inserts it into the store), abandon() for anything less
+  // (partial prefixes still salvage followers they cover). This runs
+  // before the promise resolves so a caller that observes completion can
+  // immediately re-submit and hit.
+  if (job.has_cache_key && config_.cache != nullptr) {
+    if (result.status == JobStatus::Ok &&
+        result.frames.size() ==
+            static_cast<std::size_t>(job.request.steps)) {
+      config_.cache->complete(job.cache_key, result.frames);
+    } else {
+      config_.cache->abandon(job.cache_key, result.frames,
+                             static_cast<int>(result.status), result.error);
+    }
+  }
   int depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -28,6 +28,19 @@
 /// during serving, so concurrent — and batched — rollouts of one model are
 /// bit-identical to running them serially (guarded by test_serve and
 /// test_batching).
+///
+/// Rollout caching (optional, SchedulerConfig::cache): submit() consults
+/// the content-addressed store::RolloutCache before queueing. A hit
+/// resolves the future immediately — bitwise the frames a live rollout
+/// would produce — without touching the worker pool; a miss with an
+/// identical request already in flight joins that flight (one compute for
+/// N concurrent duplicates); otherwise the job leads: it queues normally
+/// and its terminal resolve() inserts a complete rollout into the cache
+/// (or abandons the flight on failure, so followers never hang). Because
+/// cache keys include the registry's weight digest, a hot reload
+/// naturally invalidates every key of the reloaded model. Schedulers must
+/// not share one RolloutCache instance: follower callbacks assume the
+/// flight's leader lives in the same scheduler.
 
 #include <atomic>
 #include <chrono>
@@ -44,6 +57,7 @@
 #include "serve/job.hpp"
 #include "serve/registry.hpp"
 #include "serve/stats.hpp"
+#include "store/rollout_cache.hpp"
 
 namespace gns::serve {
 
@@ -61,6 +75,9 @@ struct SchedulerConfig {
   /// MetricsRegistry prefix for this scheduler's ServerStats. Give every
   /// concurrently-live scheduler a distinct prefix.
   std::string stats_prefix = "serve";
+  /// Optional content-addressed rollout cache (see file comment). nullptr
+  /// disables caching entirely — every submit takes the compute path.
+  std::shared_ptr<store::RolloutCache> cache;
 };
 
 /// submit()'s return: the job id (usable with cancel()) and the future
@@ -123,6 +140,16 @@ class JobScheduler {
     Clock::time_point submitted;
     Clock::time_point deadline;  ///< time_point::max() when none
     bool has_deadline = false;
+    /// Set when this job leads a cache flight: resolve() must call
+    /// cache complete() (all steps present) or abandon() (anything else).
+    std::uint64_t cache_key = 0;
+    bool has_cache_key = false;
+  };
+
+  /// What submit()'s cache consult decided.
+  enum class CacheOutcome {
+    Resolved,  ///< hit or joined a flight: the promise is owned elsewhere
+    Enqueue,   ///< miss (job leads) or cache not applicable: queue normally
   };
 
   void worker_loop();
@@ -137,6 +164,11 @@ class JobScheduler {
   /// member (per-member statuses/deadlines). Must not hold mutex_.
   void execute_batch(std::vector<Job> jobs);
   void resolve(Job&& job, RolloutResult result);
+  /// Cache hit / single-flight join / leadership claim for `job`. Called
+  /// without mutex_ held; takes it briefly for bookkeeping. On Resolved
+  /// the job's promise has been moved out (hit: already fulfilled;
+  /// joined: fulfilled by the leader's terminal callback).
+  [[nodiscard]] CacheOutcome consult_cache(Job& job);
 
   std::shared_ptr<ModelRegistry> registry_;
   SchedulerConfig config_;

@@ -20,6 +20,7 @@
 /// See examples/serve_rollouts.cpp for an end-to-end driver and
 /// bench/bench_serve_throughput.cpp for worker-scaling measurements.
 
+#include "serve/cache_key.hpp"  // IWYU pragma: export
 #include "serve/job.hpp"        // IWYU pragma: export
 #include "serve/registry.hpp"   // IWYU pragma: export
 #include "serve/scheduler.hpp"  // IWYU pragma: export

@@ -1,0 +1,235 @@
+#include "store/rollout_cache.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace gns::store {
+
+namespace {
+
+obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
+
+RolloutCache::RolloutCache(CacheConfig config)
+    : config_(std::move(config)),
+      store_(config_.dir),
+      hits_(reg().counter(config_.metrics_prefix + ".hit")),
+      misses_(reg().counter(config_.metrics_prefix + ".miss")),
+      inserts_(reg().counter(config_.metrics_prefix + ".insert")),
+      evictions_(reg().counter(config_.metrics_prefix + ".evictions")),
+      coalesced_(
+          reg().counter(config_.metrics_prefix + ".singleflight_coalesced")),
+      corrupt_dropped_(
+          reg().counter(config_.metrics_prefix + ".corrupt_dropped")),
+      bytes_gauge_(reg().gauge(config_.metrics_prefix + ".bytes")) {
+  GNS_CHECK_MSG(config_.byte_budget > 0,
+                "RolloutCache byte_budget must be positive");
+  // A fresh cache starts its counters from zero, mirroring ServerStats.
+  reg().reset_prefix(config_.metrics_prefix + ".");
+
+  // Rebuild the resident index from the store catalog: append order is
+  // recency order, so later records land nearer the MRU end; duplicate
+  // keys keep the longest rollout (ties: the later record).
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const RecordMeta& meta : store_.catalog()) {
+    auto it = entries_.find(meta.key);
+    if (it != entries_.end() && it->second.meta.steps > meta.steps) {
+      // The resident rollout is longer; just refresh recency.
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(meta.key);
+      it->second.lru_it = lru_.begin();
+      continue;
+    }
+    insert_entry_locked(meta);
+  }
+  evict_to_budget_locked();
+  bytes_gauge_.set(static_cast<double>(bytes_));
+  if (!entries_.empty()) {
+    GNS_INFO("store: cache restored " << entries_.size() << " rollouts ("
+                                      << bytes_ << " bytes) from "
+                                      << config_.dir);
+  }
+}
+
+const RecordMeta* RolloutCache::touch_locked(std::uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  return &it->second.meta;
+}
+
+void RolloutCache::insert_entry_locked(const RecordMeta& meta) {
+  erase_entry_locked(meta.key);
+  lru_.push_front(meta.key);
+  entries_[meta.key] = Entry{meta, lru_.begin()};
+  bytes_ += meta.payload_bytes();
+}
+
+void RolloutCache::erase_entry_locked(std::uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.meta.payload_bytes();
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void RolloutCache::evict_to_budget_locked() {
+  // The newest entry always stays resident: a single rollout larger
+  // than the budget would otherwise thrash forever.
+  while (bytes_ > config_.byte_budget && entries_.size() > 1) {
+    const std::uint64_t victim = lru_.back();
+    erase_entry_locked(victim);
+    evictions_.add();
+  }
+  bytes_gauge_.set(static_cast<double>(bytes_));
+}
+
+bool RolloutCache::read_verified_locked(const RecordMeta& meta, int steps,
+                                        Frames& out) {
+  if (store_.read(meta, steps, out)) return true;
+  // Checksum/bounds failure: the record cannot be trusted — drop it so
+  // the store degrades to a miss instead of retrying a corrupt read.
+  GNS_WARN("store: dropping corrupt cache record (key " << meta.key << ")");
+  erase_entry_locked(meta.key);
+  bytes_gauge_.set(static_cast<double>(bytes_));
+  corrupt_dropped_.add();
+  return false;
+}
+
+RolloutCache::Lookup RolloutCache::lookup_or_join(std::uint64_t key,
+                                                  int steps,
+                                                  FollowerFn on_done) {
+  GNS_TRACE_SCOPE("store.cache.lookup");
+  Lookup result;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const RecordMeta* meta = touch_locked(key);
+  if (meta != nullptr && meta->steps >= static_cast<std::uint32_t>(steps)) {
+    const RecordMeta copy = *meta;  // read may erase the entry
+    if (read_verified_locked(copy, steps, result.frames)) {
+      hits_.add();
+      result.outcome = Outcome::Hit;
+      return result;
+    }
+  }
+  misses_.add();
+  auto flight = flights_.find(key);
+  if (flight != flights_.end() && flight->second.leader_steps >= steps) {
+    flight->second.followers.push_back(Follower{steps, std::move(on_done)});
+    coalesced_.add();
+    result.outcome = Outcome::Joined;
+    return result;
+  }
+  if (flight == flights_.end()) {
+    flights_.emplace(key, Flight{steps, {}});
+  }
+  // else: an in-flight leader computes fewer steps than requested; this
+  // caller computes independently (no second flight under the key — its
+  // complete() will simply insert, superseding the shorter rollout).
+  result.outcome = Outcome::Lead;
+  return result;
+}
+
+bool RolloutCache::lookup(std::uint64_t key, int steps, Frames& out) {
+  GNS_TRACE_SCOPE("store.cache.lookup");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const RecordMeta* meta = touch_locked(key);
+  if (meta != nullptr && meta->steps >= static_cast<std::uint32_t>(steps)) {
+    const RecordMeta copy = *meta;
+    if (read_verified_locked(copy, steps, out)) {
+      hits_.add();
+      return true;
+    }
+  }
+  misses_.add();
+  return false;
+}
+
+bool RolloutCache::insert(std::uint64_t key, const Frames& frames) {
+  GNS_TRACE_SCOPE("store.cache.insert");
+  if (frames.empty()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end() &&
+      it->second.meta.steps >= frames.size()) {
+    return false;  // already covered by an equal-or-longer rollout
+  }
+  RecordMeta meta;
+  if (!store_.append(key, frames, meta)) {
+    GNS_WARN("store: cache append failed for key " << key);
+    return false;
+  }
+  insert_entry_locked(meta);
+  inserts_.add();
+  evict_to_budget_locked();
+  return true;
+}
+
+std::vector<RolloutCache::Follower> RolloutCache::take_followers(
+    std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = flights_.find(key);
+  if (it == flights_.end()) return {};
+  std::vector<Follower> followers = std::move(it->second.followers);
+  flights_.erase(it);
+  return followers;
+}
+
+void RolloutCache::complete(std::uint64_t key, const Frames& frames) {
+  insert(key, frames);
+  // Fulfill outside the cache lock: follower callbacks re-enter the
+  // serving layer (promises, stats, scheduler bookkeeping).
+  for (Follower& follower : take_followers(key)) {
+    GNS_CHECK_MSG(frames.size() >=
+                      static_cast<std::size_t>(follower.steps),
+                  "single-flight follower joined a shorter leader");
+    Frames prefix(frames.begin(),
+                  frames.begin() + follower.steps);
+    follower.fn(std::move(prefix), /*complete=*/true, 0, std::string());
+  }
+}
+
+void RolloutCache::abandon(std::uint64_t key, const Frames& partial,
+                           int code, const std::string& error) {
+  for (Follower& follower : take_followers(key)) {
+    const bool covered =
+        partial.size() >= static_cast<std::size_t>(follower.steps);
+    // A partial prefix that already covers a follower's shorter request
+    // is a complete answer for that follower (rollouts are strictly
+    // sequential); only uncovered followers inherit the leader's fate.
+    Frames prefix(partial.begin(),
+                  covered ? partial.begin() + follower.steps
+                          : partial.end());
+    follower.fn(std::move(prefix), covered, code, error);
+  }
+}
+
+std::uint64_t RolloutCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t RolloutCache::resident_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::shared_ptr<RolloutCache> make_cache_from_env() {
+  const char* dir = std::getenv("GNS_CACHE_DIR");
+  if (dir == nullptr || dir[0] == '\0') return nullptr;
+  CacheConfig config;
+  config.dir = dir;
+  if (const char* bytes = std::getenv("GNS_CACHE_BYTES")) {
+    const long long parsed = std::atoll(bytes);
+    if (parsed > 0) config.byte_budget = static_cast<std::uint64_t>(parsed);
+  }
+  return std::make_shared<RolloutCache>(std::move(config));
+}
+
+}  // namespace gns::store

@@ -1,0 +1,182 @@
+#pragma once
+
+/// \file rollout_cache.hpp
+/// RolloutCache: content-addressed cache of complete rollout frame
+/// streams over a TrajectoryStore, with an in-memory LRU index under a
+/// byte budget and single-flight deduplication of concurrent misses.
+///
+/// Keys are opaque 64-bit content addresses computed by the caller
+/// (serve::compute_cache_key hashes model name + checkpoint digest +
+/// initial-state bytes + feature config); the cache itself never
+/// inspects requests, which keeps this library free of serving types
+/// and lets the serve layer own what "identical request" means. The
+/// step count is deliberately NOT part of the address: a stored rollout
+/// is addressed by what it started from, and a lookup for K steps hits
+/// any stored rollout of >= K steps (a *prefix hit* — rollouts are
+/// strictly sequential, so the first K frames of a longer rollout are
+/// bitwise the K-step rollout).
+///
+/// Single-flight: when a lookup misses while an identical computation is
+/// already in flight, the caller can join the flight instead of
+/// recomputing — its callback fires when the leader finishes, with the
+/// leader's frames truncated to the follower's step count. N concurrent
+/// identical requests therefore trigger exactly one compute.
+///
+/// The LRU byte budget bounds the *resident index*, not the append-only
+/// data file: evicting an entry makes it unreachable (a future lookup
+/// misses and recomputes) but does not reclaim file bytes — compaction
+/// is a separate offline concern (DESIGN.md §9). A corrupt record
+/// detected on read is dropped from the index, so disk damage degrades
+/// to misses.
+///
+/// Metrics (`<prefix>.{hit,miss,insert,bytes,evictions,
+/// singleflight_coalesced,corrupt_dropped}`) ride the process-global
+/// obs::MetricsRegistry; the default prefix "serve.cache" lands them in
+/// the same dump as the scheduler's serve.* instruments.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "store/trajectory_store.hpp"
+
+namespace gns::store {
+
+/// A rollout's frame stream: `steps` frames, flat [N*dim] doubles each.
+using Frames = std::vector<std::vector<double>>;
+
+struct CacheConfig {
+  std::string dir;  ///< TrajectoryStore directory (created if absent)
+  /// Byte budget of the resident LRU index (payload bytes). The newest
+  /// entry is always kept, even when it alone exceeds the budget.
+  std::uint64_t byte_budget = 256ull << 20;
+  std::string metrics_prefix = "serve.cache";
+};
+
+/// Callback fulfilling one single-flight follower. `complete` is true
+/// when `frames` holds exactly the follower's requested step count (the
+/// leader finished, or its partial prefix already covered the
+/// follower); otherwise `frames` is the leader's partial prefix and
+/// `leader_code` / `error` carry the leader's terminal outcome as an
+/// opaque code chosen by the caller at abandon() time.
+using FollowerFn = std::function<void(Frames frames, bool complete,
+                                      int leader_code,
+                                      const std::string& error)>;
+
+class RolloutCache {
+ public:
+  /// What a lookup_or_join() call resolved to.
+  enum class Outcome {
+    Hit,     ///< `frames` holds the requested steps, bitwise-stored
+    Lead,    ///< miss; caller computes and must call complete()/abandon()
+    Joined,  ///< miss coalesced onto an in-flight identical compute
+  };
+
+  struct Lookup {
+    Outcome outcome = Outcome::Lead;
+    Frames frames;  ///< filled iff outcome == Hit
+  };
+
+  /// Opens the backing store, rebuilds the LRU index from its catalog
+  /// (newest records most-recently-used, deduplicated per key keeping
+  /// the longest rollout, evicted down to the byte budget), and zeroes
+  /// the `<prefix>.*` metrics. Throws when the store directory is
+  /// unusable.
+  explicit RolloutCache(CacheConfig config);
+
+  /// Cache hit, single-flight join, or leadership claim — one atomic
+  /// decision. On Lead the caller owns the flight for `key`: it MUST
+  /// eventually call complete() (finished, all frames present) or
+  /// abandon() (failed/partial/rejected), or followers wait forever.
+  /// `on_done` is retained only on Joined. A follower only joins a
+  /// flight whose leader computes at least `steps` frames; a request
+  /// for more steps than the in-flight leader leads its own compute
+  /// (without registering a second flight under the key).
+  [[nodiscard]] Lookup lookup_or_join(std::uint64_t key, int steps,
+                                      FollowerFn on_done);
+
+  /// Plain lookup (no flight bookkeeping): fills `out` with the first
+  /// `steps` frames when a stored rollout of >= steps exists and
+  /// verifies. Counts hit/miss.
+  [[nodiscard]] bool lookup(std::uint64_t key, int steps, Frames& out);
+
+  /// Leader path, success: stores the complete rollout (skipped when an
+  /// entry with >= frames.size() steps is already resident) and
+  /// fulfills every follower of `key` with its truncated prefix.
+  void complete(std::uint64_t key, const Frames& frames);
+
+  /// Leader path, failure: no insert. Followers whose requested steps
+  /// the partial prefix still covers are fulfilled complete; the rest
+  /// receive the partial frames plus the leader's terminal
+  /// `code`/`error` verbatim.
+  void abandon(std::uint64_t key, const Frames& partial, int code,
+               const std::string& error);
+
+  /// Direct insert (bypasses flights): used by complete(), warm-up
+  /// tooling, and tests. Returns false when skipped (already covered by
+  /// a longer resident entry) or the store append failed.
+  bool insert(std::uint64_t key, const Frames& frames);
+
+  [[nodiscard]] std::uint64_t resident_bytes() const;
+  [[nodiscard]] std::size_t resident_entries() const;
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] TrajectoryStore& trajectory_store() { return store_; }
+
+ private:
+  struct Follower {
+    int steps = 0;
+    FollowerFn fn;
+  };
+  struct Flight {
+    int leader_steps = 0;
+    std::vector<Follower> followers;
+  };
+
+  /// Moves `key` to MRU and returns its meta; nullptr when absent.
+  /// Caller holds mutex_.
+  const RecordMeta* touch_locked(std::uint64_t key);
+  void insert_entry_locked(const RecordMeta& meta);
+  void erase_entry_locked(std::uint64_t key);
+  void evict_to_budget_locked();
+  /// Reads + verifies a record, dropping it from the index on
+  /// corruption. Returns true and fills `out` on success. Caller holds
+  /// mutex_.
+  bool read_verified_locked(const RecordMeta& meta, int steps, Frames& out);
+  /// Detaches the flight for `key` (if any) for fulfillment outside the
+  /// lock.
+  std::vector<Follower> take_followers(std::uint64_t key);
+
+  CacheConfig config_;
+  TrajectoryStore store_;
+
+  mutable std::mutex mutex_;
+  /// MRU-front LRU of resident keys + per-key record metadata.
+  std::list<std::uint64_t> lru_;
+  struct Entry {
+    RecordMeta meta;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<std::uint64_t, Flight> flights_;
+  std::uint64_t bytes_ = 0;  ///< resident payload bytes
+
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& inserts_;
+  obs::Counter& evictions_;
+  obs::Counter& coalesced_;
+  obs::Counter& corrupt_dropped_;
+  obs::Gauge& bytes_gauge_;
+};
+
+/// Builds a cache from the GNS_CACHE_DIR / GNS_CACHE_BYTES environment
+/// knobs; nullptr when GNS_CACHE_DIR is unset (caching stays opt-in).
+[[nodiscard]] std::shared_ptr<RolloutCache> make_cache_from_env();
+
+}  // namespace gns::store

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file store.hpp
+/// Umbrella header of the rollout persistence subsystem.
+///
+/// The subsystem makes repeated rollout requests free: identical
+/// (checkpoint, initial state, steps) tuples — demos, pinned scenarios,
+/// replay, inverse-design sweeps — are answered from storage instead of
+/// recomputed, which the repo's bitwise-determinism guarantees make
+/// *exactly* correct (a cached answer is byte-for-byte the live one).
+///
+///   TrajectoryStore — mmap'd append-only frame store (data + index,
+///                     append/fsync/index-publish crash consistency,
+///                     per-record checksums, zero-copy page-cache reads);
+///   RolloutCache    — content-addressed LRU index over the store with
+///                     prefix hits (a longer stored rollout truncates to
+///                     the requested step count) and single-flight dedup
+///                     of concurrent identical misses.
+///
+/// Key derivation lives in the serve layer (serve/cache_key.hpp); the
+/// scheduler consults the cache at submit and inserts after complete
+/// rollouts. See DESIGN.md §9 for the file format and crash-consistency
+/// rules.
+
+#include "store/rollout_cache.hpp"     // IWYU pragma: export
+#include "store/trajectory_store.hpp"  // IWYU pragma: export

@@ -1,0 +1,284 @@
+#include "store/trajectory_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+
+namespace gns::store {
+
+namespace {
+
+// On-disk record header (32 bytes, little-endian). The payload — raw
+// IEEE-754 doubles exactly as a rollout produced them — follows
+// immediately, which is what makes reads bitwise comparable to a live
+// rollout without any decode step.
+struct RecordHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t frame_len = 0;
+  std::uint32_t steps = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t key = 0;
+  std::uint64_t payload_hash = 0;
+};
+static_assert(sizeof(RecordHeader) == 32, "record header layout drifted");
+
+// Fixed-size index entry (48 bytes). entry_hash covers the preceding 40
+// bytes, so a torn tail write or a bit flip invalidates exactly the
+// entries it touched.
+struct IndexEntry {
+  std::uint64_t key = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t steps = 0;
+  std::uint32_t frame_len = 0;
+  std::uint64_t payload_hash = 0;
+  std::uint64_t reserved = 0;
+  std::uint64_t entry_hash = 0;
+};
+static_assert(sizeof(IndexEntry) == 48, "index entry layout drifted");
+
+constexpr std::uint32_t kRecordMagic = 0x52534E47u;  // "GNSR"
+constexpr std::size_t kEntryHashedBytes =
+    sizeof(IndexEntry) - sizeof(std::uint64_t);
+
+std::uint64_t entry_checksum(const IndexEntry& e) {
+  return hash_bytes(&e, kEntryHashedBytes);
+}
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, p + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint64_t file_size(int fd) {
+  struct stat st {};
+  return ::fstat(fd, &st) == 0 ? static_cast<std::uint64_t>(st.st_size) : 0;
+}
+
+}  // namespace
+
+TrajectoryStore::TrajectoryStore(const std::string& dir) : dir_(dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::string data_path = dir_ + "/trajectories.dat";
+  const std::string index_path = dir_ + "/trajectories.idx";
+  data_fd_ = ::open(data_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  index_fd_ = ::open(index_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (data_fd_ < 0 || index_fd_ < 0) {
+    const std::string err = std::strerror(errno);
+    if (data_fd_ >= 0) ::close(data_fd_);
+    if (index_fd_ >= 0) ::close(index_fd_);
+    throw std::runtime_error("TrajectoryStore: cannot open " + dir_ + ": " +
+                             err);
+  }
+  data_size_ = file_size(data_fd_);
+  index_size_ = file_size(index_fd_);
+  scan_index();
+}
+
+TrajectoryStore::~TrajectoryStore() {
+  if (map_ != nullptr) ::munmap(const_cast<std::uint8_t*>(map_), map_len_);
+  if (data_fd_ >= 0) ::close(data_fd_);
+  if (index_fd_ >= 0) ::close(index_fd_);
+}
+
+void TrajectoryStore::scan_index() {
+  GNS_TRACE_SCOPE("store.store.scan");
+  const std::uint64_t entries = index_size_ / sizeof(IndexEntry);
+  if (index_size_ % sizeof(IndexEntry) != 0) {
+    GNS_WARN("store: index has " << index_size_ % sizeof(IndexEntry)
+                                 << " trailing bytes (torn write); ignoring");
+  }
+  catalog_.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    IndexEntry e;
+    const ssize_t n =
+        ::pread(index_fd_, &e, sizeof(e),
+                static_cast<off_t>(i * sizeof(IndexEntry)));
+    if (n != static_cast<ssize_t>(sizeof(e))) break;
+    if (entry_checksum(e) != e.entry_hash) {
+      GNS_WARN("store: index entry " << i << " failed checksum; skipping");
+      continue;
+    }
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(e.steps) * e.frame_len * sizeof(double);
+    if (e.steps == 0 || e.frame_len == 0 ||
+        e.offset + sizeof(RecordHeader) + payload > data_size_) {
+      GNS_WARN("store: index entry " << i
+                                     << " points past the data file; skipping");
+      continue;
+    }
+    RecordMeta meta;
+    meta.key = e.key;
+    meta.offset = e.offset;
+    meta.steps = e.steps;
+    meta.frame_len = e.frame_len;
+    meta.payload_hash = e.payload_hash;
+    catalog_.push_back(meta);
+  }
+}
+
+bool TrajectoryStore::append(std::uint64_t key,
+                             const std::vector<std::vector<double>>& frames,
+                             RecordMeta& out) {
+  GNS_TRACE_SCOPE("store.store.append");
+  if (frames.empty() || frames.front().empty()) return false;
+  const std::size_t frame_len = frames.front().size();
+  for (const auto& frame : frames) {
+    if (frame.size() != frame_len) return false;
+  }
+
+  Fnv1a payload_hash;
+  for (const auto& frame : frames)
+    payload_hash.update(frame.data(), frame.size() * sizeof(double));
+
+  RecordHeader header;
+  header.magic = kRecordMagic;
+  header.frame_len = static_cast<std::uint32_t>(frame_len);
+  header.steps = static_cast<std::uint32_t>(frames.size());
+  header.key = key;
+  header.payload_hash = payload_hash.digest();
+
+  std::unique_lock lock(mutex_);
+  const std::uint64_t offset = data_size_;
+
+  // 1. Record into the data file, then fsync: the bytes must be durable
+  //    before any index entry can make them reachable.
+  if (!write_all(data_fd_, &header, sizeof(header))) return false;
+  for (const auto& frame : frames) {
+    if (!write_all(data_fd_, frame.data(), frame.size() * sizeof(double))) {
+      // Half-written record: unreachable (no index entry), reclaimed by
+      // compaction. Reset the append offset to the file's actual size.
+      data_size_ = file_size(data_fd_);
+      return false;
+    }
+  }
+  if (::fsync(data_fd_) != 0) {
+    GNS_WARN("store: fsync(data) failed: " << std::strerror(errno));
+  }
+  data_size_ =
+      offset + sizeof(RecordHeader) + frames.size() * frame_len *
+                                          sizeof(double);
+
+  // 2. Publish: index entry + fsync. Only now can a reader find the
+  //    record.
+  IndexEntry entry;
+  entry.key = key;
+  entry.offset = offset;
+  entry.steps = header.steps;
+  entry.frame_len = header.frame_len;
+  entry.payload_hash = header.payload_hash;
+  entry.entry_hash = entry_checksum(entry);
+  if (!write_all(index_fd_, &entry, sizeof(entry))) return false;
+  if (::fsync(index_fd_) != 0) {
+    GNS_WARN("store: fsync(index) failed: " << std::strerror(errno));
+  }
+  index_size_ += sizeof(entry);
+
+  out.key = key;
+  out.offset = offset;
+  out.steps = header.steps;
+  out.frame_len = header.frame_len;
+  out.payload_hash = header.payload_hash;
+  catalog_.push_back(out);
+  return true;
+}
+
+bool TrajectoryStore::remap_locked(std::uint64_t min_bytes) {
+  if (map_len_ >= min_bytes && map_ != nullptr) return true;
+  // Map the whole current file: appends are frequent relative to remaps,
+  // so covering everything written so far amortizes the syscall.
+  const std::uint64_t want = file_size(data_fd_);
+  if (want < min_bytes) return false;  // caller's record is out of bounds
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+  }
+  void* p = ::mmap(nullptr, want, PROT_READ, MAP_SHARED, data_fd_, 0);
+  if (p == MAP_FAILED) {
+    GNS_WARN("store: mmap failed: " << std::strerror(errno));
+    return false;
+  }
+  map_ = static_cast<const std::uint8_t*>(p);
+  map_len_ = want;
+  return true;
+}
+
+bool TrajectoryStore::read(const RecordMeta& meta, int steps,
+                           std::vector<std::vector<double>>& out_frames) {
+  GNS_TRACE_SCOPE("store.store.read");
+  if (steps <= 0 || static_cast<std::uint32_t>(steps) > meta.steps ||
+      meta.frame_len == 0) {
+    return false;
+  }
+  const std::uint64_t record_bytes =
+      sizeof(RecordHeader) + meta.payload_bytes();
+
+  std::shared_lock lock(mutex_);
+  if (meta.offset + record_bytes > map_len_) {
+    // The mapping has not caught up with appends (or the meta is stale);
+    // upgrade to the write lock just long enough to remap.
+    lock.unlock();
+    {
+      std::unique_lock grow(mutex_);
+      if (!remap_locked(meta.offset + record_bytes)) return false;
+    }
+    lock.lock();
+    if (meta.offset + record_bytes > map_len_) return false;
+  }
+
+  const std::uint8_t* base = map_ + meta.offset;
+  RecordHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (header.magic != kRecordMagic || header.key != meta.key ||
+      header.steps != meta.steps || header.frame_len != meta.frame_len ||
+      header.payload_hash != meta.payload_hash) {
+    return false;
+  }
+  const std::uint8_t* payload = base + sizeof(RecordHeader);
+  // Verify the whole payload, not just the requested prefix: the
+  // checksum was computed over the full record, and a flipped bit
+  // anywhere means the record cannot be trusted.
+  if (hash_bytes(payload, meta.payload_bytes()) != meta.payload_hash) {
+    return false;
+  }
+
+  out_frames.clear();
+  out_frames.reserve(static_cast<std::size_t>(steps));
+  const std::size_t frame_bytes = meta.frame_len * sizeof(double);
+  for (int s = 0; s < steps; ++s) {
+    std::vector<double> frame(meta.frame_len);
+    std::memcpy(frame.data(),
+                payload + static_cast<std::size_t>(s) * frame_bytes,
+                frame_bytes);
+    out_frames.push_back(std::move(frame));
+  }
+  return true;
+}
+
+std::uint64_t TrajectoryStore::data_bytes() const {
+  std::shared_lock lock(mutex_);
+  return data_size_;
+}
+
+}  // namespace gns::store

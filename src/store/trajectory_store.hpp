@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file trajectory_store.hpp
+/// TrajectoryStore: an mmap'd append-only store of complete rollout frame
+/// streams, the persistence layer under store::RolloutCache.
+///
+/// Layout: one data file (`trajectories.dat`) holding self-describing
+/// records — a fixed header (magic, key, steps, frame_len, payload
+/// checksum) followed by steps*frame_len raw little-endian doubles — and
+/// one index file (`trajectories.idx`) of fixed-size entries, each
+/// carrying the record's key/offset/shape, the payload checksum, and its
+/// own entry checksum.
+///
+/// Crash consistency is append + fsync + index-publish: a record is
+/// written and fsync'd to the data file *before* its index entry is
+/// appended and fsync'd. A reader only learns about a record through the
+/// index, so a crash between the two steps leaves dead bytes at the data
+/// tail (reclaimed by a future compaction), never a readable torn record.
+/// On open, the index is scanned and every entry is validated — entry
+/// checksum, record bounds against the data file size — and a bad or
+/// truncated entry is skipped, so corruption degrades to a smaller
+/// catalog, not a crash.
+///
+/// Reads are served through one shared PROT_READ/MAP_SHARED mapping of
+/// the data file (grown lazily as appends land), so repeated cache hits
+/// stream straight from page cache with no read() syscalls and no
+/// per-hit deserialization; the per-record checksum is re-verified on
+/// every read, so a bit-flipped or truncated store degrades to a miss
+/// (read() returns false) instead of serving garbage.
+///
+/// Thread model: any number of concurrent readers, at most one writer at
+/// a time (RolloutCache serializes inserts); a shared_mutex lets reads
+/// overlap each other and only serializes against append/remap.
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace gns::store {
+
+/// Catalog entry of one stored rollout: everything needed to locate and
+/// verify the record without touching the data file.
+struct RecordMeta {
+  std::uint64_t key = 0;      ///< content address (cache key)
+  std::uint64_t offset = 0;   ///< record start in the data file
+  std::uint32_t steps = 0;    ///< frames stored
+  std::uint32_t frame_len = 0;  ///< doubles per frame (N * dim)
+  std::uint64_t payload_hash = 0;  ///< FNV-1a over the payload doubles
+
+  [[nodiscard]] std::uint64_t payload_bytes() const {
+    return static_cast<std::uint64_t>(steps) * frame_len * sizeof(double);
+  }
+};
+
+class TrajectoryStore {
+ public:
+  /// Opens (creating if absent) `<dir>/trajectories.{dat,idx}`. The
+  /// directory is created if missing. Throws std::runtime_error when the
+  /// files cannot be opened — the store is infrastructure the caller
+  /// opted into, so an unusable directory is a configuration error, not
+  /// a silent miss.
+  explicit TrajectoryStore(const std::string& dir);
+  ~TrajectoryStore();
+
+  TrajectoryStore(const TrajectoryStore&) = delete;
+  TrajectoryStore& operator=(const TrajectoryStore&) = delete;
+
+  /// Validated catalog recovered from the index at open time, in append
+  /// order (oldest first). Entries that failed validation were skipped.
+  [[nodiscard]] const std::vector<RecordMeta>& catalog() const {
+    return catalog_;
+  }
+
+  /// Appends one complete rollout under `key` with crash-consistent
+  /// publish order (data write + fsync, then index write + fsync).
+  /// Every frame must have the same nonzero length. Returns the record's
+  /// catalog entry; on any I/O failure returns false and leaves the
+  /// store readable (a half-written data record is unreachable because
+  /// its index entry was never published).
+  [[nodiscard]] bool append(std::uint64_t key,
+                            const std::vector<std::vector<double>>& frames,
+                            RecordMeta& out);
+
+  /// Reads the first `steps` frames of `meta` (steps <= meta.steps; a
+  /// prefix of a stored rollout is still bitwise the rollout the cache
+  /// promised, because rollouts are strictly sequential). Verifies the
+  /// full payload checksum first; returns false — never throws, never
+  /// returns partial data — when the record is corrupt, truncated, or
+  /// out of bounds.
+  [[nodiscard]] bool read(const RecordMeta& meta, int steps,
+                          std::vector<std::vector<double>>& out_frames);
+
+  /// Current data file size in bytes (records + dead tail bytes).
+  [[nodiscard]] std::uint64_t data_bytes() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  /// Ensures the read mapping covers at least `min_bytes` of the data
+  /// file. Caller must hold the write lock.
+  bool remap_locked(std::uint64_t min_bytes);
+  void scan_index();
+
+  std::string dir_;
+  int data_fd_ = -1;
+  int index_fd_ = -1;
+  std::uint64_t data_size_ = 0;   ///< append offset (file size)
+  std::uint64_t index_size_ = 0;  ///< index append offset
+
+  const std::uint8_t* map_ = nullptr;  ///< read-only data mapping
+  std::uint64_t map_len_ = 0;
+
+  std::vector<RecordMeta> catalog_;
+
+  mutable std::shared_mutex mutex_;
+};
+
+}  // namespace gns::store

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file hash.hpp
+/// FNV-1a 64-bit hashing, used for content addressing and record
+/// checksums in the trajectory store (src/store).
+///
+/// FNV-1a is not cryptographic — the threat model is bit rot, torn
+/// writes, and accidental key collisions, not an adversary forging
+/// collisions. What matters here is that the function is deterministic
+/// across platforms (we hash raw little-endian bytes, and every target
+/// this repo builds on is little-endian x86-64), cheap enough to run on
+/// every cache lookup, and has a 64-bit state so the ~thousands of live
+/// cache keys sit far below the birthday bound.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gns {
+
+/// Incremental FNV-1a 64. Feed bytes in any grouping; the digest depends
+/// only on the concatenated byte stream.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void update(const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= bytes[i];
+      h *= kPrime;
+    }
+    state_ = h;
+  }
+
+  void update_u32(std::uint32_t v) { update(&v, sizeof(v)); }
+  void update_u64(std::uint64_t v) { update(&v, sizeof(v)); }
+  void update_i32(std::int32_t v) { update(&v, sizeof(v)); }
+  /// Hashes the IEEE-754 bit pattern, so +0.0 and -0.0 differ — exactly
+  /// what content addressing of bitwise-reproducible rollouts wants.
+  void update_double(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    update_u64(bits);
+  }
+  /// Length-prefixed, so {"ab","c"} and {"a","bc"} hash differently.
+  void update_string(const std::string& s) {
+    update_u64(s.size());
+    update(s.data(), s.size());
+  }
+  void update_doubles(const std::vector<double>& v) {
+    update_u64(v.size());
+    update(v.data(), v.size() * sizeof(double));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot convenience for checksumming a contiguous buffer.
+[[nodiscard]] inline std::uint64_t hash_bytes(const void* data,
+                                              std::size_t len) {
+  Fnv1a h;
+  h.update(data, len);
+  return h.digest();
+}
+
+}  // namespace gns

@@ -97,7 +97,8 @@ struct Harness {
     sched_config.stats_prefix = "serve_net_test";
     scheduler =
         std::make_unique<serve::JobScheduler>(registry, sched_config);
-    net_config.port = 0;  // ephemeral
+    // ServerConfig defaults to port 0 (ephemeral); tests that need a
+    // pre-reserved port set it explicitly.
     server = std::make_unique<Server>(*scheduler, std::move(net_config));
   }
 
@@ -449,6 +450,77 @@ TEST(NetServer, GracefulDrainDropsNoInflightJobs) {
   Client post_drain(h.client_config());
   EXPECT_FALSE(post_drain.connect());
   EXPECT_EQ(h.server->active_connections(), 0);
+}
+
+TEST(NetServer, ConnectFailureIsTypedAndRetriesAreBounded) {
+  // Find a port with nothing listening: bind ephemeral, read it, release.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  ClientConfig cfg;
+  cfg.port = dead_port;
+  cfg.busy_max_retries = 3;
+  cfg.busy_backoff_ms = 1.0;
+  cfg.busy_backoff_max_ms = 4.0;
+  Client client(cfg);
+  const ClientResult r = client.rollout(serve::RolloutRequest{});
+  EXPECT_FALSE(r.transport_ok);
+  EXPECT_TRUE(r.connect_failed);
+  EXPECT_EQ(r.connect_retries, 3);  // retried to the cap, then surfaced
+  EXPECT_NE(r.transport_error.find("connect"), std::string::npos);
+}
+
+TEST(NetServer, ClientRetriesConnectUntilLateServerArrives) {
+  // Reserve a port the same way, then race: the client starts its rollout
+  // against nothing (ECONNREFUSED) while the server binds ~80ms later —
+  // the transient-connect backoff must absorb the gap.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  ServerConfig net_cfg;
+  net_cfg.metrics_prefix = "net_lateserver";
+  net_cfg.port = port;
+  Harness h(net_cfg);
+  const auto want = direct_rollout(*h.sim, 4);
+
+  ClientConfig cfg;
+  cfg.port = port;
+  cfg.busy_max_retries = 10;
+  cfg.busy_backoff_ms = 20.0;
+  cfg.busy_backoff_max_ms = 100.0;
+  ClientResult result;
+  std::thread early_client([&] {
+    Client client(cfg);
+    result = client.rollout(small_request(*h.sim, 4));
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ASSERT_TRUE(h.start());
+  early_client.join();
+
+  ASSERT_TRUE(result.ok()) << result.transport_error << result.error;
+  EXPECT_GE(result.connect_retries, 1);  // it really did race the bind
+  expect_bitwise_equal(result.frames, want);
 }
 
 }  // namespace

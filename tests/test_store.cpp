@@ -1,0 +1,419 @@
+// Trajectory store + rollout cache: append/read roundtrips, crash/corruption
+// degradation (bit flips, truncation -> miss, never a crash), restart
+// recovery, LRU byte budgets, prefix semantics, and single-flight dedup.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/store.hpp"
+#include "util/hash.hpp"
+
+namespace gns::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Deterministic frames: steps x frame_len doubles, value a function of
+/// (seed, step, column) so different records never collide bitwise.
+Frames make_frames(int steps, int frame_len, double seed) {
+  Frames frames;
+  frames.reserve(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    std::vector<double> f(static_cast<std::size_t>(frame_len));
+    for (int c = 0; c < frame_len; ++c)
+      f[static_cast<std::size_t>(c)] = seed + 1000.0 * s + c * 0.125;
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "test_store_dir_" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path data_path() const {
+    return fs::path(dir_) / "trajectories.dat";
+  }
+  [[nodiscard]] fs::path index_path() const {
+    return fs::path(dir_) / "trajectories.idx";
+  }
+
+  /// XORs one byte of a file in place.
+  static void flip_byte(const fs::path& path, std::uint64_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StoreTest, AppendReadRoundtripIsBitwise) {
+  TrajectoryStore store(dir_);
+  const Frames frames = make_frames(7, 12, 3.0);
+  RecordMeta meta;
+  ASSERT_TRUE(store.append(0xabcdef, frames, meta));
+  EXPECT_EQ(meta.key, 0xabcdefu);
+  EXPECT_EQ(meta.steps, 7u);
+  EXPECT_EQ(meta.frame_len, 12u);
+
+  Frames out;
+  ASSERT_TRUE(store.read(meta, 7, out));
+  EXPECT_EQ(out, frames);  // operator== on doubles: bitwise for our values
+
+  // Prefix read: first 3 frames, exactly.
+  Frames prefix;
+  ASSERT_TRUE(store.read(meta, 3, prefix));
+  ASSERT_EQ(prefix.size(), 3u);
+  for (int s = 0; s < 3; ++s)
+    EXPECT_EQ(prefix[static_cast<std::size_t>(s)],
+              frames[static_cast<std::size_t>(s)]);
+}
+
+TEST_F(StoreTest, ReopenRecoversCatalogAndData) {
+  const Frames a = make_frames(4, 6, 1.0);
+  const Frames b = make_frames(9, 6, 2.0);
+  {
+    TrajectoryStore store(dir_);
+    RecordMeta meta;
+    ASSERT_TRUE(store.append(1, a, meta));
+    ASSERT_TRUE(store.append(2, b, meta));
+  }
+  TrajectoryStore reopened(dir_);
+  ASSERT_EQ(reopened.catalog().size(), 2u);
+  Frames out;
+  ASSERT_TRUE(reopened.read(reopened.catalog()[0], 4, out));
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(reopened.read(reopened.catalog()[1], 9, out));
+  EXPECT_EQ(out, b);
+}
+
+TEST_F(StoreTest, BitFlippedPayloadFailsReadNotCrash) {
+  RecordMeta meta;
+  {
+    TrajectoryStore store(dir_);
+    ASSERT_TRUE(store.append(7, make_frames(5, 8, 4.0), meta));
+  }
+  // Flip one byte in the middle of the payload (past the 32-byte header).
+  flip_byte(data_path(), meta.offset + 32 + 17);
+  TrajectoryStore reopened(dir_);
+  ASSERT_EQ(reopened.catalog().size(), 1u);  // index is intact
+  Frames out;
+  EXPECT_FALSE(reopened.read(reopened.catalog()[0], 5, out));
+}
+
+TEST_F(StoreTest, TruncatedDataFileDegradesToSkippedRecord) {
+  {
+    TrajectoryStore store(dir_);
+    RecordMeta meta;
+    ASSERT_TRUE(store.append(1, make_frames(3, 4, 1.0), meta));
+    ASSERT_TRUE(store.append(2, make_frames(3, 4, 2.0), meta));
+  }
+  // Chop the data file mid-way through the second record: its index entry
+  // now points past EOF and must be skipped at open.
+  const std::uint64_t full = fs::file_size(data_path());
+  fs::resize_file(data_path(), full - 20);
+  TrajectoryStore reopened(dir_);
+  ASSERT_EQ(reopened.catalog().size(), 1u);
+  EXPECT_EQ(reopened.catalog()[0].key, 1u);
+  Frames out;
+  EXPECT_TRUE(reopened.read(reopened.catalog()[0], 3, out));
+}
+
+TEST_F(StoreTest, CorruptIndexEntryIsSkippedOthersSurvive) {
+  {
+    TrajectoryStore store(dir_);
+    RecordMeta meta;
+    ASSERT_TRUE(store.append(1, make_frames(2, 4, 1.0), meta));
+    ASSERT_TRUE(store.append(2, make_frames(2, 4, 2.0), meta));
+  }
+  flip_byte(index_path(), 8);  // first entry's offset field
+  TrajectoryStore reopened(dir_);
+  ASSERT_EQ(reopened.catalog().size(), 1u);
+  EXPECT_EQ(reopened.catalog()[0].key, 2u);
+}
+
+TEST_F(StoreTest, TornIndexTailIsIgnored) {
+  {
+    TrajectoryStore store(dir_);
+    RecordMeta meta;
+    ASSERT_TRUE(store.append(1, make_frames(2, 4, 1.0), meta));
+  }
+  // Simulate a crash between index write and fsync: a half-written entry.
+  std::ofstream idx(index_path(), std::ios::app | std::ios::binary);
+  const char garbage[13] = "torn-garbage";
+  idx.write(garbage, sizeof(garbage));
+  idx.close();
+  TrajectoryStore reopened(dir_);
+  ASSERT_EQ(reopened.catalog().size(), 1u);
+}
+
+TEST_F(StoreTest, CachePrefixHitsAndLongerRolloutSupersedes) {
+  CacheConfig cfg;
+  cfg.dir = dir_;
+  cfg.metrics_prefix = "test_store_prefixcache";
+  RolloutCache cache(cfg);
+  const Frames eight = make_frames(8, 6, 5.0);
+  ASSERT_TRUE(cache.insert(11, eight));
+
+  Frames out;
+  ASSERT_TRUE(cache.lookup(11, 5, out));  // prefix hit
+  ASSERT_EQ(out.size(), 5u);
+  for (int s = 0; s < 5; ++s)
+    EXPECT_EQ(out[static_cast<std::size_t>(s)],
+              eight[static_cast<std::size_t>(s)]);
+
+  EXPECT_FALSE(cache.lookup(11, 9, out));       // longer than stored: miss
+  EXPECT_FALSE(cache.insert(11, make_frames(4, 6, 9.0)));  // shorter: skip
+
+  const Frames twelve = make_frames(12, 6, 5.0);
+  ASSERT_TRUE(cache.insert(11, twelve));  // longer supersedes
+  ASSERT_TRUE(cache.lookup(11, 10, out));
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out[9], twelve[9]);
+  EXPECT_EQ(cache.resident_entries(), 1u);
+}
+
+TEST_F(StoreTest, CacheLruEvictionRespectsByteBudget) {
+  CacheConfig cfg;
+  cfg.dir = dir_;
+  cfg.metrics_prefix = "test_store_lrucache";
+  // One record is 4 frames x 8 doubles x 8 bytes = 256 bytes; budget fits
+  // exactly two records.
+  cfg.byte_budget = 512;
+  RolloutCache cache(cfg);
+  ASSERT_TRUE(cache.insert(1, make_frames(4, 8, 1.0)));
+  ASSERT_TRUE(cache.insert(2, make_frames(4, 8, 2.0)));
+  EXPECT_EQ(cache.resident_entries(), 2u);
+  ASSERT_TRUE(cache.insert(3, make_frames(4, 8, 3.0)));  // evicts key 1
+  EXPECT_EQ(cache.resident_entries(), 2u);
+  EXPECT_LE(cache.resident_bytes(), 512u);
+
+  Frames out;
+  EXPECT_FALSE(cache.lookup(1, 4, out));  // evicted
+  EXPECT_TRUE(cache.lookup(3, 4, out));
+  EXPECT_TRUE(cache.lookup(2, 4, out));  // 2 is now MRU, 3 is LRU
+
+  // Insert another: 3 is the LRU victim, the freshly-touched 2 survives.
+  ASSERT_TRUE(cache.insert(4, make_frames(4, 8, 4.0)));
+  EXPECT_TRUE(cache.lookup(2, 4, out));
+  EXPECT_FALSE(cache.lookup(3, 4, out));
+}
+
+TEST_F(StoreTest, CacheNewestEntryStaysEvenWhenAloneOverBudget) {
+  CacheConfig cfg;
+  cfg.dir = dir_;
+  cfg.metrics_prefix = "test_store_bigcache";
+  cfg.byte_budget = 64;  // smaller than any record below
+  RolloutCache cache(cfg);
+  ASSERT_TRUE(cache.insert(1, make_frames(4, 8, 1.0)));
+  EXPECT_EQ(cache.resident_entries(), 1u);  // kept despite the budget
+  Frames out;
+  EXPECT_TRUE(cache.lookup(1, 4, out));
+  ASSERT_TRUE(cache.insert(2, make_frames(4, 8, 2.0)));
+  EXPECT_EQ(cache.resident_entries(), 1u);  // 1 evicted, 2 kept
+  EXPECT_FALSE(cache.lookup(1, 4, out));
+  EXPECT_TRUE(cache.lookup(2, 4, out));
+}
+
+TEST_F(StoreTest, CacheSurvivesRestartBitwise) {
+  const Frames frames = make_frames(6, 10, 7.0);
+  {
+    CacheConfig cfg;
+    cfg.dir = dir_;
+    cfg.metrics_prefix = "test_store_restart_a";
+    RolloutCache cache(cfg);
+    ASSERT_TRUE(cache.insert(42, frames));
+  }
+  CacheConfig cfg;
+  cfg.dir = dir_;
+  cfg.metrics_prefix = "test_store_restart_b";
+  RolloutCache cache(cfg);
+  EXPECT_EQ(cache.resident_entries(), 1u);
+  Frames out;
+  ASSERT_TRUE(cache.lookup(42, 6, out));
+  EXPECT_EQ(out, frames);
+}
+
+TEST_F(StoreTest, CacheDropsCorruptRecordAsMiss) {
+  RecordMeta meta;
+  {
+    CacheConfig cfg;
+    cfg.dir = dir_;
+    cfg.metrics_prefix = "test_store_corrupt_a";
+    RolloutCache cache(cfg);
+    ASSERT_TRUE(cache.insert(5, make_frames(3, 4, 1.5)));
+    meta = cache.trajectory_store().catalog()[0];
+  }
+  flip_byte(data_path(), meta.offset + 32 + 3);
+  CacheConfig cfg;
+  cfg.dir = dir_;
+  cfg.metrics_prefix = "test_store_corrupt_b";
+  RolloutCache cache(cfg);
+  EXPECT_EQ(cache.resident_entries(), 1u);  // index valid, payload is not
+  Frames out;
+  EXPECT_FALSE(cache.lookup(5, 3, out));    // checksum fails -> miss
+  EXPECT_EQ(cache.resident_entries(), 0u);  // and the entry is dropped
+  EXPECT_FALSE(cache.lookup(5, 3, out));    // stays a plain miss
+}
+
+TEST_F(StoreTest, SingleFlightCoalescesAndCompletes) {
+  CacheConfig cfg;
+  cfg.dir = dir_;
+  cfg.metrics_prefix = "test_store_flightcache";
+  RolloutCache cache(cfg);
+
+  auto lead = cache.lookup_or_join(99, 6, nullptr);
+  EXPECT_EQ(lead.outcome, RolloutCache::Outcome::Lead);
+
+  std::atomic<int> fulfilled{0};
+  Frames follower_frames;
+  bool follower_complete = false;
+  auto join = cache.lookup_or_join(
+      99, 4,
+      [&](Frames frames, bool complete, int code, const std::string& error) {
+        follower_frames = std::move(frames);
+        follower_complete = complete;
+        EXPECT_EQ(code, 0);
+        EXPECT_TRUE(error.empty());
+        fulfilled.fetch_add(1);
+      });
+  EXPECT_EQ(join.outcome, RolloutCache::Outcome::Joined);
+
+  // A request for MORE steps than the in-flight leader must not join it.
+  auto bigger = cache.lookup_or_join(99, 10, nullptr);
+  EXPECT_EQ(bigger.outcome, RolloutCache::Outcome::Lead);
+
+  const Frames frames = make_frames(6, 4, 2.5);
+  cache.complete(99, frames);
+  EXPECT_EQ(fulfilled.load(), 1);
+  EXPECT_TRUE(follower_complete);
+  ASSERT_EQ(follower_frames.size(), 4u);  // truncated to the follower's ask
+  for (int s = 0; s < 4; ++s)
+    EXPECT_EQ(follower_frames[static_cast<std::size_t>(s)],
+              frames[static_cast<std::size_t>(s)]);
+
+  // The completed rollout is now resident: next lookup is a plain hit.
+  auto hit = cache.lookup_or_join(99, 6, nullptr);
+  EXPECT_EQ(hit.outcome, RolloutCache::Outcome::Hit);
+  EXPECT_EQ(hit.frames, frames);
+}
+
+TEST_F(StoreTest, AbandonSalvagesCoveredFollowersAndFailsTheRest) {
+  CacheConfig cfg;
+  cfg.dir = dir_;
+  cfg.metrics_prefix = "test_store_abandoncache";
+  RolloutCache cache(cfg);
+
+  auto lead = cache.lookup_or_join(55, 8, nullptr);
+  ASSERT_EQ(lead.outcome, RolloutCache::Outcome::Lead);
+
+  bool covered_complete = false;
+  Frames covered_frames;
+  auto covered = cache.lookup_or_join(
+      55, 2, [&](Frames frames, bool complete, int, const std::string&) {
+        covered_frames = std::move(frames);
+        covered_complete = complete;
+      });
+  ASSERT_EQ(covered.outcome, RolloutCache::Outcome::Joined);
+
+  bool uncovered_complete = true;
+  int uncovered_code = 0;
+  std::string uncovered_error;
+  auto uncovered = cache.lookup_or_join(
+      55, 7,
+      [&](Frames, bool complete, int code, const std::string& error) {
+        uncovered_complete = complete;
+        uncovered_code = code;
+        uncovered_error = error;
+      });
+  ASSERT_EQ(uncovered.outcome, RolloutCache::Outcome::Joined);
+
+  // Leader dies after 3 of 8 steps with a partial prefix.
+  const Frames partial = make_frames(3, 4, 6.0);
+  cache.abandon(55, partial, /*code=*/2, "deadline exceeded");
+  EXPECT_TRUE(covered_complete);  // 2 <= 3: the prefix answers it fully
+  ASSERT_EQ(covered_frames.size(), 2u);
+  EXPECT_EQ(covered_frames[1], partial[1]);
+  EXPECT_FALSE(uncovered_complete);
+  EXPECT_EQ(uncovered_code, 2);
+  EXPECT_EQ(uncovered_error, "deadline exceeded");
+
+  // Nothing was inserted; the key now misses.
+  Frames out;
+  EXPECT_FALSE(cache.lookup(55, 1, out));
+}
+
+TEST_F(StoreTest, ConcurrentReadersDuringAppendsAllVerify) {
+  CacheConfig cfg;
+  cfg.dir = dir_;
+  cfg.metrics_prefix = "test_store_racecache";
+  RolloutCache cache(cfg);
+  const Frames stable = make_frames(5, 16, 1.0);
+  ASSERT_TRUE(cache.insert(1000, stable));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        Frames out;
+        if (!cache.lookup(1000, 5, out) || out != stable)
+          failures.fetch_add(1);
+      }
+    });
+  }
+  // Writer: 60 appends under distinct keys while the readers hammer.
+  for (int i = 0; i < 60; ++i)
+    ASSERT_TRUE(cache.insert(2000 + i, make_frames(3, 16, 10.0 + i)));
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // And everything written during the race reads back bitwise.
+  for (int i = 0; i < 60; ++i) {
+    Frames out;
+    ASSERT_TRUE(cache.lookup(2000 + i, 3, out));
+    EXPECT_EQ(out, make_frames(3, 16, 10.0 + i));
+  }
+}
+
+TEST_F(StoreTest, HashIsStableAndOrderSensitive) {
+  Fnv1a a;
+  a.update_string("model");
+  a.update_u64(7);
+  Fnv1a b;
+  b.update_string("model");
+  b.update_u64(7);
+  EXPECT_EQ(a.digest(), b.digest());
+  Fnv1a c;
+  c.update_u64(7);
+  c.update_string("model");
+  EXPECT_NE(a.digest(), c.digest());
+  // Known FNV-1a vector: empty input -> offset basis.
+  EXPECT_EQ(Fnv1a().digest(), 14695981039346656037ull);
+}
+
+}  // namespace
+}  // namespace gns::store
