@@ -117,6 +117,21 @@ double percentile(std::vector<double>& sorted, double q) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+/// Pulls one quantile sample (`name{quantile="0.5"} <v>`) out of a
+/// Prometheus exposition body; 0.0 when absent (empty histogram).
+double prom_quantile(const std::string& body, const std::string& name,
+                     const char* quantile) {
+  const std::string needle =
+      name + "{quantile=\"" + quantile + "\"} ";
+  std::size_t pos = 0;
+  while ((pos = body.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || body[pos - 1] == '\n')
+      return std::atof(body.c_str() + pos + needle.size());
+    pos += needle.size();
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,6 +197,8 @@ int main(int argc, char** argv) {
   std::vector<double> rtts;
   int net_failed = 0;
   std::uint64_t busy_retries = 0;
+  bool scrape_ok = false;
+  double phase_p50_sum_us = 0.0;
   {
     JobScheduler scheduler(load.registry,
                            scheduler_config(requests, "bench_net_loopback"));
@@ -225,6 +242,30 @@ int main(int argc, char** argv) {
     }
     for (auto& t : client_threads) t.join();
     const double seconds = wall.seconds();
+
+    // Scrape the hot server over the wire (the same kStatsRequest path a
+    // production scraper would use) and sum the per-phase p50s: the server
+    // should be able to account for most of the client-observed RTT.
+    {
+      net::ClientConfig cfg;
+      cfg.port = server.port();
+      net::Client scraper(cfg);
+      const net::Client::StatsResult stats = scraper.stats();
+      if (stats.ok()) {
+        scrape_ok = true;
+        for (const char* phase :
+             {"decode", "cache", "queue", "batch_wait", "compute",
+              "serialize", "write"}) {
+          phase_p50_sum_us += prom_quantile(
+              stats.reply.body,
+              std::string("bench_net_loopback_phase_") + phase + "_us",
+              "0.5");
+        }
+      } else {
+        std::fprintf(stderr, "stats scrape failed: %s\n",
+                     stats.transport_error.c_str());
+      }
+    }
     server.stop();
 
     net_steps_per_sec =
@@ -250,6 +291,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(busy_retries));
   std::printf("latency:    p50 %8.2f ms   p95 %8.2f ms   p99 %8.2f ms\n",
               p50, p95, p99);
+  const double phase_sum_ms = phase_p50_sum_us * 1e-3;
+  if (scrape_ok)
+    std::printf("phases:     p50 sum %6.2f ms  (%.0f%% of rtt p50, "
+                "from the wire scrape)\n",
+                phase_sum_ms,
+                p50 > 0.0 ? 100.0 * phase_sum_ms / p50 : 0.0);
   print_rule();
   std::printf("net / in-process rollout-steps/s: %.3fx  (bar: >= 0.9x)%s\n",
               ratio, ratio >= 0.9 ? "" : "  BELOW BAR");
@@ -267,6 +314,9 @@ int main(int argc, char** argv) {
     {"rtt_p99_ms", p99},
     {"failed", static_cast<double>(net_failed)},
     {"busy_retries", static_cast<double>(busy_retries)},
+    {"stats_scrape_ok", scrape_ok ? 1.0 : 0.0},
+    {"phase_p50_sum_ms", phase_sum_ms},
+    {"phase_sum_over_rtt_p50", p50 > 0.0 ? phase_sum_ms / p50 : 0.0},
   });
   return net_failed == 0 ? 0 : 1;
 }

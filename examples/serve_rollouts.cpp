@@ -343,6 +343,20 @@ int main(int argc, char** argv) {
   std::printf("latency p99   %8.2f ms   (queue %8.2f, exec %8.2f)\n",
               snap.total_ms.quantile(0.99), snap.queue_ms.quantile(0.99),
               snap.exec_ms.quantile(0.99));
+  {
+    // Per-phase p50s from the serve.phase.* histograms (µs). In-process
+    // serving has no wire, so decode/serialize/write stay empty.
+    auto& metrics = obs::MetricsRegistry::global();
+    const auto p50 = [&](const char* phase) {
+      return metrics.histogram(std::string("serve.phase.") + phase)
+          .snapshot()
+          .quantile(0.50);
+    };
+    std::printf("phase p50     cache %.0f  queue %.0f  batch_wait %.0f  "
+                "compute %.0f us\n",
+                p50("cache_us"), p50("queue_us"), p50("batch_wait_us"),
+                p50("compute_us"));
+  }
   print_cache_report(sched_config.cache.get());
 
   scheduler.stats().write_latency_csv(cache + "/serve_latency.csv");

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -25,6 +26,23 @@ timeval to_timeval(double ms) {
   tv.tv_usec = static_cast<suseconds_t>(
       (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
   return tv;
+}
+
+/// Splitmix64 over a monotonic-clock sample and a process-wide counter:
+/// ids are unique within a process and overwhelmingly unlikely to collide
+/// across clients. Never returns 0 (the wire's "unset" sentinel).
+std::uint64_t generate_trace_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t x = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  x += 0x9E3779B97F4A7C15ull *
+       (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;
 }
 
 bool send_all(int fd, const std::uint8_t* data, std::size_t len) {
@@ -88,6 +106,15 @@ void Client::close() {
 }
 
 ClientResult Client::rollout(const serve::RolloutRequest& request) {
+  if (request.trace_id != 0) return run_rollout(request);
+  // The copy is taken only on this path; callers that manage their own
+  // trace ids pay nothing.
+  serve::RolloutRequest traced = request;
+  traced.trace_id = generate_trace_id();
+  return run_rollout(traced);
+}
+
+ClientResult Client::run_rollout(const serve::RolloutRequest& request) {
   ClientResult result;
   double backoff_ms = config_.busy_backoff_ms;
   int busy_retries = 0;
@@ -125,9 +152,82 @@ ClientResult Client::rollout(const serve::RolloutRequest& request) {
   return result;
 }
 
+Client::StatsResult Client::stats(std::uint8_t format) {
+  StatsResult result;
+  Timer rtt;
+  if (fd_ < 0 && !connect()) {
+    result.transport_error =
+        "connect to " + config_.host + ":" + std::to_string(config_.port) +
+        " failed" +
+        (last_connect_errno_ != 0
+             ? std::string(": ") + std::strerror(last_connect_errno_)
+             : std::string());
+    result.rtt_ms = rtt.millis();
+    return result;
+  }
+
+  const std::uint64_t request_id = next_request_id_++;
+  WireStatsRequest stats_request;
+  stats_request.format = format;
+  const std::vector<std::uint8_t> wire =
+      encode_stats_request(request_id, stats_request);
+  if (!send_all(fd_, wire.data(), wire.size())) {
+    result.transport_error =
+        std::string("send failed: ") + std::strerror(errno);
+    close();
+    result.rtt_ms = rtt.millis();
+    return result;
+  }
+
+  for (;;) {
+    FrameView frame;
+    std::string read_error;
+    if (!read_frame(frame, read_error)) {
+      result.transport_error = read_error;
+      close();
+      break;
+    }
+    if (frame.request_id != request_id) {
+      result.transport_error = "reply for unexpected request id " +
+                               std::to_string(frame.request_id);
+      close();
+      break;
+    }
+    std::string parse_error;
+    if (frame.type == MessageType::StatsReply) {
+      if (!decode_stats_reply(frame, result.reply, parse_error)) {
+        result.transport_error = "bad stats reply: " + parse_error;
+        close();
+        break;
+      }
+      result.transport_ok = true;
+      break;
+    }
+    if (frame.type == MessageType::ErrorReply) {
+      WireError error;
+      if (!decode_error_reply(frame, error, parse_error)) {
+        result.transport_error = "bad error reply: " + parse_error;
+        close();
+        break;
+      }
+      result.transport_ok = true;
+      result.is_net_error = true;
+      result.net_error = error.code;
+      result.error = error.message;
+      break;
+    }
+    result.transport_error = "unexpected reply type to a stats request";
+    close();
+    break;
+  }
+  result.rtt_ms = rtt.millis();
+  return result;
+}
+
 ClientResult Client::exchange(const serve::RolloutRequest& request,
                               std::uint64_t request_id) {
   ClientResult result;
+  result.trace_id = request.trace_id;
   if (fd_ < 0 && !connect()) {
     result.connect_failed = true;
     result.transport_error =
@@ -209,6 +309,9 @@ ClientResult Client::exchange(const serve::RolloutRequest& request,
         result.queue_ms = status.queue_ms;
         result.exec_ms = status.exec_ms;
         result.total_ms = status.total_ms;
+        result.cached = status.cached;
+        result.cache_outcome = status.cache_outcome;
+        result.phases = status.phases;
         return result;
       }
       case MessageType::ErrorReply: {

@@ -77,6 +77,17 @@ struct ClientResult {
   int busy_retries = 0;  ///< Busy replies absorbed before this outcome
   int connect_retries = 0;  ///< transient connect failures absorbed
 
+  /// The trace id this request traveled under — the one from the request,
+  /// or the client-generated one when the request left it 0. Grep for it
+  /// (hex) in the server's trace JSON and slow-request log lines.
+  std::uint64_t trace_id = 0;
+  bool cached = false;  ///< frames came from the server's rollout cache
+  serve::CacheOutcome cache_outcome = serve::CacheOutcome::None;
+  /// Server-side per-phase breakdown from the StatusReply (v2 servers;
+  /// all-zero against v1). write_us is always 0 on the wire — see
+  /// WireStatus.
+  serve::PhaseTimeline phases;
+
   [[nodiscard]] bool ok() const {
     return transport_ok && !is_net_error &&
            status == serve::JobStatus::Ok;
@@ -98,10 +109,34 @@ class Client {
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
 
   /// Sends the request and blocks until its terminal reply, transparently
-  /// retrying Busy rejections with backoff. Never throws.
+  /// retrying Busy rejections with backoff. Never throws. When
+  /// request.trace_id is 0 the client generates one (returned in
+  /// ClientResult::trace_id) so every wire request is traceable end to
+  /// end without callers managing ids.
   [[nodiscard]] ClientResult rollout(const serve::RolloutRequest& request);
 
+  /// Outcome of one Client::stats call.
+  struct StatsResult {
+    bool transport_ok = false;
+    std::string transport_error;
+    bool is_net_error = false;  ///< server answered with an ErrorReply
+    NetError net_error = NetError::Internal;
+    std::string error;
+    WireStatsReply reply;  ///< the snapshot (when transport_ok && !is_net_error)
+    double rtt_ms = 0.0;
+
+    [[nodiscard]] bool ok() const { return transport_ok && !is_net_error; }
+  };
+
+  /// Scrapes the server's metrics + health snapshot (kStatsRequest).
+  /// Blocking, no retry policy: introspection should report reality,
+  /// including a Busy reality.
+  [[nodiscard]] StatsResult stats(
+      std::uint8_t format = WireStatsRequest::kPrometheus);
+
  private:
+  /// rollout() after trace-id assignment: the Busy/connect retry loop.
+  ClientResult run_rollout(const serve::RolloutRequest& request);
   /// One send + receive-until-terminal exchange (no Busy retry).
   ClientResult exchange(const serve::RolloutRequest& request,
                         std::uint64_t request_id);

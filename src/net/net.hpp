@@ -11,11 +11,20 @@
 ///   Server   — poll()-based acceptor + handler threads, nonblocking
 ///              sockets, bounded in-flight caps (Busy backpressure),
 ///              deadline propagation, graceful drain on stop();
-///   Client   — blocking request/stream-response with Busy retry/backoff.
+///   Client   — blocking request/stream-response with Busy retry/backoff,
+///              automatic trace-id generation, and a stats() scrape.
+///
+/// Protocol v2 adds end-to-end observability: requests carry a 64-bit
+/// trace_id that is stamped on every span of their server-side life,
+/// status replies carry a per-phase latency breakdown (decode / cache /
+/// queue / batch-wait / compute / serialize), and kStatsRequest frames
+/// snapshot the metrics registry + server health (Prometheus or JSON)
+/// without touching the worker pool. v1 clients interoperate unchanged.
 ///
 /// See examples/serve_rollouts.cpp --listen for a server driver,
+/// examples/stats_client.cpp for a scrape tool,
 /// bench/bench_net_throughput.cpp for the load generator, and DESIGN.md §8
-/// for the wire-format specification.
+/// (wire format) / §10 (request observability).
 
 #include "net/client.hpp"    // IWYU pragma: export
 #include "net/protocol.hpp"  // IWYU pragma: export

@@ -83,6 +83,12 @@ class Reader {
     cur_ += 4;
     return true;
   }
+  bool u64(std::uint64_t& v) {
+    if (!need(8)) return false;
+    v = load_u64(cur_);
+    cur_ += 8;
+    return true;
+  }
   bool f64(double& v) {
     if (!need(8)) return false;
     const std::uint64_t bits = load_u64(cur_);
@@ -130,13 +136,17 @@ class Reader {
 
 std::vector<std::uint8_t> make_frame(MessageType type,
                                      std::uint64_t request_id,
-                                     std::vector<std::uint8_t> payload) {
+                                     std::vector<std::uint8_t> payload,
+                                     std::uint8_t version) {
   GNS_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
                 "encoded payload exceeds kMaxPayloadBytes");
+  GNS_CHECK_MSG(version >= kMinProtocolVersion &&
+                    version <= kProtocolVersion,
+                "encoder asked for an unsupported protocol version");
   std::vector<std::uint8_t> frame;
   frame.reserve(kHeaderBytes + payload.size());
   put_u32(frame, kMagic);
-  put_u8(frame, kProtocolVersion);
+  put_u8(frame, version);
   put_u8(frame, static_cast<std::uint8_t>(type));
   put_u16(frame, 0);  // reserved
   put_u64(frame, request_id);
@@ -155,7 +165,8 @@ bool fail(std::string& error, const char* what) {
 // ---- Encoding --------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_rollout_request(
-    std::uint64_t request_id, const serve::RolloutRequest& request) {
+    std::uint64_t request_id, const serve::RolloutRequest& request,
+    std::uint8_t version) {
   GNS_CHECK_MSG(request.steps > 0 &&
                     static_cast<std::uint32_t>(request.steps) <=
                         kMaxRolloutSteps,
@@ -180,12 +191,17 @@ std::vector<std::uint8_t> encode_rollout_request(
   }
   put_u32(payload, static_cast<std::uint32_t>(request.node_attrs.size()));
   put_doubles(payload, request.node_attrs);
+  if (version >= 2) {
+    put_u64(payload, request.trace_id);
+    put_u8(payload, request.trace_flags);
+  }
   return make_frame(MessageType::RolloutRequest, request_id,
-                    std::move(payload));
+                    std::move(payload), version);
 }
 
 std::vector<std::uint8_t> encode_rollout_chunk(std::uint64_t request_id,
-                                               const WireChunk& chunk) {
+                                               const WireChunk& chunk,
+                                               std::uint8_t version) {
   GNS_CHECK_MSG(chunk.frame_len > 0 &&
                     chunk.data.size() % chunk.frame_len == 0,
                 "chunk data must be whole frames");
@@ -194,11 +210,13 @@ std::vector<std::uint8_t> encode_rollout_chunk(std::uint64_t request_id,
   put_u32(payload, chunk.num_frames());
   put_u32(payload, chunk.frame_len);
   put_doubles(payload, chunk.data);
-  return make_frame(MessageType::RolloutChunk, request_id, std::move(payload));
+  return make_frame(MessageType::RolloutChunk, request_id, std::move(payload),
+                    version);
 }
 
 std::vector<std::uint8_t> encode_status_reply(std::uint64_t request_id,
-                                              const WireStatus& status) {
+                                              const WireStatus& status,
+                                              std::uint8_t version) {
   std::vector<std::uint8_t> payload;
   put_u8(payload, static_cast<std::uint8_t>(status.status));
   put_u32(payload, status.total_frames);
@@ -208,17 +226,63 @@ std::vector<std::uint8_t> encode_status_reply(std::uint64_t request_id,
   std::string message = status.error;
   if (message.size() > kMaxStringBytes) message.resize(kMaxStringBytes);
   put_string(payload, message);
-  return make_frame(MessageType::StatusReply, request_id, std::move(payload));
+  if (version >= 2) {
+    put_u64(payload, status.trace_id);
+    put_u8(payload, status.cached ? 1 : 0);
+    put_u8(payload, static_cast<std::uint8_t>(status.cache_outcome));
+    put_f64(payload, status.phases.decode_us);
+    put_f64(payload, status.phases.cache_us);
+    put_f64(payload, status.phases.queue_us);
+    put_f64(payload, status.phases.batch_wait_us);
+    put_f64(payload, status.phases.compute_us);
+    put_f64(payload, status.phases.serialize_us);
+    put_f64(payload, status.phases.write_us);
+  }
+  return make_frame(MessageType::StatusReply, request_id, std::move(payload),
+                    version);
 }
 
 std::vector<std::uint8_t> encode_error_reply(std::uint64_t request_id,
-                                             const WireError& error) {
+                                             const WireError& error,
+                                             std::uint8_t version) {
   std::vector<std::uint8_t> payload;
   put_u8(payload, static_cast<std::uint8_t>(error.code));
   std::string message = error.message;
   if (message.size() > kMaxStringBytes) message.resize(kMaxStringBytes);
   put_string(payload, message);
-  return make_frame(MessageType::ErrorReply, request_id, std::move(payload));
+  return make_frame(MessageType::ErrorReply, request_id, std::move(payload),
+                    version);
+}
+
+std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id,
+                                               const WireStatsRequest& request,
+                                               std::uint8_t version) {
+  GNS_CHECK_MSG(version >= 2, "stats frames need protocol v2");
+  GNS_CHECK_MSG(request.format <= WireStatsRequest::kPrometheus,
+                "unknown stats format");
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, request.format);
+  return make_frame(MessageType::StatsRequest, request_id, std::move(payload),
+                    version);
+}
+
+std::vector<std::uint8_t> encode_stats_reply(std::uint64_t request_id,
+                                             const WireStatsReply& reply,
+                                             std::uint8_t version) {
+  GNS_CHECK_MSG(version >= 2, "stats frames need protocol v2");
+  std::string body = reply.body;
+  if (body.size() > kMaxStatsBodyBytes) body.resize(kMaxStatsBodyBytes);
+  std::vector<std::uint8_t> payload;
+  put_f64(payload, reply.uptime_ms);
+  put_u32(payload, reply.inflight);
+  put_u32(payload, reply.queue_depth);
+  put_u32(payload, reply.active_connections);
+  put_u8(payload, reply.draining);
+  put_u8(payload, reply.format);
+  put_u32(payload, static_cast<std::uint32_t>(body.size()));
+  payload.insert(payload.end(), body.begin(), body.end());
+  return make_frame(MessageType::StatsReply, request_id, std::move(payload),
+                    version);
 }
 
 // ---- Decoding --------------------------------------------------------------
@@ -243,7 +307,7 @@ DecodeStatus try_decode_frame(const std::uint8_t* data, std::size_t len,
   const std::uint64_t request_id = load_u64(data + 8);
   const std::uint32_t payload_len = load_u32(data + 16);
 
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     error = {NetError::BadVersion,
              "unsupported protocol version " + std::to_string(version),
              /*fatal=*/true, 0, request_id};
@@ -264,8 +328,13 @@ DecodeStatus try_decode_frame(const std::uint8_t* data, std::size_t len,
              /*fatal=*/false, frame_bytes, request_id};
     return DecodeStatus::Error;
   }
+  // Stats frames entered the protocol with v2, so a v1 frame claiming one
+  // is as unknown as any out-of-range type.
+  const std::uint8_t max_type =
+      version >= 2 ? static_cast<std::uint8_t>(MessageType::StatsReply)
+                   : static_cast<std::uint8_t>(MessageType::ErrorReply);
   if (raw_type < static_cast<std::uint8_t>(MessageType::RolloutRequest) ||
-      raw_type > static_cast<std::uint8_t>(MessageType::ErrorReply)) {
+      raw_type > max_type) {
     error = {NetError::BadType,
              "unknown message type " + std::to_string(raw_type),
              /*fatal=*/false, frame_bytes, request_id};
@@ -273,6 +342,7 @@ DecodeStatus try_decode_frame(const std::uint8_t* data, std::size_t len,
   }
 
   out.type = static_cast<MessageType>(raw_type);
+  out.version = version;
   out.request_id = request_id;
   out.payload = data + kHeaderBytes;
   out.payload_len = payload_len;
@@ -308,6 +378,17 @@ bool decode_rollout_request(const FrameView& frame,
     return fail(error, "node_attrs truncated");
   if (!r.doubles(out.node_attrs, attrs))
     return fail(error, "node_attrs truncated");
+  if (frame.version >= 2) {
+    std::uint64_t trace_id = 0;
+    std::uint8_t trace_flags = 0;
+    if (!r.u64(trace_id) || !r.u8(trace_flags))
+      return fail(error, "truncated trace context");
+    out.trace_id = trace_id;
+    out.trace_flags = trace_flags;
+  } else {
+    out.trace_id = 0;
+    out.trace_flags = 0;
+  }
   if (!r.exhausted()) return fail(error, "trailing bytes after request");
   out.steps = static_cast<int>(steps);
   out.material = material;
@@ -342,6 +423,26 @@ bool decode_status_reply(const FrameView& frame, WireStatus& out,
   if (!r.u32(out.total_frames) || !r.f64(out.queue_ms) ||
       !r.f64(out.exec_ms) || !r.f64(out.total_ms) || !r.str(out.error))
     return fail(error, "truncated status reply");
+  if (frame.version >= 2) {
+    std::uint8_t cached = 0, outcome = 0;
+    if (!r.u64(out.trace_id) || !r.u8(cached) || !r.u8(outcome))
+      return fail(error, "truncated status trace/cache fields");
+    if (cached > 1 ||
+        outcome > static_cast<std::uint8_t>(serve::CacheOutcome::Joined))
+      return fail(error, "bad cache outcome");
+    out.cached = cached != 0;
+    out.cache_outcome = static_cast<serve::CacheOutcome>(outcome);
+    if (!r.f64(out.phases.decode_us) || !r.f64(out.phases.cache_us) ||
+        !r.f64(out.phases.queue_us) || !r.f64(out.phases.batch_wait_us) ||
+        !r.f64(out.phases.compute_us) || !r.f64(out.phases.serialize_us) ||
+        !r.f64(out.phases.write_us))
+      return fail(error, "truncated phase breakdown");
+  } else {
+    out.trace_id = 0;
+    out.cached = false;
+    out.cache_outcome = serve::CacheOutcome::None;
+    out.phases = serve::PhaseTimeline{};
+  }
   if (!r.exhausted()) return fail(error, "trailing bytes after status");
   out.status = static_cast<serve::JobStatus>(status);
   return true;
@@ -357,6 +458,38 @@ bool decode_error_reply(const FrameView& frame, WireError& out,
   if (!r.str(out.message)) return fail(error, "truncated error message");
   if (!r.exhausted()) return fail(error, "trailing bytes after error");
   out.code = static_cast<NetError>(code);
+  return true;
+}
+
+bool decode_stats_request(const FrameView& frame, WireStatsRequest& out,
+                          std::string& error) {
+  if (frame.version < 2) return fail(error, "stats frames need protocol v2");
+  Reader r(frame.payload, frame.payload_len);
+  std::uint8_t format = 0;
+  if (!r.u8(format) || format > WireStatsRequest::kPrometheus)
+    return fail(error, "bad stats format");
+  if (!r.exhausted()) return fail(error, "trailing bytes after stats request");
+  out.format = format;
+  return true;
+}
+
+bool decode_stats_reply(const FrameView& frame, WireStatsReply& out,
+                        std::string& error) {
+  if (frame.version < 2) return fail(error, "stats frames need protocol v2");
+  Reader r(frame.payload, frame.payload_len);
+  std::uint32_t body_len = 0;
+  if (!r.f64(out.uptime_ms) || !r.u32(out.inflight) ||
+      !r.u32(out.queue_depth) || !r.u32(out.active_connections) ||
+      !r.u8(out.draining) || !r.u8(out.format))
+    return fail(error, "truncated stats reply header");
+  if (out.format > WireStatsRequest::kPrometheus)
+    return fail(error, "bad stats format");
+  if (!r.u32(body_len) || body_len > kMaxStatsBodyBytes ||
+      body_len != r.remaining())
+    return fail(error, "stats body size mismatch");
+  out.body.assign(reinterpret_cast<const char*>(frame.payload) +
+                      (frame.payload_len - body_len),
+                  body_len);
   return true;
 }
 

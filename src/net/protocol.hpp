@@ -19,7 +19,17 @@
 /// cut from the finished rollout) followed by exactly one terminal frame —
 /// kStatusReply (carrying serve::JobStatus, so the scheduler's typed error
 /// codes cross the wire unchanged) or kErrorReply (transport-level
-/// failures: backpressure, malformed frames, drain in progress).
+/// failures: backpressure, malformed frames, drain in progress). A client
+/// may also send kStatsRequest and receive one kStatsReply — a metrics +
+/// health snapshot served off the poll thread, for live introspection.
+///
+/// Versioning: version 2 appends trace context (a client-chosen 64-bit
+/// trace_id plus flags) to kRolloutRequest, appends the trace_id, cache
+/// outcome, and per-phase latency breakdown to kStatusReply, and adds the
+/// kStatsRequest/kStatsReply pair. Appends only — every v1 field keeps its
+/// offset, and decoders accept kMinProtocolVersion..kProtocolVersion (a v1
+/// request simply decodes with trace_id 0). Servers reply in the
+/// requester's version, so v1 clients round-trip unchanged.
 ///
 /// Decoding is strict and allocation-safe: the header is validated before
 /// any payload allocation, declared lengths are capped (kMaxPayloadBytes,
@@ -39,7 +49,9 @@
 namespace gns::net {
 
 inline constexpr std::uint32_t kMagic = 0x31534E47u;  ///< "GNS1" on the wire
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
+/// Oldest version decoders still accept (see the versioning note above).
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 20;
 
 /// Hard cap on one frame's payload. Large enough for a 100k-particle 3-D
@@ -49,12 +61,17 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
 inline constexpr std::size_t kMaxStringBytes = 4096;
 inline constexpr std::uint32_t kMaxWindowFrames = 64;
 inline constexpr std::uint32_t kMaxRolloutSteps = 10'000'000;
+/// Cap on a kStatsReply snapshot body (Prometheus/JSON text). Generously
+/// above any real registry dump, far below kMaxPayloadBytes.
+inline constexpr std::uint32_t kMaxStatsBodyBytes = 4u << 20;
 
 enum class MessageType : std::uint8_t {
   RolloutRequest = 1,  ///< client -> server: run a rollout
   RolloutChunk = 2,    ///< server -> client: streamed predicted frames
   StatusReply = 3,     ///< server -> client: terminal job outcome
   ErrorReply = 4,      ///< server -> client: transport-level failure
+  StatsRequest = 5,    ///< client -> server: snapshot metrics + health (v2)
+  StatsReply = 6,      ///< server -> client: the snapshot (v2)
 };
 
 /// Transport-level error codes carried by kErrorReply (job-level outcomes
@@ -101,6 +118,8 @@ struct WireChunk {
 
 /// kStatusReply: terminal outcome of one request, mirroring
 /// serve::RolloutResult minus the frames (those were streamed as chunks).
+/// The fields below `error` are the v2 appendix; they decode as defaults
+/// from a v1 frame and are dropped when encoding one.
 struct WireStatus {
   serve::JobStatus status = serve::JobStatus::ExecutionError;
   std::uint32_t total_frames = 0;  ///< chunked frames the client should hold
@@ -108,6 +127,31 @@ struct WireStatus {
   double exec_ms = 0.0;
   double total_ms = 0.0;
   std::string error;
+  std::uint64_t trace_id = 0;  ///< echo of the request's trace context
+  bool cached = false;
+  serve::CacheOutcome cache_outcome = serve::CacheOutcome::None;
+  /// Server-side latency breakdown. write_us is reported as 0 on the wire
+  /// (the flush hasn't happened when the status is encoded); it lands in
+  /// the server's serve.phase.write_us histogram instead.
+  serve::PhaseTimeline phases;
+};
+
+/// kStatsRequest: ask for a metrics + health snapshot in one format.
+struct WireStatsRequest {
+  enum Format : std::uint8_t { kJson = 0, kPrometheus = 1 };
+  std::uint8_t format = kPrometheus;
+};
+
+/// kStatsReply: health header + the full metrics registry rendered as text
+/// (Prometheus exposition or the registry's JSON dump, per the request).
+struct WireStatsReply {
+  double uptime_ms = 0.0;          ///< since Server::start()
+  std::uint32_t inflight = 0;      ///< requests submitted, not yet replied
+  std::uint32_t queue_depth = 0;   ///< scheduler queue at snapshot time
+  std::uint32_t active_connections = 0;
+  std::uint8_t draining = 0;       ///< 1 once graceful drain has begun
+  std::uint8_t format = WireStatsRequest::kPrometheus;
+  std::string body;                ///< <= kMaxStatsBodyBytes
 };
 
 /// kErrorReply: transport-level rejection. request_id echoes the offending
@@ -122,14 +166,30 @@ struct WireError {
 /// Serializers produce one complete frame (header + payload), ready to
 /// write. Encoding never fails: inputs come from our own code, and
 /// violations of the wire caps are programmer errors (GNS_CHECK).
+///
+/// `version` selects the wire layout (and the header byte): servers pass
+/// the requester's version so old clients get frames they can parse;
+/// tests use it to craft v1 frames. Must be within
+/// kMinProtocolVersion..kProtocolVersion.
 [[nodiscard]] std::vector<std::uint8_t> encode_rollout_request(
-    std::uint64_t request_id, const serve::RolloutRequest& request);
+    std::uint64_t request_id, const serve::RolloutRequest& request,
+    std::uint8_t version = kProtocolVersion);
 [[nodiscard]] std::vector<std::uint8_t> encode_rollout_chunk(
-    std::uint64_t request_id, const WireChunk& chunk);
+    std::uint64_t request_id, const WireChunk& chunk,
+    std::uint8_t version = kProtocolVersion);
 [[nodiscard]] std::vector<std::uint8_t> encode_status_reply(
-    std::uint64_t request_id, const WireStatus& status);
+    std::uint64_t request_id, const WireStatus& status,
+    std::uint8_t version = kProtocolVersion);
 [[nodiscard]] std::vector<std::uint8_t> encode_error_reply(
-    std::uint64_t request_id, const WireError& error);
+    std::uint64_t request_id, const WireError& error,
+    std::uint8_t version = kProtocolVersion);
+/// Stats frames are v2-only (GNS_CHECK on version < 2).
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_request(
+    std::uint64_t request_id, const WireStatsRequest& request,
+    std::uint8_t version = kProtocolVersion);
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
+    std::uint64_t request_id, const WireStatsReply& reply,
+    std::uint8_t version = kProtocolVersion);
 
 // ---- Decoding --------------------------------------------------------------
 
@@ -144,6 +204,7 @@ enum class DecodeStatus {
 /// bounds-checked against the buffer.
 struct FrameView {
   MessageType type = MessageType::ErrorReply;
+  std::uint8_t version = kProtocolVersion;  ///< header version byte
   std::uint64_t request_id = 0;
   const std::uint8_t* payload = nullptr;
   std::uint32_t payload_len = 0;
@@ -181,6 +242,12 @@ struct DecodeError {
 [[nodiscard]] bool decode_status_reply(const FrameView& frame, WireStatus& out,
                                        std::string& error);
 [[nodiscard]] bool decode_error_reply(const FrameView& frame, WireError& out,
+                                      std::string& error);
+[[nodiscard]] bool decode_stats_request(const FrameView& frame,
+                                        WireStatsRequest& out,
+                                        std::string& error);
+[[nodiscard]] bool decode_stats_reply(const FrameView& frame,
+                                      WireStatsReply& out,
                                       std::string& error);
 
 }  // namespace gns::net

@@ -16,6 +16,7 @@
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace gns::net {
 
@@ -56,10 +57,22 @@ Server::Server(serve::JobScheduler& scheduler, ServerConfig config)
           config_.metrics_prefix + ".decode_errors")),
       timeouts_(obs::MetricsRegistry::global().counter(
           config_.metrics_prefix + ".timeouts")),
+      stats_requests_(obs::MetricsRegistry::global().counter(
+          config_.metrics_prefix + ".stats_requests")),
       active_connections_gauge_(obs::MetricsRegistry::global().gauge(
           config_.metrics_prefix + ".active_connections")),
+      inflight_gauge_(obs::MetricsRegistry::global().gauge(
+          config_.metrics_prefix + ".inflight")),
+      queue_depth_gauge_(obs::MetricsRegistry::global().gauge(
+          config_.metrics_prefix + ".scheduler_queue_depth")),
       request_ms_(obs::MetricsRegistry::global().histogram(
           config_.metrics_prefix + ".request_ms")) {
+  for (std::uint8_t code = static_cast<std::uint8_t>(NetError::Busy);
+       code <= static_cast<std::uint8_t>(NetError::Internal); ++code) {
+    reject_counters_[code] = &obs::MetricsRegistry::global().counter(
+        config_.metrics_prefix + ".reject." +
+        to_string(static_cast<NetError>(code)));
+  }
   GNS_CHECK_MSG(config_.handler_threads >= 1,
                 "Server needs >= 1 handler thread");
   GNS_CHECK_MSG(config_.max_inflight_per_connection >= 1 &&
@@ -127,6 +140,7 @@ bool Server::start() {
     shared_.push_back(std::move(shared));
   }
 
+  started_ = Clock::now();
   draining_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   for (int i = 0; i < config_.handler_threads; ++i)
@@ -384,8 +398,11 @@ void Server::process_rbuf(Connection& conn) {
     }
 
     frames_rx_.add();
+    conn.peer_version = frame.version;
     if (frame.type == MessageType::RolloutRequest) {
       handle_request(conn, frame, buffered_ms);
+    } else if (frame.type == MessageType::StatsRequest) {
+      handle_stats(conn, frame);
     } else {
       // Reply types flowing client->server are framing-correct but
       // semantically invalid; answer and keep the stream.
@@ -410,14 +427,16 @@ void Server::process_rbuf(Connection& conn) {
 
 void Server::handle_request(Connection& conn, const FrameView& frame,
                             double buffered_ms) {
-  GNS_TRACE_SCOPE("net.conn.submit");
   serve::RolloutRequest request;
   std::string parse_error;
+  Timer decode_timer;
   if (!decode_rollout_request(frame, request, parse_error)) {
     decode_errors_.add();
     enqueue_error(conn, frame.request_id, NetError::Malformed, parse_error);
     return;
   }
+  request.decode_us = decode_timer.millis() * 1e3;
+  GNS_TRACE_SCOPE_T("net.conn.submit", request.trace_id);
   if (draining_.load(std::memory_order_acquire)) {
     enqueue_error(conn, frame.request_id, NetError::ShuttingDown,
                   "server is draining");
@@ -451,8 +470,46 @@ void Server::handle_request(Connection& conn, const FrameView& frame,
   pending.job_id = ticket.id;
   pending.future = std::move(ticket.result);
   pending.decoded = Clock::now();
+  pending.version = frame.version;
   conn.inflight.push_back(std::move(pending));
-  global_inflight_.fetch_add(1, std::memory_order_relaxed);
+  const int inflight =
+      global_inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  inflight_gauge_.set(inflight);
+  queue_depth_gauge_.set(scheduler_.queue_depth());
+}
+
+void Server::handle_stats(Connection& conn, const FrameView& frame) {
+  GNS_TRACE_SCOPE("net.conn.stats");
+  WireStatsRequest request;
+  std::string parse_error;
+  if (!decode_stats_request(frame, request, parse_error)) {
+    decode_errors_.add();
+    enqueue_error(conn, frame.request_id, NetError::Malformed, parse_error);
+    return;
+  }
+  stats_requests_.add();
+  // Deliberately answered even while draining: watching the drain finish
+  // is exactly what a live scrape is for.
+  queue_depth_gauge_.set(scheduler_.queue_depth());
+  WireStatsReply reply;
+  reply.uptime_ms = ms_since(started_, Clock::now());
+  reply.inflight = static_cast<std::uint32_t>(
+      std::max(0, global_inflight_.load(std::memory_order_relaxed)));
+  reply.queue_depth =
+      static_cast<std::uint32_t>(std::max(0, scheduler_.queue_depth()));
+  reply.active_connections = static_cast<std::uint32_t>(
+      std::max(0, active_connections_.load(std::memory_order_relaxed)));
+  reply.draining = draining_.load(std::memory_order_acquire) ? 1 : 0;
+  reply.format = request.format;
+  reply.body = request.format == WireStatsRequest::kPrometheus
+                   ? obs::MetricsRegistry::global().to_prometheus()
+                   : obs::MetricsRegistry::global().to_json();
+  WriteItem item;
+  item.bytes = encode_stats_reply(frame.request_id, reply);
+  item.terminal = true;
+  item.enqueued_ns = obs::trace_now_ns();
+  conn.wqueue.push_back(std::move(item));
+  frames_tx_.add();
 }
 
 std::size_t Server::pump_completions(Connection& conn) {
@@ -465,17 +522,20 @@ std::size_t Server::pump_completions(Connection& conn) {
     }
     const serve::RolloutResult result = pending.future.get();
     request_ms_.add(ms_since(pending.decoded, Clock::now()));
-    enqueue_result(conn, pending.request_id, result);
+    enqueue_result(conn, pending, result);
     conn.inflight.erase(conn.inflight.begin() +
                         static_cast<std::ptrdiff_t>(i));
-    global_inflight_.fetch_sub(1, std::memory_order_relaxed);
+    const int inflight =
+        global_inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    inflight_gauge_.set(std::max(0, inflight));
   }
   return conn.inflight.size();
 }
 
-void Server::enqueue_result(Connection& conn, std::uint64_t request_id,
+void Server::enqueue_result(Connection& conn, const Pending& pending,
                             const serve::RolloutResult& result) {
-  GNS_TRACE_SCOPE("net.conn.encode");
+  GNS_TRACE_SCOPE_T("net.conn.encode", result.trace_id);
+  const std::uint64_t request_id = pending.request_id;
   if (result.status == serve::JobStatus::QueueFull) {
     // Scheduler-level backpressure surfaces as Busy, same as the server's
     // own in-flight caps: clients have one retry path.
@@ -484,6 +544,7 @@ void Server::enqueue_result(Connection& conn, std::uint64_t request_id,
     return;
   }
 
+  Timer serialize_timer;
   // Stream the predicted frames (even a partial prefix from a deadline or
   // cancellation) as chunks, then the terminal status.
   const std::size_t total = result.frames.size();
@@ -502,7 +563,10 @@ void Server::enqueue_result(Connection& conn, std::uint64_t request_id,
       chunk.data.insert(chunk.data.end(), result.frames[f].begin(),
                         result.frames[f].end());
     }
-    conn.wqueue.push_back(encode_rollout_chunk(request_id, chunk));
+    WriteItem item;
+    item.bytes = encode_rollout_chunk(request_id, chunk, pending.version);
+    item.trace_id = result.trace_id;
+    conn.wqueue.push_back(std::move(item));
     frames_tx_.add();
   }
 
@@ -513,24 +577,47 @@ void Server::enqueue_result(Connection& conn, std::uint64_t request_id,
   status.exec_ms = result.exec_ms;
   status.total_ms = result.total_ms;
   status.error = result.error;
-  conn.wqueue.push_back(encode_status_reply(request_id, status));
+  status.trace_id = result.trace_id;
+  status.cached = result.cached;
+  status.cache_outcome = result.cache_outcome;
+  status.phases = result.phases;
+  // The serialize phase covers the chunk encoding above; the status frame
+  // itself is header-sized and cheap, so charging it as already-elapsed
+  // time keeps the wire value honest without encoding twice. write_us is
+  // unknowable until the flush — it stays 0 on the wire and lands in the
+  // serve.phase.write_us histogram instead.
+  status.phases.serialize_us = serialize_timer.millis() * 1e3;
+  WriteItem item;
+  item.bytes = encode_status_reply(request_id, status, pending.version);
+  item.terminal = true;
+  item.trace_id = result.trace_id;
+  item.enqueued_ns = obs::trace_now_ns();
+  conn.wqueue.push_back(std::move(item));
   frames_tx_.add();
+  scheduler_.stats().on_serialize(status.phases.serialize_us);
 }
 
 void Server::enqueue_error(Connection& conn, std::uint64_t request_id,
                            NetError code, const std::string& message) {
-  conn.wqueue.push_back(encode_error_reply(request_id, {code, message}));
+  const auto index = static_cast<std::size_t>(code);
+  if (index < reject_counters_.size() && reject_counters_[index] != nullptr)
+    reject_counters_[index]->add();
+  WriteItem item;
+  item.bytes = encode_error_reply(request_id, {code, message},
+                                  conn.peer_version);
+  item.terminal = true;
+  item.enqueued_ns = obs::trace_now_ns();
+  conn.wqueue.push_back(std::move(item));
   frames_tx_.add();
 }
 
 bool Server::flush_writes(Connection& conn) {
   GNS_TRACE_SCOPE("net.conn.write");
   while (!conn.wqueue.empty()) {
-    const std::vector<std::uint8_t>& front = conn.wqueue.front();
-    while (conn.woff < front.size()) {
-      const ssize_t n =
-          ::send(conn.fd, front.data() + conn.woff, front.size() - conn.woff,
-                 MSG_NOSIGNAL);
+    const WriteItem& front = conn.wqueue.front();
+    while (conn.woff < front.bytes.size()) {
+      const ssize_t n = ::send(conn.fd, front.bytes.data() + conn.woff,
+                               front.bytes.size() - conn.woff, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
           return true;  // kernel buffer full: wait for POLLOUT
@@ -539,6 +626,16 @@ bool Server::flush_writes(Connection& conn) {
       conn.woff += static_cast<std::size_t>(n);
       bytes_tx_.add(static_cast<std::uint64_t>(n));
       conn.last_activity = Clock::now();
+    }
+    if (front.terminal && front.enqueued_ns > 0) {
+      // The request's terminal frame left the socket: everything queued
+      // behind it for this request (its chunks ran first, FIFO) is out, so
+      // enqueue -> now is the request's write/flush phase.
+      const std::int64_t now_ns = obs::trace_now_ns();
+      scheduler_.stats().on_write(
+          static_cast<double>(now_ns - front.enqueued_ns) * 1e-3);
+      obs::record_manual_span("net.conn.flush", front.enqueued_ns, now_ns,
+                              front.trace_id);
     }
     conn.wqueue.pop_front();
     conn.woff = 0;
@@ -554,6 +651,8 @@ void Server::close_connection(Connection& conn) {
     scheduler_.cancel(pending.job_id);
     global_inflight_.fetch_sub(1, std::memory_order_relaxed);
   }
+  inflight_gauge_.set(
+      std::max(0, global_inflight_.load(std::memory_order_relaxed)));
   conn.inflight.clear();
   ::close(conn.fd);
   conn.fd = -1;

@@ -25,12 +25,21 @@
 /// rejected by the scheduler at submit time (DeadlineExceeded) instead of
 /// occupying a batch slot.
 ///
+/// Observability: every request's trace_id (protocol v2) is threaded from
+/// decode through the scheduler to the final flush, so one Perfetto trace
+/// shows the cross-layer life of a request; per-phase latency lands in the
+/// scheduler's serve.phase.* histograms. kStatsRequest frames are answered
+/// inline on the handler thread with a metrics + health snapshot
+/// (Prometheus or JSON), so a live server can be scraped without touching
+/// the worker pool.
+///
 /// stop() drains gracefully: the listener closes, new requests get
 /// ErrorReply{ShuttingDown}, in-flight jobs run to completion and their
 /// replies are flushed, then connections close and the obs env files
 /// (GNS_TRACE_FILE / GNS_METRICS_FILE) are flushed. No accepted job is
 /// ever dropped by a drain.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -109,6 +118,19 @@ class Server {
     std::uint64_t job_id = 0;           ///< scheduler id, for cancel()
     std::future<serve::RolloutResult> future;
     Clock::time_point decoded;  ///< when the request finished decoding
+    /// Protocol version of the request frame; replies are encoded in it so
+    /// a v1 client never sees v2 fields.
+    std::uint8_t version = kProtocolVersion;
+  };
+
+  /// One encoded frame awaiting its turn on the socket. The terminal frame
+  /// of a request (StatusReply/ErrorReply) is tagged so flush_writes can
+  /// attribute the write/flush phase to that request once the bytes leave.
+  struct WriteItem {
+    std::vector<std::uint8_t> bytes;
+    bool terminal = false;
+    std::uint64_t trace_id = 0;
+    std::int64_t enqueued_ns = 0;  ///< obs::trace_now_ns() at enqueue
   };
 
   struct Connection {
@@ -124,8 +146,11 @@ class Server {
     int fd = -1;
     std::vector<std::uint8_t> rbuf;
     std::size_t rbuf_consumed = 0;  ///< decoded prefix, compacted lazily
-    std::deque<std::vector<std::uint8_t>> wqueue;
+    std::deque<WriteItem> wqueue;
     std::size_t woff = 0;  ///< bytes of wqueue.front() already written
+    /// Version of the last well-framed frame from this peer; error replies
+    /// sent before any request decodes use it (defaults to current).
+    std::uint8_t peer_version = kProtocolVersion;
     std::vector<Pending> inflight;
     Clock::time_point last_activity;
     Clock::time_point partial_since;  ///< first byte of an incomplete frame
@@ -150,10 +175,14 @@ class Server {
   /// charged against the request's deadline before submit.
   void handle_request(Connection& conn, const FrameView& frame,
                       double buffered_ms);
+  /// Answers a kStatsRequest with a metrics + health snapshot. Runs on the
+  /// handler thread; touches only atomics, the scheduler's queue-depth
+  /// accessor, and the metrics registry — never a worker thread.
+  void handle_stats(Connection& conn, const FrameView& frame);
   /// Moves resolved futures into the write queue; returns in-flight count.
   std::size_t pump_completions(Connection& conn);
   /// Streams one resolved result as RolloutChunks + a StatusReply.
-  void enqueue_result(Connection& conn, std::uint64_t request_id,
+  void enqueue_result(Connection& conn, const Pending& pending,
                       const serve::RolloutResult& result);
   void enqueue_error(Connection& conn, std::uint64_t request_id,
                      NetError code, const std::string& message);
@@ -167,6 +196,7 @@ class Server {
 
   int listen_fd_ = -1;
   int port_ = 0;
+  Clock::time_point started_{};  ///< start() time, for StatsReply uptime
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<int> global_inflight_{0};
@@ -186,8 +216,14 @@ class Server {
   obs::Counter& rejected_backpressure_;
   obs::Counter& decode_errors_;
   obs::Counter& timeouts_;
+  obs::Counter& stats_requests_;
   obs::Gauge& active_connections_gauge_;
+  obs::Gauge& inflight_gauge_;
+  obs::Gauge& queue_depth_gauge_;
   obs::HistogramMetric& request_ms_;
+  /// Per-NetError rejection counters (`<prefix>.reject.<code>`), indexed
+  /// by the numeric NetError value; [0] is unused.
+  std::array<obs::Counter*, 9> reject_counters_{};
 };
 
 }  // namespace gns::net

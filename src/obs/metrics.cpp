@@ -136,6 +136,68 @@ void MetricsRegistry::write_json(const std::string& path) const {
   out << to_json();
 }
 
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+/// convention maps onto it by flattening everything else to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  // Same consistency model as to_json: names snapshotted under the map
+  // lock, instrument values read atomically / behind their own locks.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramRow> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_)
+      counters.emplace_back(name, c->value());
+    for (const auto& [name, g] : gauges_)
+      gauges.emplace_back(name, g->value());
+    for (const auto& [name, h] : histograms_)
+      histograms.push_back({name, h->snapshot()});
+  }
+
+  std::ostringstream os;
+  os.precision(10);
+  for (const auto& [name, value] : counters) {
+    const std::string p = prometheus_name(name);
+    os << "# HELP " << p << ' ' << name << '\n';
+    os << "# TYPE " << p << " counter\n";
+    os << p << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = prometheus_name(name);
+    os << "# HELP " << p << ' ' << name << '\n';
+    os << "# TYPE " << p << " gauge\n";
+    os << p << ' ' << value << '\n';
+  }
+  for (const auto& row : histograms) {
+    const std::string p = prometheus_name(row.name);
+    const Histogram& h = row.histogram;
+    os << "# HELP " << p << ' ' << row.name << '\n';
+    os << "# TYPE " << p << " summary\n";
+    os << p << "{quantile=\"0.5\"} " << h.quantile(0.50) << '\n';
+    os << p << "{quantile=\"0.95\"} " << h.quantile(0.95) << '\n';
+    os << p << "{quantile=\"0.99\"} " << h.quantile(0.99) << '\n';
+    os << p << "_sum " << h.sum() << '\n';
+    os << p << "_count " << h.count() << '\n';
+  }
+  return os.str();
+}
+
 void MetricsRegistry::write_csv(const std::string& path) const {
   std::ofstream out(path);
   out.precision(10);

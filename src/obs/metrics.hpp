@@ -134,6 +134,12 @@ class MetricsRegistry {
   void write_json(const std::string& path) const;
   /// Flat CSV: name,kind,count,value,sum,mean,min,max,p50,p95,p99.
   void write_csv(const std::string& path) const;
+  /// Prometheus text exposition (version 0.0.4). Instrument names are
+  /// sanitized (non-[a-zA-Z0-9_] -> '_', so "serve.phase.compute_us"
+  /// becomes "serve_phase_compute_us"); the original dotted name is kept
+  /// in the # HELP line. Histograms export as summaries: quantile-labeled
+  /// samples (0.5/0.95/0.99) plus _sum and _count.
+  [[nodiscard]] std::string to_prometheus() const;
 
  private:
   mutable std::mutex mutex_;  ///< guards the maps, not the instruments

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 namespace gns::obs {
 
@@ -24,14 +25,28 @@ bool env_truthy(const char* value) {
 
 }  // namespace
 
+namespace {
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+void write_prometheus(const std::string& path) {
+  std::ofstream out(path);
+  out << MetricsRegistry::global().to_prometheus();
+}
+
 void flush_env_files() {
   if (!trace_file_path().empty()) write_chrome_trace(trace_file_path());
   const std::string& metrics = metrics_file_path();
   if (!metrics.empty()) {
-    const bool csv =
-        metrics.size() >= 4 && metrics.compare(metrics.size() - 4, 4, ".csv") == 0;
-    if (csv)
+    if (has_suffix(metrics, ".csv"))
       MetricsRegistry::global().write_csv(metrics);
+    else if (has_suffix(metrics, ".prom"))
+      write_prometheus(metrics);
     else
       MetricsRegistry::global().write_json(metrics);
   }

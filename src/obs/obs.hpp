@@ -10,7 +10,8 @@
 ///   GNS_TRACE_FILE=f     enable tracing and write Chrome trace JSON to f
 ///                        at exit
 ///   GNS_METRICS_FILE=f   write the unified metrics dump to f at exit
-///                        (JSON, or CSV when f ends in ".csv")
+///                        (JSON; CSV when f ends in ".csv"; Prometheus
+///                        text exposition when f ends in ".prom")
 ///
 /// Benches pick these up automatically through bench_common.hpp; examples
 /// call obs::install_from_env() at the top of main.
@@ -29,5 +30,10 @@ bool install_from_env();
 /// Writes the files requested via environment immediately (also runs at
 /// exit). Safe to call when nothing was requested.
 void flush_env_files();
+
+/// Writes the global registry as Prometheus text exposition (the format
+/// StatsReply serves to live scrapers; see MetricsRegistry::to_prometheus
+/// for the name-sanitization rules).
+void write_prometheus(const std::string& path);
 
 }  // namespace gns::obs

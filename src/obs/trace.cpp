@@ -8,6 +8,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace gns::obs {
 
 namespace detail {
@@ -23,6 +25,7 @@ struct Event {
   std::int64_t start_ns = 0;
   std::int64_t dur_ns = 0;
   std::int64_t arg = kNoArg;
+  std::uint64_t trace_id = kNoTrace;
 };
 
 /// One thread's span storage. Appends and snapshots take `mutex` — owner
@@ -74,7 +77,11 @@ std::vector<Event> snapshot_events(ThreadBuffer& buf) {
 }  // namespace
 
 void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
-                 std::int64_t arg) {
+                 std::int64_t arg, std::uint64_t trace_id) {
+  // Cached handle: the registry reference stays valid forever, so the
+  // map lookup happens once per process, not per dropped event.
+  static Counter& dropped =
+      MetricsRegistry::global().counter("obs.trace.dropped");
   ThreadBuffer& buf = local_buffer();
   std::lock_guard<std::mutex> lock(buf.mutex);
   Event& e = buf.ring[buf.head];
@@ -82,17 +89,27 @@ void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
   e.start_ns = start_ns;
   e.dur_ns = end_ns - start_ns;
   e.arg = arg;
+  e.trace_id = trace_id;
   buf.head = (buf.head + 1) % buf.ring.size();
-  if (buf.size < buf.ring.size())
+  if (buf.size < buf.ring.size()) {
     ++buf.size;
-  else
+  } else {
     ++buf.overwritten;
+    dropped.add();
+  }
 }
 
 }  // namespace detail
 
 void set_trace_enabled(bool enabled) {
   detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void record_manual_span(const char* name, std::int64_t start_ns,
+                        std::int64_t end_ns, std::uint64_t trace_id,
+                        std::int64_t arg) {
+  if (!trace_enabled() || name == nullptr) return;
+  detail::record_span(name, start_ns, end_ns, arg, trace_id);
 }
 
 int trace_thread_count() {
@@ -167,10 +184,24 @@ std::string chrome_trace_json() {
                     e.name, static_cast<double>(e.start_ns - t0) * 1e-3,
                     static_cast<double>(e.dur_ns) * 1e-3, tid);
       out += line;
-      if (e.arg != kNoArg) {
-        std::snprintf(line, sizeof(line), ",\"args\":{\"i\":%lld}",
-                      static_cast<long long>(e.arg));
-        out += line;
+      if (e.arg != kNoArg || e.trace_id != kNoTrace) {
+        out += ",\"args\":{";
+        bool first_arg = true;
+        if (e.arg != kNoArg) {
+          std::snprintf(line, sizeof(line), "\"i\":%lld",
+                        static_cast<long long>(e.arg));
+          out += line;
+          first_arg = false;
+        }
+        if (e.trace_id != kNoTrace) {
+          // Hex string: JSON numbers lose precision past 2^53, and hex is
+          // what operators grep for anyway.
+          std::snprintf(line, sizeof(line), "%s\"trace_id\":\"0x%016llx\"",
+                        first_arg ? "" : ",",
+                        static_cast<unsigned long long>(e.trace_id));
+          out += line;
+        }
+        out += "}";
       }
       out += "}";
     }

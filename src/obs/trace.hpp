@@ -19,8 +19,17 @@
 /// Each thread owns a fixed-capacity ring buffer (appends take the
 /// buffer's own uncontended mutex, so the exporter can snapshot a live
 /// system); when full, the oldest events are overwritten so a trace always
-/// holds the most recent window of activity. Buffers are registered
-/// globally and intentionally leaked: they stay valid for atexit dumps.
+/// holds the most recent window of activity. Every overwrite also bumps
+/// the `obs.trace.dropped` counter in the global MetricsRegistry, so a
+/// truncated trace is detectable from any metrics snapshot instead of
+/// silently misleading. Buffers are registered globally and intentionally
+/// leaked: they stay valid for atexit dumps.
+///
+/// Request correlation: spans can carry a 64-bit trace id
+/// (GNS_TRACE_SCOPE_T / record_manual_span), exported as
+/// "args":{"trace_id":"0x..."} so one Perfetto query surfaces every span
+/// of one request across threads and layers (net decode -> scheduler ->
+/// cache/compute -> chunk write).
 
 #include <atomic>
 #include <chrono>
@@ -31,6 +40,9 @@ namespace gns::obs {
 
 /// Sentinel for "span carries no integer argument".
 inline constexpr std::int64_t kNoArg = INT64_MIN;
+/// Sentinel for "span carries no trace id" (0 means "no request context"
+/// on the wire too, so the two conventions agree).
+inline constexpr std::uint64_t kNoTrace = 0;
 
 namespace detail {
 
@@ -44,7 +56,7 @@ inline std::int64_t now_ns() {
 
 /// Appends one finished span to the calling thread's ring buffer.
 void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
-                 std::int64_t arg);
+                 std::int64_t arg, std::uint64_t trace_id = kNoTrace);
 
 }  // namespace detail
 
@@ -59,8 +71,22 @@ void set_trace_enabled(bool enabled);
 int trace_thread_count();
 /// Events currently buffered across all threads.
 std::uint64_t trace_event_count();
-/// Events lost to ring-buffer overwrite since the last reset.
+/// Events lost to ring-buffer overwrite since the last reset. The same
+/// quantity accumulates (monotonically, never reset by reset_trace) in the
+/// `obs.trace.dropped` counter of the global MetricsRegistry.
 std::uint64_t trace_overwritten_count();
+
+/// Timestamp on the tracer's clock, for record_manual_span callers.
+inline std::int64_t trace_now_ns() { return detail::now_ns(); }
+
+/// Records one span whose start/end were measured by the caller (on the
+/// trace_now_ns clock). For phases that cannot be expressed as a C++
+/// scope — e.g. "reply enqueued -> last byte flushed", which spans
+/// several poll cycles. No-op when tracing is disabled.
+void record_manual_span(const char* name, std::int64_t start_ns,
+                        std::int64_t end_ns,
+                        std::uint64_t trace_id = kNoTrace,
+                        std::int64_t arg = kNoArg);
 
 /// Clears all buffered events (buffers stay registered and valid). Callers
 /// must ensure no thread is recording concurrently.
@@ -75,11 +101,16 @@ void write_chrome_trace(const std::string& path);
 /// enabled-check happens exactly once, at scope entry.
 class TraceScope {
  public:
-  explicit TraceScope(const char* name, std::int64_t arg = kNoArg) noexcept
-      : name_(name), arg_(arg), start_ns_(name ? detail::now_ns() : 0) {}
+  explicit TraceScope(const char* name, std::int64_t arg = kNoArg,
+                      std::uint64_t trace_id = kNoTrace) noexcept
+      : name_(name),
+        arg_(arg),
+        trace_id_(trace_id),
+        start_ns_(name ? detail::now_ns() : 0) {}
   ~TraceScope() {
     if (name_ != nullptr)
-      detail::record_span(name_, start_ns_, detail::now_ns(), arg_);
+      detail::record_span(name_, start_ns_, detail::now_ns(), arg_,
+                          trace_id_);
   }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
@@ -87,6 +118,7 @@ class TraceScope {
  private:
   const char* name_;
   std::int64_t arg_;
+  std::uint64_t trace_id_;
   std::int64_t start_ns_;
 };
 
@@ -109,3 +141,20 @@ class TraceScope {
                                               __COUNTER__)(        \
       ::gns::obs::trace_enabled() ? (name) : nullptr,              \
       static_cast<std::int64_t>(index))
+
+/// Like GNS_TRACE_SCOPE but stamps the span with a request trace id
+/// (emitted as "args":{"trace_id":"0x..."}). Pass 0 for "no request
+/// context" — the arg is then omitted, so unstamped spans stay compact.
+#define GNS_TRACE_SCOPE_T(name, trace_id)                          \
+  const ::gns::obs::TraceScope GNS_OBS_CONCAT(gns_trace_scope_,    \
+                                              __COUNTER__)(        \
+      ::gns::obs::trace_enabled() ? (name) : nullptr,              \
+      ::gns::obs::kNoArg, static_cast<std::uint64_t>(trace_id))
+
+/// Both an integer argument and a trace id.
+#define GNS_TRACE_SCOPE_IT(name, index, trace_id)                  \
+  const ::gns::obs::TraceScope GNS_OBS_CONCAT(gns_trace_scope_,    \
+                                              __COUNTER__)(        \
+      ::gns::obs::trace_enabled() ? (name) : nullptr,              \
+      static_cast<std::int64_t>(index),                            \
+      static_cast<std::uint64_t>(trace_id))

@@ -42,6 +42,51 @@ enum class JobStatus {
   return "unknown";
 }
 
+/// Where a job's frames came from, at cache granularity. Finer than
+/// RolloutResult::cached: distinguishes a store hit from single-flight
+/// coalescing behind another request's computation.
+enum class CacheOutcome : std::uint8_t {
+  None = 0,    ///< no cache configured, or non-Ok terminal state
+  Miss = 1,    ///< computed live; result inserted into the cache
+  Hit = 2,     ///< served from the content-addressed store
+  Joined = 3,  ///< coalesced behind an identical in-flight computation
+};
+
+[[nodiscard]] inline const char* to_string(CacheOutcome o) {
+  switch (o) {
+    case CacheOutcome::None: return "none";
+    case CacheOutcome::Miss: return "miss";
+    case CacheOutcome::Hit: return "hit";
+    case CacheOutcome::Joined: return "joined";
+  }
+  return "unknown";
+}
+
+/// Per-request phase breakdown, microseconds of wall time per stage of the
+/// serving pipeline. Phases are sequential and non-overlapping for a given
+/// request, so their sum approximates the server-side portion of the RTT
+/// (client-observed RTT adds network transfer on top). Filled in
+/// cooperatively: the net front-end stamps decode/serialize/write, the
+/// scheduler stamps cache/queue/batch_wait/compute. Zero means "phase did
+/// not happen" (e.g. cache_us on a cache-less scheduler, compute_us on a
+/// cache hit).
+struct PhaseTimeline {
+  double decode_us = 0.0;      ///< wire frame -> RolloutRequest parse
+  double cache_us = 0.0;       ///< cache key hash + store lookup
+  double queue_us = 0.0;       ///< waiting in the scheduler queue
+  double batch_wait_us = 0.0;  ///< coalescing window after dequeue
+  double compute_us = 0.0;     ///< rollout execution on a worker
+  double serialize_us = 0.0;   ///< frames -> wire chunks + status encode
+  double write_us = 0.0;       ///< socket write/flush of the reply bytes
+
+  /// Sum of all phases; the server-side latency this request actually
+  /// accrued across the pipeline.
+  [[nodiscard]] double total_us() const {
+    return decode_us + cache_us + queue_us + batch_wait_us + compute_us +
+           serialize_us + write_us;
+  }
+};
+
 /// One rollout inference job.
 struct RolloutRequest {
   std::string model;  ///< registry name of the simulator to run
@@ -67,6 +112,24 @@ struct RolloutRequest {
   /// charged buffering time against it): submit() rejects it immediately
   /// with DeadlineExceeded instead of queueing it.
   double deadline_ms = 0.0;
+
+  /// Caller-chosen correlation id, stamped on every span this request
+  /// touches (scheduler, cache, batch execution, chunk writes) and echoed
+  /// in the result, so one Perfetto trace shows the cross-layer life of a
+  /// request. 0 means "unset" — spans then carry no trace_id arg. The net
+  /// front-end fills this from the wire (protocol v2); in-process callers
+  /// may set any nonzero value.
+  std::uint64_t trace_id = 0;
+
+  /// Trace option bits from the wire (bit 0 = sampled). Reserved for
+  /// propagation; the server currently records spans whenever tracing is
+  /// enabled regardless of flags.
+  std::uint8_t trace_flags = 0;
+
+  /// Microseconds the front-end spent decoding the wire frame into this
+  /// request; copied into PhaseTimeline::decode_us so the breakdown covers
+  /// the full server-side path. 0 for in-process submissions.
+  double decode_us = 0.0;
 };
 
 /// Outcome of a job. `frames` holds every frame predicted before the
@@ -89,6 +152,20 @@ struct RolloutResult {
   /// (single-flight coalescing). Bitwise identical to a live rollout
   /// either way — this flag is observability, not a quality marker.
   bool cached = false;
+
+  /// Finer-grained provenance than `cached` (see CacheOutcome).
+  CacheOutcome cache_outcome = CacheOutcome::None;
+
+  /// Echo of RolloutRequest::trace_id for correlation.
+  std::uint64_t trace_id = 0;
+
+  /// Per-phase breakdown of where this request's latency went. The
+  /// scheduler fills decode/cache/queue/batch_wait/compute; serialize and
+  /// write stay zero for in-process callers and are stamped by the net
+  /// front-end on the wire StatusReply (write_us is only known after the
+  /// reply is flushed, so the wire value reports serialize-time knowledge
+  /// and the flush cost lands in the serve.phase.write_us histogram).
+  PhaseTimeline phases;
 
   [[nodiscard]] bool ok() const { return status == JobStatus::Ok; }
 };

@@ -1,6 +1,8 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <stdexcept>
 
@@ -8,6 +10,7 @@
 #include "core/features.hpp"
 #include "obs/trace.hpp"
 #include "serve/cache_key.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace gns::serve {
@@ -57,6 +60,34 @@ MemberInputs build_member_inputs(const RolloutRequest& req,
   return inputs;
 }
 
+/// GNS_SLOW_REQUEST_MS: requests whose submit-to-resolve time meets the
+/// threshold get one structured warning line with their trace id and phase
+/// breakdown. Unset/empty disables; parsed once.
+double slow_request_threshold_ms() {
+  static const double threshold = [] {
+    const char* env = std::getenv("GNS_SLOW_REQUEST_MS");
+    if (env == nullptr || *env == '\0') return -1.0;
+    return std::atof(env);
+  }();
+  return threshold;
+}
+
+void log_slow_request(const RolloutRequest& request,
+                      const RolloutResult& result) {
+  char trace_hex[24];
+  std::snprintf(trace_hex, sizeof(trace_hex), "0x%016llx",
+                static_cast<unsigned long long>(result.trace_id));
+  const PhaseTimeline& p = result.phases;
+  GNS_WARN("slow_request trace_id="
+           << trace_hex << " job_id=" << result.job_id << " model="
+           << request.model << " steps=" << request.steps << " status="
+           << to_string(result.status) << " cache="
+           << to_string(result.cache_outcome) << " total_ms="
+           << result.total_ms << " decode_us=" << p.decode_us << " cache_us="
+           << p.cache_us << " queue_us=" << p.queue_us << " batch_wait_us="
+           << p.batch_wait_us << " compute_us=" << p.compute_us);
+}
+
 }  // namespace
 
 JobScheduler::JobScheduler(std::shared_ptr<ModelRegistry> registry,
@@ -85,7 +116,7 @@ JobScheduler::~JobScheduler() {
 }
 
 JobTicket JobScheduler::submit(RolloutRequest request) {
-  GNS_TRACE_SCOPE("serve.scheduler.submit");
+  GNS_TRACE_SCOPE_T("serve.scheduler.submit", request.trace_id);
   Job job;
   job.request = std::move(request);
   job.cancelled = std::make_shared<std::atomic<bool>>(false);
@@ -173,6 +204,8 @@ JobTicket JobScheduler::submit(RolloutRequest request) {
 
 JobScheduler::CacheOutcome JobScheduler::consult_cache(Job& job) {
   if (job.request.steps <= 0) return CacheOutcome::Enqueue;
+  GNS_TRACE_SCOPE_T("serve.scheduler.cache_consult", job.request.trace_id);
+  Timer cache_timer;
   const ModelRegistry::Resolved model = registry_->resolve(job.request.model);
   if (model.simulator == nullptr) {
     return CacheOutcome::Enqueue;  // execute() will type ModelNotFound
@@ -191,6 +224,9 @@ JobScheduler::CacheOutcome JobScheduler::consult_cache(Job& job) {
     Clock::time_point submitted;
     Clock::time_point deadline;
     bool has_deadline = false;
+    std::uint64_t trace_id = 0;
+    double decode_us = 0.0;
+    double cache_us = 0.0;
   };
   auto state = std::make_shared<FollowerState>();
   state->promise = std::move(job.promise);
@@ -199,6 +235,8 @@ JobScheduler::CacheOutcome JobScheduler::consult_cache(Job& job) {
   state->submitted = job.submitted;
   state->deadline = job.deadline;
   state->has_deadline = job.has_deadline;
+  state->trace_id = job.request.trace_id;
+  state->decode_us = job.request.decode_us;
 
   // Register the cancel flag BEFORE the join attempt: the leader can
   // finish on another thread the instant lookup_or_join returns, and its
@@ -229,10 +267,17 @@ JobScheduler::CacheOutcome JobScheduler::consult_cache(Job& job) {
       result.error = error;
     }
     result.job_id = state->id;
+    result.cache_outcome = serve::CacheOutcome::Joined;
+    result.trace_id = state->trace_id;
     const double wait_ms = std::chrono::duration<double, std::milli>(
                                Clock::now() - state->submitted)
                                .count();
     result.queue_ms = wait_ms;  // a follower's whole life is queue wait
+    result.total_ms = wait_ms;
+    result.phases.decode_us = state->decode_us;
+    result.phases.cache_us = state->cache_us;
+    result.phases.queue_us =
+        std::max(0.0, wait_ms * 1e3 - state->cache_us);
     int depth = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -242,6 +287,11 @@ JobScheduler::CacheOutcome JobScheduler::consult_cache(Job& job) {
     stats_.on_resolved(result, depth);
     state->promise.set_value(std::move(result));
   };
+
+  // Stamped before the join attempt: a joined follower's callback can fire
+  // on the leader's thread the instant lookup_or_join returns, so writing
+  // state afterwards would race.
+  state->cache_us = cache_timer.millis() * 1e3;
 
   store::RolloutCache::Lookup found =
       config_.cache->lookup_or_join(key, job.request.steps, std::move(on_done));
@@ -258,13 +308,21 @@ JobScheduler::CacheOutcome JobScheduler::consult_cache(Job& job) {
       RolloutResult result;
       result.status = JobStatus::Ok;
       result.cached = true;
+      result.cache_outcome = serve::CacheOutcome::Hit;
+      result.trace_id = job.request.trace_id;
       result.frames = std::move(found.frames);
       result.job_id = job.id;
       result.total_ms = std::chrono::duration<double, std::milli>(
                             Clock::now() - job.submitted)
                             .count();
+      result.phases.decode_us = job.request.decode_us;
+      result.phases.cache_us = cache_timer.millis() * 1e3;
       stats_.on_submitted(depth);
       stats_.on_resolved(result, depth);
+      if (slow_request_threshold_ms() >= 0.0 &&
+          result.total_ms >= slow_request_threshold_ms()) {
+        log_slow_request(job.request, result);
+      }
       job.promise.set_value(std::move(result));
       return CacheOutcome::Resolved;
     }
@@ -280,6 +338,7 @@ JobScheduler::CacheOutcome JobScheduler::consult_cache(Job& job) {
     case store::RolloutCache::Outcome::Lead:
       job.promise = std::move(state->promise);
       job.has_cache_key = true;
+      job.cache_us = cache_timer.millis() * 1e3;
       return CacheOutcome::Enqueue;
   }
   return CacheOutcome::Enqueue;  // unreachable
@@ -345,6 +404,7 @@ void JobScheduler::worker_loop() {
       }
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      batch.front().dequeued = Clock::now();
       if (config_.max_batch > 1) {
         collect_batch(lock, batch);
         // The coalescing wait may have swallowed notifications aimed at
@@ -373,6 +433,7 @@ void JobScheduler::collect_batch(std::unique_lock<std::mutex>& lock,
          static_cast<int>(batch.size()) < config_.max_batch;) {
       if (it->request.model == model) {
         batch.push_back(std::move(*it));
+        batch.back().dequeued = Clock::now();
         it = queue_.erase(it);
       } else {
         ++it;  // incompatible jobs keep their place for other workers
@@ -401,13 +462,19 @@ void JobScheduler::collect_batch(std::unique_lock<std::mutex>& lock,
 }
 
 RolloutResult JobScheduler::execute(Job& job) const {
-  GNS_TRACE_SCOPE_I("serve.scheduler.execute",
-                    static_cast<std::int64_t>(job.id));
+  GNS_TRACE_SCOPE_IT("serve.scheduler.execute",
+                     static_cast<std::int64_t>(job.id),
+                     job.request.trace_id);
   const Clock::time_point started = Clock::now();
   RolloutResult result;
   result.queue_ms =
       std::chrono::duration<double, std::milli>(started - job.submitted)
           .count();
+  if (job.dequeued != Clock::time_point{}) {
+    result.phases.batch_wait_us =
+        std::chrono::duration<double, std::micro>(started - job.dequeued)
+            .count();
+  }
 
   const auto expired = [&job] {
     return job.has_deadline && Clock::now() > job.deadline;
@@ -478,6 +545,12 @@ void JobScheduler::execute_batch(std::vector<Job> jobs) {
     results[i].queue_ms = std::chrono::duration<double, std::milli>(
                               started - jobs[i].submitted)
                               .count();
+    if (jobs[i].dequeued != Clock::time_point{}) {
+      results[i].phases.batch_wait_us =
+          std::chrono::duration<double, std::micro>(started -
+                                                    jobs[i].dequeued)
+              .count();
+    }
   }
 
   // collect_batch guarantees every member targets the same model, so one
@@ -522,6 +595,7 @@ void JobScheduler::execute_batch(std::vector<Job> jobs) {
   }
 
   if (!members.empty()) {
+    const std::int64_t batch_start_ns = obs::trace_now_ns();
     Timer exec_timer;
     try {
       core::BatchedSimulator batched(sim);
@@ -569,6 +643,15 @@ void JobScheduler::execute_batch(std::vector<Job> jobs) {
     // Forward passes are shared, so per-member execution time is the
     // batch's wall time (the latency a member actually observed).
     for (std::size_t m : members) results[m].exec_ms = exec_ms;
+    // One span per member carrying its own trace id, so a traced request
+    // stays visible even when its compute was amortized across a batch.
+    const std::int64_t batch_end_ns = obs::trace_now_ns();
+    for (std::size_t m : members) {
+      obs::record_manual_span("serve.scheduler.execute_member",
+                              batch_start_ns, batch_end_ns,
+                              jobs[m].request.trace_id,
+                              static_cast<std::int64_t>(jobs[m].id));
+    }
   }
 
   for (std::size_t i = 0; i < count; ++i)
@@ -580,6 +663,24 @@ void JobScheduler::resolve(Job&& job, RolloutResult result) {
   result.total_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - job.submitted)
           .count();
+  result.trace_id = job.request.trace_id;
+  if (result.status == JobStatus::Ok && !result.cached) {
+    result.cache_outcome = job.has_cache_key ? serve::CacheOutcome::Miss
+                                             : serve::CacheOutcome::None;
+  }
+  // Phase assembly for the compute path (cache hit/join phases are filled
+  // where those paths resolve). queue_us is the time from submit to the
+  // worker pull, minus what the cache consult already accounted for.
+  result.phases.decode_us = job.request.decode_us;
+  result.phases.cache_us = job.cache_us;
+  if (job.dequeued != Clock::time_point{}) {
+    const double pre_dispatch_us =
+        std::chrono::duration<double, std::micro>(job.dequeued -
+                                                  job.submitted)
+            .count();
+    result.phases.queue_us = std::max(0.0, pre_dispatch_us - job.cache_us);
+  }
+  result.phases.compute_us = result.exec_ms * 1e3;
   // Flight-leader funnel: every terminal path of a leading job releases
   // its flight exactly once — complete() after a bitwise-complete rollout
   // (which also inserts it into the store), abandon() for anything less
@@ -603,6 +704,10 @@ void JobScheduler::resolve(Job&& job, RolloutResult result) {
     depth = static_cast<int>(queue_.size());
   }
   stats_.on_resolved(result, depth);
+  if (slow_request_threshold_ms() >= 0.0 &&
+      result.total_ms >= slow_request_threshold_ms()) {
+    log_slow_request(job.request, result);
+  }
   job.promise.set_value(std::move(result));
 }
 

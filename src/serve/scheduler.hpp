@@ -140,6 +140,13 @@ class JobScheduler {
     Clock::time_point submitted;
     Clock::time_point deadline;  ///< time_point::max() when none
     bool has_deadline = false;
+    /// When a worker pulled this job off the queue (epoch default until
+    /// then). Splits the pre-dispatch wait into queue_us (submitted ->
+    /// dequeued) and batch_wait_us (dequeued -> dispatch) in the result's
+    /// PhaseTimeline.
+    Clock::time_point dequeued{};
+    /// Microseconds submit() spent on the cache consult for this job.
+    double cache_us = 0.0;
     /// Set when this job leads a cache flight: resolve() must call
     /// cache complete() (all steps present) or abandon() (anything else).
     std::uint64_t cache_key = 0;

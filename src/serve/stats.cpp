@@ -31,7 +31,19 @@ ServerStats::ServerStats(std::string prefix, obs::MetricsRegistry* registry)
       batch_size_(resolve(registry).histogram(prefix + ".batch_size",
                                               /*min_value=*/1.0,
                                               /*growth=*/1.15,
-                                              /*buckets=*/40)) {
+                                              /*buckets=*/40)),
+      phase_decode_us_(
+          resolve(registry).histogram(prefix + ".phase.decode_us")),
+      phase_cache_us_(resolve(registry).histogram(prefix + ".phase.cache_us")),
+      phase_queue_us_(resolve(registry).histogram(prefix + ".phase.queue_us")),
+      phase_batch_wait_us_(
+          resolve(registry).histogram(prefix + ".phase.batch_wait_us")),
+      phase_compute_us_(
+          resolve(registry).histogram(prefix + ".phase.compute_us")),
+      phase_serialize_us_(
+          resolve(registry).histogram(prefix + ".phase.serialize_us")),
+      phase_write_us_(
+          resolve(registry).histogram(prefix + ".phase.write_us")) {
   // A fresh server starts from zero even when an earlier instance used the
   // same prefix (schedulers are built sequentially in benches/tests).
   resolve(registry).reset_prefix(prefix + ".");
@@ -56,6 +68,14 @@ void ServerStats::on_dispatch(int batch_size) {
   batch_size_.add(static_cast<double>(batch_size));
 }
 
+void ServerStats::on_serialize(double serialize_us) {
+  if (serialize_us > 0.0) phase_serialize_us_.add(serialize_us);
+}
+
+void ServerStats::on_write(double write_us) {
+  if (write_us > 0.0) phase_write_us_.add(write_us);
+}
+
 void ServerStats::on_resolved(const RolloutResult& result, int queue_depth) {
   queue_depth_.set(queue_depth);
   switch (result.status) {
@@ -64,6 +84,18 @@ void ServerStats::on_resolved(const RolloutResult& result, int queue_depth) {
       total_ms_.add(result.total_ms);
       queue_ms_.add(result.queue_ms);
       exec_ms_.add(result.exec_ms);
+      // Skip zero-valued phases: "did not happen" (no cache, cache hit)
+      // would otherwise dominate the low buckets and flatten percentiles.
+      if (result.phases.decode_us > 0.0)
+        phase_decode_us_.add(result.phases.decode_us);
+      if (result.phases.cache_us > 0.0)
+        phase_cache_us_.add(result.phases.cache_us);
+      if (result.phases.queue_us > 0.0)
+        phase_queue_us_.add(result.phases.queue_us);
+      if (result.phases.batch_wait_us > 0.0)
+        phase_batch_wait_us_.add(result.phases.batch_wait_us);
+      if (result.phases.compute_us > 0.0)
+        phase_compute_us_.add(result.phases.compute_us);
       break;
     case JobStatus::DeadlineExceeded:
       deadline_exceeded_.add();

@@ -69,8 +69,16 @@ class ServerStats {
   void on_dispatch(int batch_size);
 
   /// A job resolved with the given result; depth is the queue size after
-  /// the job left it.
+  /// the job left it. Ok jobs additionally feed the `<prefix>.phase.*_us`
+  /// histograms from result.phases (zero-valued phases are skipped so a
+  /// cache-less scheduler doesn't flood cache_us with zeros).
   void on_resolved(const RolloutResult& result, int queue_depth);
+
+  /// The net front-end's phase contributions, recorded after the reply is
+  /// encoded (serialize) and flushed to the socket (write). Separate from
+  /// on_resolved because both happen after the scheduler resolves the job.
+  void on_serialize(double serialize_us);
+  void on_write(double write_us);
 
   [[nodiscard]] StatsSnapshot snapshot() const;
 
@@ -101,6 +109,15 @@ class ServerStats {
   obs::HistogramMetric& queue_ms_;
   obs::HistogramMetric& exec_ms_;
   obs::HistogramMetric& batch_size_;
+  // Per-phase latency (`<prefix>.phase.*_us`, microseconds) — the
+  // histogram form of PhaseTimeline, one instrument per pipeline stage.
+  obs::HistogramMetric& phase_decode_us_;
+  obs::HistogramMetric& phase_cache_us_;
+  obs::HistogramMetric& phase_queue_us_;
+  obs::HistogramMetric& phase_batch_wait_us_;
+  obs::HistogramMetric& phase_compute_us_;
+  obs::HistogramMetric& phase_serialize_us_;
+  obs::HistogramMetric& phase_write_us_;
 };
 
 }  // namespace gns::serve

@@ -6,12 +6,29 @@
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace gns::store {
 
 namespace {
 
 obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
+
+/// RAII microsecond variant of obs::ScopedHistogramTimer (which records
+/// milliseconds): lookup latencies sit in the single-digit-µs range, where
+/// millisecond buckets collapse everything into the bottom bucket.
+class ScopedMicrosTimer {
+ public:
+  explicit ScopedMicrosTimer(obs::HistogramMetric& histogram)
+      : histogram_(histogram) {}
+  ~ScopedMicrosTimer() { histogram_.add(timer_.millis() * 1e3); }
+  ScopedMicrosTimer(const ScopedMicrosTimer&) = delete;
+  ScopedMicrosTimer& operator=(const ScopedMicrosTimer&) = delete;
+
+ private:
+  obs::HistogramMetric& histogram_;
+  Timer timer_;
+};
 
 }  // namespace
 
@@ -26,7 +43,8 @@ RolloutCache::RolloutCache(CacheConfig config)
           reg().counter(config_.metrics_prefix + ".singleflight_coalesced")),
       corrupt_dropped_(
           reg().counter(config_.metrics_prefix + ".corrupt_dropped")),
-      bytes_gauge_(reg().gauge(config_.metrics_prefix + ".bytes")) {
+      bytes_gauge_(reg().gauge(config_.metrics_prefix + ".bytes")),
+      lookup_us_(reg().histogram(config_.metrics_prefix + ".lookup_us")) {
   GNS_CHECK_MSG(config_.byte_budget > 0,
                 "RolloutCache byte_budget must be positive");
   // A fresh cache starts its counters from zero, mirroring ServerStats.
@@ -107,6 +125,7 @@ RolloutCache::Lookup RolloutCache::lookup_or_join(std::uint64_t key,
                                                   int steps,
                                                   FollowerFn on_done) {
   GNS_TRACE_SCOPE("store.cache.lookup");
+  ScopedMicrosTimer lookup_timer(lookup_us_);
   Lookup result;
   std::lock_guard<std::mutex> lock(mutex_);
   const RecordMeta* meta = touch_locked(key);
@@ -138,6 +157,7 @@ RolloutCache::Lookup RolloutCache::lookup_or_join(std::uint64_t key,
 
 bool RolloutCache::lookup(std::uint64_t key, int steps, Frames& out) {
   GNS_TRACE_SCOPE("store.cache.lookup");
+  ScopedMicrosTimer lookup_timer(lookup_us_);
   std::lock_guard<std::mutex> lock(mutex_);
   const RecordMeta* meta = touch_locked(key);
   if (meta != nullptr && meta->steps >= static_cast<std::uint32_t>(steps)) {

@@ -173,6 +173,10 @@ class RolloutCache {
   obs::Counter& coalesced_;
   obs::Counter& corrupt_dropped_;
   obs::Gauge& bytes_gauge_;
+  /// Wall time of each lookup/lookup_or_join in microseconds
+  /// (`<prefix>.lookup_us`) — the store-side share of the serving
+  /// PhaseTimeline's cache_us.
+  obs::HistogramMetric& lookup_us_;
 };
 
 /// Builds a cache from the GNS_CACHE_DIR / GNS_CACHE_BYTES environment

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <thread>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/stats.hpp"
 #include "util/histogram.hpp"
 
@@ -73,6 +77,117 @@ TEST(Histogram, MergeAccumulates) {
   EXPECT_DOUBLE_EQ(a.min(), 1.0);
   EXPECT_DOUBLE_EQ(a.max(), 100.0);
   EXPECT_NEAR(a.quantile(0.5), 50.0, 10.0);
+}
+
+TEST(Histogram, EmptyQuantilesAreZeroAtEveryQ) {
+  Histogram h;
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) EXPECT_EQ(h.quantile(q), 0.0);
+}
+
+TEST(Histogram, SingleSampleDominatesEveryQuantile) {
+  Histogram h;
+  h.add(3.25);
+  EXPECT_EQ(h.count(), 1u);
+  // With one sample, min == max == the sample: clamping makes every
+  // quantile exact regardless of which bucket it landed in.
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 3.25) << "q=" << q;
+}
+
+TEST(MetricsRegistry, PrometheusExpositionIsSanitizedAndComplete) {
+  obs::MetricsRegistry registry;
+  registry.counter("sys.comp-x.events").add(3);
+  registry.gauge("sys.depth").set(7.5);
+  auto& h = registry.histogram("sys.lat_ms");
+  h.add(1.0);
+  h.add(2.0);
+
+  const std::string out = registry.to_prometheus();
+  // Names sanitize to [a-zA-Z0-9_]; HELP keeps the original spelling.
+  EXPECT_NE(out.find("# HELP sys_comp_x_events sys.comp-x.events\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE sys_comp_x_events counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("sys_comp_x_events 3\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE sys_depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("sys_depth 7.5\n"), std::string::npos);
+  // Histograms export as summaries: three quantiles + _sum + _count.
+  EXPECT_NE(out.find("# TYPE sys_lat_ms summary\n"), std::string::npos);
+  EXPECT_NE(out.find("sys_lat_ms{quantile=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(out.find("sys_lat_ms{quantile=\"0.95\"} "), std::string::npos);
+  EXPECT_NE(out.find("sys_lat_ms{quantile=\"0.99\"} "), std::string::npos);
+  EXPECT_NE(out.find("sys_lat_ms_sum 3\n"), std::string::npos);
+  EXPECT_NE(out.find("sys_lat_ms_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetPrefixRacesConcurrentWritersSafely) {
+  // A scrape-triggered reset_prefix must never corrupt instruments that
+  // hot threads are writing at that instant: handles stay valid, values
+  // stay in [0, total-written]. TSan/ASan CI enforces the memory half.
+  obs::MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr int kWritesPerWriter = 20'000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      auto& counter =
+          registry.counter("race.c" + std::to_string(w % 2));
+      auto& histogram =
+          registry.histogram("race.h" + std::to_string(w % 2));
+      auto& gauge = registry.gauge("race.g");
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        counter.add();
+        histogram.add(static_cast<double>(i % 100) + 0.5);
+        gauge.set(static_cast<double>(i));
+      }
+    });
+  }
+  std::thread resetter([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.reset_prefix("race.");
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  resetter.join();
+
+  // One final reset gives a deterministic end state; instruments must
+  // still be alive and writable after the storm.
+  registry.reset_prefix("race.");
+  EXPECT_EQ(registry.counter("race.c0").value(), 0u);
+  EXPECT_EQ(registry.histogram("race.h0").snapshot().count(), 0u);
+  registry.counter("race.c0").add(5);
+  EXPECT_EQ(registry.counter("race.c0").value(), 5u);
+}
+
+TEST(ServerStats, PhaseHistogramsSkipZeroValuedPhases) {
+  obs::MetricsRegistry registry;
+  serve::ServerStats stats("p", &registry);
+
+  serve::RolloutResult ok;
+  ok.status = serve::JobStatus::Ok;
+  ok.total_ms = 5.0;
+  ok.phases.compute_us = 4000.0;
+  ok.phases.queue_us = 900.0;
+  // decode/cache/batch_wait left 0: "didn't happen" must not flood the
+  // low buckets of those histograms.
+  stats.on_resolved(ok, 0);
+  stats.on_serialize(120.0);
+  stats.on_write(80.0);
+
+  EXPECT_EQ(registry.histogram("p.phase.compute_us").snapshot().count(), 1u);
+  EXPECT_EQ(registry.histogram("p.phase.queue_us").snapshot().count(), 1u);
+  EXPECT_EQ(registry.histogram("p.phase.serialize_us").snapshot().count(),
+            1u);
+  EXPECT_EQ(registry.histogram("p.phase.write_us").snapshot().count(), 1u);
+  EXPECT_EQ(registry.histogram("p.phase.decode_us").snapshot().count(), 0u);
+  EXPECT_EQ(registry.histogram("p.phase.cache_us").snapshot().count(), 0u);
+  EXPECT_EQ(registry.histogram("p.phase.batch_wait_us").snapshot().count(),
+            0u);
 }
 
 TEST(ServerStats, CountsByOutcome) {

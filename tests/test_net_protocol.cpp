@@ -199,6 +199,8 @@ TEST(NetProtocol, RandomGarbageNeverCrashes) {
     WireChunk chunk_out;
     WireStatus status_out;
     WireError error_out;
+    WireStatsRequest stats_req_out;
+    WireStatsReply stats_reply_out;
     std::string parse_error;
     switch (frame.type) {
       case MessageType::RolloutRequest:
@@ -212,6 +214,12 @@ TEST(NetProtocol, RandomGarbageNeverCrashes) {
         break;
       case MessageType::ErrorReply:
         (void)decode_error_reply(frame, error_out, parse_error);
+        break;
+      case MessageType::StatsRequest:
+        (void)decode_stats_request(frame, stats_req_out, parse_error);
+        break;
+      case MessageType::StatsReply:
+        (void)decode_stats_reply(frame, stats_reply_out, parse_error);
         break;
     }
   }
@@ -266,6 +274,203 @@ TEST(NetProtocol, PayloadCountMismatchesAreMalformed) {
     WireStatus out;
     std::string error;
     EXPECT_FALSE(decode_status_reply(must_frame(wire), out, error));
+  }
+}
+
+// ---- Protocol v2: trace context, phase breakdown, stats frames -------------
+
+TEST(NetProtocolV2, RequestTraceContextRoundTrips) {
+  serve::RolloutRequest req = sample_request();
+  req.trace_id = 0xDEADBEEFCAFEF00Dull;
+  req.trace_flags = 3;
+  const auto wire = encode_rollout_request(5, req);
+  const FrameView frame = must_frame(wire);
+  EXPECT_EQ(frame.version, kProtocolVersion);
+
+  serve::RolloutRequest out;
+  std::string error;
+  ASSERT_TRUE(decode_rollout_request(frame, out, error)) << error;
+  EXPECT_EQ(out.trace_id, req.trace_id);
+  EXPECT_EQ(out.trace_flags, req.trace_flags);
+  EXPECT_EQ(out.window, req.window);
+}
+
+TEST(NetProtocolV2, V1RequestDecodesWithZeroTraceContext) {
+  serve::RolloutRequest req = sample_request();
+  req.trace_id = 0xDEADBEEFCAFEF00Dull;  // dropped by a v1 encode
+  const auto wire = encode_rollout_request(5, req, /*version=*/1);
+  const FrameView frame = must_frame(wire);
+  EXPECT_EQ(frame.version, 1);
+
+  serve::RolloutRequest out;
+  std::string error;
+  ASSERT_TRUE(decode_rollout_request(frame, out, error)) << error;
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.trace_flags, 0u);
+  EXPECT_EQ(out.model, req.model);
+  EXPECT_EQ(out.window, req.window);  // v1 layout is untouched by v2
+}
+
+WireStatus sample_status() {
+  WireStatus status;
+  status.status = serve::JobStatus::Ok;
+  status.total_frames = 8;
+  status.queue_ms = 1.5;
+  status.exec_ms = 2.5;
+  status.total_ms = 4.25;
+  status.trace_id = 0x123456789ABCDEF0ull;
+  status.cached = true;
+  status.cache_outcome = serve::CacheOutcome::Hit;
+  status.phases.decode_us = 11.0;
+  status.phases.cache_us = 22.0;
+  status.phases.queue_us = 33.0;
+  status.phases.batch_wait_us = 44.0;
+  status.phases.compute_us = 55.0;
+  status.phases.serialize_us = 66.0;
+  return status;
+}
+
+TEST(NetProtocolV2, StatusReplyPhasesAndOutcomeRoundTrip) {
+  const WireStatus status = sample_status();
+  const auto wire = encode_status_reply(21, status);
+  WireStatus out;
+  std::string error;
+  ASSERT_TRUE(decode_status_reply(must_frame(wire), out, error)) << error;
+  EXPECT_EQ(out.trace_id, status.trace_id);
+  EXPECT_TRUE(out.cached);
+  EXPECT_EQ(out.cache_outcome, serve::CacheOutcome::Hit);
+  EXPECT_EQ(out.phases.decode_us, 11.0);
+  EXPECT_EQ(out.phases.cache_us, 22.0);
+  EXPECT_EQ(out.phases.queue_us, 33.0);
+  EXPECT_EQ(out.phases.batch_wait_us, 44.0);
+  EXPECT_EQ(out.phases.compute_us, 55.0);
+  EXPECT_EQ(out.phases.serialize_us, 66.0);
+  EXPECT_EQ(out.phases.write_us, 0.0);  // by definition 0 on the wire
+}
+
+TEST(NetProtocolV2, V1StatusReplyDropsTheAppendix) {
+  const auto wire = encode_status_reply(21, sample_status(), /*version=*/1);
+  WireStatus out;
+  std::string error;
+  ASSERT_TRUE(decode_status_reply(must_frame(wire), out, error)) << error;
+  // v1 clients see the exact pre-v2 layout; the appendix defaults.
+  EXPECT_EQ(out.total_frames, 8u);
+  EXPECT_EQ(out.total_ms, 4.25);
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_FALSE(out.cached);
+  EXPECT_EQ(out.cache_outcome, serve::CacheOutcome::None);
+  EXPECT_EQ(out.phases.total_us(), 0.0);
+}
+
+TEST(NetProtocolV2, StatsFramesRoundTrip) {
+  {
+    WireStatsRequest req;
+    req.format = WireStatsRequest::kJson;
+    const auto wire = encode_stats_request(31, req);
+    const FrameView frame = must_frame(wire);
+    EXPECT_EQ(frame.type, MessageType::StatsRequest);
+    WireStatsRequest out;
+    std::string error;
+    ASSERT_TRUE(decode_stats_request(frame, out, error)) << error;
+    EXPECT_EQ(out.format, WireStatsRequest::kJson);
+  }
+  {
+    WireStatsReply reply;
+    reply.uptime_ms = 1234.5;
+    reply.inflight = 3;
+    reply.queue_depth = 7;
+    reply.active_connections = 2;
+    reply.draining = 1;
+    reply.format = WireStatsRequest::kPrometheus;
+    reply.body = "# HELP x x\nx_total 4\n";
+    const auto wire = encode_stats_reply(32, reply);
+    const FrameView frame = must_frame(wire);
+    EXPECT_EQ(frame.type, MessageType::StatsReply);
+    WireStatsReply out;
+    std::string error;
+    ASSERT_TRUE(decode_stats_reply(frame, out, error)) << error;
+    EXPECT_EQ(out.uptime_ms, 1234.5);
+    EXPECT_EQ(out.inflight, 3u);
+    EXPECT_EQ(out.queue_depth, 7u);
+    EXPECT_EQ(out.active_connections, 2u);
+    EXPECT_EQ(out.draining, 1u);
+    EXPECT_EQ(out.body, reply.body);
+  }
+}
+
+TEST(NetProtocolV2, OversizedStatsBodyIsTruncatedAtEncode) {
+  WireStatsReply reply;
+  reply.body.assign(kMaxStatsBodyBytes + 1000, 'x');
+  const auto wire = encode_stats_reply(33, reply);
+  WireStatsReply out;
+  std::string error;
+  ASSERT_TRUE(decode_stats_reply(must_frame(wire), out, error)) << error;
+  EXPECT_EQ(out.body.size(), kMaxStatsBodyBytes);
+}
+
+TEST(NetProtocolV2, StatsFrameOnV1WireIsSkippableBadType) {
+  // A stats frame whose header claims v1: type 5 does not exist in v1, so
+  // the decoder must reject it as a skippable BadType, keeping an old
+  // server's framing intact against a new client.
+  auto wire = encode_stats_request(34, {});
+  wire[4] = 1;  // version byte
+  FrameView frame;
+  DecodeError error;
+  ASSERT_EQ(try_decode_frame(wire.data(), wire.size(), frame, error),
+            DecodeStatus::Error);
+  EXPECT_EQ(error.code, NetError::BadType);
+  EXPECT_FALSE(error.fatal);
+  EXPECT_EQ(error.skip_bytes, wire.size());
+}
+
+TEST(NetProtocolV2, NewFramesSurviveTruncationAndBitFlips) {
+  WireStatsReply reply;
+  reply.uptime_ms = 99.0;
+  reply.body = "metric 1\n";
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode_stats_request(41, {}),
+      encode_stats_reply(42, reply),
+      encode_status_reply(43, sample_status()),
+  };
+  for (const auto& pristine : frames) {
+    // Every strict prefix is NeedMore — length-prefix framing is intact.
+    for (std::size_t len = 0; len < pristine.size(); ++len) {
+      FrameView frame;
+      DecodeError error;
+      EXPECT_EQ(try_decode_frame(pristine.data(), len, frame, error),
+                DecodeStatus::NeedMore)
+          << "prefix length " << len;
+    }
+    // Every single-bit mutant decodes cleanly or fails typed — never
+    // crashes (ASan/UBSan enforce the memory half of that claim).
+    for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto mutant = pristine;
+        mutant[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        FrameView frame;
+        DecodeError error;
+        if (try_decode_frame(mutant.data(), mutant.size(), frame, error) !=
+            DecodeStatus::Ok)
+          continue;
+        std::string parse_error;
+        WireStatsRequest sreq;
+        WireStatsReply srep;
+        WireStatus status;
+        switch (frame.type) {
+          case MessageType::StatsRequest:
+            (void)decode_stats_request(frame, sreq, parse_error);
+            break;
+          case MessageType::StatsReply:
+            (void)decode_stats_reply(frame, srep, parse_error);
+            break;
+          case MessageType::StatusReply:
+            (void)decode_status_reply(frame, status, parse_error);
+            break;
+          default:
+            break;
+        }
+      }
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 
 #include "core/trainer.hpp"
 #include "net/net.hpp"
+#include "obs/obs.hpp"
 #include "serve/serve.hpp"
 
 namespace gns::net {
@@ -450,6 +451,187 @@ TEST(NetServer, GracefulDrainDropsNoInflightJobs) {
   Client post_drain(h.client_config());
   EXPECT_FALSE(post_drain.connect());
   EXPECT_EQ(h.server->active_connections(), 0);
+}
+
+TEST(NetServer, TraceIdAndPhasesPropagateEndToEnd) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t6";
+  Harness h(cfg);
+  ASSERT_TRUE(h.start());
+
+  // No request is in flight yet, so nothing records concurrently.
+  obs::reset_trace();
+  obs::set_trace_enabled(true);
+
+  Client client(h.client_config());
+  serve::RolloutRequest req = small_request(*h.sim, 4);
+  req.trace_id = 0xABCD1234u;
+  const ClientResult result = client.rollout(req);
+  ASSERT_TRUE(result.transport_ok) << result.transport_error;
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.trace_id, 0xABCD1234u);  // echoed through the server
+  EXPECT_FALSE(result.cached);
+  EXPECT_EQ(result.cache_outcome, serve::CacheOutcome::None);  // no cache
+  EXPECT_GT(result.phases.decode_us, 0.0);
+  EXPECT_GT(result.phases.compute_us, 0.0);
+  EXPECT_GT(result.phases.serialize_us, 0.0);
+  EXPECT_EQ(result.phases.write_us, 0.0);  // on-wire convention
+  // Phases are sequential, so their sum cannot exceed the server total.
+  EXPECT_LE(result.phases.total_us(), result.total_ms * 1e3 * 1.5);
+
+  // A request that leaves trace_id 0 gets a generated one.
+  const ClientResult auto_traced = client.rollout(small_request(*h.sim, 2));
+  ASSERT_TRUE(auto_traced.ok()) << auto_traced.error;
+  EXPECT_NE(auto_traced.trace_id, 0u);
+
+  h.server->stop();
+  obs::set_trace_enabled(false);
+
+  // One Perfetto trace shows the request's cross-layer life: the net
+  // submit, the scheduler execute, and the final flush all carry the
+  // client's trace id.
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_NE(json.find("\"trace_id\":\"0x00000000abcd1234\""),
+            std::string::npos);
+  for (const char* span : {"net.conn.submit", "serve.scheduler.submit",
+                           "serve.scheduler.execute", "net.conn.encode",
+                           "net.conn.flush"}) {
+    EXPECT_NE(json.find(span), std::string::npos) << span;
+  }
+  obs::reset_trace();
+}
+
+TEST(NetServer, StatsScrapeSnapshotsMetricsAndHealth) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t7";
+  Harness h(cfg);
+  ASSERT_TRUE(h.start());
+
+  Client client(h.client_config());
+  // One Ok rollout so the serve.phase.* histograms have samples.
+  ASSERT_TRUE(client.rollout(small_request(*h.sim, 3)).ok());
+
+  const Client::StatsResult prom = client.stats();
+  ASSERT_TRUE(prom.ok()) << prom.transport_error << prom.error;
+  EXPECT_GT(prom.reply.uptime_ms, 0.0);
+  EXPECT_EQ(prom.reply.draining, 0u);
+  EXPECT_GE(prom.reply.active_connections, 1u);  // at least this client
+  EXPECT_EQ(prom.reply.inflight, 0u);            // rollout already resolved
+  // The body is Prometheus text exposition with sanitized names: the
+  // server's own counters and the scheduler's phase histograms are there.
+  EXPECT_NE(prom.reply.body.find("# TYPE net_t7_accepted counter"),
+            std::string::npos);
+  EXPECT_NE(prom.reply.body.find(
+                "serve_net_test_phase_compute_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.reply.body.find("net_t7_inflight"), std::string::npos);
+
+  const Client::StatsResult json = client.stats(WireStatsRequest::kJson);
+  ASSERT_TRUE(json.ok()) << json.transport_error;
+  EXPECT_EQ(json.reply.format, WireStatsRequest::kJson);
+  EXPECT_NE(json.reply.body.find("\"counters\""), std::string::npos);
+
+  h.server->stop();
+}
+
+TEST(NetServer, RawV1ClientGetsBitwiseIdenticalRollout) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t8";
+  cfg.chunk_frames = 2;
+  Harness h(cfg);
+  ASSERT_TRUE(h.start());
+  const auto want = direct_rollout(*h.sim, 5);
+
+  // A pre-v2 client: encodes its request as v1 and must get v1 replies
+  // carrying the exact same payload bytes a v1 server would have sent.
+  const int fd = raw_connect(h.server->port());
+  raw_send(fd, encode_rollout_request(77, small_request(*h.sim, 5),
+                                      /*version=*/1));
+
+  std::vector<std::uint8_t> buf;
+  FrameView frame;
+  std::vector<std::vector<double>> frames;
+  std::string parse_error;
+  for (;;) {
+    ASSERT_TRUE(raw_read_frame(fd, buf, frame));
+    EXPECT_EQ(frame.request_id, 77u);
+    EXPECT_EQ(frame.version, 1) << "v1 request must get v1 replies";
+    if (frame.type == MessageType::RolloutChunk) {
+      WireChunk chunk;
+      ASSERT_TRUE(decode_rollout_chunk(frame, chunk, parse_error));
+      for (std::uint32_t f = 0; f < chunk.num_frames(); ++f) {
+        const auto begin = chunk.data.begin() +
+                           static_cast<std::ptrdiff_t>(f) * chunk.frame_len;
+        frames.emplace_back(begin, begin + chunk.frame_len);
+      }
+    } else {
+      ASSERT_EQ(frame.type, MessageType::StatusReply);
+      WireStatus status;
+      ASSERT_TRUE(decode_status_reply(frame, status, parse_error));
+      EXPECT_EQ(status.status, serve::JobStatus::Ok);
+      // The v2 appendix is absent from a v1 frame.
+      EXPECT_EQ(status.trace_id, 0u);
+      EXPECT_EQ(status.phases.total_us(), 0.0);
+      break;
+    }
+    buf.erase(buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(frame.frame_bytes));
+  }
+  ::close(fd);
+
+  expect_bitwise_equal(frames, want);
+  h.server->stop();
+}
+
+TEST(NetServer, RejectionsAreCountedPerCodeWithLiveGauges) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t9";
+  cfg.max_inflight_global = 1;
+  Harness h(cfg, serve::SchedulerConfig{1, 8});
+  ASSERT_TRUE(h.start());
+  auto& metrics = obs::MetricsRegistry::global();
+
+  // Pin one job in flight, then get rejected: reject.busy must count it
+  // and the in-flight gauge must show the pinned job.
+  h.scheduler->pause();
+  std::thread first([&] {
+    Client client(h.client_config());
+    EXPECT_TRUE(client.rollout(small_request(*h.sim, 2)).ok());
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (h.scheduler->queue_depth() < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(metrics.gauge("net_t9.inflight").value(), 1.0);
+  EXPECT_EQ(metrics.gauge("net_t9.scheduler_queue_depth").value(), 1.0);
+
+  {
+    ClientConfig no_retry = h.client_config();
+    no_retry.busy_max_retries = 0;
+    Client client(no_retry);
+    const ClientResult r = client.rollout(small_request(*h.sim, 2));
+    ASSERT_TRUE(r.transport_ok) << r.transport_error;
+    EXPECT_EQ(r.net_error, NetError::Busy);
+  }
+  EXPECT_GE(metrics.counter("net_t9.reject.busy").value(), 1u);
+
+  h.scheduler->resume();
+  first.join();
+
+  // A framing-poisoned connection lands in reject.bad_magic.
+  {
+    const int fd = raw_connect(h.server->port());
+    auto wire = encode_rollout_request(1, small_request(*h.sim, 2));
+    wire[0] ^= 0xFF;
+    raw_send(fd, wire);
+    EXPECT_TRUE(raw_wait_close(fd));
+    ::close(fd);
+  }
+  EXPECT_GE(metrics.counter("net_t9.reject.bad_magic").value(), 1u);
+
+  h.server->stop();
 }
 
 TEST(NetServer, ConnectFailureIsTypedAndRetriesAreBounded) {

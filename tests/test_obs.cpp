@@ -255,6 +255,69 @@ TEST(Trace, RingOverwriteKeepsBufferBounded) {
   EXPECT_EQ(obs::trace_overwritten_count(), 0u);
 }
 
+TEST(Trace, RingOverwriteBumpsTheDroppedCounter) {
+  obs::reset_trace();
+  auto& dropped =
+      obs::MetricsRegistry::global().counter("obs.trace.dropped");
+  const std::uint64_t dropped_before = dropped.value();
+
+  obs::set_trace_enabled(true);
+  constexpr int kSpans = 70000;  // > per-thread ring capacity (65536)
+  for (int i = 0; i < kSpans; ++i) {
+    GNS_TRACE_SCOPE("test.obs.dropflood");
+  }
+  obs::set_trace_enabled(false);
+
+  // Every ring overwrite is visible in the metrics snapshot, so a
+  // truncated trace is detectable without inspecting the trace itself.
+  const std::uint64_t overwritten = obs::trace_overwritten_count();
+  EXPECT_GT(overwritten, 0u);
+  EXPECT_EQ(dropped.value() - dropped_before, overwritten);
+  obs::reset_trace();
+  // reset_trace clears buffers; the registry counter stays monotonic.
+  EXPECT_EQ(dropped.value() - dropped_before, overwritten);
+}
+
+TEST(Trace, TraceIdsAndManualSpansExportAsArgs) {
+  obs::reset_trace();
+  obs::set_trace_enabled(true);
+  {
+    GNS_TRACE_SCOPE_T("test.obs.traced", 0xABCu);
+    GNS_TRACE_SCOPE_T("test.obs.untraced", 0u);  // no request context
+    GNS_TRACE_SCOPE_IT("test.obs.traced_indexed", 4, 0xABCu);
+  }
+  const std::int64_t start = obs::trace_now_ns();
+  obs::record_manual_span("test.obs.manual", start, start + 1500,
+                          /*trace_id=*/0xABCu, /*arg=*/9);
+  obs::set_trace_enabled(false);
+  // Disabled: a manual span is a no-op.
+  const std::uint64_t after_disable = obs::trace_event_count();
+  obs::record_manual_span("test.obs.manual_disabled", start, start + 10);
+  EXPECT_EQ(obs::trace_event_count(), after_disable);
+
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  // Stamped spans carry the 16-hex-digit id; a 0 id omits the arg so
+  // unstamped spans stay compact.
+  EXPECT_NE(json.find("\"trace_id\":\"0x0000000000000abc\""),
+            std::string::npos);
+  const std::size_t untraced = json.find("\"test.obs.untraced\"");
+  ASSERT_NE(untraced, std::string::npos);
+  const std::string untraced_line =
+      json.substr(untraced, json.find('\n', untraced) - untraced);
+  EXPECT_EQ(untraced_line.find("trace_id"), std::string::npos);
+  // The manual span made it in with both its arg and its id.
+  const std::size_t manual = json.find("\"test.obs.manual\"");
+  ASSERT_NE(manual, std::string::npos);
+  const std::string manual_line =
+      json.substr(manual, json.find('\n', manual) - manual);
+  EXPECT_NE(manual_line.find("\"i\":9"), std::string::npos);
+  EXPECT_NE(manual_line.find("\"trace_id\":\"0x0000000000000abc\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("test.obs.manual_disabled"), std::string::npos);
+  obs::reset_trace();
+}
+
 TEST(Metrics, ConcurrentIncrementsAreExact) {
   auto& reg = obs::MetricsRegistry::global();
   auto& counter = reg.counter("test.metrics.concurrent_count");
