@@ -1,6 +1,7 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -67,33 +68,46 @@ Client::~Client() { close(); }
 bool Client::connect() {
   close();
   last_connect_errno_ = 0;
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    last_connect_errno_ = errno;
-    return false;
+
+  // Resolve fresh on every attempt — never cache a lookup across retries.
+  // A backend restarting on the same port (new socket, maybe a new address
+  // behind a DNS name) must be reachable by the very next connect, not
+  // after a stale half-open connection ages out.
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string port = std::to_string(config_.port);
+  if (::getaddrinfo(config_.host.c_str(), port.c_str(), &hints, &results) !=
+      0) {
+    return false;  // unresolvable host: not transient, errno stays 0
   }
 
-  const timeval send_tv = to_timeval(config_.connect_timeout_ms);
-  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
-  const timeval recv_tv = to_timeval(config_.recv_timeout_ms);
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &recv_tv, sizeof(recv_tv));
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
-  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-    close();  // malformed address: not transient, last_connect_errno_ = 0
-    return false;
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd_ < 0) {
+      last_connect_errno_ = errno;
+      continue;
+    }
+    const timeval send_tv = to_timeval(config_.connect_timeout_ms);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
+    const timeval recv_tv = to_timeval(config_.recv_timeout_ms);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &recv_tv, sizeof(recv_tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(fd_, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(results);
+      buf_.clear();
+      consumed_ = 0;
+      last_connect_errno_ = 0;
+      return true;
+    }
     last_connect_errno_ = errno;
-    close();
-    return false;
+    ::close(fd_);
+    fd_ = -1;
   }
-  buf_.clear();
-  return true;
+  ::freeaddrinfo(results);
+  return false;
 }
 
 void Client::close() {
@@ -132,9 +146,13 @@ ClientResult Client::run_rollout(const serve::RolloutRequest& request) {
     // coming up", so they share the Busy backoff policy; anything else
     // (unreachable host, bad address) fails immediately.
     const bool transient_connect =
-        !result.transport_ok && result.connect_failed &&
-        (last_connect_errno_ == ECONNREFUSED ||
-         last_connect_errno_ == ECONNRESET);
+        !result.transport_ok &&
+        ((result.connect_failed &&
+          (last_connect_errno_ == ECONNREFUSED ||
+           last_connect_errno_ == ECONNRESET)) ||
+         // A reply-less connection death is a stale or restarting backend;
+         // the idempotent request is resent on a fresh connection.
+         result.lost_before_reply);
     if (busy) {
       if (busy_retries >= config_.busy_max_retries) break;
       ++busy_retries;
@@ -244,6 +262,7 @@ ClientResult Client::exchange(const serve::RolloutRequest& request,
   if (!send_all(fd_, wire.data(), wire.size())) {
     result.transport_error = std::string("send failed: ") +
                              std::strerror(errno);
+    result.lost_before_reply = true;
     close();
     return result;
   }
@@ -253,14 +272,17 @@ ClientResult Client::exchange(const serve::RolloutRequest& request,
   // impossible here (one outstanding request per Client) and are treated
   // as a protocol error to fail loudly rather than mis-assemble frames.
   std::size_t expected_next_frame = 0;
+  bool reply_started = false;
   for (;;) {
     FrameView frame;
     std::string read_error;
     if (!read_frame(frame, read_error)) {
       result.transport_error = read_error;
+      result.lost_before_reply = last_read_io_error_ && !reply_started;
       close();
       return result;
     }
+    reply_started = true;
     if (frame.request_id != request_id) {
       result.transport_error = "reply for unexpected request id " +
                                std::to_string(frame.request_id);
@@ -332,11 +354,16 @@ ClientResult Client::exchange(const serve::RolloutRequest& request,
         result.transport_error = "server sent a request frame";
         close();
         return result;
+      default:
+        result.transport_error = "unexpected reply type to a rollout request";
+        close();
+        return result;
     }
   }
 }
 
 bool Client::read_frame(FrameView& frame, std::string& error) {
+  last_read_io_error_ = false;
   // Drop the frame handed out by the previous call now that the caller is
   // done with its borrowed FrameView.
   if (consumed_ > 0) {
@@ -360,11 +387,13 @@ bool Client::read_frame(FrameView& frame, std::string& error) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
       error = "server closed the connection";
+      last_read_io_error_ = true;
       return false;
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       error = std::string("recv failed: ") + std::strerror(errno);
+      last_read_io_error_ = true;
       return false;
     }
     buf_.insert(buf_.end(), chunk, chunk + n);

@@ -16,9 +16,13 @@
 /// surfacing. Transient connect failures (ECONNREFUSED while the server
 /// is still binding, ECONNRESET from a listen backlog overflow) get the
 /// same backoff treatment, so clients racing a server start converge
-/// instead of failing once and giving up. Every other error (transport
-/// mid-exchange, protocol, typed job failure) is returned on the first
-/// occurrence.
+/// instead of failing once and giving up. So does a connection that dies
+/// before ANY reply frame arrives (send failure, EOF, reset): that is the
+/// shape of a stale connection to a restarted backend, the request never
+/// started streaming, and rollouts are idempotent — safe to resend on a
+/// fresh connection (the address is re-resolved every attempt). Every
+/// other error (transport mid-stream, protocol, typed job failure) is
+/// returned on the first occurrence.
 ///
 /// Used by tests/test_net_server.cpp and bench/bench_net_throughput.cpp;
 /// also the reference implementation for external clients.
@@ -56,6 +60,12 @@ struct ClientResult {
   /// mid-exchange). A true value with transport_ok == false after
   /// rollout() means connect retries were exhausted too.
   bool connect_failed = false;
+  /// True when an established connection died (send failure, EOF, reset)
+  /// before any reply frame for this request arrived. rollout() retries
+  /// this shape on a fresh connection (counted in connect_retries); it
+  /// only surfaces once retries are exhausted. Once a reply has started
+  /// streaming the failure is final — the caller may hold partial frames.
+  bool lost_before_reply = false;
 
   /// True when the terminal frame was an ErrorReply (net_error says why —
   /// a Busy here means retries were exhausted).
@@ -150,6 +160,10 @@ class Client {
   /// it); 0 for non-syscall failures like a malformed host address.
   int last_connect_errno_ = 0;
   std::uint64_t next_request_id_ = 1;
+  /// Whether the last read_frame() failure was an I/O death (EOF / recv
+  /// error) as opposed to a protocol violation; only the former is the
+  /// retriable stale-connection shape.
+  bool last_read_io_error_ = false;
   std::vector<std::uint8_t> buf_;  ///< partial-frame carryover between reads
   /// Bytes of buf_ the previous read_frame() handed out as a FrameView;
   /// erased on the next call (the view must stay valid until then).

@@ -266,6 +266,35 @@ std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id,
                     version);
 }
 
+std::vector<std::uint8_t> encode_hello(std::uint64_t request_id,
+                                       const WireHello& hello,
+                                       std::uint8_t version) {
+  GNS_CHECK_MSG(version >= 3, "hello frames need protocol v3");
+  GNS_CHECK_MSG(hello.kind <= WireHello::kRouter, "unknown hello kind");
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, hello.kind);
+  return make_frame(MessageType::Hello, request_id, std::move(payload),
+                    version);
+}
+
+std::vector<std::uint8_t> encode_hello_reply(std::uint64_t request_id,
+                                             const WireHelloReply& reply,
+                                             std::uint8_t version) {
+  GNS_CHECK_MSG(version >= 3, "hello frames need protocol v3");
+  GNS_CHECK_MSG(reply.models.size() <= kMaxHelloModels,
+                "hello reply model list exceeds cap");
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, reply.protocol_version);
+  put_u8(payload, reply.draining);
+  put_u32(payload, reply.max_inflight);
+  put_u32(payload, reply.current_inflight);
+  put_u32(payload, reply.workers);
+  put_u16(payload, static_cast<std::uint16_t>(reply.models.size()));
+  for (const std::string& model : reply.models) put_string(payload, model);
+  return make_frame(MessageType::HelloReply, request_id, std::move(payload),
+                    version);
+}
+
 std::vector<std::uint8_t> encode_stats_reply(std::uint64_t request_id,
                                              const WireStatsReply& reply,
                                              std::uint8_t version) {
@@ -328,11 +357,13 @@ DecodeStatus try_decode_frame(const std::uint8_t* data, std::size_t len,
              /*fatal=*/false, frame_bytes, request_id};
     return DecodeStatus::Error;
   }
-  // Stats frames entered the protocol with v2, so a v1 frame claiming one
-  // is as unknown as any out-of-range type.
+  // Each type is only known from the version that introduced it (stats
+  // with v2, hello with v3): an older frame claiming a newer type is as
+  // unknown as any out-of-range type.
   const std::uint8_t max_type =
-      version >= 2 ? static_cast<std::uint8_t>(MessageType::StatsReply)
-                   : static_cast<std::uint8_t>(MessageType::ErrorReply);
+      version >= 3 ? static_cast<std::uint8_t>(MessageType::HelloReply)
+      : version >= 2 ? static_cast<std::uint8_t>(MessageType::StatsReply)
+                     : static_cast<std::uint8_t>(MessageType::ErrorReply);
   if (raw_type < static_cast<std::uint8_t>(MessageType::RolloutRequest) ||
       raw_type > max_type) {
     error = {NetError::BadType,
@@ -452,8 +483,12 @@ bool decode_error_reply(const FrameView& frame, WireError& out,
                         std::string& error) {
   Reader r(frame.payload, frame.payload_len);
   std::uint8_t code = 0;
+  // BackendLost entered with v3; an older frame carrying it is malformed.
+  const std::uint8_t max_code =
+      frame.version >= 3 ? static_cast<std::uint8_t>(NetError::BackendLost)
+                         : static_cast<std::uint8_t>(NetError::Internal);
   if (!r.u8(code) || code < static_cast<std::uint8_t>(NetError::Busy) ||
-      code > static_cast<std::uint8_t>(NetError::Internal))
+      code > max_code)
     return fail(error, "bad error code");
   if (!r.str(out.message)) return fail(error, "truncated error message");
   if (!r.exhausted()) return fail(error, "trailing bytes after error");
@@ -490,6 +525,44 @@ bool decode_stats_reply(const FrameView& frame, WireStatsReply& out,
   out.body.assign(reinterpret_cast<const char*>(frame.payload) +
                       (frame.payload_len - body_len),
                   body_len);
+  return true;
+}
+
+bool decode_hello(const FrameView& frame, WireHello& out,
+                  std::string& error) {
+  if (frame.version < 3) return fail(error, "hello frames need protocol v3");
+  Reader r(frame.payload, frame.payload_len);
+  std::uint8_t kind = 0;
+  if (!r.u8(kind) || kind > WireHello::kRouter)
+    return fail(error, "bad hello kind");
+  if (!r.exhausted()) return fail(error, "trailing bytes after hello");
+  out.kind = kind;
+  return true;
+}
+
+bool decode_hello_reply(const FrameView& frame, WireHelloReply& out,
+                        std::string& error) {
+  if (frame.version < 3) return fail(error, "hello frames need protocol v3");
+  Reader r(frame.payload, frame.payload_len);
+  std::uint16_t num_models = 0;
+  if (!r.u8(out.protocol_version) || !r.u8(out.draining) ||
+      !r.u32(out.max_inflight) || !r.u32(out.current_inflight) ||
+      !r.u32(out.workers) || !r.u16(num_models))
+    return fail(error, "truncated hello reply");
+  if (out.draining > 1) return fail(error, "bad hello draining flag");
+  if (out.protocol_version < kMinProtocolVersion)
+    return fail(error, "bad hello protocol version");
+  if (num_models > kMaxHelloModels)
+    return fail(error, "hello model list exceeds cap");
+  // Each name costs at least its 2-byte length prefix, so the count is
+  // cross-checked against received bytes before any allocation.
+  if (static_cast<std::size_t>(num_models) * 2 > r.remaining())
+    return fail(error, "hello model list truncated");
+  out.models.assign(num_models, {});
+  for (std::string& model : out.models) {
+    if (!r.str(model)) return fail(error, "hello model list truncated");
+  }
+  if (!r.exhausted()) return fail(error, "trailing bytes after hello reply");
   return true;
 }
 

@@ -26,10 +26,18 @@
 /// Versioning: version 2 appends trace context (a client-chosen 64-bit
 /// trace_id plus flags) to kRolloutRequest, appends the trace_id, cache
 /// outcome, and per-phase latency breakdown to kStatusReply, and adds the
-/// kStatsRequest/kStatsReply pair. Appends only — every v1 field keeps its
-/// offset, and decoders accept kMinProtocolVersion..kProtocolVersion (a v1
-/// request simply decodes with trace_id 0). Servers reply in the
-/// requester's version, so v1 clients round-trip unchanged.
+/// kStatsRequest/kStatsReply pair. Version 3 adds the kHello/kHelloReply
+/// capability handshake (a backend advertises its protocol version, loaded
+/// model names, and in-flight capacity at connect time — what the router
+/// needs to place work with no config file) and the BackendLost error code
+/// the router raises when a backend dies after streaming began. Appends
+/// only — every v1 field keeps its offset, and decoders accept
+/// kMinProtocolVersion..kProtocolVersion (a v1 request simply decodes with
+/// trace_id 0). Servers reply in the requester's version, so v1 clients
+/// round-trip unchanged. A pre-v3 server greets a Hello with a fatal
+/// BadVersion error frame encoded in its own version — the router reads
+/// that version byte, reconnects, and falls back to conservative defaults
+/// (see src/router/backend.cpp).
 ///
 /// Decoding is strict and allocation-safe: the header is validated before
 /// any payload allocation, declared lengths are capped (kMaxPayloadBytes,
@@ -49,7 +57,7 @@
 namespace gns::net {
 
 inline constexpr std::uint32_t kMagic = 0x31534E47u;  ///< "GNS1" on the wire
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
 /// Oldest version decoders still accept (see the versioning note above).
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 20;
@@ -64,6 +72,8 @@ inline constexpr std::uint32_t kMaxRolloutSteps = 10'000'000;
 /// Cap on a kStatsReply snapshot body (Prometheus/JSON text). Generously
 /// above any real registry dump, far below kMaxPayloadBytes.
 inline constexpr std::uint32_t kMaxStatsBodyBytes = 4u << 20;
+/// Cap on the model list a kHelloReply may advertise.
+inline constexpr std::uint32_t kMaxHelloModels = 256;
 
 enum class MessageType : std::uint8_t {
   RolloutRequest = 1,  ///< client -> server: run a rollout
@@ -72,6 +82,8 @@ enum class MessageType : std::uint8_t {
   ErrorReply = 4,      ///< server -> client: transport-level failure
   StatsRequest = 5,    ///< client -> server: snapshot metrics + health (v2)
   StatsReply = 6,      ///< server -> client: the snapshot (v2)
+  Hello = 7,           ///< client -> server: who are you / what do you serve (v3)
+  HelloReply = 8,      ///< server -> client: capability advertisement (v3)
 };
 
 /// Transport-level error codes carried by kErrorReply (job-level outcomes
@@ -85,6 +97,7 @@ enum class NetError : std::uint8_t {
   BadType = 6,       ///< unknown MessageType
   ShuttingDown = 7,  ///< server is draining; no new requests
   Internal = 8,      ///< unexpected server-side failure
+  BackendLost = 9,   ///< router: backend died after streaming began (v3)
 };
 
 [[nodiscard]] inline const char* to_string(NetError e) {
@@ -97,6 +110,7 @@ enum class NetError : std::uint8_t {
     case NetError::BadType: return "bad_type";
     case NetError::ShuttingDown: return "shutting_down";
     case NetError::Internal: return "internal";
+    case NetError::BackendLost: return "backend_lost";
   }
   return "unknown";
 }
@@ -161,6 +175,30 @@ struct WireError {
   std::string message;
 };
 
+/// kHello: opens a capability handshake. `kind` says what is connecting —
+/// informational today (servers answer identically), on the wire so a
+/// future fleet can rate-limit or prioritize by peer class without a
+/// version bump.
+struct WireHello {
+  enum Kind : std::uint8_t { kClient = 0, kRouter = 1 };
+  std::uint8_t kind = kClient;
+};
+
+/// kHelloReply: everything a router needs to place work on this backend.
+/// `max_inflight` is the server's global in-flight cap (requests beyond it
+/// get Busy), `current_inflight` the load at handshake time, `models` the
+/// registry contents. A router answering on behalf of a fleet advertises
+/// the union of its healthy backends' models and the sum of their
+/// capacities, so routers stack.
+struct WireHelloReply {
+  std::uint8_t protocol_version = kProtocolVersion;
+  std::uint8_t draining = 0;
+  std::uint32_t max_inflight = 0;
+  std::uint32_t current_inflight = 0;
+  std::uint32_t workers = 0;  ///< scheduler worker threads (sizing hint)
+  std::vector<std::string> models;  ///< <= kMaxHelloModels names
+};
+
 // ---- Encoding --------------------------------------------------------------
 
 /// Serializers produce one complete frame (header + payload), ready to
@@ -189,6 +227,13 @@ struct WireError {
     std::uint8_t version = kProtocolVersion);
 [[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
     std::uint64_t request_id, const WireStatsReply& reply,
+    std::uint8_t version = kProtocolVersion);
+/// Hello frames are v3-only (GNS_CHECK on version < 3).
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(
+    std::uint64_t request_id, const WireHello& hello,
+    std::uint8_t version = kProtocolVersion);
+[[nodiscard]] std::vector<std::uint8_t> encode_hello_reply(
+    std::uint64_t request_id, const WireHelloReply& reply,
     std::uint8_t version = kProtocolVersion);
 
 // ---- Decoding --------------------------------------------------------------
@@ -248,6 +293,11 @@ struct DecodeError {
                                         std::string& error);
 [[nodiscard]] bool decode_stats_reply(const FrameView& frame,
                                       WireStatsReply& out,
+                                      std::string& error);
+[[nodiscard]] bool decode_hello(const FrameView& frame, WireHello& out,
+                                std::string& error);
+[[nodiscard]] bool decode_hello_reply(const FrameView& frame,
+                                      WireHelloReply& out,
                                       std::string& error);
 
 }  // namespace gns::net

@@ -68,7 +68,7 @@ Server::Server(serve::JobScheduler& scheduler, ServerConfig config)
       request_ms_(obs::MetricsRegistry::global().histogram(
           config_.metrics_prefix + ".request_ms")) {
   for (std::uint8_t code = static_cast<std::uint8_t>(NetError::Busy);
-       code <= static_cast<std::uint8_t>(NetError::Internal); ++code) {
+       code <= static_cast<std::uint8_t>(NetError::BackendLost); ++code) {
     reject_counters_[code] = &obs::MetricsRegistry::global().counter(
         config_.metrics_prefix + ".reject." +
         to_string(static_cast<NetError>(code)));
@@ -80,6 +80,9 @@ Server::Server(serve::JobScheduler& scheduler, ServerConfig config)
                 "Server in-flight caps must be >= 1");
   GNS_CHECK_MSG(config_.chunk_frames >= 1,
                 "Server chunk_frames must be >= 1");
+  GNS_CHECK_MSG(config_.max_protocol_version >= kMinProtocolVersion &&
+                    config_.max_protocol_version <= kProtocolVersion,
+                "Server max_protocol_version out of supported range");
 }
 
 Server::~Server() { stop(); }
@@ -254,6 +257,9 @@ void Server::handler_loop(int index) {
         conn.fd = shared.incoming_fds.front();
         shared.incoming_fds.pop_front();
         conn.last_activity = Clock::now();
+        // Until the peer speaks, answer in the newest version this server
+        // admits — what a binary of that era would do.
+        conn.peer_version = config_.max_protocol_version;
         conns.push_back(std::move(conn));
       }
     }
@@ -397,12 +403,28 @@ void Server::process_rbuf(Connection& conn) {
       continue;
     }
 
+    // A frame above this build's admitted version is what a pre-v3 binary
+    // would call BadVersion: fatal, framing no longer trusted. The error
+    // reply goes out in this server's own (older) version — the router
+    // reads that byte to learn what the backend actually speaks.
+    if (frame.version > config_.max_protocol_version) {
+      decode_errors_.add();
+      enqueue_error(conn, frame.request_id, NetError::BadVersion,
+                    "unsupported protocol version " +
+                        std::to_string(frame.version));
+      conn.rbuf_consumed = conn.rbuf.size();
+      conn.close_after_flush = true;
+      break;
+    }
+
     frames_rx_.add();
     conn.peer_version = frame.version;
     if (frame.type == MessageType::RolloutRequest) {
       handle_request(conn, frame, buffered_ms);
     } else if (frame.type == MessageType::StatsRequest) {
       handle_stats(conn, frame);
+    } else if (frame.type == MessageType::Hello) {
+      handle_hello(conn, frame);
     } else {
       // Reply types flowing client->server are framing-correct but
       // semantically invalid; answer and keep the stream.
@@ -506,6 +528,35 @@ void Server::handle_stats(Connection& conn, const FrameView& frame) {
                    : obs::MetricsRegistry::global().to_json();
   WriteItem item;
   item.bytes = encode_stats_reply(frame.request_id, reply);
+  item.terminal = true;
+  item.enqueued_ns = obs::trace_now_ns();
+  conn.wqueue.push_back(std::move(item));
+  frames_tx_.add();
+}
+
+void Server::handle_hello(Connection& conn, const FrameView& frame) {
+  GNS_TRACE_SCOPE("net.conn.hello");
+  WireHello hello;
+  std::string parse_error;
+  if (!decode_hello(frame, hello, parse_error)) {
+    decode_errors_.add();
+    enqueue_error(conn, frame.request_id, NetError::Malformed, parse_error);
+    return;
+  }
+  WireHelloReply reply;
+  reply.protocol_version = config_.max_protocol_version;
+  reply.draining = draining_.load(std::memory_order_acquire) ? 1 : 0;
+  reply.max_inflight =
+      static_cast<std::uint32_t>(std::max(1, config_.max_inflight_global));
+  reply.current_inflight = static_cast<std::uint32_t>(
+      std::max(0, global_inflight_.load(std::memory_order_relaxed)));
+  reply.workers =
+      static_cast<std::uint32_t>(std::max(0, scheduler_.workers()));
+  reply.models = scheduler_.registry()->names();
+  if (reply.models.size() > kMaxHelloModels)
+    reply.models.resize(kMaxHelloModels);
+  WriteItem item;
+  item.bytes = encode_hello_reply(frame.request_id, reply, frame.version);
   item.terminal = true;
   item.enqueued_ns = obs::trace_now_ns();
   conn.wqueue.push_back(std::move(item));

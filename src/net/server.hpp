@@ -78,6 +78,11 @@ struct ServerConfig {
   /// stop() waits at most this long for in-flight jobs + flushes.
   double drain_timeout_ms = 60'000.0;
   std::string metrics_prefix = "net";  ///< net.* instrument prefix
+  /// Highest protocol version this server admits; frames above it get a
+  /// fatal BadVersion, exactly as a binary built before that version would
+  /// answer. Defaults to current — lower it only in tests that pin the
+  /// router's legacy-backend fallback against a real server.
+  std::uint8_t max_protocol_version = kProtocolVersion;
 };
 
 /// TCP server bridging the wire protocol onto a JobScheduler. The
@@ -179,6 +184,10 @@ class Server {
   /// handler thread; touches only atomics, the scheduler's queue-depth
   /// accessor, and the metrics registry — never a worker thread.
   void handle_stats(Connection& conn, const FrameView& frame);
+  /// Answers a kHello with this backend's capability advertisement
+  /// (protocol version, registry model names, in-flight capacity). Runs on
+  /// the handler thread, like handle_stats.
+  void handle_hello(Connection& conn, const FrameView& frame);
   /// Moves resolved futures into the write queue; returns in-flight count.
   std::size_t pump_completions(Connection& conn);
   /// Streams one resolved result as RolloutChunks + a StatusReply.
@@ -223,7 +232,7 @@ class Server {
   obs::HistogramMetric& request_ms_;
   /// Per-NetError rejection counters (`<prefix>.reject.<code>`), indexed
   /// by the numeric NetError value; [0] is unused.
-  std::array<obs::Counter*, 9> reject_counters_{};
+  std::array<obs::Counter*, 10> reject_counters_{};
 };
 
 }  // namespace gns::net

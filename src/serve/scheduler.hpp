@@ -128,6 +128,11 @@ class JobScheduler {
   }
   [[nodiscard]] ServerStats& stats() { return stats_; }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  /// The model registry this scheduler executes against — what a HELLO
+  /// capability reply advertises as served models.
+  [[nodiscard]] const std::shared_ptr<ModelRegistry>& registry() const {
+    return registry_;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -1,0 +1,450 @@
+#pragma once
+
+/// \file net_fault.hpp
+/// Fault-injection TCP proxy for the net/router test suites — and for
+/// benchmarks, so it is deliberately gtest-free (plain POSIX + the wire
+/// protocol decoder, nothing else).
+///
+/// A FaultProxy sits between a client (or router) and one real backend,
+/// forwarding bytes at FRAME boundaries: each relay direction runs the
+/// production try_decode_frame over the stream and applies one scripted
+/// FaultAction per decoded frame. That is what makes the faults
+/// interesting — "kill the connection after the first RolloutChunk" or
+/// "truncate the StatusReply mid-payload" are byte-offset-impossible to
+/// script reliably, but trivial at frame granularity.
+///
+/// Actions: Pass, Drop (swallow the frame), CloseBefore / CloseAfter
+/// (hard-close both sides around the frame), Delay (sleep, then forward —
+/// makes a backend look slow without touching it), Truncate (forward the
+/// first N bytes of the frame, then hard-close: the peer sees a clean
+/// header and a missing body), Corrupt (XOR one byte at an offset —
+/// offset 0 breaks the magic, offset 5 the type byte, etc.).
+///
+/// A FaultScript gives each direction (c2s = client-to-server requests,
+/// s2c = server-to-client replies) an indexed action list plus a default
+/// for frames past the list. set_script() swaps the script LIVE — already
+/// open connections pick the new script up at their next frame, which is
+/// how "slow backend recovers" is staged. close_on_accept makes the proxy
+/// accept and immediately close (a listening-but-dead peer), without
+/// touching the backend.
+///
+/// set_script_fn() instead scripts BY CONNECTION INDEX: the function is
+/// called once per accepted connection and the returned script is pinned
+/// to it for its lifetime. That is how retry behavior is tested — "kill
+/// the first connection mid-reply, let the client's retry connection
+/// through clean" needs the fault to stop applying exactly when the
+/// client reconnects, with no racy mid-test set_script().
+///
+/// Streams that stop decoding (fatal protocol error — e.g. a Corrupt
+/// upstream of us broke the magic) fall back to dumb passthrough for the
+/// rest of the connection: the proxy must never mask bytes the system
+/// under test is supposed to choke on.
+///
+/// start(listen_port) binds with SO_REUSEADDR; passing a fixed port lets a
+/// test stop one proxy and start another on the same address — the
+/// "backend restarted" scenario for client reconnect tests.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace gns::net_fault {
+
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    Pass,
+    Drop,
+    CloseBefore,
+    CloseAfter,
+    Delay,
+    Truncate,
+    Corrupt,
+  };
+  Kind kind = Kind::Pass;
+  double delay_ms = 0.0;          ///< Delay
+  std::size_t truncate_bytes = 0; ///< Truncate: bytes forwarded before close
+  std::size_t corrupt_offset = 0; ///< Corrupt: byte index within the frame
+  std::uint8_t corrupt_xor = 0xFF;
+
+  static FaultAction pass() { return {}; }
+  static FaultAction drop() { return {Kind::Drop, 0, 0, 0, 0}; }
+  static FaultAction close_before() { return {Kind::CloseBefore, 0, 0, 0, 0}; }
+  static FaultAction close_after() { return {Kind::CloseAfter, 0, 0, 0, 0}; }
+  static FaultAction delay(double ms) { return {Kind::Delay, ms, 0, 0, 0}; }
+  static FaultAction truncate(std::size_t bytes) {
+    return {Kind::Truncate, 0, bytes, 0, 0};
+  }
+  static FaultAction corrupt(std::size_t offset, std::uint8_t xor_mask = 0xFF) {
+    return {Kind::Corrupt, 0, 0, offset, xor_mask};
+  }
+};
+
+struct FaultScript {
+  /// Accept the TCP connection, then close it before reading a byte.
+  bool close_on_accept = false;
+  double accept_delay_ms = 0.0;  ///< sleep before dialing the backend
+  /// Per-frame actions by index; frames past the end use the default.
+  std::vector<FaultAction> c2s;  ///< client->server (requests)
+  std::vector<FaultAction> s2c;  ///< server->client (replies)
+  FaultAction c2s_default;
+  FaultAction s2c_default;
+};
+
+class FaultProxy {
+ public:
+  explicit FaultProxy(int target_port,
+                      std::string target_host = "127.0.0.1")
+      : target_host_(std::move(target_host)),
+        target_port_(target_port),
+        script_(std::make_shared<FaultScript>()) {}
+
+  ~FaultProxy() { stop(); }
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Swaps the script; existing connections see it at their next frame.
+  /// Connections pinned by set_script_fn() are unaffected.
+  void set_script(FaultScript script) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    script_ = std::make_shared<FaultScript>(std::move(script));
+  }
+
+  /// Scripts by connection index (0 for the first accepted connection):
+  /// the script returned for a connection is pinned to it for its whole
+  /// lifetime. Pass nullptr to go back to the live global script.
+  void set_script_fn(std::function<FaultScript(int)> fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    script_fn_ = std::move(fn);
+  }
+
+  [[nodiscard]] bool start(int listen_port = 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(listen_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+    running_.store(true, std::memory_order_release);
+    acceptor_ = std::thread([this] { accept_loop(); });
+    return true;
+  }
+
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] int connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  void stop() {
+    if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    std::vector<std::shared_ptr<Conn>> conns;
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      conns = conns_;
+      threads.swap(relay_threads_);
+    }
+    for (const auto& conn : conns) conn->sever();
+    for (std::thread& t : threads) {
+      if (t.joinable()) t.join();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns_.clear();
+  }
+
+ private:
+  /// One proxied connection: a client-side fd, a server-side fd, and a
+  /// relay thread per direction. sever() is idempotent and unblocks both.
+  struct Conn {
+    std::atomic<int> client_fd{-1};
+    std::atomic<int> server_fd{-1};
+    /// Set at accept when a script_fn is installed; overrides the live
+    /// global script for this connection.
+    std::shared_ptr<const FaultScript> pinned;
+
+    /// shutdown() both ends — unblocks any recv/send, idempotent. The
+    /// close() waits for the destructor, after both relay threads are
+    /// done, so no thread ever touches a reused fd number.
+    void sever() {
+      const int c = client_fd.load(std::memory_order_acquire);
+      if (c >= 0) ::shutdown(c, SHUT_RDWR);
+      const int s = server_fd.load(std::memory_order_acquire);
+      if (s >= 0) ::shutdown(s, SHUT_RDWR);
+    }
+    ~Conn() {
+      const int c = client_fd.exchange(-1, std::memory_order_acq_rel);
+      if (c >= 0) ::close(c);
+      const int s = server_fd.exchange(-1, std::memory_order_acq_rel);
+      if (s >= 0) ::close(s);
+    }
+  };
+
+  [[nodiscard]] std::shared_ptr<FaultScript> script() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return script_;
+  }
+
+  void accept_loop() {
+    while (running_.load(std::memory_order_acquire)) {
+      pollfd pfd{listen_fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (rc < 0 && errno != EINTR) break;
+      if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+      const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (client_fd < 0) continue;
+      const int conn_index =
+          connections_.fetch_add(1, std::memory_order_relaxed);
+
+      std::shared_ptr<const FaultScript> pinned;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (script_fn_)
+          pinned = std::make_shared<const FaultScript>(script_fn_(conn_index));
+      }
+      const std::shared_ptr<const FaultScript> s =
+          pinned ? pinned : script();
+      if (s->close_on_accept) {
+        ::close(client_fd);
+        continue;
+      }
+      if (s->accept_delay_ms > 0)
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            s->accept_delay_ms));
+
+      const int server_fd = dial_target();
+      if (server_fd < 0) {
+        ::close(client_fd);
+        continue;
+      }
+      auto conn = std::make_shared<Conn>();
+      conn->client_fd.store(client_fd, std::memory_order_release);
+      conn->server_fd.store(server_fd, std::memory_order_release);
+      conn->pinned = pinned;
+      std::lock_guard<std::mutex> lock(mutex_);
+      conns_.push_back(conn);
+      relay_threads_.emplace_back([this, conn] {
+        relay(*conn, /*client_to_server=*/true);
+      });
+      relay_threads_.emplace_back([this, conn] {
+        relay(*conn, /*client_to_server=*/false);
+      });
+    }
+  }
+
+  [[nodiscard]] int dial_target() const {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(target_port_));
+    if (::inet_pton(AF_INET, target_host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      ::close(fd);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+
+  /// Reads one direction of the stream, forwarding frame by frame with
+  /// the scripted action per frame index.
+  void relay(Conn& conn, bool client_to_server) {
+    std::vector<std::uint8_t> buf;
+    std::size_t frame_index = 0;
+    bool passthrough = false;  // fatal decode error: stop interpreting
+
+    for (;;) {
+      const int src = client_to_server
+                          ? conn.client_fd.load(std::memory_order_acquire)
+                          : conn.server_fd.load(std::memory_order_acquire);
+      if (src < 0 || !running_.load(std::memory_order_acquire)) return;
+
+      // Drain everything currently buffered, one frame at a time.
+      while (!passthrough && !buf.empty()) {
+        net::FrameView frame;
+        net::DecodeError decode_error;
+        const net::DecodeStatus status = net::try_decode_frame(
+            buf.data(), buf.size(), frame, decode_error);
+        std::size_t unit = 0;
+        if (status == net::DecodeStatus::Ok) {
+          unit = frame.frame_bytes;
+        } else if (status == net::DecodeStatus::Error) {
+          if (decode_error.fatal || decode_error.skip_bytes == 0) {
+            // The stream stopped making sense (likely our own Corrupt);
+            // hand the bytes over untouched from here on.
+            passthrough = true;
+            break;
+          }
+          unit = decode_error.skip_bytes;  // still a frame-shaped unit
+        } else {
+          break;  // NeedMore
+        }
+        if (!apply(conn, client_to_server, buf.data(), unit, frame_index++))
+          return;  // action closed the connection
+        buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(unit));
+      }
+      if (passthrough && !buf.empty()) {
+        if (!forward(conn, client_to_server, buf.data(), buf.size())) {
+          conn.sever();
+          return;
+        }
+        buf.clear();
+      }
+
+      pollfd pfd{src, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (rc < 0 && errno != EINTR) {
+        conn.sever();
+        return;
+      }
+      if (rc <= 0) continue;
+      if ((pfd.revents & POLLIN) != 0) {
+        std::uint8_t chunk[64 * 1024];
+        const ssize_t n = ::recv(src, chunk, sizeof(chunk), 0);
+        if (n == 0) {
+          // Half-close propagates: the peer should see EOF too once the
+          // buffered frames above have been relayed (they have).
+          conn.sever();
+          return;
+        }
+        if (n < 0) {
+          if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            continue;
+          conn.sever();
+          return;
+        }
+        buf.insert(buf.end(), chunk, chunk + n);
+      } else if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        conn.sever();
+        return;
+      }
+    }
+  }
+
+  /// Applies the scripted action to one frame-shaped unit. False when the
+  /// connection was closed (by the action or by a send failure).
+  [[nodiscard]] bool apply(Conn& conn, bool client_to_server,
+                           const std::uint8_t* data, std::size_t len,
+                           std::size_t frame_index) {
+    const std::shared_ptr<const FaultScript> s =
+        conn.pinned ? conn.pinned
+                    : std::shared_ptr<const FaultScript>(script());
+    const std::vector<FaultAction>& list = client_to_server ? s->c2s : s->s2c;
+    const FaultAction action = frame_index < list.size()
+                                   ? list[frame_index]
+                                   : (client_to_server ? s->c2s_default
+                                                       : s->s2c_default);
+    switch (action.kind) {
+      case FaultAction::Kind::Pass:
+        break;
+      case FaultAction::Kind::Drop:
+        return true;
+      case FaultAction::Kind::CloseBefore:
+        conn.sever();
+        return false;
+      case FaultAction::Kind::CloseAfter:
+        (void)forward(conn, client_to_server, data, len);
+        conn.sever();
+        return false;
+      case FaultAction::Kind::Delay:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(action.delay_ms));
+        break;
+      case FaultAction::Kind::Truncate: {
+        const std::size_t keep = std::min(action.truncate_bytes, len);
+        if (keep > 0) (void)forward(conn, client_to_server, data, keep);
+        conn.sever();
+        return false;
+      }
+      case FaultAction::Kind::Corrupt: {
+        std::vector<std::uint8_t> mangled(data, data + len);
+        if (action.corrupt_offset < mangled.size())
+          mangled[action.corrupt_offset] ^= action.corrupt_xor;
+        if (!forward(conn, client_to_server, mangled.data(),
+                     mangled.size())) {
+          conn.sever();
+          return false;
+        }
+        return true;
+      }
+    }
+    if (!forward(conn, client_to_server, data, len)) {
+      conn.sever();
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool forward(Conn& conn, bool client_to_server,
+                             const std::uint8_t* data, std::size_t len) {
+    const int dst = client_to_server
+                        ? conn.server_fd.load(std::memory_order_acquire)
+                        : conn.client_fd.load(std::memory_order_acquire);
+    if (dst < 0) return false;
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::send(dst, data + off, len - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  const std::string target_host_;
+  const int target_port_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<int> connections_{0};
+  std::thread acceptor_;
+
+  std::mutex mutex_;
+  std::shared_ptr<FaultScript> script_;
+  std::function<FaultScript(int)> script_fn_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> relay_threads_;
+};
+
+}  // namespace gns::net_fault

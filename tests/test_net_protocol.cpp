@@ -221,6 +221,16 @@ TEST(NetProtocol, RandomGarbageNeverCrashes) {
       case MessageType::StatsReply:
         (void)decode_stats_reply(frame, stats_reply_out, parse_error);
         break;
+      case MessageType::Hello: {
+        WireHello hello_out;
+        (void)decode_hello(frame, hello_out, parse_error);
+        break;
+      }
+      case MessageType::HelloReply: {
+        WireHelloReply hello_reply_out;
+        (void)decode_hello_reply(frame, hello_reply_out, parse_error);
+        break;
+      }
     }
   }
 }
@@ -465,6 +475,138 @@ TEST(NetProtocolV2, NewFramesSurviveTruncationAndBitFlips) {
             break;
           case MessageType::StatusReply:
             (void)decode_status_reply(frame, status, parse_error);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+}
+
+// ---- Protocol v3: HELLO capability handshake, BackendLost ------------------
+
+TEST(NetProtocolV3, HelloRoundTripIsExact) {
+  {
+    WireHello hello;
+    hello.kind = WireHello::kRouter;
+    const auto wire = encode_hello(51, hello);
+    const FrameView frame = must_frame(wire);
+    EXPECT_EQ(frame.type, MessageType::Hello);
+    EXPECT_EQ(frame.version, kProtocolVersion);
+    WireHello out;
+    std::string error;
+    ASSERT_TRUE(decode_hello(frame, out, error)) << error;
+    EXPECT_EQ(out.kind, WireHello::kRouter);
+  }
+  {
+    WireHelloReply reply;
+    reply.protocol_version = kProtocolVersion;
+    reply.draining = 1;
+    reply.max_inflight = 64;
+    reply.current_inflight = 3;
+    reply.workers = 4;
+    reply.models = {"columns", "sand", "mpm_2d"};
+    const auto wire = encode_hello_reply(52, reply);
+    const FrameView frame = must_frame(wire);
+    EXPECT_EQ(frame.type, MessageType::HelloReply);
+    WireHelloReply out;
+    std::string error;
+    ASSERT_TRUE(decode_hello_reply(frame, out, error)) << error;
+    EXPECT_EQ(out.protocol_version, kProtocolVersion);
+    EXPECT_EQ(out.draining, 1u);
+    EXPECT_EQ(out.max_inflight, 64u);
+    EXPECT_EQ(out.current_inflight, 3u);
+    EXPECT_EQ(out.workers, 4u);
+    EXPECT_EQ(out.models, reply.models);
+  }
+}
+
+TEST(NetProtocolV3, HelloOnPreV3WireIsSkippableBadType) {
+  // What an old server's decoder does with a router's HELLO: type 7 does
+  // not exist below v3, so the frame must reject as a skippable BadType
+  // with intact framing. The router's legacy-backend fallback is built on
+  // exactly this guarantee.
+  for (std::uint8_t version : {1, 2}) {
+    auto wire = encode_hello(53, {});
+    wire[4] = version;
+    FrameView frame;
+    DecodeError error;
+    ASSERT_EQ(try_decode_frame(wire.data(), wire.size(), frame, error),
+              DecodeStatus::Error)
+        << "version " << static_cast<int>(version);
+    EXPECT_EQ(error.code, NetError::BadType);
+    EXPECT_FALSE(error.fatal);
+    EXPECT_EQ(error.skip_bytes, wire.size());
+    EXPECT_EQ(error.request_id, 53u);
+  }
+}
+
+TEST(NetProtocolV3, BackendLostIsV3OnlyOnTheWire) {
+  // Round-trips on a v3 frame…
+  const auto wire = encode_error_reply(54, {NetError::BackendLost, "gone"});
+  WireError out;
+  std::string error;
+  ASSERT_TRUE(decode_error_reply(must_frame(wire), out, error)) << error;
+  EXPECT_EQ(out.code, NetError::BackendLost);
+  EXPECT_EQ(out.message, "gone");
+
+  // …but is out of range for a pre-v3 frame: append-only versioning means
+  // an old client must never see a code its enum cannot hold.
+  auto v2 = wire;
+  v2[4] = 2;  // version byte; payload untouched
+  WireError v2_out;
+  EXPECT_FALSE(decode_error_reply(must_frame(v2), v2_out, error));
+}
+
+TEST(NetProtocolV3, HelloReplyModelCountIsBounded) {
+  WireHelloReply reply;
+  reply.models = {"a", "b"};
+  auto wire = encode_hello_reply(55, reply);
+  // Patch num_models (u16 after the 14-byte fixed header fields) to claim
+  // more entries than the payload holds: must fail, not over-allocate.
+  const std::uint16_t bogus = 999;
+  std::memcpy(wire.data() + kHeaderBytes + 14, &bogus, sizeof(bogus));
+  WireHelloReply out;
+  std::string error;
+  EXPECT_FALSE(decode_hello_reply(must_frame(wire), out, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetProtocolV3, HelloFramesSurviveTruncationAndBitFlips) {
+  WireHelloReply reply;
+  reply.max_inflight = 8;
+  reply.models = {"columns", "m"};
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode_hello(61, {WireHello::kRouter}),
+      encode_hello_reply(62, reply),
+  };
+  for (const auto& pristine : frames) {
+    for (std::size_t len = 0; len < pristine.size(); ++len) {
+      FrameView frame;
+      DecodeError error;
+      EXPECT_EQ(try_decode_frame(pristine.data(), len, frame, error),
+                DecodeStatus::NeedMore)
+          << "prefix length " << len;
+    }
+    for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto mutant = pristine;
+        mutant[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        FrameView frame;
+        DecodeError error;
+        if (try_decode_frame(mutant.data(), mutant.size(), frame, error) !=
+            DecodeStatus::Ok)
+          continue;
+        std::string parse_error;
+        WireHello hello;
+        WireHelloReply hello_reply;
+        switch (frame.type) {
+          case MessageType::Hello:
+            (void)decode_hello(frame, hello, parse_error);
+            break;
+          case MessageType::HelloReply:
+            (void)decode_hello_reply(frame, hello_reply, parse_error);
             break;
           default:
             break;

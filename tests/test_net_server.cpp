@@ -1,7 +1,13 @@
 // Net front-end E2E over loopback: streamed results bitwise-identical to
 // in-process rollouts, concurrent clients with mixed valid/invalid traffic,
-// typed errors for raw garbage, Busy backpressure + client retry, and a
-// graceful drain that drops zero in-flight jobs.
+// typed errors for corrupted frames, Busy backpressure + client retry, and
+// a graceful drain that drops zero in-flight jobs.
+//
+// Malformed traffic is staged with the frame-boundary fault proxy
+// (tests/net_fault.hpp) between a real net::Client and the server —
+// scripted corruption/truncation instead of hand-mangled raw sockets — so
+// the same run also pins the CLIENT's behavior on a poisoned stream. Raw
+// sockets remain only where the test IS a foreign peer (the v1 client).
 
 #include <gtest/gtest.h>
 
@@ -22,8 +28,14 @@
 #include "obs/obs.hpp"
 #include "serve/serve.hpp"
 
+#include "net_fault.hpp"
+
 namespace gns::net {
 namespace {
+
+using net_fault::FaultAction;
+using net_fault::FaultProxy;
+using net_fault::FaultScript;
 
 using core::FeatureConfig;
 using core::GnsConfig;
@@ -88,10 +100,17 @@ std::vector<std::vector<double>> direct_rollout(const LearnedSimulator& sim,
                      ctx);
 }
 
+serve::SchedulerConfig sched_cfg(int workers, int queue_capacity) {
+  serve::SchedulerConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = queue_capacity;
+  return cfg;
+}
+
 /// Everything one loopback test needs, on an ephemeral port.
 struct Harness {
   explicit Harness(ServerConfig net_config = {},
-                   serve::SchedulerConfig sched_config = {2, 32}) {
+                   serve::SchedulerConfig sched_config = sched_cfg(2, 32)) {
     registry = std::make_shared<serve::ModelRegistry>();
     registry->put("m", make_small_sim());
     sim = registry->get("m");
@@ -169,18 +188,6 @@ bool raw_read_frame(int fd, std::vector<std::uint8_t>& buf, FrameView& frame) {
   }
 }
 
-/// True when the peer half-closed (recv returns 0) within ~2s.
-bool raw_wait_close(int fd) {
-  timeval tv{2, 0};
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  std::uint8_t scratch[256];
-  for (;;) {
-    const ssize_t n = ::recv(fd, scratch, sizeof(scratch), 0);
-    if (n == 0) return true;
-    if (n < 0) return false;
-  }
-}
-
 // ---- Tests -----------------------------------------------------------------
 
 TEST(NetServer, LoopbackRolloutBitwiseEqualsDirect) {
@@ -204,7 +211,7 @@ TEST(NetServer, EightConcurrentClientsMixedValidInvalid) {
   ServerConfig cfg;
   cfg.metrics_prefix = "net_t2";
   cfg.handler_threads = 3;
-  Harness h(cfg, serve::SchedulerConfig{4, 64});
+  Harness h(cfg, sched_cfg(4, 64));
   ASSERT_TRUE(h.start());
 
   const auto want_short = direct_rollout(*h.sim, 3);
@@ -257,78 +264,76 @@ TEST(NetServer, EightConcurrentClientsMixedValidInvalid) {
   h.server->stop();
 }
 
-TEST(NetServer, RawGarbageGetsTypedErrorsWithoutKillingValidTraffic) {
+TEST(NetServer, ProxyCorruptedFramesGetTypedErrorsWithoutKillingValidTraffic) {
   ServerConfig cfg;
   cfg.metrics_prefix = "net_t3";
   Harness h(cfg);
   ASSERT_TRUE(h.start());
+  const auto want = direct_rollout(*h.sim, 2);
 
-  // Fatal framing error: bad magic gets ErrorReply{BadMagic}, then close.
+  FaultProxy proxy(h.server->port());
+  ASSERT_TRUE(proxy.start());
+  ClientConfig through = h.client_config();
+  through.port = proxy.port();
+  through.busy_max_retries = 0;  // faults must surface, not retry away
+
+  // Non-fatal: the proxy flips the TYPE byte of the first request. Framing
+  // stays intact, so the server answers typed BadType with the request id
+  // echoed — and the SAME connection then carries a clean rollout (frame 1
+  // falls past the script and passes untouched).
   {
-    const int fd = raw_connect(h.server->port());
-    auto wire = encode_rollout_request(1, small_request(*h.sim, 2));
-    wire[0] ^= 0xFF;
-    raw_send(fd, wire);
-    std::vector<std::uint8_t> buf;
-    FrameView frame;
-    ASSERT_TRUE(raw_read_frame(fd, buf, frame));
-    ASSERT_EQ(frame.type, MessageType::ErrorReply);
-    WireError error;
-    std::string parse_error;
-    ASSERT_TRUE(decode_error_reply(frame, error, parse_error));
-    EXPECT_EQ(error.code, NetError::BadMagic);
-    buf.erase(buf.begin(), buf.begin() +
-                               static_cast<std::ptrdiff_t>(frame.frame_bytes));
-    EXPECT_TRUE(raw_wait_close(fd));  // framing lost -> server hangs up
-    ::close(fd);
+    FaultScript script;
+    script.c2s = {FaultAction::corrupt(5)};
+    proxy.set_script(script);
+    Client client(through);
+    const ClientResult bad = client.rollout(small_request(*h.sim, 2));
+    ASSERT_TRUE(bad.transport_ok) << bad.transport_error;
+    ASSERT_TRUE(bad.is_net_error);
+    EXPECT_EQ(bad.net_error, NetError::BadType);
+    const ClientResult good = client.rollout(small_request(*h.sim, 2));
+    ASSERT_TRUE(good.ok()) << good.transport_error << good.error;
+    expect_bitwise_equal(good.frames, want);
   }
 
-  // Non-fatal: an unknown-type frame is answered and skipped; a valid
-  // request on the same connection still succeeds.
+  // Fatal: corrupting the MAGIC loses the framing. The server replies
+  // ErrorReply{BadMagic} with request id 0 (it cannot trust the header)
+  // and hangs up; the client refuses the mismatched id rather than
+  // mis-assembling a reply, so the fault surfaces as a transport error.
   {
-    const int fd = raw_connect(h.server->port());
-    auto unknown = encode_rollout_request(9, small_request(*h.sim, 2));
-    unknown[5] = 77;  // type byte: framing intact, type invalid
-    auto valid = encode_rollout_request(10, small_request(*h.sim, 2));
-    std::vector<std::uint8_t> both = unknown;
-    both.insert(both.end(), valid.begin(), valid.end());
-    raw_send(fd, both);
+    FaultScript script;
+    script.c2s = {FaultAction::corrupt(0)};
+    proxy.set_script(script);
+    Client client(through);
+    const ClientResult r = client.rollout(small_request(*h.sim, 2));
+    EXPECT_FALSE(r.transport_ok);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.transport_error.empty());
+  }
+  EXPECT_GE(
+      obs::MetricsRegistry::global().counter("net_t3.reject.bad_magic").value(),
+      1u);
 
-    std::vector<std::uint8_t> buf;
-    FrameView frame;
-    ASSERT_TRUE(raw_read_frame(fd, buf, frame));
-    ASSERT_EQ(frame.type, MessageType::ErrorReply);
-    EXPECT_EQ(frame.request_id, 9u);
-    WireError error;
-    std::string parse_error;
-    ASSERT_TRUE(decode_error_reply(frame, error, parse_error));
-    EXPECT_EQ(error.code, NetError::BadType);
-
-    // The valid request streams back chunks + Ok status.
-    bool got_status = false;
-    std::size_t streamed = 0;
-    while (!got_status) {
-      buf.erase(buf.begin(),
-                buf.begin() + static_cast<std::ptrdiff_t>(frame.frame_bytes));
-      ASSERT_TRUE(raw_read_frame(fd, buf, frame));
-      EXPECT_EQ(frame.request_id, 10u);
-      if (frame.type == MessageType::RolloutChunk) {
-        WireChunk chunk;
-        ASSERT_TRUE(decode_rollout_chunk(frame, chunk, parse_error));
-        streamed += chunk.num_frames();
-      } else {
-        ASSERT_EQ(frame.type, MessageType::StatusReply);
-        WireStatus status;
-        ASSERT_TRUE(decode_status_reply(frame, status, parse_error));
-        EXPECT_EQ(status.status, serve::JobStatus::Ok);
-        EXPECT_EQ(status.total_frames, 2u);
-        got_status = true;
-      }
-    }
-    EXPECT_EQ(streamed, 2u);
-    ::close(fd);
+  // Truncation: only half the request header arrives before the cut. The
+  // server never sees a complete frame and must simply drop the
+  // connection — no reply, no crash, nothing counted as a request.
+  {
+    FaultScript script;
+    script.c2s = {FaultAction::truncate(kHeaderBytes / 2)};
+    proxy.set_script(script);
+    Client client(through);
+    EXPECT_FALSE(client.rollout(small_request(*h.sim, 2)).transport_ok);
   }
 
+  // None of it harmed valid traffic: a direct client still gets a
+  // bitwise-identical rollout.
+  {
+    Client direct(h.client_config());
+    const ClientResult r = direct.rollout(small_request(*h.sim, 2));
+    ASSERT_TRUE(r.ok()) << r.transport_error << r.error;
+    expect_bitwise_equal(r.frames, want);
+  }
+
+  proxy.stop();
   h.server->stop();
 }
 
@@ -336,7 +341,7 @@ TEST(NetServer, BackpressureBusyThenRetrySucceeds) {
   ServerConfig cfg;
   cfg.metrics_prefix = "net_t4";
   cfg.max_inflight_global = 1;  // one in-flight job fills the server
-  Harness h(cfg, serve::SchedulerConfig{1, 8});
+  Harness h(cfg, sched_cfg(1, 8));
   ASSERT_TRUE(h.start());
 
   // Paused workers pin the first job in-flight deterministically.
@@ -395,7 +400,7 @@ TEST(NetServer, GracefulDrainDropsNoInflightJobs) {
   ServerConfig cfg;
   cfg.metrics_prefix = "net_t5";
   cfg.handler_threads = 2;
-  Harness h(cfg, serve::SchedulerConfig{2, 32});
+  Harness h(cfg, sched_cfg(2, 32));
   ASSERT_TRUE(h.start());
 
   const auto want = direct_rollout(*h.sim, 5);
@@ -587,7 +592,7 @@ TEST(NetServer, RejectionsAreCountedPerCodeWithLiveGauges) {
   ServerConfig cfg;
   cfg.metrics_prefix = "net_t9";
   cfg.max_inflight_global = 1;
-  Harness h(cfg, serve::SchedulerConfig{1, 8});
+  Harness h(cfg, sched_cfg(1, 8));
   ASSERT_TRUE(h.start());
   auto& metrics = obs::MetricsRegistry::global();
 
@@ -620,14 +625,20 @@ TEST(NetServer, RejectionsAreCountedPerCodeWithLiveGauges) {
   h.scheduler->resume();
   first.join();
 
-  // A framing-poisoned connection lands in reject.bad_magic.
+  // A framing-poisoned connection lands in reject.bad_magic — staged at
+  // the fault proxy rather than by hand-mangling a raw socket.
   {
-    const int fd = raw_connect(h.server->port());
-    auto wire = encode_rollout_request(1, small_request(*h.sim, 2));
-    wire[0] ^= 0xFF;
-    raw_send(fd, wire);
-    EXPECT_TRUE(raw_wait_close(fd));
-    ::close(fd);
+    FaultProxy proxy(h.server->port());
+    ASSERT_TRUE(proxy.start());
+    FaultScript script;
+    script.c2s = {FaultAction::corrupt(0)};
+    proxy.set_script(script);
+    ClientConfig through = h.client_config();
+    through.port = proxy.port();
+    through.busy_max_retries = 0;
+    Client client(through);
+    EXPECT_FALSE(client.rollout(small_request(*h.sim, 2)).transport_ok);
+    proxy.stop();
   }
   EXPECT_GE(metrics.counter("net_t9.reject.bad_magic").value(), 1u);
 
@@ -703,6 +714,113 @@ TEST(NetServer, ClientRetriesConnectUntilLateServerArrives) {
   ASSERT_TRUE(result.ok()) << result.transport_error << result.error;
   EXPECT_GE(result.connect_retries, 1);  // it really did race the bind
   expect_bitwise_equal(result.frames, want);
+}
+
+// ---- Connection-death regressions (fault proxy) ----------------------------
+
+TEST(NetServer, ServerDeathBetweenHeaderAndBodyIsRetriedOnAFreshConnection) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t10";
+  Harness h(cfg);
+  ASSERT_TRUE(h.start());
+  const auto want = direct_rollout(*h.sim, 4);
+
+  FaultProxy proxy(h.server->port());
+  ASSERT_TRUE(proxy.start());
+  // First connection: the reply stream dies exactly one header in — the
+  // client holds a clean frame HEADER whose body never arrives, the shape
+  // of a server crashing mid-write. Retry connections pass clean.
+  proxy.set_script_fn([](int conn) {
+    FaultScript s;
+    if (conn == 0) s.s2c = {FaultAction::truncate(kHeaderBytes)};
+    return s;
+  });
+
+  ClientConfig through;
+  through.port = proxy.port();
+  through.busy_max_retries = 3;
+  through.busy_backoff_ms = 1.0;
+  Client client(through);
+  const ClientResult r = client.rollout(small_request(*h.sim, 4));
+  ASSERT_TRUE(r.ok()) << r.transport_error << r.error;
+  // No complete reply frame ever arrived, so the loss was reply-less and
+  // the idempotent request was resent on a fresh connection.
+  EXPECT_GE(r.connect_retries, 1);
+  EXPECT_GE(proxy.connections(), 2);
+  expect_bitwise_equal(r.frames, want);
+
+  proxy.stop();
+  h.server->stop();
+}
+
+TEST(NetServer, ListeningButDeadPeerIsRetriedUntilItRecovers) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t11";
+  Harness h(cfg);
+  ASSERT_TRUE(h.start());
+  const auto want = direct_rollout(*h.sim, 3);
+
+  FaultProxy proxy(h.server->port());
+  ASSERT_TRUE(proxy.start());
+  // The first two connections are accepted and instantly dropped: a live
+  // listener fronting a dead peer (crashed worker, half-restarted box).
+  // connect() succeeds, so only the reply-less-death retry path can save
+  // the request — the connect-refused path never triggers.
+  proxy.set_script_fn([](int conn) {
+    FaultScript s;
+    s.close_on_accept = conn < 2;
+    return s;
+  });
+
+  ClientConfig through;
+  through.port = proxy.port();
+  through.busy_max_retries = 5;
+  through.busy_backoff_ms = 1.0;
+  Client client(through);
+  const ClientResult r = client.rollout(small_request(*h.sim, 3));
+  ASSERT_TRUE(r.ok()) << r.transport_error << r.error;
+  EXPECT_GE(r.connect_retries, 2);  // one per dropped connection
+  EXPECT_GE(proxy.connections(), 3);
+  expect_bitwise_equal(r.frames, want);
+
+  proxy.stop();
+  h.server->stop();
+}
+
+TEST(NetServer, StaleConnectionAfterBackendRestartReconnects) {
+  ServerConfig cfg;
+  cfg.metrics_prefix = "net_t12";
+  Harness h(cfg);
+  ASSERT_TRUE(h.start());
+  const auto want = direct_rollout(*h.sim, 3);
+
+  // First proxy instance on an ephemeral port the client will keep using.
+  auto proxy = std::make_unique<FaultProxy>(h.server->port());
+  ASSERT_TRUE(proxy->start());
+  const int fixed_port = proxy->port();
+
+  ClientConfig through;
+  through.port = fixed_port;
+  through.busy_max_retries = 5;
+  through.busy_backoff_ms = 5.0;
+  Client client(through);
+  ASSERT_TRUE(client.rollout(small_request(*h.sim, 3)).ok());
+
+  // "Backend restart": the instance dies — severing the client's pooled
+  // connection — and a NEW instance binds the same port.
+  proxy->stop();
+  proxy = std::make_unique<FaultProxy>(h.server->port());
+  ASSERT_TRUE(proxy->start(fixed_port));
+
+  // The client still holds the stale socket. The resend path must notice
+  // the dead connection, re-resolve the address, and reach the new
+  // instance — not fail on the cached fd forever.
+  const ClientResult r = client.rollout(small_request(*h.sim, 3));
+  ASSERT_TRUE(r.ok()) << r.transport_error << r.error;
+  expect_bitwise_equal(r.frames, want);
+
+  proxy->stop();
+  h.server->stop();
 }
 
 }  // namespace
