@@ -1,8 +1,9 @@
 // Perf — steady-state rollout throughput under the zero-allocation
 // optimizations: tensor arena (GNS_ARENA), fused linear kernels
-// (GNS_FUSED), and Verlet-skin neighbor reuse (GNS_SKIN).
+// (GNS_FUSED), Verlet-skin neighbor reuse (GNS_SKIN), and SIMD graph/MPM
+// kernels (GNS_SIMD).
 //
-// Sweeps all 8 on/off combinations on the Fig-3 columns configuration
+// Sweeps all 16 on/off combinations on the Fig-3 columns configuration
 // (held-out friction angle), reports steps/sec for each, and verifies that
 // every combination produces bitwise-identical rollout frames — the
 // optimizations trade allocations and passes for speed, never results.
@@ -11,14 +12,15 @@
 // cached) for CI perf-smoke; the JSON then carries small=1.
 //
 // Output: BENCH_rollout.json in the bench cache with one
-// a{0,1}_f{0,1}_s{0,1}_steps_per_sec field per combination plus
-// speedup_all_on and identical_outputs.
+// a{0,1}_f{0,1}_s{0,1}_v{0,1}_steps_per_sec field per combination plus
+// speedup_all_on, speedup_simd, and identical_outputs.
 
 #include <array>
 #include <cstring>
 #include <string>
 
 #include "bench_common.hpp"
+#include "util/simd.hpp"
 
 using namespace gns;
 using namespace gns::bench;
@@ -83,6 +85,12 @@ struct Combo {
   bool arena;
   bool fused;
   bool skin;
+  bool simd;
+  explicit Combo(int mask)
+      : arena((mask & 8) != 0),
+        fused((mask & 4) != 0),
+        skin((mask & 2) != 0),
+        simd((mask & 1) != 0) {}
   [[nodiscard]] std::string key() const {
     std::string k = "a";
     k += arena ? '1' : '0';
@@ -90,14 +98,19 @@ struct Combo {
     k += fused ? '1' : '0';
     k += "_s";
     k += skin ? '1' : '0';
+    k += "_v";
+    k += simd ? '1' : '0';
     return k;
   }
   void apply() const {
     ad::set_arena_enabled(arena);
     ad::set_fused_linear_enabled(fused);
     graph::set_default_skin_fraction(skin ? kSkinFraction : 0.0);
+    simd::set_enabled(simd);
   }
 };
+
+constexpr int kCombos = 16;
 
 }  // namespace
 
@@ -138,23 +151,23 @@ int main(int argc, char** argv) {
   auto& reuses =
       obs::MetricsRegistry::global().counter("graph.neighbor.reuse");
 
-  // Reps are interleaved round-robin across the 8 combos (rather than
+  // Reps are interleaved round-robin across the 16 combos (rather than
   // timing each combo's reps back to back) so slow phases of a shared
   // machine penalize every combo equally; best-of-reps then discards the
   // noise floor.
   std::vector<std::vector<double>> baseline_frames;
-  std::array<double, 8> best{};
-  std::array<double, 8> reuse_frac{};
-  std::array<bool, 8> same{};
+  std::array<double, kCombos> best{};
+  std::array<double, kCombos> reuse_frac{};
+  std::array<bool, kCombos> same{};
   bool identical = true;
   {
-    const Combo warmup{false, false, false};
+    const Combo warmup(0);
     warmup.apply();
     (void)sim.rollout(win, steps, ctx);  // page in weights before timing
   }
   for (int rep = 0; rep < reps; ++rep) {
-    for (int mask = 0; mask < 8; ++mask) {
-      const Combo combo{(mask & 4) != 0, (mask & 2) != 0, (mask & 1) != 0};
+    for (int mask = 0; mask < kCombos; ++mask) {
+      const Combo combo(mask);
       combo.apply();
       const std::uint64_t rb0 = rebuilds.value(), ru0 = reuses.value();
       Timer timer;
@@ -173,25 +186,34 @@ int main(int argc, char** argv) {
     }
   }
   std::vector<std::pair<std::string, double>> fields;
-  for (int mask = 0; mask < 8; ++mask) {
-    const Combo combo{(mask & 4) != 0, (mask & 2) != 0, (mask & 1) != 0};
+  for (int mask = 0; mask < kCombos; ++mask) {
+    const Combo combo(mask);
     std::printf("%12s %14.2f %11.0f%% %10s\n", combo.key().c_str(),
                 best[mask], 100.0 * reuse_frac[mask],
                 same[mask] ? "yes" : "NO");
     fields.emplace_back(combo.key() + "_steps_per_sec", best[mask]);
   }
   const double baseline_sps = best[0];
-  const double all_on_sps = best[7];
+  const double all_on_sps = best[kCombos - 1];
+  // speedup_simd isolates GNS_SIMD: everything else on, simd on vs off.
+  const double simd_off_sps = best[kCombos - 2];
   ad::set_arena_enabled(false);
   ad::set_fused_linear_enabled(false);
   graph::set_default_skin_fraction(0.0);
+  simd::set_enabled(true);
 
   const double speedup = baseline_sps > 0.0 ? all_on_sps / baseline_sps : 0.0;
+  const double speedup_simd =
+      simd_off_sps > 0.0 ? all_on_sps / simd_off_sps : 0.0;
   print_rule();
-  std::printf("all-on speedup over all-off: %.2fx   outputs %s\n", speedup,
-              identical ? "bitwise identical across all 8 combos"
-                        : "DIVERGED — optimization bug");
+  std::printf(
+      "all-on speedup over all-off: %.2fx   simd on/off (rest on): %.2fx\n"
+      "outputs %s\n",
+      speedup, speedup_simd,
+      identical ? "bitwise identical across all 16 combos"
+                : "DIVERGED — optimization bug");
   fields.emplace_back("speedup_all_on", speedup);
+  fields.emplace_back("speedup_simd", speedup_simd);
   fields.emplace_back("identical_outputs", identical ? 1.0 : 0.0);
   fields.emplace_back("particles", static_cast<double>(traj.num_particles));
   fields.emplace_back("rollout_steps", static_cast<double>(steps));

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "ad/index_map.hpp"
 #include "ad/tensor.hpp"
 
 namespace gns::ad {
@@ -125,14 +126,31 @@ Tensor slice_cols(const Tensor& a, int start, int len);
 /// block-diagonal batched forward — see graph/batch.hpp).
 Tensor slice_rows(const Tensor& a, int start, int len);
 /// Rows `index[i]` of `a` -> [index.size(), C]. Indices may repeat.
+/// The IndexMap overloads skip per-call index validation (the map is
+/// validated once at construction) and give the backward/forward
+/// reductions their CSR transpose; build one per graph and reuse it
+/// across message rounds (core::GraphIndex does this).
+Tensor gather_rows(const Tensor& a, const IndexMap& index);
 Tensor gather_rows(const Tensor& a, const std::vector<int>& index);
-/// out[index[i], :] += a[i, :]; result has `num_rows` rows.
+/// out[index[i], :] += a[i, :]; result has `num_rows` rows (the map's
+/// num_buckets for the IndexMap overload).
+Tensor scatter_add_rows(const Tensor& a, const IndexMap& index);
 Tensor scatter_add_rows(const Tensor& a, const std::vector<int>& index,
                         int num_rows);
 /// Softmax of scores [E,1] within segments given by `segment` (values in
 /// [0, num_segments)); used for per-receiver attention normalization.
+Tensor segment_softmax(const Tensor& scores, const IndexMap& segment);
 Tensor segment_softmax(const Tensor& scores, const std::vector<int>& segment,
                        int num_segments);
+/// Fused relative-geometry edge features over `positions` [N,d]:
+/// out[e, 0..d) = (x[receivers[e]] - x[senders[e]]) * inv_radius and
+/// out[e, d] = sqrt(|out[e, 0..d)|² + eps) — bitwise equal to the
+/// gather/sub/mul_scalar/square/sum_cols/add_scalar/sqrt/concat_cols
+/// chain it replaces, in one row-local pass. Backward scatters per node
+/// through the CSR maps (fixed order, thread-invariant).
+Tensor radius_edge_features(const Tensor& positions, const IndexMap& senders,
+                            const IndexMap& receivers, Real inv_radius,
+                            Real eps = Real(1e-12));
 /// Per-row layer normalization with learnable gain/bias [1,C].
 Tensor layer_norm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
                   Real eps = Real(1e-5));

@@ -1,9 +1,33 @@
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "ad/ops.hpp"
 #include "obs/trace.hpp"
+#include "util/simd.hpp"
+
+// Graph ops with runtime-dispatched SIMD + CSR-parallel reductions.
+//
+// Contract (same as the fused kernels in ops_matmul.cpp): every path is
+// bitwise identical to the legacy scalar/serial reference, and every
+// cross-row reduction is parallelized per *destination* with the CSR
+// transpose in ad::IndexMap so the per-element accumulation order — hence
+// the result bytes — does not depend on the thread count. GNS_SIMD=0
+// (simd::enabled() == false) selects the exact pre-SIMD control flow; the
+// simd:: row kernels additionally fall back to their scalar bodies when
+// AVX2 is unavailable. See DESIGN.md §12.
 
 namespace gns::ad {
+
+namespace {
+
+/// Shared OMP guard: parallelize only when the touched data outgrows the
+/// fork/join cost (same 1<<15 element threshold as the legacy loops).
+inline bool parallel_worthwhile(std::int64_t rows, std::int64_t cols) {
+  return rows * cols > (std::int64_t{1} << 15);
+}
+
+}  // namespace
 
 Tensor concat_cols(const std::vector<Tensor>& parts) {
   GNS_CHECK_MSG(!parts.empty(), "concat_cols of zero tensors");
@@ -26,28 +50,46 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
   Tensor out = make_op_result(
       n, m, std::move(parents),
       [parents_copy, offsets_copy, n, m](TensorImpl& self) {
-        for (std::size_t k = 0; k < parents_copy.size(); ++k) {
-          auto& p = parents_copy[k];
-          if (!p->requires_grad) continue;
-          p->ensure_grad();
-          const int pc = p->cols;
-          const int off = offsets_copy[k];
-          for (int i = 0; i < n; ++i)
-            for (int j = 0; j < pc; ++j)
-              p->grad[static_cast<std::size_t>(i) * pc + j] +=
-                  self.grad[static_cast<std::size_t>(i) * m + off + j];
+        // Each (part, row) grad slice is an independent target, so the
+        // row-parallel order is bitwise-irrelevant; ensure_grad happens
+        // up front, outside the parallel region.
+        bool any = false;
+        for (auto& p : parents_copy)
+          if (p->requires_grad) {
+            p->ensure_grad();
+            any = true;
+          }
+        if (!any) return;
+        const int parts_n = static_cast<int>(parents_copy.size());
+#pragma omp parallel for schedule(static) \
+    if (parallel_worthwhile(n, m))
+        for (int i = 0; i < n; ++i) {
+          const Real* grow = self.grad.data() + static_cast<std::size_t>(i) * m;
+          for (int k = 0; k < parts_n; ++k) {
+            auto& p = parents_copy[k];
+            if (!p->requires_grad) continue;
+            const int pc = p->cols;
+            simd::accumulate(p->grad.data() + static_cast<std::size_t>(i) * pc,
+                             grow + offsets_copy[k],
+                             static_cast<std::size_t>(pc));
+          }
         }
       });
   Real* ov = out.data();
+  std::vector<const Real*> srcs(parts.size());
+  std::vector<int> cols(parts.size());
   for (std::size_t k = 0; k < parts.size(); ++k) {
-    const Tensor& p = parts[k];
-    const int pc = p.cols();
-    const int off = offsets[k];
-    const Real* pv = p.data();
-    for (int i = 0; i < n; ++i)
-      for (int j = 0; j < pc; ++j)
-        ov[static_cast<std::size_t>(i) * m + off + j] =
-            pv[static_cast<std::size_t>(i) * pc + j];
+    srcs[k] = parts[k].data();
+    cols[k] = parts[k].cols();
+  }
+  const int parts_n = static_cast<int>(parts.size());
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(n, m))
+  for (int i = 0; i < n; ++i) {
+    Real* orow = ov + static_cast<std::size_t>(i) * m;
+    for (int k = 0; k < parts_n; ++k)
+      simd::copy(orow + offsets[k],
+                 srcs[k] + static_cast<std::size_t>(i) * cols[k],
+                 static_cast<std::size_t>(cols[k]));
   }
   return out;
 }
@@ -79,7 +121,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
               static_cast<std::size_t>(p->rows) * m;
           const Real* src = self.grad.data() +
                             static_cast<std::size_t>(offsets_copy[k]) * m;
-          for (std::size_t i = 0; i < count; ++i) p->grad[i] += src[i];
+          simd::accumulate(p->grad.data(), src, count);
         }
       });
   Real* ov = out.data();
@@ -102,16 +144,17 @@ Tensor slice_cols(const Tensor& a, int start, int len) {
         if (!pa->requires_grad) return;
         pa->ensure_grad();
         for (int i = 0; i < n; ++i)
-          for (int j = 0; j < len; ++j)
-            pa->grad[static_cast<std::size_t>(i) * m + start + j] +=
-                self.grad[static_cast<std::size_t>(i) * len + j];
+          simd::accumulate(
+              pa->grad.data() + static_cast<std::size_t>(i) * m + start,
+              self.grad.data() + static_cast<std::size_t>(i) * len,
+              static_cast<std::size_t>(len));
       });
   const Real* av = a.data();
   Real* ov = out.data();
   for (int i = 0; i < n; ++i)
-    for (int j = 0; j < len; ++j)
-      ov[static_cast<std::size_t>(i) * len + j] =
-          av[static_cast<std::size_t>(i) * m + start + j];
+    simd::copy(ov + static_cast<std::size_t>(i) * len,
+               av + static_cast<std::size_t>(i) * m + start,
+               static_cast<std::size_t>(len));
   return out;
 }
 
@@ -127,118 +170,308 @@ Tensor slice_rows(const Tensor& a, int start, int len) {
         pa->ensure_grad();
         Real* dst = pa->grad.data() + static_cast<std::size_t>(start) * m;
         const std::size_t count = static_cast<std::size_t>(len) * m;
-        for (std::size_t i = 0; i < count; ++i) dst[i] += self.grad[i];
+        simd::accumulate(dst, self.grad.data(), count);
       });
   const Real* src = a.data() + static_cast<std::size_t>(start) * m;
   std::copy(src, src + static_cast<std::size_t>(len) * m, out.data());
   return out;
 }
 
-Tensor gather_rows(const Tensor& a, const std::vector<int>& index) {
+Tensor gather_rows(const Tensor& a, const IndexMap& index) {
   GNS_TRACE_SCOPE("ad.ops.gather_rows");
-  GNS_CHECK_MSG(!index.empty(), "gather_rows with empty index");
-  const int n = a.rows(), m = a.cols();
-  for (int idx : index)
-    GNS_CHECK_MSG(idx >= 0 && idx < n, "gather_rows index " << idx
-                                                            << " out of [0,"
-                                                            << n << ")");
-  const int e = static_cast<int>(index.size());
+  GNS_CHECK_MSG(index.defined(), "gather_rows with undefined IndexMap");
+  GNS_CHECK_MSG(index.size() > 0, "gather_rows with empty index");
+  GNS_CHECK_MSG(index.num_buckets() == a.rows(),
+                "gather_rows IndexMap built for " << index.num_buckets()
+                                                  << " rows, tensor has "
+                                                  << a.rows());
+  index.dcheck_valid();
+  const int m = a.cols();
+  const int e = index.size();
   auto pa = a.ptr();
-  auto idx_copy = index;
+  IndexMap im = index;
   Tensor out = make_op_result(
-      e, m, {pa}, [pa, idx_copy, e, m](TensorImpl& self) {
+      e, m, {pa}, [pa, im, e, m](TensorImpl& self) {
         if (!pa->requires_grad) return;
         pa->ensure_grad();
-        // Serial: repeated indices make parallel accumulation racy.
+        if (simd::enabled()) {
+          // CSR-parallel per-destination reduction: destination row b
+          // accumulates its incident edge rows in ascending original
+          // index — the identical add sequence as the serial reference
+          // below, but with each destination owned by exactly one
+          // thread (bitwise thread-invariant).
+          const int nb = im.num_buckets();
+          const int* off = im.offsets();
+          const int* pos = im.positions();
+#pragma omp parallel for schedule(static) \
+    if (parallel_worthwhile(e, m))
+          for (int b = 0; b < nb; ++b) {
+            Real* dst = pa->grad.data() + static_cast<std::size_t>(b) * m;
+            for (int p = off[b]; p < off[b + 1]; ++p)
+              simd::accumulate(
+                  dst,
+                  self.grad.data() + static_cast<std::size_t>(pos[p]) * m,
+                  static_cast<std::size_t>(m));
+          }
+          return;
+        }
+        // Legacy serial reference: repeated indices make naive parallel
+        // accumulation racy.
+        const std::vector<int>& idx = im.index();
         for (int i = 0; i < e; ++i) {
           Real* dst =
-              pa->grad.data() + static_cast<std::size_t>(idx_copy[i]) * m;
+              pa->grad.data() + static_cast<std::size_t>(idx[i]) * m;
           const Real* src = self.grad.data() + static_cast<std::size_t>(i) * m;
           for (int j = 0; j < m; ++j) dst[j] += src[j];
         }
       });
   const Real* av = a.data();
   Real* ov = out.data();
-#pragma omp parallel for schedule(static) if (static_cast<std::int64_t>(e) * m > 1 << 15)
-  for (int i = 0; i < e; ++i) {
-    const Real* src = av + static_cast<std::size_t>(index[i]) * m;
-    Real* dst = ov + static_cast<std::size_t>(i) * m;
-    for (int j = 0; j < m; ++j) dst[j] = src[j];
-  }
+  const std::vector<int>& idx = index.index();
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
+  for (int i = 0; i < e; ++i)
+    simd::copy(ov + static_cast<std::size_t>(i) * m,
+               av + static_cast<std::size_t>(idx[i]) * m,
+               static_cast<std::size_t>(m));
   return out;
 }
 
-Tensor scatter_add_rows(const Tensor& a, const std::vector<int>& index,
-                        int num_rows) {
+Tensor gather_rows(const Tensor& a, const std::vector<int>& index) {
+  GNS_CHECK_MSG(!index.empty(), "gather_rows with empty index");
+  // The ephemeral IndexMap performs the bounds validation (CheckError on
+  // the first out-of-range entry). Hot callers build the map once per
+  // graph instead (core::GraphIndex) and use the overload above.
+  return gather_rows(a, IndexMap(index, a.rows()));
+}
+
+Tensor scatter_add_rows(const Tensor& a, const IndexMap& index) {
   GNS_TRACE_SCOPE("ad.ops.scatter_add_rows");
-  GNS_CHECK_MSG(static_cast<int>(index.size()) == a.rows(),
+  GNS_CHECK_MSG(index.defined(), "scatter_add_rows with undefined IndexMap");
+  GNS_CHECK_MSG(index.size() == a.rows(),
                 "scatter_add_rows needs one index per input row");
-  GNS_CHECK(num_rows > 0);
+  index.dcheck_valid();
   const int e = a.rows(), m = a.cols();
-  for (int idx : index)
-    GNS_CHECK_MSG(idx >= 0 && idx < num_rows,
-                  "scatter index " << idx << " out of [0," << num_rows << ")");
+  const int num_rows = index.num_buckets();
   auto pa = a.ptr();
-  auto idx_copy = index;
+  IndexMap im = index;
   Tensor out = make_op_result(
-      num_rows, m, {pa}, [pa, idx_copy, e, m](TensorImpl& self) {
+      num_rows, m, {pa}, [pa, im, e, m](TensorImpl& self) {
         if (!pa->requires_grad) return;
         pa->ensure_grad();
         // Backward of scatter-add is a gather: embarrassingly parallel.
-#pragma omp parallel for schedule(static) if (static_cast<std::int64_t>(e) * m > 1 << 15)
-        for (int i = 0; i < e; ++i) {
-          const Real* src =
-              self.grad.data() + static_cast<std::size_t>(idx_copy[i]) * m;
-          Real* dst = pa->grad.data() + static_cast<std::size_t>(i) * m;
-          for (int j = 0; j < m; ++j) dst[j] += src[j];
-        }
+        const std::vector<int>& idx = im.index();
+#pragma omp parallel for schedule(static) \
+    if (parallel_worthwhile(e, m))
+        for (int i = 0; i < e; ++i)
+          simd::accumulate(
+              pa->grad.data() + static_cast<std::size_t>(i) * m,
+              self.grad.data() + static_cast<std::size_t>(idx[i]) * m,
+              static_cast<std::size_t>(m));
       });
   std::fill(out.vec().begin(), out.vec().end(), Real(0));
   const Real* av = a.data();
   Real* ov = out.data();
+  if (simd::enabled()) {
+    // CSR-parallel forward: output row b sums its inputs in ascending
+    // original index, matching the serial loop below bit-for-bit (and
+    // independently of the thread count — each b has one owner).
+    const int* off = im.offsets();
+    const int* pos = im.positions();
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
+    for (int b = 0; b < num_rows; ++b) {
+      Real* dst = ov + static_cast<std::size_t>(b) * m;
+      for (int p = off[b]; p < off[b + 1]; ++p)
+        simd::accumulate(dst,
+                         av + static_cast<std::size_t>(pos[p]) * m,
+                         static_cast<std::size_t>(m));
+    }
+    return out;
+  }
+  const std::vector<int>& idx = im.index();
   for (int i = 0; i < e; ++i) {
-    Real* dst = ov + static_cast<std::size_t>(index[i]) * m;
+    Real* dst = ov + static_cast<std::size_t>(idx[i]) * m;
     const Real* src = av + static_cast<std::size_t>(i) * m;
     for (int j = 0; j < m; ++j) dst[j] += src[j];
   }
   return out;
 }
 
-Tensor segment_softmax(const Tensor& scores, const std::vector<int>& segment,
-                       int num_segments) {
+Tensor scatter_add_rows(const Tensor& a, const std::vector<int>& index,
+                        int num_rows) {
+  GNS_CHECK_MSG(static_cast<int>(index.size()) == a.rows(),
+                "scatter_add_rows needs one index per input row");
+  GNS_CHECK(num_rows > 0);
+  return scatter_add_rows(a, IndexMap(index, num_rows));
+}
+
+Tensor segment_softmax(const Tensor& scores, const IndexMap& segment) {
   GNS_CHECK_MSG(scores.cols() == 1, "segment_softmax expects [E,1] scores");
-  GNS_CHECK_MSG(static_cast<int>(segment.size()) == scores.rows(),
+  GNS_CHECK_MSG(segment.defined(), "segment_softmax with undefined IndexMap");
+  GNS_CHECK_MSG(segment.size() == scores.rows(),
                 "segment_softmax needs one segment id per score");
+  segment.dcheck_valid();
   const int e = scores.rows();
-  for (int s : segment)
-    GNS_CHECK_MSG(s >= 0 && s < num_segments, "segment id out of range");
+  const int num_segments = segment.num_buckets();
   auto pa = scores.ptr();
-  auto seg = segment;
+  IndexMap im = segment;
   Tensor out = make_op_result(
-      e, 1, {pa}, [pa, seg, e, num_segments](TensorImpl& self) {
+      e, 1, {pa}, [pa, im, e, num_segments](TensorImpl& self) {
         if (!pa->requires_grad) return;
         pa->ensure_grad();
         // d softmax_i / d score_j (same segment) = y_i (δ_ij − y_j).
-        // Accumulate per-segment dot(g, y) first.
+        if (simd::enabled()) {
+          // Per-segment, CSR-parallel: the dot reduction visits the
+          // segment's entries in ascending original index, the same
+          // order the serial reference adds them in.
+          const int* off = im.offsets();
+          const int* pos = im.positions();
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, 8))
+          for (int s = 0; s < num_segments; ++s) {
+            Real dot = Real(0);
+            for (int p = off[s]; p < off[s + 1]; ++p) {
+              const int i = pos[p];
+              dot += self.grad[i] * self.data[i];
+            }
+            for (int p = off[s]; p < off[s + 1]; ++p) {
+              const int i = pos[p];
+              pa->grad[i] += self.data[i] * (self.grad[i] - dot);
+            }
+          }
+          return;
+        }
+        const std::vector<int>& seg = im.index();
         std::vector<Real> dot(num_segments, Real(0));
         for (int i = 0; i < e; ++i)
           dot[seg[i]] += self.grad[i] * self.data[i];
         for (int i = 0; i < e; ++i)
           pa->grad[i] += self.data[i] * (self.grad[i] - dot[seg[i]]);
       });
+  const Real* sv = scores.data();
+  Real* ov = out.data();
+  if (simd::enabled()) {
+    // Per-segment forward: max / exp-sum / normalize walk each segment's
+    // entries in ascending original index — per-element identical to the
+    // serial three-pass reference, and each segment has one owner.
+    const int* off = segment.offsets();
+    const int* pos = segment.positions();
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, 8))
+    for (int s = 0; s < num_segments; ++s) {
+      Real seg_max = -std::numeric_limits<Real>::infinity();
+      for (int p = off[s]; p < off[s + 1]; ++p)
+        seg_max = std::max(seg_max, sv[pos[p]]);
+      Real seg_sum = Real(0);
+      for (int p = off[s]; p < off[s + 1]; ++p) {
+        const int i = pos[p];
+        ov[i] = std::exp(sv[i] - seg_max);
+        seg_sum += ov[i];
+      }
+      for (int p = off[s]; p < off[s + 1]; ++p) ov[pos[p]] /= seg_sum;
+    }
+    return out;
+  }
   // Numerically-stable forward: subtract per-segment max.
+  const std::vector<int>& seg = segment.index();
   std::vector<Real> seg_max(num_segments,
                             -std::numeric_limits<Real>::infinity());
-  const Real* sv = scores.data();
   for (int i = 0; i < e; ++i)
-    seg_max[segment[i]] = std::max(seg_max[segment[i]], sv[i]);
+    seg_max[seg[i]] = std::max(seg_max[seg[i]], sv[i]);
   std::vector<Real> seg_sum(num_segments, Real(0));
-  Real* ov = out.data();
   for (int i = 0; i < e; ++i) {
-    ov[i] = std::exp(sv[i] - seg_max[segment[i]]);
-    seg_sum[segment[i]] += ov[i];
+    ov[i] = std::exp(sv[i] - seg_max[seg[i]]);
+    seg_sum[seg[i]] += ov[i];
   }
-  for (int i = 0; i < e; ++i) ov[i] /= seg_sum[segment[i]];
+  for (int i = 0; i < e; ++i) ov[i] /= seg_sum[seg[i]];
+  return out;
+}
+
+Tensor segment_softmax(const Tensor& scores, const std::vector<int>& segment,
+                       int num_segments) {
+  GNS_CHECK_MSG(static_cast<int>(segment.size()) == scores.rows(),
+                "segment_softmax needs one segment id per score");
+  GNS_CHECK(num_segments > 0);
+  return segment_softmax(scores, IndexMap(segment, num_segments));
+}
+
+Tensor radius_edge_features(const Tensor& positions, const IndexMap& senders,
+                            const IndexMap& receivers, Real inv_radius,
+                            Real eps) {
+  GNS_TRACE_SCOPE("ad.ops.radius_edge_features");
+  GNS_CHECK_MSG(senders.defined() && receivers.defined(),
+                "radius_edge_features with undefined IndexMap");
+  GNS_CHECK_MSG(senders.size() == receivers.size(),
+                "senders/receivers length mismatch");
+  GNS_CHECK_MSG(senders.size() > 0, "radius_edge_features with no edges");
+  GNS_CHECK_MSG(senders.num_buckets() == positions.rows() &&
+                    receivers.num_buckets() == positions.rows(),
+                "radius_edge_features IndexMaps must cover positions rows");
+  senders.dcheck_valid();
+  receivers.dcheck_valid();
+  const int e = senders.size();
+  const int d = positions.cols();
+  const int m = d + 1;
+  auto pp = positions.ptr();
+  IndexMap smap = senders;
+  IndexMap rmap = receivers;
+  Tensor out = make_op_result(
+      e, m, {pp}, [pp, smap, rmap, e, d, m, inv_radius](TensorImpl& self) {
+        if (!pp->requires_grad) return;
+        pp->ensure_grad();
+        // d out / d positions, per edge, into scratch (disp columns read
+        // back from the forward output: out[:, j] = disp_j, out[:, d] =
+        // dist), then scattered ± per endpoint through the CSR maps so
+        // every node grad row has exactly one writer.
+        std::vector<Real> dd(static_cast<std::size_t>(e) * d);
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
+        for (int i = 0; i < e; ++i) {
+          const Real* orow = self.data.data() + static_cast<std::size_t>(i) * m;
+          const Real* grow = self.grad.data() + static_cast<std::size_t>(i) * m;
+          const Real y = orow[d];
+          const Real dnorm2 = grow[d] * (y > 0 ? Real(0.5) / y : Real(0));
+          for (int j = 0; j < d; ++j)
+            dd[static_cast<std::size_t>(i) * d + j] =
+                (grow[j] + dnorm2 * (2 * orow[j])) * inv_radius;
+        }
+        const int nb = rmap.num_buckets();
+        const int* roff = rmap.offsets();
+        const int* rpos = rmap.positions();
+        const int* soff = smap.offsets();
+        const int* spos = smap.positions();
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
+        for (int b = 0; b < nb; ++b) {
+          Real* g = pp->grad.data() + static_cast<std::size_t>(b) * d;
+          for (int p = roff[b]; p < roff[b + 1]; ++p) {
+            const Real* src = dd.data() + static_cast<std::size_t>(rpos[p]) * d;
+            for (int j = 0; j < d; ++j) g[j] += src[j];
+          }
+          for (int p = soff[b]; p < soff[b + 1]; ++p) {
+            const Real* src = dd.data() + static_cast<std::size_t>(spos[p]) * d;
+            for (int j = 0; j < d; ++j) g[j] -= src[j];
+          }
+        }
+      });
+  // Fused forward, element-for-element the chain
+  //   disp = (gather(x, recv) - gather(x, send)) * inv_radius
+  //   dist = sqrt(sum_cols(square(disp)) + eps)
+  //   out  = concat_cols({disp, dist})
+  // in the same order (ascending-j sum from a zero accumulator), so the
+  // fusion is bitwise invisible. Row-local → trivially thread-invariant.
+  const Real* xv = positions.data();
+  Real* ov = out.data();
+  const std::vector<int>& sidx = senders.index();
+  const std::vector<int>& ridx = receivers.index();
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
+  for (int i = 0; i < e; ++i) {
+    const Real* xs = xv + static_cast<std::size_t>(sidx[i]) * d;
+    const Real* xr = xv + static_cast<std::size_t>(ridx[i]) * d;
+    Real* orow = ov + static_cast<std::size_t>(i) * m;
+    Real acc = Real(0);
+    for (int j = 0; j < d; ++j) {
+      const Real t = (xr[j] - xs[j]) * inv_radius;
+      orow[j] = t;
+      acc += t * t;
+    }
+    orow[d] = std::sqrt(acc + eps);
+  }
   return out;
 }
 
@@ -303,10 +536,12 @@ Tensor layer_norm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   const Real* gv = gamma.data();
   const Real* bv = beta.data();
   Real* ov = out.data();
-#pragma omp parallel for schedule(static) if (static_cast<std::int64_t>(n) * m > 1 << 15)
+#pragma omp parallel for schedule(static) if (parallel_worthwhile(n, m))
   for (int i = 0; i < n; ++i) {
     const Real* x = av + static_cast<std::size_t>(i) * m;
     Real* y = ov + static_cast<std::size_t>(i) * m;
+    // The mu/var reductions stay scalar — vectorizing a sum reassociates
+    // it; only the per-element affine pass below is SIMD.
     Real mu = Real(0);
     for (int j = 0; j < m; ++j) mu += x[j];
     mu /= m;
@@ -314,7 +549,7 @@ Tensor layer_norm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
     for (int j = 0; j < m; ++j) var += (x[j] - mu) * (x[j] - mu);
     var /= m;
     const Real inv_s = Real(1) / std::sqrt(var + eps);
-    for (int j = 0; j < m; ++j) y[j] = gv[j] * (x[j] - mu) * inv_s + bv[j];
+    simd::norm_affine(y, x, gv, bv, mu, inv_s, static_cast<std::size_t>(m));
   }
   return out;
 }

@@ -53,6 +53,9 @@ std::vector<ad::Tensor> BatchedSimulator::step(
                                      "too small?");
   }
   graph::GraphBatch batch = graph::batch_graphs(graphs);
+  // One validated CSR index per merged graph, shared by the edge-feature
+  // builder and every message round.
+  const GraphIndex index(batch.merged);
 
   ad::Tensor node_feats, edge_feats, merged_newest;
   {
@@ -66,10 +69,11 @@ std::vector<ad::Tensor> BatchedSimulator::step(
       for (const Window& w : windows) newest.push_back(w.back());
       merged_newest = ad::concat_rows(newest);
     }
-    edge_feats = build_batched_edge_features(fc, merged_newest, batch);
+    edge_feats = build_batched_edge_features(fc, merged_newest, batch, index);
   }
 
-  GnsOutput out = sim_->model().forward(node_feats, edge_feats, batch.merged);
+  GnsOutput out =
+      sim_->model().forward(node_feats, edge_feats, batch.merged, index);
   ad::Tensor accel = norm.denormalize_acceleration(out.acceleration);
 
   // Scatter back per member and integrate (same op order as

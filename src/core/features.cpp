@@ -38,15 +38,34 @@ std::vector<double> tensor_to_frame(const ad::Tensor& t) {
 
 namespace {
 
-std::vector<graph::Vec2> positions_to_points(const FeatureConfig& config,
-                                             const ad::Tensor& positions) {
+/// Fills `pts` in place (resizing as needed) so rollout-path callers can
+/// reuse one buffer across steps instead of allocating per call.
+void positions_to_points(const FeatureConfig& config,
+                         const ad::Tensor& positions,
+                         std::vector<graph::Vec2>& pts) {
   GNS_CHECK_MSG(positions.cols() == config.dim, "positions dim mismatch");
   const int n = positions.rows();
-  std::vector<graph::Vec2> pts(n);
-  for (int i = 0; i < n; ++i) {
-    pts[i].x = positions.at(i, 0);
-    pts[i].y = (config.dim > 1) ? positions.at(i, 1) : 0.0;
+  pts.resize(n);
+  const ad::Real* pv = positions.data();
+  if (config.dim == 2) {
+    for (int i = 0; i < n; ++i) {
+      pts[i].x = pv[static_cast<std::size_t>(i) * 2];
+      pts[i].y = pv[static_cast<std::size_t>(i) * 2 + 1];
+    }
+    return;
   }
+  for (int i = 0; i < n; ++i) {
+    pts[i].x = pv[static_cast<std::size_t>(i) * config.dim];
+    pts[i].y = (config.dim > 1)
+                   ? pv[static_cast<std::size_t>(i) * config.dim + 1]
+                   : 0.0;
+  }
+}
+
+std::vector<graph::Vec2> positions_to_points(const FeatureConfig& config,
+                                             const ad::Tensor& positions) {
+  std::vector<graph::Vec2> pts;
+  positions_to_points(config, positions, pts);
   return pts;
 }
 
@@ -79,8 +98,10 @@ graph::Graph build_graph_cached(const FeatureConfig& config,
                                 graph::CellList& cells) {
   GNS_CHECK_MSG(cells.radius() == config.connectivity_radius,
                 "cached CellList radius does not match feature config");
-  const std::vector<graph::Vec2> pts =
-      positions_to_points(config, positions);
+  // The scratch lives on the CellList, which rollout callers keep across
+  // steps — no per-step allocation.
+  std::vector<graph::Vec2>& pts = cells.points_scratch();
+  positions_to_points(config, positions, pts);
   cells.maybe_rebuild(pts);
   return cells.radius_graph(pts);
 }
@@ -163,19 +184,28 @@ ad::Tensor build_node_features(const FeatureConfig& config,
 ad::Tensor build_edge_features(const FeatureConfig& config,
                                const ad::Tensor& positions,
                                const graph::Graph& graph) {
+  return build_edge_features(config, positions, graph, GraphIndex(graph));
+}
+
+ad::Tensor build_edge_features(const FeatureConfig& config,
+                               const ad::Tensor& positions,
+                               const graph::Graph& graph,
+                               const GraphIndex& index) {
   GNS_CHECK_MSG(graph.num_nodes == positions.rows(),
                 "graph/positions size mismatch");
   GNS_CHECK_MSG(graph.num_edges() > 0,
                 "graph has no edges — connectivity radius too small?");
+  GNS_CHECK_MSG(index.defined() &&
+                    index.senders.size() == graph.num_edges() &&
+                    index.senders.num_buckets() == graph.num_nodes,
+                "GraphIndex does not match graph");
   const double inv_r = 1.0 / config.connectivity_radius;
-  ad::Tensor xs = ad::gather_rows(positions, graph.senders);
-  ad::Tensor xr = ad::gather_rows(positions, graph.receivers);
-  ad::Tensor disp = ad::mul_scalar(ad::sub(xr, xs), inv_r);
-  // |disp| with a tiny epsilon so the sqrt gradient stays finite for
-  // coincident particles.
-  ad::Tensor norm2 = ad::sum_cols(ad::square(disp));
-  ad::Tensor dist = ad::sqrt_op(ad::add_scalar(norm2, 1e-12));
-  return ad::concat_cols({disp, dist});
+  // One fused row-local op, bitwise equal to the former
+  // gather/sub/mul_scalar/square/sum_cols/add_scalar/sqrt/concat chain
+  // (the 1e-12 epsilon keeps the sqrt gradient finite for coincident
+  // particles).
+  return ad::radius_edge_features(positions, index.senders, index.receivers,
+                                  inv_r, 1e-12);
 }
 
 ad::Tensor build_batched_node_features(
@@ -243,12 +273,20 @@ ad::Tensor build_batched_node_features(
 ad::Tensor build_batched_edge_features(const FeatureConfig& config,
                                        const ad::Tensor& merged_positions,
                                        const graph::GraphBatch& batch) {
+  return build_batched_edge_features(config, merged_positions, batch,
+                                     GraphIndex(batch.merged));
+}
+
+ad::Tensor build_batched_edge_features(const FeatureConfig& config,
+                                       const ad::Tensor& merged_positions,
+                                       const graph::GraphBatch& batch,
+                                       const GraphIndex& index) {
   GNS_CHECK_MSG(batch.merged.num_nodes == merged_positions.rows(),
                 "graph batch/positions size mismatch");
   // The merged indices already point into the concatenated position rows,
   // and displacement/norm are per-edge local, so the single-graph builder
   // computes exactly the stacked per-member edge features.
-  return build_edge_features(config, merged_positions, batch.merged);
+  return build_edge_features(config, merged_positions, batch.merged, index);
 }
 
 }  // namespace gns::core

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ad/ops.hpp"
+#include "core/graph_index.hpp"
 #include "core/normalization.hpp"
 #include "graph/batch.hpp"
 #include "graph/neighbor_search.hpp"
@@ -95,6 +96,13 @@ struct SceneContext {
                                              const ad::Tensor& positions,
                                              const graph::Graph& graph);
 
+/// Same, with a prebuilt GraphIndex for `graph` (rollout/training paths
+/// build one per step and share it with GnsModel::forward).
+[[nodiscard]] ad::Tensor build_edge_features(const FeatureConfig& config,
+                                             const ad::Tensor& positions,
+                                             const graph::Graph& graph,
+                                             const GraphIndex& index);
+
 // ---- Batched (block-diagonal) variants -------------------------------------
 //
 // The batched builders take B per-member windows/contexts and emit the
@@ -117,5 +125,10 @@ struct SceneContext {
 [[nodiscard]] ad::Tensor build_batched_edge_features(
     const FeatureConfig& config, const ad::Tensor& merged_positions,
     const graph::GraphBatch& batch);
+
+/// Same, with a prebuilt GraphIndex for `batch.merged`.
+[[nodiscard]] ad::Tensor build_batched_edge_features(
+    const FeatureConfig& config, const ad::Tensor& merged_positions,
+    const graph::GraphBatch& batch, const GraphIndex& index);
 
 }  // namespace gns::core

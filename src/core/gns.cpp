@@ -42,6 +42,13 @@ GnsModel::GnsModel(GnsConfig config, Rng& rng)
 GnsOutput GnsModel::forward(const ad::Tensor& node_features,
                             const ad::Tensor& edge_features,
                             const graph::Graph& graph) const {
+  return forward(node_features, edge_features, graph, GraphIndex(graph));
+}
+
+GnsOutput GnsModel::forward(const ad::Tensor& node_features,
+                            const ad::Tensor& edge_features,
+                            const graph::Graph& graph,
+                            const GraphIndex& index) const {
   GNS_CHECK_MSG(node_features.cols() == config_.node_in,
                 "node feature width mismatch: " << node_features.cols()
                                                 << " vs " << config_.node_in);
@@ -51,6 +58,10 @@ GnsOutput GnsModel::forward(const ad::Tensor& node_features,
                 "graph/node count mismatch");
   GNS_CHECK_MSG(edge_features.rows() == graph.num_edges(),
                 "graph/edge count mismatch");
+  GNS_CHECK_MSG(index.defined(), "GnsModel::forward with undefined index");
+  GNS_CHECK_MSG(index.senders.size() == graph.num_edges() &&
+                    index.senders.num_buckets() == graph.num_nodes,
+                "GraphIndex does not match graph");
 
   GNS_TRACE_SCOPE("core.gns.forward");
   static auto& encode_ms =
@@ -74,8 +85,8 @@ GnsOutput GnsModel::forward(const ad::Tensor& node_features,
     for (const auto& layer : layers_) {
       GNS_TRACE_SCOPE_I("core.gns.round", round++);
       // Edge update: φ^e(e_k, v_sender, v_receiver) + residual.
-      ad::Tensor vs = ad::gather_rows(v, graph.senders);
-      ad::Tensor vr = ad::gather_rows(v, graph.receivers);
+      ad::Tensor vs = ad::gather_rows(v, index.senders);
+      ad::Tensor vr = ad::gather_rows(v, index.receivers);
       ad::Tensor e_in = ad::concat_cols({e, vs, vr});
       ad::Tensor e_new = ad::add(layer.edge_mlp.forward(e_in), e);
 
@@ -83,14 +94,12 @@ GnsOutput GnsModel::forward(const ad::Tensor& node_features,
       ad::Tensor weighted = e_new;
       if (layer.attention_mlp) {
         ad::Tensor score = layer.attention_mlp->forward(e_in);
-        ad::Tensor alpha =
-            ad::segment_softmax(score, graph.receivers, graph.num_nodes);
+        ad::Tensor alpha = ad::segment_softmax(score, index.receivers);
         weighted = ad::mul(e_new, alpha);  // [E,L] * [E,1] broadcast
       }
 
       // Node update: φ^v(v_i, Σ incoming messages) + residual.
-      ad::Tensor agg =
-          ad::scatter_add_rows(weighted, graph.receivers, graph.num_nodes);
+      ad::Tensor agg = ad::scatter_add_rows(weighted, index.receivers);
       ad::Tensor v_in = ad::concat_cols({v, agg});
       ad::Tensor v_new = ad::add(layer.node_mlp.forward(v_in), v);
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ad/nn.hpp"
+#include "core/graph_index.hpp"
 #include "graph/graph.hpp"
 
 namespace gns::core {
@@ -52,10 +53,19 @@ class GnsModel : public ad::Module {
  public:
   GnsModel(GnsConfig config, Rng& rng);
 
-  /// Full forward pass.
+  /// Full forward pass. Builds the gather/scatter index maps internally;
+  /// callers that already hold a GraphIndex for `graph` should use the
+  /// overload below so the maps are shared across all message rounds.
   [[nodiscard]] GnsOutput forward(const ad::Tensor& node_features,
                                   const ad::Tensor& edge_features,
                                   const graph::Graph& graph) const;
+
+  /// Forward with a prebuilt (validated, CSR-transposed) GraphIndex for
+  /// `graph`. Bitwise identical to the overload above.
+  [[nodiscard]] GnsOutput forward(const ad::Tensor& node_features,
+                                  const ad::Tensor& edge_features,
+                                  const graph::Graph& graph,
+                                  const GraphIndex& index) const;
 
   [[nodiscard]] std::vector<ad::Tensor> parameters() const override;
   [[nodiscard]] const GnsConfig& config() const { return config_; }

@@ -43,6 +43,7 @@ Mesh build_mesh(const cfd::CfdSolver& solver) {
   for (int c = 0; c < n; ++c)
     onehot[c * 4 + static_cast<int>(mesh.types[c])] = 1.0;
   mesh.node_type_onehot = ad::Tensor::from_vector(n, 4, std::move(onehot));
+  mesh.index = GraphIndex(mesh.graph);
   return mesh;
 }
 
@@ -69,7 +70,8 @@ ad::Tensor MeshNet::predict_delta(const ad::Tensor& velocities) const {
   ad::Tensor v_norm = ad::mul_scalar(velocities, 1.0 / velocity_std_);
   ad::Tensor node_feats = ad::concat_cols({v_norm, mesh_.node_type_onehot});
   GnsOutput out =
-      model_->forward(node_feats, mesh_.edge_features, mesh_.graph);
+      model_->forward(node_feats, mesh_.edge_features, mesh_.graph,
+                      mesh_.index);
   // Decoder output is the normalized delta.
   return ad::mul_scalar(out.acceleration, velocity_std_);
 }

@@ -26,6 +26,7 @@ struct MeshNetConfig {
 /// Static mesh description extracted from a CFD solver.
 struct Mesh {
   graph::Graph graph;             ///< 4-neighborhood, both directions
+  GraphIndex index;               ///< CSR maps for `graph`, built once
   ad::Tensor edge_features;       ///< [E,3]: dx, dy, dist (mesh units)
   ad::Tensor node_type_onehot;    ///< [N,4]
   std::vector<cfd::CellType> types;

@@ -37,14 +37,17 @@ GnsOutput LearnedSimulator::forward_raw(const Window& window,
       neighbor_cache != nullptr
           ? build_graph_cached(features_, newest, *neighbor_cache)
           : build_graph(features_, newest);
+  // One validated CSR index per step, shared by the edge-feature builder
+  // and every message round of the forward.
+  const GraphIndex index(graph);
   ad::Tensor node_feats, edge_feats;
   {
     GNS_TRACE_SCOPE("core.simulator.features");
     const obs::ScopedHistogramTimer phase_timer(features_ms);
     node_feats = build_node_features(features_, normalizer_, window, context);
-    edge_feats = build_edge_features(features_, newest, graph);
+    edge_feats = build_edge_features(features_, newest, graph, index);
   }
-  GnsOutput out = model_->forward(node_feats, edge_feats, graph);
+  GnsOutput out = model_->forward(node_feats, edge_feats, graph, index);
   if (out_graph != nullptr) *out_graph = std::move(graph);
   return out;
 }

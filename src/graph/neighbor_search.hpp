@@ -68,6 +68,13 @@ class CellList {
   [[nodiscard]] double radius() const { return radius_; }
   [[nodiscard]] double skin() const { return skin_; }
 
+  /// Caller-owned point scratch that lives as long as the CellList (i.e.
+  /// across the steps of a rollout). core::build_graph_cached fills it in
+  /// place each step instead of allocating a fresh vector per call.
+  [[nodiscard]] std::vector<Vec2>& points_scratch() {
+    return points_scratch_;
+  }
+
  private:
   [[nodiscard]] int cell_of(Vec2 p) const;
   [[nodiscard]] std::array<int, 2> cell_coords(Vec2 p) const;
@@ -90,6 +97,7 @@ class CellList {
   // cell stencil — the actual O(pairs-in-shell) Verlet saving.
   std::vector<int> cand_start_;
   std::vector<int> cand_ids_;
+  std::vector<Vec2> points_scratch_;
 };
 
 /// Convenience one-shot radius graph (builds a temporary CellList sized to

@@ -62,4 +62,26 @@ inline ShapeWeights1D shape_weights(ShapeKind kind, double x, double h) {
   return s;
 }
 
+/// Batch size of the SoA weight evaluation below (and of the solver's
+/// chunked transfer loops). 128 coordinates keep the whole batch + both
+/// axis results comfortably in L1.
+inline constexpr int kShapeBatch = 128;
+
+/// SoA per-axis weights for a contiguous batch of coordinates. Entry i
+/// carries exactly the numbers shape_weights(kind, x[i], h) would return:
+/// w[k][i] / dw[k][i] (physical units) for stencil offset k, and base[i].
+struct ShapeWeightsBatch {
+  alignas(32) double w[3][kShapeBatch];
+  alignas(32) double dw[3][kShapeBatch];
+  alignas(32) int base[kShapeBatch];
+};
+
+/// Evaluates shape_weights for x[0..count) (count <= kShapeBatch) into
+/// `out`. The quadratic B-spline path has an AVX2 twin (runtime-dispatched
+/// via gns::simd) that is bitwise identical to the scalar reference: div /
+/// floor / mul / add are all single correctly-rounded IEEE ops, applied in
+/// the same order per lane.
+void shape_weights_batch(ShapeKind kind, const double* x, int count, double h,
+                         ShapeWeightsBatch& out);
+
 }  // namespace gns::mpm

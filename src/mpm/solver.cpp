@@ -8,6 +8,7 @@
 #endif
 
 #include "obs/obs.hpp"
+#include "util/simd.hpp"
 
 namespace gns::mpm {
 
@@ -37,11 +38,31 @@ MpmSolver::MpmSolver(MpmConfig config, std::shared_ptr<const Material> material,
   GNS_CHECK_MSG(material_ != nullptr, "MpmSolver needs a material");
   GNS_CHECK_MSG(particles_.size() > 0, "MpmSolver needs particles");
   GNS_CHECK(config_.flip_blend >= 0.0 && config_.flip_blend <= 1.0);
-  const int nt = max_threads();
-  local_mass_.assign(nt, std::vector<double>(grid_.num_nodes(), 0.0));
-  local_momentum_.assign(nt, std::vector<Vec2d>(grid_.num_nodes()));
-  local_force_.assign(nt, std::vector<Vec2d>(grid_.num_nodes()));
   grid_old_velocity_.assign(grid_.num_nodes(), Vec2d{});
+  ensure_p2g_buffers();
+}
+
+void MpmSolver::ensure_p2g_buffers() {
+  // Sized lazily so a later rise in omp_get_max_threads() cannot run a
+  // thread off the end of the buffer array. New/resized buffers start
+  // with epoch stamps 0 < p2g_epoch_ + 1, i.e. "stale everywhere" — the
+  // lazy clear initializes them on first touch.
+  const int nt = max_threads();
+  const std::size_t n = static_cast<std::size_t>(grid_.num_nodes());
+  const std::size_t nblocks = (n + (std::size_t{1} << kBlockShift) - 1) >>
+                              kBlockShift;
+  if (static_cast<int>(p2g_buffers_.size()) < nt) p2g_buffers_.resize(nt);
+  for (auto& buf : p2g_buffers_) {
+    if (buf.mass.size() != n) {
+      buf.mass.assign(n, 0.0);
+      buf.mom_x.assign(n, 0.0);
+      buf.mom_y.assign(n, 0.0);
+      buf.force_x.assign(n, 0.0);
+      buf.force_y.assign(n, 0.0);
+      buf.block_epoch.assign(nblocks, 0);
+    }
+  }
+  if (touched_epoch_.size() != nblocks) touched_epoch_.assign(nblocks, 0);
 }
 
 double MpmSolver::dt() const {
@@ -119,65 +140,126 @@ void MpmSolver::particle_to_grid(double dt) {
   const int np = particles_.size();
   const int n_nodes = grid_.num_nodes();
   const int nxn = grid_.nodes_x();
+  const int nyn = grid_.nodes_y();
   const double h = grid_.spacing();
   const ShapeKind kind = config_.shape;
+  const int scount = (kind == ShapeKind::Linear) ? 2 : 3;
   const Vec2d g = config_.gravity;
+  const int nchunks = (np + kShapeBatch - 1) / kShapeBatch;
+
+  ensure_p2g_buffers();
+  // One epoch per step: a buffer block whose stamp is behind this value
+  // holds stale data and counts as zero (it is zeroed on first touch).
+  const std::uint64_t epoch = ++p2g_epoch_;
+  const std::size_t block_len = std::size_t{1} << kBlockShift;
 
 #pragma omp parallel
   {
     const int tid = thread_id();
-    auto& lm = local_mass_[tid];
-    auto& lp = local_momentum_[tid];
-    auto& lf = local_force_[tid];
-    std::fill(lm.begin(), lm.end(), 0.0);
-    std::fill(lp.begin(), lp.end(), Vec2d{});
-    std::fill(lf.begin(), lf.end(), Vec2d{});
+    P2gBuffer& buf = p2g_buffers_[tid];
+    buf.dirty.clear();
 
+    // kShapeBatch-particle chunks: positions transposed to SoA, both
+    // axes' weights evaluated in one batched (AVX2-dispatched) call,
+    // then the usual tensor-product scatter. The accumulation arithmetic
+    // is term-for-term the legacy per-particle loop.
 #pragma omp for schedule(static) nowait
-    for (int p = 0; p < np; ++p) {
-      const Vec2d x = particles_.position[p];
-      const Vec2d v = particles_.velocity[p];
-      const double m = particles_.mass[p];
-      const double vol = particles_.volume[p];
-      const SymTensor2& s = particles_.stress[p];
-      const ShapeWeights1D wx = shape_weights(kind, x.x, h);
-      const ShapeWeights1D wy = shape_weights(kind, x.y, h);
-      for (int a = 0; a < wy.count; ++a) {
-        const int iy = wy.base + a;
-        if (iy < 0 || iy >= grid_.nodes_y()) continue;
-        for (int b = 0; b < wx.count; ++b) {
-          const int ix = wx.base + b;
-          if (ix < 0 || ix >= nxn) continue;
-          const int node = iy * nxn + ix;
-          const double w = wx.w[b] * wy.w[a];
-          const double dwx = wx.dw[b] * wy.w[a];
-          const double dwy = wx.w[b] * wy.dw[a];
-          lm[node] += w * m;
-          lp[node].x += w * m * v.x;
-          lp[node].y += w * m * v.y;
-          // Internal force: f -= V σ ∇N. Gravity: f += m g N.
-          lf[node].x += -vol * (s.xx * dwx + s.xy * dwy) + w * m * g.x;
-          lf[node].y += -vol * (s.xy * dwx + s.yy * dwy) + w * m * g.y;
+    for (int c = 0; c < nchunks; ++c) {
+      const int c0 = c * kShapeBatch;
+      const int cnt = std::min(kShapeBatch, np - c0);
+      alignas(32) double bx[kShapeBatch];
+      alignas(32) double by[kShapeBatch];
+      for (int j = 0; j < cnt; ++j) {
+        bx[j] = particles_.position[c0 + j].x;
+        by[j] = particles_.position[c0 + j].y;
+      }
+      ShapeWeightsBatch wxb, wyb;
+      shape_weights_batch(kind, bx, cnt, h, wxb);
+      shape_weights_batch(kind, by, cnt, h, wyb);
+
+      for (int j = 0; j < cnt; ++j) {
+        const int p = c0 + j;
+        const Vec2d v = particles_.velocity[p];
+        const double m = particles_.mass[p];
+        const double vol = particles_.volume[p];
+        const SymTensor2& s = particles_.stress[p];
+        for (int a = 0; a < scount; ++a) {
+          const int iy = wyb.base[j] + a;
+          if (iy < 0 || iy >= nyn) continue;
+          const double wya = wyb.w[a][j];
+          const double dwya = wyb.dw[a][j];
+          for (int b = 0; b < scount; ++b) {
+            const int ix = wxb.base[j] + b;
+            if (ix < 0 || ix >= nxn) continue;
+            const int node = iy * nxn + ix;
+            const int blk = node >> kBlockShift;
+            if (buf.block_epoch[blk] != epoch) {
+              // First touch of this block this step: zero it (cheaper
+              // than the legacy whole-grid fill) and record it.
+              const std::size_t lo = static_cast<std::size_t>(blk)
+                                     << kBlockShift;
+              const std::size_t len = std::min(
+                  block_len, static_cast<std::size_t>(n_nodes) - lo);
+              std::fill_n(buf.mass.begin() + lo, len, 0.0);
+              std::fill_n(buf.mom_x.begin() + lo, len, 0.0);
+              std::fill_n(buf.mom_y.begin() + lo, len, 0.0);
+              std::fill_n(buf.force_x.begin() + lo, len, 0.0);
+              std::fill_n(buf.force_y.begin() + lo, len, 0.0);
+              buf.block_epoch[blk] = epoch;
+              buf.dirty.push_back(blk);
+            }
+            const double w = wxb.w[b][j] * wya;
+            const double dwx = wxb.dw[b][j] * wya;
+            const double dwy = wxb.w[b][j] * dwya;
+            buf.mass[node] += w * m;
+            buf.mom_x[node] += w * m * v.x;
+            buf.mom_y[node] += w * m * v.y;
+            // Internal force: f -= V σ ∇N. Gravity: f += m g N.
+            buf.force_x[node] +=
+                -vol * (s.xx * dwx + s.xy * dwy) + w * m * g.x;
+            buf.force_y[node] +=
+                -vol * (s.xy * dwx + s.yy * dwy) + w * m * g.y;
+          }
         }
       }
     }
   }
 
+  // Union of the per-thread dirty lists. Blocks nobody touched keep the
+  // grid_.clear() zeros — exactly the legacy all-zero sum.
+  const int nt = static_cast<int>(p2g_buffers_.size());
+  touched_blocks_.clear();
+  for (int t = 0; t < nt; ++t)
+    for (const int blk : p2g_buffers_[t].dirty)
+      if (touched_epoch_[blk] != epoch) {
+        touched_epoch_[blk] = epoch;
+        touched_blocks_.push_back(blk);
+      }
+
   // Fixed-order reduction over threads keeps results deterministic for a
-  // given OMP_NUM_THREADS.
-  const int nt = static_cast<int>(local_mass_.size());
+  // given OMP_NUM_THREADS; each block has one owning thread, and every
+  // grid value accumulates its per-thread contributions in ascending t —
+  // the identical FP sequence as the legacy per-node loop (threads that
+  // never touched a block contributed exact zeros there, and adding +0.0
+  // to a +0.0-seeded running sum can never change its bits).
+  const int n_touched = static_cast<int>(touched_blocks_.size());
 #pragma omp parallel for schedule(static)
-  for (int i = 0; i < n_nodes; ++i) {
-    double m = 0.0;
-    Vec2d mom, f;
+  for (int u = 0; u < n_touched; ++u) {
+    const int blk = touched_blocks_[u];
+    const std::size_t lo = static_cast<std::size_t>(blk) << kBlockShift;
+    const std::size_t len =
+        std::min(block_len, static_cast<std::size_t>(n_nodes) - lo);
     for (int t = 0; t < nt; ++t) {
-      m += local_mass_[t][i];
-      mom += local_momentum_[t][i];
-      f += local_force_[t][i];
+      const P2gBuffer& buf = p2g_buffers_[t];
+      if (buf.block_epoch.empty() || buf.block_epoch[blk] != epoch) continue;
+      simd::accumulate(grid_.mass.data() + lo, buf.mass.data() + lo, len);
+      for (std::size_t i = lo; i < lo + len; ++i) {
+        grid_.momentum[i].x += buf.mom_x[i];
+        grid_.momentum[i].y += buf.mom_y[i];
+        grid_.force[i].x += buf.force_x[i];
+        grid_.force[i].y += buf.force_y[i];
+      }
     }
-    grid_.mass[i] = m;
-    grid_.momentum[i] = mom;
-    grid_.force[i] = f;
   }
 }
 
@@ -188,53 +270,74 @@ void MpmSolver::grid_to_particle(double dt) {
   const obs::ScopedHistogramTimer phase_timer(g2p_ms);
   const int np = particles_.size();
   const int nxn = grid_.nodes_x();
+  const int nyn = grid_.nodes_y();
   const double h = grid_.spacing();
   const ShapeKind kind = config_.shape;
+  const int scount = (kind == ShapeKind::Linear) ? 2 : 3;
   const double blend = config_.flip_blend;
   const double eps = 1e-6;
   const double wlim = grid_.width() - eps;
   const double hlim = grid_.height() - eps;
+  const int nchunks = (np + kShapeBatch - 1) / kShapeBatch;
 
+  // Same chunked SoA weight evaluation as P2G. The gather itself is a
+  // purely per-particle reduction (no cross-particle accumulation), so
+  // the results are bitwise independent of chunking and thread count.
 #pragma omp parallel for schedule(static)
-  for (int p = 0; p < np; ++p) {
-    const Vec2d x = particles_.position[p];
-    const ShapeWeights1D wx = shape_weights(kind, x.x, h);
-    const ShapeWeights1D wy = shape_weights(kind, x.y, h);
-    Vec2d v_pic, dv;
-    Mat2 grad;
-    for (int a = 0; a < wy.count; ++a) {
-      const int iy = wy.base + a;
-      if (iy < 0 || iy >= grid_.nodes_y()) continue;
-      for (int b = 0; b < wx.count; ++b) {
-        const int ix = wx.base + b;
-        if (ix < 0 || ix >= nxn) continue;
-        const int node = iy * nxn + ix;
-        const double w = wx.w[b] * wy.w[a];
-        const double dwx = wx.dw[b] * wy.w[a];
-        const double dwy = wx.w[b] * wy.dw[a];
-        const Vec2d vn = grid_.velocity[node];
-        v_pic += w * vn;
-        dv += w * (vn - grid_old_velocity_[node]);
-        grad.xx += dwx * vn.x;
-        grad.xy += dwy * vn.x;
-        grad.yx += dwx * vn.y;
-        grad.yy += dwy * vn.y;
-      }
+  for (int c = 0; c < nchunks; ++c) {
+    const int c0 = c * kShapeBatch;
+    const int cnt = std::min(kShapeBatch, np - c0);
+    alignas(32) double bx[kShapeBatch];
+    alignas(32) double by[kShapeBatch];
+    for (int j = 0; j < cnt; ++j) {
+      bx[j] = particles_.position[c0 + j].x;
+      by[j] = particles_.position[c0 + j].y;
     }
-    const Vec2d v_flip = particles_.velocity[p] + dv;
-    particles_.velocity[p] = blend * v_flip + (1.0 - blend) * v_pic;
+    ShapeWeightsBatch wxb, wyb;
+    shape_weights_batch(kind, bx, cnt, h, wxb);
+    shape_weights_batch(kind, by, cnt, h, wyb);
 
-    Vec2d xn = x + v_pic * dt;
-    xn.x = std::clamp(xn.x, eps, wlim);
-    xn.y = std::clamp(xn.y, eps, hlim);
-    particles_.position[p] = xn;
+    for (int j = 0; j < cnt; ++j) {
+      const int p = c0 + j;
+      const Vec2d x = particles_.position[p];
+      Vec2d v_pic, dv;
+      Mat2 grad;
+      for (int a = 0; a < scount; ++a) {
+        const int iy = wyb.base[j] + a;
+        if (iy < 0 || iy >= nyn) continue;
+        const double wya = wyb.w[a][j];
+        const double dwya = wyb.dw[a][j];
+        for (int b = 0; b < scount; ++b) {
+          const int ix = wxb.base[j] + b;
+          if (ix < 0 || ix >= nxn) continue;
+          const int node = iy * nxn + ix;
+          const double w = wxb.w[b][j] * wya;
+          const double dwx = wxb.dw[b][j] * wya;
+          const double dwy = wxb.w[b][j] * dwya;
+          const Vec2d vn = grid_.velocity[node];
+          v_pic += w * vn;
+          dv += w * (vn - grid_old_velocity_[node]);
+          grad.xx += dwx * vn.x;
+          grad.xy += dwy * vn.x;
+          grad.yx += dwx * vn.y;
+          grad.yy += dwy * vn.y;
+        }
+      }
+      const Vec2d v_flip = particles_.velocity[p] + dv;
+      particles_.velocity[p] = blend * v_flip + (1.0 - blend) * v_pic;
 
-    const SymTensor2 de = grad.sym_scaled(dt);
-    particles_.volume[p] *= (1.0 + grad.trace() * dt);
-    particles_.volume[p] = std::max(particles_.volume[p], 1e-12);
-    StressState state{particles_.stress[p], de, dt,
-                      particles_.mass[p] / particles_.volume[p]};
-    particles_.stress[p] = material_->update_stress(state);
+      Vec2d xn = x + v_pic * dt;
+      xn.x = std::clamp(xn.x, eps, wlim);
+      xn.y = std::clamp(xn.y, eps, hlim);
+      particles_.position[p] = xn;
+
+      const SymTensor2 de = grad.sym_scaled(dt);
+      particles_.volume[p] *= (1.0 + grad.trace() * dt);
+      particles_.volume[p] = std::max(particles_.volume[p], 1e-12);
+      StressState state{particles_.stress[p], de, dt,
+                        particles_.mass[p] / particles_.volume[p]};
+      particles_.stress[p] = material_->update_stress(state);
+    }
   }
 }
 

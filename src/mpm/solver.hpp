@@ -11,13 +11,22 @@
 /// reduced in fixed order, so results are deterministic at a fixed thread
 /// count).
 ///
+/// Both transfers run in kShapeBatch-particle chunks over SoA scratch:
+/// shape weights are evaluated by the batched (AVX2-dispatched, bitwise
+/// scalar-identical) shape_weights_batch, and the per-thread P2G buffers
+/// are epoch-stamped per node block so only blocks a thread actually
+/// touched are cleared and reduced — the full-grid clear/reduce used to
+/// cost O(nodes × threads) per step regardless of particle support.
+///
 /// This is the substrate playing the role of CB-Geo MPM in the paper: it
 /// generates the GNS training trajectories, is the "physics refinement"
 /// phase of the hybrid GNS/MPM loop (§4), and is the speedup baseline
 /// (§3.1: GNS vs parallel CPU MPM).
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "mpm/grid.hpp"
 #include "mpm/material.hpp"
@@ -73,15 +82,32 @@ class MpmSolver {
   void particle_to_grid(double dt);
   void grid_to_particle(double dt);
 
+  /// Node blocks of the lazy-clear bookkeeping: nodes [blk << kBlockShift,
+  /// (blk + 1) << kBlockShift) form one clear/reduce unit.
+  static constexpr int kBlockShift = 6;  // 64 nodes per block
+
+  /// Per-thread P2G scatter buffers, SoA per field so the reduction can
+  /// run as flat vector adds. `block_epoch[blk] == current epoch` means
+  /// this thread zeroed + touched block blk this step; anything else is
+  /// stale data from an earlier step that the reduction must (and does)
+  /// skip — which is exactly the legacy behaviour of a fully-zeroed
+  /// buffer, without the O(nodes) clear.
+  struct P2gBuffer {
+    std::vector<double> mass, mom_x, mom_y, force_x, force_y;
+    std::vector<std::uint64_t> block_epoch;
+    std::vector<int> dirty;  ///< blocks this thread touched this step
+  };
+  void ensure_p2g_buffers();
+
   MpmConfig config_;
   std::shared_ptr<const Material> material_;
   Particles particles_;
   Grid grid_;
   std::vector<Vec2d> grid_old_velocity_;
-  // Per-thread P2G scatter buffers: [thread][node].
-  std::vector<std::vector<double>> local_mass_;
-  std::vector<std::vector<Vec2d>> local_momentum_;
-  std::vector<std::vector<Vec2d>> local_force_;
+  std::vector<P2gBuffer> p2g_buffers_;
+  std::vector<std::uint64_t> touched_epoch_;  ///< [block] union stamp
+  std::vector<int> touched_blocks_;           ///< union dirty list
+  std::uint64_t p2g_epoch_ = 0;
   double time_ = 0.0;
   std::int64_t steps_ = 0;
 };

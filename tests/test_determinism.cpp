@@ -3,9 +3,13 @@
 // Strategy, per substrate:
 //  - GNS / autograd: every parallel region is row-local (matmul rows,
 //    layer-norm rows, gather/activation elementwise, scatter_add backward
-//    rows) and the scatter_add FORWARD — the only cross-row reduction — is
-//    serial. No floating-point reassociation depends on the thread count,
-//    so rollouts are required to be BITWISE identical at 1 vs 8 threads.
+//    rows). The cross-row reductions — scatter_add forward and gather
+//    backward — run either serially (GNS_SIMD=0) or as CSR-transpose
+//    per-destination loops that accumulate contributions in ascending
+//    original-index order regardless of which thread owns a destination
+//    (GNS_SIMD=1). Either way no floating-point reassociation depends on
+//    the thread count, so rollouts are required to be BITWISE identical
+//    at 1 vs 8 threads.
 //  - MPM: p2g accumulates into per-thread buffers reduced in fixed thread
 //    order. That is bit-deterministic for a fixed OMP_NUM_THREADS (rerun
 //    invariance), but changing the thread count regroups the partial sums,
@@ -33,6 +37,7 @@
 #include "mpm/scenes.hpp"
 #include "mpm/solver.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace gns {
 namespace {
@@ -143,6 +148,35 @@ TEST(ThreadInvariance, ScatterAddForwardAndBackwardBitwise) {
     EXPECT_EQ(grad1[i], grad8[i]);
 }
 
+TEST(ThreadInvariance, GatherBackwardCsrBitwise) {
+  // The GNS_SIMD=1 gather backward parallelizes over destination rows via
+  // the CSR transpose; a duplicate-heavy index makes the per-destination
+  // accumulation order matter. 1 vs 8 threads must agree bitwise.
+  simd::set_enabled(true);
+  const int e = 40000, m = 4, nodes = 512;
+  Rng rng(17);
+  std::vector<ad::Real> vals(static_cast<std::size_t>(nodes) * m);
+  for (auto& v : vals) v = rng.uniform(-1.0, 1.0);
+  std::vector<int> index(e);
+  // Half the gathers hit node 7 — one very hot destination.
+  for (std::size_t i = 0; i < index.size(); ++i)
+    index[i] = (i % 2 == 0) ? 7 : static_cast<int>(rng.uniform_index(nodes));
+
+  auto run = [&](int threads) {
+    ThreadCountGuard guard(threads);
+    ad::Tensor a = ad::Tensor::from_vector(nodes, m, vals, true);
+    ad::Tensor out = ad::gather_rows(a, index);
+    ad::Tensor loss = ad::sum(ad::square(out));
+    loss.backward();
+    return a.grad();
+  };
+  const auto grad1 = run(1);
+  const auto grad8 = run(8);
+  ASSERT_EQ(grad1.size(), grad8.size());
+  for (std::size_t i = 0; i < grad1.size(); ++i)
+    EXPECT_EQ(grad1[i], grad8[i]);
+}
+
 // ---------- MPM: rerun-bitwise, cross-thread-count to tolerance ----------
 
 mpm::MpmSolver column_solver() {
@@ -184,6 +218,27 @@ TEST(ThreadInvariance, MpmCrossThreadCountWithinTolerance) {
   // p2g's per-thread partial sums reassociate across thread counts; the
   // drift over 50 steps stays far below feature resolution.
   EXPECT_LT(max_diff, 1e-9);
+}
+
+TEST(ThreadInvariance, MpmSimdOnOffBitwise) {
+  // GNS_SIMD only swaps the batched-weights kernel and the reduction's
+  // accumulate implementation for bitwise-identical twins; the MPM step
+  // must therefore produce identical bits with the toggle on and off.
+  auto run = [&](bool simd_on) {
+    simd::set_enabled(simd_on);
+    ThreadCountGuard guard(4);
+    mpm::MpmSolver solver = column_solver();
+    solver.run(50);
+    return solver.particles().position;
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  simd::set_enabled(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].x, on[i].x);
+    EXPECT_EQ(off[i].y, on[i].y);
+  }
 }
 
 }  // namespace

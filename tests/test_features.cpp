@@ -197,6 +197,44 @@ TEST(Features, OneDimensionalPositionsSupported) {
   EXPECT_EQ(ef.cols(), 2);
 }
 
+TEST(Features, EdgeFeaturesBitwiseMatchOpChain) {
+  // build_edge_features now runs the fused radius_edge_features op; it
+  // must stay bitwise equal to the op chain it replaced.
+  FeatureConfig fc = small_config();
+  Rng rng(101);
+  std::vector<ad::Real> pv(16);
+  for (auto& v : pv) v = rng.uniform(0.2, 0.8);
+  ad::Tensor pos = ad::Tensor::from_vector(8, 2, std::move(pv));
+  graph::Graph g = build_graph(fc, pos);
+  ASSERT_GT(g.num_edges(), 0);
+  ad::Tensor fused = build_edge_features(fc, pos, g);
+  const double inv_r = 1.0 / fc.connectivity_radius;
+  ad::Tensor xs = ad::gather_rows(pos, g.senders);
+  ad::Tensor xr = ad::gather_rows(pos, g.receivers);
+  ad::Tensor disp = ad::mul_scalar(ad::sub(xr, xs), inv_r);
+  ad::Tensor dist = ad::sqrt_op(
+      ad::add_scalar(ad::sum_cols(ad::square(disp)), 1e-12));
+  ad::Tensor ref = ad::concat_cols({disp, dist});
+  EXPECT_EQ(fused.vec(), ref.vec());
+}
+
+TEST(Features, CachedGraphMatchesDirectBuild) {
+  FeatureConfig fc = small_config();
+  fc.connectivity_radius = 0.3;
+  Rng rng(103);
+  graph::CellList cells = make_rollout_cells(fc, /*skin=*/0.1);
+  for (int step = 0; step < 3; ++step) {
+    std::vector<ad::Real> pv(20);
+    for (auto& v : pv) v = rng.uniform(0.1, 0.9);
+    ad::Tensor pos = ad::Tensor::from_vector(10, 2, std::move(pv));
+    graph::Graph direct = build_graph(fc, pos);
+    graph::Graph cached = build_graph_cached(fc, pos, cells);
+    EXPECT_EQ(cached.num_nodes, direct.num_nodes);
+    EXPECT_EQ(cached.senders, direct.senders);
+    EXPECT_EQ(cached.receivers, direct.receivers);
+  }
+}
+
 TEST(Features, NodeFeaturesDifferentiableThroughPositions) {
   FeatureConfig fc = small_config();
   Normalizer norm(unit_stats(2));

@@ -10,6 +10,8 @@
 #include "mpm/scenes.hpp"
 #include "mpm/shape.hpp"
 #include "mpm/solver.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace gns::mpm {
 namespace {
@@ -209,6 +211,56 @@ TEST(MpmSolver, DeterministicAcrossRuns) {
                      b.particles().position[i].x);
     EXPECT_DOUBLE_EQ(a.particles().position[i].y,
                      b.particles().position[i].y);
+  }
+}
+
+TEST(MpmSolver, SimdToggleIsBitwiseInvisible) {
+  // GNS_SIMD swaps the batched shape-weight kernel and the reduction's
+  // accumulate for bitwise-identical twins; multiple steps also regress
+  // the lazy block clearing — stale per-thread buffer data from step k
+  // must never leak into step k+1.
+  auto run = [&](bool simd_on) {
+    gns::simd::set_enabled(simd_on);
+    MpmSolver solver = small_column_solver(30.0);
+    solver.run(5);
+    return solver.particles().position;
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  gns::simd::set_enabled(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].x, on[i].x);
+    EXPECT_EQ(off[i].y, on[i].y);
+  }
+}
+
+TEST(Shape, BatchedWeightsBitwiseMatchScalar) {
+  // shape_weights_batch (AVX2-dispatched for the B-spline) must carry
+  // exactly the bits of per-coordinate shape_weights, including at cell
+  // boundaries, negative coordinates, and a non-multiple-of-4 tail.
+  const double h = 0.025;
+  for (const ShapeKind kind :
+       {ShapeKind::QuadraticBSpline, ShapeKind::Linear}) {
+    alignas(32) double x[kShapeBatch];
+    int n = 0;
+    x[n++] = 0.0;
+    x[n++] = h;          // exactly on a node
+    x[n++] = 1.5 * h;    // exactly between nodes
+    x[n++] = -0.3 * h;   // below the domain
+    x[n++] = 17.25 * h;
+    gns::Rng rng(7);
+    while (n < 39) x[n++] = rng.uniform(-2.0 * h, 40.0 * h);  // odd tail
+    ShapeWeightsBatch batch;
+    shape_weights_batch(kind, x, n, h, batch);
+    for (int i = 0; i < n; ++i) {
+      const ShapeWeights1D ref = shape_weights(kind, x[i], h);
+      EXPECT_EQ(batch.base[i], ref.base) << "i=" << i;
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_EQ(batch.w[k][i], ref.w[k]) << "i=" << i << " k=" << k;
+        EXPECT_EQ(batch.dw[k][i], ref.dw[k]) << "i=" << i << " k=" << k;
+      }
+    }
   }
 }
 

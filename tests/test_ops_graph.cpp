@@ -1,14 +1,20 @@
 // Graph / shape ops: gather, scatter-add, segment softmax, layer norm,
 // concat, slice — semantics and gradient checks. These ops carry all
-// message passing, so their gradients must be exact.
+// message passing, so their gradients must be exact. The GNS_SIMD paths
+// (AVX2 row kernels + CSR-transpose backward) must additionally be
+// bitwise identical to the scalar/serial reference on every index
+// pattern — verified here on adversarial patterns.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "ad/gradcheck.hpp"
+#include "ad/index_map.hpp"
 #include "ad/ops.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace gns::ad {
 namespace {
@@ -18,6 +24,20 @@ Tensor random_tensor(int r, int c, Rng& rng) {
   for (auto& x : v) x = rng.uniform(-1.5, 1.5);
   return Tensor::from_vector(r, c, std::move(v));
 }
+
+/// Forces GNS_SIMD on/off for a scope, restoring the prior state.
+class SimdGuard {
+ public:
+  explicit SimdGuard(bool on) : prev_(simd::enabled()) {
+    simd::set_enabled(on);
+  }
+  ~SimdGuard() { simd::set_enabled(prev_); }
+  SimdGuard(const SimdGuard&) = delete;
+  SimdGuard& operator=(const SimdGuard&) = delete;
+
+ private:
+  bool prev_;
+};
 
 TEST(ConcatCols, ValuesAndShapes) {
   Tensor a = Tensor::from_vector(2, 1, {1, 2});
@@ -182,6 +202,254 @@ TEST(GraphOpsGrad, LayerNormAllInputs) {
        random_tensor(1, 5, rng)},
       /*eps=*/1e-6, /*tolerance=*/1e-5);
   EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+// ---------- IndexMap (CSR transpose) ----------
+
+TEST(IndexMap, StructureGroupsPositionsAscending) {
+  const std::vector<int> idx = {2, 0, 2, 1, 0, 2};
+  IndexMap map(idx, 3);
+  EXPECT_TRUE(map.defined());
+  EXPECT_EQ(map.size(), 6);
+  EXPECT_EQ(map.num_buckets(), 3);
+  const std::vector<int> want_offsets = {0, 2, 3, 6};
+  EXPECT_EQ(std::vector<int>(map.offsets(), map.offsets() + 4),
+            want_offsets);
+  // Positions grouped by bucket, ascending within each bucket — the
+  // property the fixed-accumulation-order backward relies on.
+  const std::vector<int> want_positions = {1, 4, 3, 0, 2, 5};
+  EXPECT_EQ(std::vector<int>(map.positions(), map.positions() + 6),
+            want_positions);
+}
+
+TEST(IndexMap, ValidatesAtConstruction) {
+  EXPECT_THROW(IndexMap({0, 3}, 3), CheckError);
+  EXPECT_THROW(IndexMap({-1}, 3), CheckError);
+  EXPECT_NO_THROW(IndexMap({}, 3));
+  EXPECT_FALSE(IndexMap().defined());
+}
+
+TEST(IndexMap, OpsAcceptPrebuiltMap) {
+  Rng rng(31);
+  Tensor a = random_tensor(4, 3, rng);
+  const std::vector<int> idx = {3, 0, 3, 1};
+  const IndexMap map(idx, 4);
+  Tensor g1 = gather_rows(a, idx);
+  Tensor g2 = gather_rows(a, map);
+  EXPECT_EQ(g1.vec(), g2.vec());
+  Tensor e = random_tensor(4, 3, rng);
+  Tensor s1 = scatter_add_rows(e, idx, 4);
+  Tensor s2 = scatter_add_rows(e, map);
+  EXPECT_EQ(s1.vec(), s2.vec());
+  // A map sized for a different tensor is rejected.
+  EXPECT_THROW(gather_rows(random_tensor(5, 3, rng), map), CheckError);
+}
+
+// ---------- SIMD vs scalar bitwise equivalence ----------
+
+/// Adversarial index patterns for n entries into b buckets: uniform
+/// random, all-duplicates, sorted, reversed, and duplicate-heavy (hot
+/// buckets) — the cases where a reordered reduction would diverge.
+std::vector<std::vector<int>> index_patterns(int n, int b, Rng& rng) {
+  std::vector<std::vector<int>> patterns;
+  std::vector<int> uniform(n);
+  for (auto& i : uniform) i = static_cast<int>(rng.uniform_index(b));
+  patterns.push_back(uniform);
+  patterns.emplace_back(n, b / 2);  // every entry hits one bucket
+  std::vector<int> sorted(n);
+  for (int i = 0; i < n; ++i) sorted[i] = (i * b) / n;
+  patterns.push_back(sorted);
+  std::vector<int> reversed = sorted;
+  std::reverse(reversed.begin(), reversed.end());
+  patterns.push_back(reversed);
+  std::vector<int> hot(n);
+  for (int i = 0; i < n; ++i)
+    hot[i] = (i % 3 == 0) ? static_cast<int>(rng.uniform_index(b)) : 0;
+  patterns.push_back(hot);
+  return patterns;
+}
+
+/// Runs `fn` with GNS_SIMD off then on and expects bitwise-equal results.
+template <typename Fn>
+void expect_bitwise_equal_modes(Fn&& fn) {
+  std::vector<Real> ref, got;
+  {
+    SimdGuard off(false);
+    ref = fn();
+  }
+  {
+    SimdGuard on(true);
+    got = fn();
+  }
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_EQ(ref[i], got[i]) << "bitwise divergence at flat index " << i;
+}
+
+TEST(SimdBitwise, GatherForwardAndBackward) {
+  Rng rng(37);
+  // Odd column counts exercise the vector-kernel tails.
+  for (const int cols : {1, 3, 8, 17}) {
+    Tensor a = random_tensor(23, cols, rng);
+    for (const auto& idx : index_patterns(57, 23, rng)) {
+      expect_bitwise_equal_modes([&] {
+        Tensor x = Tensor::from_vector(a.rows(), a.cols(), a.vec(), true);
+        Tensor g = gather_rows(x, idx);
+        Tensor loss = sum(square(g));
+        loss.backward();
+        std::vector<Real> out = g.vec();
+        out.insert(out.end(), x.grad().begin(), x.grad().end());
+        return out;
+      });
+    }
+  }
+}
+
+TEST(SimdBitwise, ScatterAddForwardAndBackward) {
+  Rng rng(41);
+  for (const int cols : {1, 5, 16, 19}) {
+    Tensor a = random_tensor(57, cols, rng);
+    for (const auto& idx : index_patterns(57, 23, rng)) {
+      expect_bitwise_equal_modes([&] {
+        Tensor x = Tensor::from_vector(a.rows(), a.cols(), a.vec(), true);
+        Tensor s = scatter_add_rows(x, idx, 23);
+        Tensor loss = sum(square(s));
+        loss.backward();
+        std::vector<Real> out = s.vec();
+        out.insert(out.end(), x.grad().begin(), x.grad().end());
+        return out;
+      });
+    }
+  }
+}
+
+TEST(SimdBitwise, SegmentSoftmaxForwardAndBackward) {
+  Rng rng(43);
+  for (const auto& idx : index_patterns(57, 23, rng)) {
+    expect_bitwise_equal_modes([&] {
+      Rng local(91);
+      std::vector<Real> sv(57);
+      for (auto& v : sv) v = local.uniform(-3.0, 3.0);
+      Tensor x = Tensor::from_vector(57, 1, sv, true);
+      Tensor p = segment_softmax(x, idx, 23);
+      Tensor loss = sum(square(p));
+      loss.backward();
+      std::vector<Real> out = p.vec();
+      out.insert(out.end(), x.grad().begin(), x.grad().end());
+      return out;
+    });
+  }
+}
+
+TEST(SimdBitwise, LayerNormAndConcat) {
+  Rng rng(47);
+  for (const int cols : {2, 7, 12, 33}) {
+    Tensor x = random_tensor(9, cols, rng);
+    Tensor gamma = random_tensor(1, cols, rng);
+    Tensor beta = random_tensor(1, cols, rng);
+    expect_bitwise_equal_modes(
+        [&] { return layer_norm(x, gamma, beta).vec(); });
+    Tensor b = random_tensor(9, cols + 1, rng);
+    expect_bitwise_equal_modes([&] {
+      Tensor xa = Tensor::from_vector(x.rows(), x.cols(), x.vec(), true);
+      Tensor c = concat_cols({xa, b, xa});
+      Tensor loss = sum(square(c));
+      loss.backward();
+      std::vector<Real> out = c.vec();
+      out.insert(out.end(), xa.grad().begin(), xa.grad().end());
+      return out;
+    });
+  }
+}
+
+// ---------- Gradchecks through the CSR (simd-enabled) backward ----------
+
+TEST(GraphOpsGrad, GatherCsrBackwardDuplicateHeavy) {
+  SimdGuard on(true);
+  Rng rng(53);
+  const std::vector<int> idx = {0, 2, 2, 2, 1, 2, 0, 2};
+  auto result = grad_check(
+      [&idx](const std::vector<Tensor>& in) {
+        return sum(square(gather_rows(in[0], idx)));
+      },
+      {random_tensor(3, 4, rng)});
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(GraphOpsGrad, ScatterCsrForwardGradcheck) {
+  SimdGuard on(true);
+  Rng rng(59);
+  const std::vector<int> idx = {1, 1, 1, 0, 2, 1};
+  auto result = grad_check(
+      [&idx](const std::vector<Tensor>& in) {
+        return sum(square(scatter_add_rows(in[0], idx, 3)));
+      },
+      {random_tensor(6, 3, rng)});
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+// ---------- Fused radius_edge_features ----------
+
+/// The exact op chain radius_edge_features replaces; kept here as the
+/// bitwise reference.
+Tensor edge_features_reference(const Tensor& positions,
+                               const std::vector<int>& senders,
+                               const std::vector<int>& receivers,
+                               Real inv_radius) {
+  Tensor xs = gather_rows(positions, senders);
+  Tensor xr = gather_rows(positions, receivers);
+  Tensor disp = mul_scalar(sub(xr, xs), inv_radius);
+  Tensor dist = sqrt_op(add_scalar(sum_cols(square(disp)), Real(1e-12)));
+  return concat_cols({disp, dist});
+}
+
+TEST(RadiusEdgeFeatures, BitwiseMatchesOpChain) {
+  Rng rng(61);
+  for (const bool simd_on : {false, true}) {
+    SimdGuard guard(simd_on);
+    Tensor pos = random_tensor(11, 2, rng);
+    std::vector<int> senders(29), receivers(29);
+    for (auto& s : senders) s = static_cast<int>(rng.uniform_index(11));
+    for (auto& r : receivers) r = static_cast<int>(rng.uniform_index(11));
+    const IndexMap smap(senders, 11);
+    const IndexMap rmap(receivers, 11);
+    const Real inv_r = Real(1.0) / Real(0.13);
+    Tensor fused = radius_edge_features(pos, smap, rmap, inv_r);
+    Tensor ref = edge_features_reference(pos, senders, receivers, inv_r);
+    EXPECT_EQ(fused.vec(), ref.vec());
+  }
+}
+
+TEST(RadiusEdgeFeatures, CoincidentParticlesFiniteGradient) {
+  // Two particles at the same position: the 1e-12 epsilon keeps the
+  // sqrt gradient finite instead of dividing by zero.
+  Tensor pos = Tensor::from_vector(2, 2, {0.5, 0.5, 0.5, 0.5}, true);
+  const IndexMap smap({0, 1}, 2);
+  const IndexMap rmap({1, 0}, 2);
+  Tensor f = radius_edge_features(pos, smap, rmap, Real(10.0));
+  Tensor loss = sum(f);
+  loss.backward();
+  for (const Real g : pos.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(GraphOpsGrad, RadiusEdgeFeatures) {
+  Rng rng(67);
+  for (const bool simd_on : {false, true}) {
+    SimdGuard guard(simd_on);
+    std::vector<int> senders = {0, 1, 2, 2, 3, 0};
+    std::vector<int> receivers = {1, 0, 3, 1, 2, 2};
+    const IndexMap smap(senders, 4);
+    const IndexMap rmap(receivers, 4);
+    auto result = grad_check(
+        [&](const std::vector<Tensor>& in) {
+          return sum(
+              square(radius_edge_features(in[0], smap, rmap, Real(5.0))));
+        },
+        {random_tensor(4, 2, rng)},
+        /*eps=*/1e-6, /*tolerance=*/1e-5);
+    EXPECT_TRUE(result.ok) << "simd=" << simd_on
+                           << " rel=" << result.max_rel_error;
+  }
 }
 
 TEST(GraphOpsGrad, MessagePassingComposite) {
