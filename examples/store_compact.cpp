@@ -1,0 +1,40 @@
+/// \file store_compact.cpp
+/// `gns_store_compact <dir>`: offline compaction of a TrajectoryStore
+/// directory (the rollout cache's persistence layer). Drops unreachable
+/// bytes, corrupt records, and superseded duplicates, then swaps the
+/// rewritten files in crash-safely. Must not run while a server is
+/// serving from the same directory.
+
+#include <cstdio>
+#include <string>
+
+#include "store/compact.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <store-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  gns::store::CompactStats stats;
+  std::string error;
+  if (!gns::store::compact_store(dir, stats, error)) {
+    std::fprintf(stderr, "gns_store_compact: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "compacted %s\n"
+      "  records scanned:    %llu\n"
+      "  records kept:       %llu\n"
+      "  superseded dropped: %llu\n"
+      "  corrupt dropped:    %llu\n"
+      "  bytes before:       %llu\n"
+      "  bytes after:        %llu\n",
+      dir.c_str(), static_cast<unsigned long long>(stats.records_scanned),
+      static_cast<unsigned long long>(stats.records_kept),
+      static_cast<unsigned long long>(stats.superseded_dropped),
+      static_cast<unsigned long long>(stats.corrupt_dropped),
+      static_cast<unsigned long long>(stats.bytes_before),
+      static_cast<unsigned long long>(stats.bytes_after));
+  return 0;
+}

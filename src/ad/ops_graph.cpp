@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "ad/ops.hpp"
+#include "exec/parallel_for.hpp"
 #include "obs/trace.hpp"
 #include "util/simd.hpp"
 
@@ -61,9 +62,7 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
           }
         if (!any) return;
         const int parts_n = static_cast<int>(parents_copy.size());
-#pragma omp parallel for schedule(static) \
-    if (parallel_worthwhile(n, m))
-        for (int i = 0; i < n; ++i) {
+        exec::parallel_for(n, parallel_worthwhile(n, m), [&](std::int64_t i) {
           const Real* grow = self.grad.data() + static_cast<std::size_t>(i) * m;
           for (int k = 0; k < parts_n; ++k) {
             auto& p = parents_copy[k];
@@ -73,7 +72,7 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
                              grow + offsets_copy[k],
                              static_cast<std::size_t>(pc));
           }
-        }
+        });
       });
   Real* ov = out.data();
   std::vector<const Real*> srcs(parts.size());
@@ -83,14 +82,13 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
     cols[k] = parts[k].cols();
   }
   const int parts_n = static_cast<int>(parts.size());
-#pragma omp parallel for schedule(static) if (parallel_worthwhile(n, m))
-  for (int i = 0; i < n; ++i) {
+  exec::parallel_for(n, parallel_worthwhile(n, m), [&](std::int64_t i) {
     Real* orow = ov + static_cast<std::size_t>(i) * m;
     for (int k = 0; k < parts_n; ++k)
       simd::copy(orow + offsets[k],
                  srcs[k] + static_cast<std::size_t>(i) * cols[k],
                  static_cast<std::size_t>(cols[k]));
-  }
+  });
   return out;
 }
 
@@ -203,16 +201,15 @@ Tensor gather_rows(const Tensor& a, const IndexMap& index) {
           const int nb = im.num_buckets();
           const int* off = im.offsets();
           const int* pos = im.positions();
-#pragma omp parallel for schedule(static) \
-    if (parallel_worthwhile(e, m))
-          for (int b = 0; b < nb; ++b) {
+          exec::parallel_for(nb, parallel_worthwhile(e, m),
+                             [&](std::int64_t b) {
             Real* dst = pa->grad.data() + static_cast<std::size_t>(b) * m;
             for (int p = off[b]; p < off[b + 1]; ++p)
               simd::accumulate(
                   dst,
                   self.grad.data() + static_cast<std::size_t>(pos[p]) * m,
                   static_cast<std::size_t>(m));
-          }
+          });
           return;
         }
         // Legacy serial reference: repeated indices make naive parallel
@@ -228,11 +225,11 @@ Tensor gather_rows(const Tensor& a, const IndexMap& index) {
   const Real* av = a.data();
   Real* ov = out.data();
   const std::vector<int>& idx = index.index();
-#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
-  for (int i = 0; i < e; ++i)
+  exec::parallel_for(e, parallel_worthwhile(e, m), [&](std::int64_t i) {
     simd::copy(ov + static_cast<std::size_t>(i) * m,
                av + static_cast<std::size_t>(idx[i]) * m,
                static_cast<std::size_t>(m));
+  });
   return out;
 }
 
@@ -260,13 +257,12 @@ Tensor scatter_add_rows(const Tensor& a, const IndexMap& index) {
         pa->ensure_grad();
         // Backward of scatter-add is a gather: embarrassingly parallel.
         const std::vector<int>& idx = im.index();
-#pragma omp parallel for schedule(static) \
-    if (parallel_worthwhile(e, m))
-        for (int i = 0; i < e; ++i)
+        exec::parallel_for(e, parallel_worthwhile(e, m), [&](std::int64_t i) {
           simd::accumulate(
               pa->grad.data() + static_cast<std::size_t>(i) * m,
               self.grad.data() + static_cast<std::size_t>(idx[i]) * m,
               static_cast<std::size_t>(m));
+        });
       });
   std::fill(out.vec().begin(), out.vec().end(), Real(0));
   const Real* av = a.data();
@@ -277,14 +273,14 @@ Tensor scatter_add_rows(const Tensor& a, const IndexMap& index) {
     // independently of the thread count — each b has one owner).
     const int* off = im.offsets();
     const int* pos = im.positions();
-#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
-    for (int b = 0; b < num_rows; ++b) {
+    exec::parallel_for(num_rows, parallel_worthwhile(e, m),
+                       [&](std::int64_t b) {
       Real* dst = ov + static_cast<std::size_t>(b) * m;
       for (int p = off[b]; p < off[b + 1]; ++p)
         simd::accumulate(dst,
                          av + static_cast<std::size_t>(pos[p]) * m,
                          static_cast<std::size_t>(m));
-    }
+    });
     return out;
   }
   const std::vector<int>& idx = im.index();
@@ -325,8 +321,8 @@ Tensor segment_softmax(const Tensor& scores, const IndexMap& segment) {
           // order the serial reference adds them in.
           const int* off = im.offsets();
           const int* pos = im.positions();
-#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, 8))
-          for (int s = 0; s < num_segments; ++s) {
+          exec::parallel_for(num_segments, parallel_worthwhile(e, 8),
+                             [&](std::int64_t s) {
             Real dot = Real(0);
             for (int p = off[s]; p < off[s + 1]; ++p) {
               const int i = pos[p];
@@ -336,7 +332,7 @@ Tensor segment_softmax(const Tensor& scores, const IndexMap& segment) {
               const int i = pos[p];
               pa->grad[i] += self.data[i] * (self.grad[i] - dot);
             }
-          }
+          });
           return;
         }
         const std::vector<int>& seg = im.index();
@@ -354,8 +350,8 @@ Tensor segment_softmax(const Tensor& scores, const IndexMap& segment) {
     // serial three-pass reference, and each segment has one owner.
     const int* off = segment.offsets();
     const int* pos = segment.positions();
-#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, 8))
-    for (int s = 0; s < num_segments; ++s) {
+    exec::parallel_for(num_segments, parallel_worthwhile(e, 8),
+                       [&](std::int64_t s) {
       Real seg_max = -std::numeric_limits<Real>::infinity();
       for (int p = off[s]; p < off[s + 1]; ++p)
         seg_max = std::max(seg_max, sv[pos[p]]);
@@ -366,7 +362,7 @@ Tensor segment_softmax(const Tensor& scores, const IndexMap& segment) {
         seg_sum += ov[i];
       }
       for (int p = off[s]; p < off[s + 1]; ++p) ov[pos[p]] /= seg_sum;
-    }
+    });
     return out;
   }
   // Numerically-stable forward: subtract per-segment max.
@@ -421,8 +417,7 @@ Tensor radius_edge_features(const Tensor& positions, const IndexMap& senders,
         // dist), then scattered ± per endpoint through the CSR maps so
         // every node grad row has exactly one writer.
         std::vector<Real> dd(static_cast<std::size_t>(e) * d);
-#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
-        for (int i = 0; i < e; ++i) {
+        exec::parallel_for(e, parallel_worthwhile(e, m), [&](std::int64_t i) {
           const Real* orow = self.data.data() + static_cast<std::size_t>(i) * m;
           const Real* grow = self.grad.data() + static_cast<std::size_t>(i) * m;
           const Real y = orow[d];
@@ -430,14 +425,13 @@ Tensor radius_edge_features(const Tensor& positions, const IndexMap& senders,
           for (int j = 0; j < d; ++j)
             dd[static_cast<std::size_t>(i) * d + j] =
                 (grow[j] + dnorm2 * (2 * orow[j])) * inv_radius;
-        }
+        });
         const int nb = rmap.num_buckets();
         const int* roff = rmap.offsets();
         const int* rpos = rmap.positions();
         const int* soff = smap.offsets();
         const int* spos = smap.positions();
-#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
-        for (int b = 0; b < nb; ++b) {
+        exec::parallel_for(nb, parallel_worthwhile(e, m), [&](std::int64_t b) {
           Real* g = pp->grad.data() + static_cast<std::size_t>(b) * d;
           for (int p = roff[b]; p < roff[b + 1]; ++p) {
             const Real* src = dd.data() + static_cast<std::size_t>(rpos[p]) * d;
@@ -447,7 +441,7 @@ Tensor radius_edge_features(const Tensor& positions, const IndexMap& senders,
             const Real* src = dd.data() + static_cast<std::size_t>(spos[p]) * d;
             for (int j = 0; j < d; ++j) g[j] -= src[j];
           }
-        }
+        });
       });
   // Fused forward, element-for-element the chain
   //   disp = (gather(x, recv) - gather(x, send)) * inv_radius
@@ -459,8 +453,7 @@ Tensor radius_edge_features(const Tensor& positions, const IndexMap& senders,
   Real* ov = out.data();
   const std::vector<int>& sidx = senders.index();
   const std::vector<int>& ridx = receivers.index();
-#pragma omp parallel for schedule(static) if (parallel_worthwhile(e, m))
-  for (int i = 0; i < e; ++i) {
+  exec::parallel_for(e, parallel_worthwhile(e, m), [&](std::int64_t i) {
     const Real* xs = xv + static_cast<std::size_t>(sidx[i]) * d;
     const Real* xr = xv + static_cast<std::size_t>(ridx[i]) * d;
     Real* orow = ov + static_cast<std::size_t>(i) * m;
@@ -471,7 +464,7 @@ Tensor radius_edge_features(const Tensor& positions, const IndexMap& senders,
       acc += t * t;
     }
     orow[d] = std::sqrt(acc + eps);
-  }
+  });
   return out;
 }
 
@@ -536,8 +529,7 @@ Tensor layer_norm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   const Real* gv = gamma.data();
   const Real* bv = beta.data();
   Real* ov = out.data();
-#pragma omp parallel for schedule(static) if (parallel_worthwhile(n, m))
-  for (int i = 0; i < n; ++i) {
+  exec::parallel_for(n, parallel_worthwhile(n, m), [&](std::int64_t i) {
     const Real* x = av + static_cast<std::size_t>(i) * m;
     Real* y = ov + static_cast<std::size_t>(i) * m;
     // The mu/var reductions stay scalar — vectorizing a sum reassociates
@@ -550,7 +542,7 @@ Tensor layer_norm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
     var /= m;
     const Real inv_s = Real(1) / std::sqrt(var + eps);
     simd::norm_affine(y, x, gv, bv, mu, inv_s, static_cast<std::size_t>(m));
-  }
+  });
   return out;
 }
 

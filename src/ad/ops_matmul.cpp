@@ -13,6 +13,7 @@
 #include <omp.h>
 #endif
 
+#include "exec/parallel_for.hpp"
 #include "obs/trace.hpp"
 
 namespace gns::ad {
@@ -24,8 +25,8 @@ namespace {
 /// the fork/join.
 void gemm_acc(const Real* a, const Real* b, Real* c, int n, int k, int m) {
   const std::int64_t work = static_cast<std::int64_t>(n) * k * m;
-#pragma omp parallel for schedule(static) if (work > 1 << 16)
-  for (int i = 0; i < n; ++i) {
+  exec::parallel_for(n, work > 1 << 16, [&](std::int64_t row) {
+    const int i = static_cast<int>(row);
     Real* crow = c + static_cast<std::size_t>(i) * m;
     const Real* arow = a + static_cast<std::size_t>(i) * k;
     for (int p = 0; p < k; ++p) {
@@ -34,15 +35,15 @@ void gemm_acc(const Real* a, const Real* b, Real* c, int n, int k, int m) {
       const Real* brow = b + static_cast<std::size_t>(p) * m;
       for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
-  }
+  });
 }
 
 /// C += A^T[KxN]^T... specifically: grad_a[NxK] += grad_out[NxM] * B^T[MxK].
 void gemm_nt_acc(const Real* go, const Real* b, Real* ga, int n, int m,
                  int k) {
   const std::int64_t work = static_cast<std::int64_t>(n) * k * m;
-#pragma omp parallel for schedule(static) if (work > 1 << 16)
-  for (int i = 0; i < n; ++i) {
+  exec::parallel_for(n, work > 1 << 16, [&](std::int64_t row) {
+    const int i = static_cast<int>(row);
     const Real* grow = go + static_cast<std::size_t>(i) * m;
     Real* garow = ga + static_cast<std::size_t>(i) * k;
     for (int p = 0; p < k; ++p) {
@@ -51,7 +52,7 @@ void gemm_nt_acc(const Real* go, const Real* b, Real* ga, int n, int m,
       for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
       garow[p] += acc;
     }
-  }
+  });
 }
 
 /// grad_b[KxM] += A^T[KxN] * grad_out[NxM]. Serial over k-rows inside, but
@@ -59,8 +60,8 @@ void gemm_nt_acc(const Real* go, const Real* b, Real* ga, int n, int m,
 void gemm_tn_acc(const Real* a, const Real* go, Real* gb, int n, int k,
                  int m) {
   const std::int64_t work = static_cast<std::int64_t>(n) * k * m;
-#pragma omp parallel for schedule(static) if (work > 1 << 16)
-  for (int p = 0; p < k; ++p) {
+  exec::parallel_for(k, work > 1 << 16, [&](std::int64_t krow) {
+    const int p = static_cast<int>(krow);
     Real* gbrow = gb + static_cast<std::size_t>(p) * m;
     for (int i = 0; i < n; ++i) {
       const Real av = a[static_cast<std::size_t>(i) * k + p];
@@ -68,7 +69,7 @@ void gemm_tn_acc(const Real* a, const Real* go, Real* gb, int n, int k,
       const Real* grow = go + static_cast<std::size_t>(i) * m;
       for (int j = 0; j < m; ++j) gbrow[j] += av * grow[j];
     }
-  }
+  });
 }
 
 /// One fused output row, portable path: the exact gemm_acc accumulation
@@ -199,17 +200,19 @@ void fused_linear_fwd(const Real* a, const Real* w, const Real* bias, Real* c,
   const std::int64_t work = static_cast<std::int64_t>(n) * k * m;
 #ifdef GNS_FUSED_AVX2_KERNEL
   if (cpu_has_avx2()) {
-#pragma omp parallel for schedule(static) if (work > 1 << 16)
-    for (int i = 0; i < n; ++i)
+    exec::parallel_for(n, work > 1 << 16, [&](std::int64_t row) {
+      const int i = static_cast<int>(row);
       fused_row_avx2(a + static_cast<std::size_t>(i) * k, w, bias,
                      c + static_cast<std::size_t>(i) * m, k, m, act);
+    });
     return;
   }
 #endif
-#pragma omp parallel for schedule(static) if (work > 1 << 16)
-  for (int i = 0; i < n; ++i)
+  exec::parallel_for(n, work > 1 << 16, [&](std::int64_t row) {
+    const int i = static_cast<int>(row);
     fused_row_scalar(a + static_cast<std::size_t>(i) * k, w, bias,
                      c + static_cast<std::size_t>(i) * m, k, m, act);
+  });
 }
 
 /// d(act)/d(pre-activation) recovered from the *output* value (valid for
@@ -284,21 +287,21 @@ Tensor transpose(const Tensor& a) {
     if (!pa->requires_grad) return;
     pa->ensure_grad();
     // Parallel over input rows: each i owns grad row i (no write races).
-#pragma omp parallel for schedule(static) if (work > 1 << 16)
-    for (int i = 0; i < n; ++i)
+    exec::parallel_for(n, work > 1 << 16, [&](std::int64_t i)  {
       for (int j = 0; j < m; ++j)
         pa->grad[static_cast<std::size_t>(i) * m + j] +=
-            self.grad[static_cast<std::size_t>(j) * n + i];
+            self.grad[static_cast<std::size_t>(j) * n + static_cast<std::size_t>(i)];
+    });
   });
   const Real* av = a.data();
   Real* ov = out.data();
   // Parallel over output rows j; pure copies, so any order is bitwise
   // identical to the serial loop.
-#pragma omp parallel for schedule(static) if (work > 1 << 16)
-  for (int j = 0; j < m; ++j)
+  exec::parallel_for(m, work > 1 << 16, [&](std::int64_t j) {
     for (int i = 0; i < n; ++i)
-      ov[static_cast<std::size_t>(j) * n + i] =
-          av[static_cast<std::size_t>(i) * m + j];
+      ov[static_cast<std::size_t>(j) * n + static_cast<std::size_t>(i)] =
+          av[static_cast<std::size_t>(i) * m + static_cast<std::size_t>(j)];
+  });
   return out;
 }
 

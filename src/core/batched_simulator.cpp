@@ -95,6 +95,17 @@ std::vector<std::vector<std::vector<double>>> BatchedSimulator::rollout(
     const std::vector<Window>& initial_windows, const std::vector<int>& steps,
     const std::vector<SceneContext>& contexts, const StepGate& gate) const {
   GNS_TRACE_SCOPE("core.batched.rollout");
+  BatchedRollout rollout(sim_, initial_windows, steps, contexts);
+  while (rollout.step_once(gate)) {
+  }
+  return rollout.take_frames();
+}
+
+BatchedRollout::BatchedRollout(
+    std::shared_ptr<const LearnedSimulator> simulator,
+    const std::vector<Window>& initial_windows, const std::vector<int>& steps,
+    const std::vector<SceneContext>& contexts)
+    : batched_(std::move(simulator)), steps_(steps), contexts_(contexts) {
   const int b = static_cast<int>(initial_windows.size());
   GNS_CHECK_MSG(b > 0, "batched rollout needs at least one member");
   GNS_CHECK_MSG(static_cast<int>(steps.size()) == b &&
@@ -103,70 +114,67 @@ std::vector<std::vector<std::vector<double>>> BatchedSimulator::rollout(
   for (int s : steps) GNS_CHECK_MSG(s > 0, "steps must be positive");
 
   ad::NoGradGuard no_grad;
-  std::vector<Window> windows(initial_windows.size());
+  windows_.resize(initial_windows.size());
   for (int g = 0; g < b; ++g) {
-    windows[g].reserve(initial_windows[g].size());
+    windows_[g].reserve(initial_windows[g].size());
     for (const auto& t : initial_windows[g])
-      windows[g].push_back(t.detach());
+      windows_[g].push_back(t.detach());
   }
 
   // One Verlet skin list per member, persisting across steps (members are
   // compacted out of the batch but their caches stay put).
-  const FeatureConfig& fc = sim_->features();
+  const FeatureConfig& fc = batched_.simulator().features();
   const double skin =
       graph::default_skin_fraction() * fc.connectivity_radius;
-  std::vector<std::unique_ptr<graph::CellList>> caches;
-  caches.reserve(initial_windows.size());
+  caches_.reserve(initial_windows.size());
   for (int g = 0; g < b; ++g)
-    caches.push_back(
+    caches_.push_back(
         std::make_unique<graph::CellList>(make_rollout_cells(fc, skin)));
 
-  std::vector<std::vector<std::vector<double>>> frames(
-      initial_windows.size());
+  frames_.resize(initial_windows.size());
   for (int g = 0; g < b; ++g)
-    frames[g].reserve(static_cast<std::size_t>(steps[g]));
+    frames_[g].reserve(static_cast<std::size_t>(steps[g]));
 
-  std::vector<int> active(initial_windows.size());
-  for (int g = 0; g < b; ++g) active[g] = g;
+  active_.resize(initial_windows.size());
+  for (int g = 0; g < b; ++g) active_[g] = g;
+}
 
-  std::vector<Window> step_windows;
-  std::vector<SceneContext> step_contexts;
-  std::vector<graph::CellList*> step_caches;
-  while (!active.empty()) {
-    if (gate) {
-      active.erase(std::remove_if(active.begin(), active.end(),
-                                  [&gate](int g) { return !gate(g); }),
-                   active.end());
-      if (active.empty()) break;
-    }
-
-    step_windows.clear();
-    step_contexts.clear();
-    step_caches.clear();
-    for (int g : active) {
-      step_windows.push_back(windows[g]);
-      step_contexts.push_back(contexts[g]);
-      step_caches.push_back(caches[g].get());
-    }
-    // Per-step arena frame: tensors from this step are recycled once the
-    // sliding windows release them.
-    ad::ArenaScope arena_frame;
-    std::vector<ad::Tensor> next =
-        step(step_windows, step_contexts, nullptr, step_caches);
-
-    std::vector<int> still_active;
-    still_active.reserve(active.size());
-    for (std::size_t k = 0; k < active.size(); ++k) {
-      const int g = active[k];
-      frames[g].push_back(tensor_to_frame(next[k]));
-      windows[g].erase(windows[g].begin());
-      windows[g].push_back(next[k]);
-      if (static_cast<int>(frames[g].size()) < steps[g])
-        still_active.push_back(g);
-    }
-    active.swap(still_active);
+bool BatchedRollout::step_once(const BatchedSimulator::StepGate& gate) {
+  if (active_.empty()) return false;
+  ad::NoGradGuard no_grad;
+  if (gate) {
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&gate](int g) { return !gate(g); }),
+                  active_.end());
+    if (active_.empty()) return false;
   }
-  return frames;
+
+  step_windows_.clear();
+  step_contexts_.clear();
+  step_caches_.clear();
+  for (int g : active_) {
+    step_windows_.push_back(windows_[g]);
+    step_contexts_.push_back(contexts_[g]);
+    step_caches_.push_back(caches_[g].get());
+  }
+  // Per-step arena frame: tensors from this step are recycled once the
+  // sliding windows release them.
+  ad::ArenaScope arena_frame;
+  std::vector<ad::Tensor> next =
+      batched_.step(step_windows_, step_contexts_, nullptr, step_caches_);
+
+  std::vector<int> still_active;
+  still_active.reserve(active_.size());
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    const int g = active_[k];
+    frames_[g].push_back(tensor_to_frame(next[k]));
+    windows_[g].erase(windows_[g].begin());
+    windows_[g].push_back(next[k]);
+    if (static_cast<int>(frames_[g].size()) < steps_[g])
+      still_active.push_back(g);
+  }
+  active_.swap(still_active);
+  return !active_.empty();
 }
 
 }  // namespace gns::core

@@ -16,9 +16,11 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/simulator.hpp"
 #include "graph/batch.hpp"
+#include "graph/neighbor_search.hpp"
 
 namespace gns::core {
 
@@ -62,6 +64,47 @@ class BatchedSimulator {
 
  private:
   std::shared_ptr<const LearnedSimulator> sim_;
+};
+
+/// Incremental form of BatchedSimulator::rollout: holds the rolling
+/// windows, Verlet caches, and per-member frame buffers between steps so a
+/// caller can advance the batch one step at a time — the serving layer
+/// runs each step as one executor task (a continuation chain) instead of
+/// blocking a thread for the whole rollout. rollout() is implemented on
+/// top of this class, so the blocking and the step-at-a-time paths execute
+/// the exact same op sequence and stay bitwise identical.
+class BatchedRollout {
+ public:
+  BatchedRollout(std::shared_ptr<const LearnedSimulator> simulator,
+                 const std::vector<Window>& initial_windows,
+                 const std::vector<int>& steps,
+                 const std::vector<SceneContext>& contexts);
+
+  /// Gate-compacts the still-active members, then advances them by one
+  /// block-diagonal step. Returns true while members remain active
+  /// afterwards (i.e. another step_once call would do work).
+  bool step_once(const BatchedSimulator::StepGate& gate = nullptr);
+
+  [[nodiscard]] bool done() const { return active_.empty(); }
+
+  /// Predicted frames per member, flat [N_g * dim] each. Moves the
+  /// buffers out; the rollout is finished once this is called.
+  [[nodiscard]] std::vector<std::vector<std::vector<double>>> take_frames() {
+    return std::move(frames_);
+  }
+
+ private:
+  BatchedSimulator batched_;
+  std::vector<Window> windows_;
+  std::vector<int> steps_;
+  std::vector<SceneContext> contexts_;
+  std::vector<std::unique_ptr<graph::CellList>> caches_;
+  std::vector<std::vector<std::vector<double>>> frames_;
+  std::vector<int> active_;  ///< member indices still rolling
+  // Per-step scratch, kept across steps to avoid reallocation.
+  std::vector<Window> step_windows_;
+  std::vector<SceneContext> step_contexts_;
+  std::vector<graph::CellList*> step_caches_;
 };
 
 }  // namespace gns::core

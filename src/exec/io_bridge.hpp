@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file io_bridge.hpp
+/// Self-pipe poll bridge: readiness events on registered fds become
+/// executor tasks.
+///
+/// One dedicated poller thread runs poll() over the armed watches plus an
+/// internal wake pipe. When a watch fires it is disarmed (oneshot) and
+/// its callback is submitted to the executor with the revents mask; the
+/// callback re-arms via rearm() when it wants more events. Oneshot
+/// semantics guarantee at most one in-flight callback task per watch, so
+/// per-connection state needs no locking against the bridge itself (only
+/// against timers the owner schedules separately).
+///
+/// Callbacks never reference the bridge internally — stop() joins the
+/// poller and then waits for already-submitted callback tasks to finish,
+/// after which the owner may destroy the bridge. rearm()/unwatch() on a
+/// stopped bridge are harmless no-ops.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace gns::exec {
+
+class Executor;
+
+class IoBridge {
+ public:
+  /// revents: the poll() revents mask (POLLIN/POLLOUT/POLLERR/POLLHUP/
+  /// POLLNVAL). A watch whose fd goes invalid fires with POLLNVAL.
+  using Callback = std::function<void(short)>;
+
+  explicit IoBridge(Executor& executor);
+  ~IoBridge();
+
+  IoBridge(const IoBridge&) = delete;
+  IoBridge& operator=(const IoBridge&) = delete;
+
+  /// Registers fd, armed for `events`. Returns a watch id (> 0).
+  int watch(int fd, short events, Callback cb);
+
+  /// Re-arms a (disarmed) watch for `events`. Typically called at the end
+  /// of the callback task.
+  void rearm(int id, short events);
+
+  /// Unregisters the watch; its callback will not be submitted again
+  /// (an already-submitted callback task may still be running).
+  void unwatch(int id);
+
+  /// Joins the poller and waits for in-flight callback tasks to drain.
+  /// Idempotent.
+  void stop();
+
+ private:
+  struct Watch {
+    int fd = -1;
+    short events = 0;
+    bool armed = false;
+  };
+
+  void loop();
+  void wake();
+
+  Executor& executor_;
+  std::mutex m_;
+  std::unordered_map<int, Watch> watches_;
+  std::unordered_map<int, Callback> callbacks_;  // id -> cb, copied per fire
+  int next_id_ = 1;
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<bool> stop_{false};
+  std::shared_ptr<std::atomic<int>> inflight_;  // submitted, not yet finished
+  std::thread thread_;
+};
+
+}  // namespace gns::exec

@@ -1,5 +1,7 @@
 #include "graph/neighbor_search.hpp"
 
+#include "exec/parallel_for.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -86,8 +88,7 @@ void CellList::build(const std::vector<Vec2>& positions) {
     const double rs = radius_ + skin_;
     const double rs2 = rs * rs;
     std::vector<std::vector<int>> cand(n);
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < n; ++i) {
+    exec::parallel_for(n, true, [&](std::int64_t i) {
       const auto [cx, cy] = cell_coords(positions[i]);
       auto& list = cand[i];
       for (int dy = -1; dy <= 1; ++dy) {
@@ -106,7 +107,7 @@ void CellList::build(const std::vector<Vec2>& positions) {
         }
       }
       std::sort(list.begin(), list.end());
-    }
+    });
     cand_start_.assign(n + 1, 0);
     for (int i = 0; i < n; ++i)
       cand_start_[i + 1] =
@@ -167,8 +168,7 @@ Graph CellList::radius_graph(const std::vector<Vec2>& positions,
     // Verlet fast path: distance-filter the pre-sorted candidate pairs
     // (within radius + skin at build) at the exact radius against current
     // positions — the same edges the stencil scan below would produce.
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < n; ++i) {
+    exec::parallel_for(n, true, [&](std::int64_t i) {
       auto& list = nbrs[i];
       for (int s = cand_start_[i]; s < cand_start_[i + 1]; ++s) {
         const int j = cand_ids_[s];
@@ -177,10 +177,9 @@ Graph CellList::radius_graph(const std::vector<Vec2>& positions,
         const double ddy = positions[i].y - positions[j].y;
         if (ddx * ddx + ddy * ddy <= r2) list.push_back(j);
       }
-    }
+    });
   } else {
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < n; ++i) {
+    exec::parallel_for(n, true, [&](std::int64_t i) {
       const auto [cx, cy] = cell_coords(positions[i]);
       auto& list = nbrs[i];
       for (int dy = -1; dy <= 1; ++dy) {
@@ -200,7 +199,7 @@ Graph CellList::radius_graph(const std::vector<Vec2>& positions,
         }
       }
       std::sort(list.begin(), list.end());
-    }
+    });
   }
   std::size_t total = 0;
   for (const auto& list : nbrs) total += list.size();

@@ -1,5 +1,7 @@
 #include "mpm/grid.hpp"
 
+#include "exec/parallel_for.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -24,15 +26,14 @@ void Grid::clear() {
 
 void Grid::update_velocities(double dt, double min_mass) {
   const int n = num_nodes();
-#pragma omp parallel for schedule(static)
-  for (int i = 0; i < n; ++i) {
+  exec::parallel_for(n, true, [&](std::int64_t i) {
     if (mass[i] > min_mass) {
       velocity[i].x = (momentum[i].x + dt * force[i].x) / mass[i];
       velocity[i].y = (momentum[i].y + dt * force[i].y) / mass[i];
     } else {
       velocity[i] = Vec2d{};
     }
-  }
+  });
 }
 
 void Grid::apply_boundary(double dt, double floor_friction) {

@@ -7,6 +7,7 @@
 #include <omp.h>
 #endif
 
+#include "exec/parallel_for.hpp"
 #include "obs/obs.hpp"
 #include "util/simd.hpp"
 
@@ -46,8 +47,9 @@ void MpmSolver::ensure_p2g_buffers() {
   // Sized lazily so a later rise in omp_get_max_threads() cannot run a
   // thread off the end of the buffer array. New/resized buffers start
   // with epoch stamps 0 < p2g_epoch_ + 1, i.e. "stale everywhere" — the
-  // lazy clear initializes them on first touch.
-  const int nt = max_threads();
+  // lazy clear initializes them on first touch. The executor path needs
+  // one buffer per fixed P2G lane instead of one per OpenMP thread.
+  const int nt = exec::enabled() ? kP2gLanes : max_threads();
   const std::size_t n = static_cast<std::size_t>(grid_.num_nodes());
   const std::size_t nblocks = (n + (std::size_t{1} << kBlockShift) - 1) >>
                               kBlockShift;
@@ -92,13 +94,12 @@ double MpmSolver::step() {
     GNS_TRACE_SCOPE("mpm.solver.grid_update");
     const obs::ScopedHistogramTimer phase_timer(grid_update_ms);
     const int n_nodes = grid_.num_nodes();
-#pragma omp parallel for schedule(static)
-    for (int i = 0; i < n_nodes; ++i) {
+    exec::parallel_for(n_nodes, true, [&](std::int64_t i) {
       grid_old_velocity_[i] = (grid_.mass[i] > 1e-12)
                                   ? Vec2d{grid_.momentum[i].x / grid_.mass[i],
                                           grid_.momentum[i].y / grid_.mass[i]}
                                   : Vec2d{};
-    }
+    });
 
     grid_.update_velocities(dt_step);
     grid_.apply_boundary(dt_step, config_.floor_friction);
@@ -153,18 +154,12 @@ void MpmSolver::particle_to_grid(double dt) {
   const std::uint64_t epoch = ++p2g_epoch_;
   const std::size_t block_len = std::size_t{1} << kBlockShift;
 
-#pragma omp parallel
-  {
-    const int tid = thread_id();
-    P2gBuffer& buf = p2g_buffers_[tid];
-    buf.dirty.clear();
-
-    // kShapeBatch-particle chunks: positions transposed to SoA, both
-    // axes' weights evaluated in one batched (AVX2-dispatched) call,
-    // then the usual tensor-product scatter. The accumulation arithmetic
-    // is term-for-term the legacy per-particle loop.
-#pragma omp for schedule(static) nowait
-    for (int c = 0; c < nchunks; ++c) {
+  // kShapeBatch-particle chunks: positions transposed to SoA, both
+  // axes' weights evaluated in one batched (AVX2-dispatched) call,
+  // then the usual tensor-product scatter. The accumulation arithmetic
+  // is term-for-term the legacy per-particle loop.
+  auto process_chunk = [&](int c, P2gBuffer& buf) {
+    {
       const int c0 = c * kShapeBatch;
       const int cnt = std::min(kShapeBatch, np - c0);
       alignas(32) double bx[kShapeBatch];
@@ -223,6 +218,34 @@ void MpmSolver::particle_to_grid(double dt) {
         }
       }
     }
+  };
+
+  if (exec::enabled()) {
+    // Executor path: kP2gLanes fixed lanes, each owning a contiguous
+    // chunk range (a function of nchunks only) and its own buffer. The
+    // ascending-lane reduction below then performs the same FP sequence
+    // at any worker count — P2G is bitwise worker-count invariant here.
+    const int lanes = std::min(kP2gLanes, nchunks);
+    exec::parallel_jobs(lanes, true, [&](int lane) {
+      P2gBuffer& buf = p2g_buffers_[lane];
+      buf.dirty.clear();
+      const int cbegin = nchunks * lane / lanes;
+      const int cend = nchunks * (lane + 1) / lanes;
+      for (int c = cbegin; c < cend; ++c) process_chunk(c, buf);
+    });
+    // Lanes beyond `lanes` kept stale dirty lists from earlier steps;
+    // clear them so the union below only sees this step's blocks.
+    for (int t = lanes; t < static_cast<int>(p2g_buffers_.size()); ++t)
+      p2g_buffers_[t].dirty.clear();
+  } else {
+#pragma omp parallel
+    {
+      const int tid = thread_id();
+      P2gBuffer& buf = p2g_buffers_[tid];
+      buf.dirty.clear();
+#pragma omp for schedule(static) nowait
+      for (int c = 0; c < nchunks; ++c) process_chunk(c, buf);
+    }
   }
 
   // Union of the per-thread dirty lists. Blocks nobody touched keep the
@@ -243,8 +266,7 @@ void MpmSolver::particle_to_grid(double dt) {
   // never touched a block contributed exact zeros there, and adding +0.0
   // to a +0.0-seeded running sum can never change its bits).
   const int n_touched = static_cast<int>(touched_blocks_.size());
-#pragma omp parallel for schedule(static)
-  for (int u = 0; u < n_touched; ++u) {
+  exec::parallel_for(n_touched, true, [&](std::int64_t u) {
     const int blk = touched_blocks_[u];
     const std::size_t lo = static_cast<std::size_t>(blk) << kBlockShift;
     const std::size_t len =
@@ -260,7 +282,7 @@ void MpmSolver::particle_to_grid(double dt) {
         grid_.force[i].y += buf.force_y[i];
       }
     }
-  }
+  });
 }
 
 void MpmSolver::grid_to_particle(double dt) {
@@ -283,8 +305,8 @@ void MpmSolver::grid_to_particle(double dt) {
   // Same chunked SoA weight evaluation as P2G. The gather itself is a
   // purely per-particle reduction (no cross-particle accumulation), so
   // the results are bitwise independent of chunking and thread count.
-#pragma omp parallel for schedule(static)
-  for (int c = 0; c < nchunks; ++c) {
+  exec::parallel_for(nchunks, true, [&](std::int64_t cc) {
+    const int c = static_cast<int>(cc);
     const int c0 = c * kShapeBatch;
     const int cnt = std::min(kShapeBatch, np - c0);
     alignas(32) double bx[kShapeBatch];
@@ -338,7 +360,7 @@ void MpmSolver::grid_to_particle(double dt) {
                         particles_.mass[p] / particles_.volume[p]};
       particles_.stress[p] = material_->update_stress(state);
     }
-  }
+  });
 }
 
 }  // namespace gns::mpm

@@ -6,10 +6,11 @@
 /// One step: particle-to-grid transfer (mass, momentum, internal + gravity
 /// forces) -> grid velocity update with box boundary conditions -> grid-to-
 /// particle transfer with a FLIP/PIC blend, velocity-gradient-driven
-/// constitutive update, and position advection. OpenMP parallel in both
-/// transfer directions (P2G scatters into per-thread grid buffers that are
-/// reduced in fixed order, so results are deterministic at a fixed thread
-/// count).
+/// constitutive update, and position advection. Both transfer directions
+/// run in parallel — on the work-stealing executor (exec::parallel_for /
+/// fixed P2G lanes, bitwise invariant to the worker count) by default, or
+/// under OpenMP with GNS_EXEC=0 (P2G scatters into per-thread grid buffers
+/// reduced in fixed order: deterministic at a fixed thread count).
 ///
 /// Both transfers run in kShapeBatch-particle chunks over SoA scratch:
 /// shape weights are evaluated by the batched (AVX2-dispatched, bitwise
@@ -85,6 +86,13 @@ class MpmSolver {
   /// Node blocks of the lazy-clear bookkeeping: nodes [blk << kBlockShift,
   /// (blk + 1) << kBlockShift) form one clear/reduce unit.
   static constexpr int kBlockShift = 6;  // 64 nodes per block
+
+  /// P2G scatter lanes on the executor path (GNS_EXEC=1). Each lane owns a
+  /// fixed contiguous chunk range and a private scatter buffer, and the
+  /// reduction sums lanes in ascending order — a constant decomposition,
+  /// so P2G is bitwise identical at any executor worker count (the OpenMP
+  /// path keeps its per-thread buffers: bitwise per thread count only).
+  static constexpr int kP2gLanes = 8;
 
   /// Per-thread P2G scatter buffers, SoA per field so the reduction can
   /// run as flat vector adds. `block_epoch[blk] == current epoch` means

@@ -66,7 +66,8 @@ Server::Server(serve::JobScheduler& scheduler, ServerConfig config)
       queue_depth_gauge_(obs::MetricsRegistry::global().gauge(
           config_.metrics_prefix + ".scheduler_queue_depth")),
       request_ms_(obs::MetricsRegistry::global().histogram(
-          config_.metrics_prefix + ".request_ms")) {
+          config_.metrics_prefix + ".request_ms")),
+      use_exec_(exec::enabled()) {
   for (std::uint8_t code = static_cast<std::uint8_t>(NetError::Busy);
        code <= static_cast<std::uint8_t>(NetError::BackendLost); ++code) {
     reject_counters_[code] = &obs::MetricsRegistry::global().counter(
@@ -121,6 +122,24 @@ bool Server::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   port_ = ntohs(bound.sin_port);
 
+  if (use_exec_) {
+    // Executor mode: no threads of our own. The bridge's poller turns
+    // listener/connection readiness into tasks on the global executor.
+    started_ = Clock::now();
+    draining_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    bridge_ = std::make_unique<exec::IoBridge>(exec::Executor::global());
+    listen_watch_ =
+        bridge_->watch(listen_fd_, POLLIN, [this](short re) {
+          exec_accept(re);
+        });
+    GNS_INFO("net: serving on " << config_.host << ":" << port_
+                                << " (executor mode, "
+                                << exec::Executor::global().workers()
+                                << " shared workers)");
+    return true;
+  }
+
   shared_.clear();
   for (int i = 0; i < config_.handler_threads; ++i) {
     auto shared = std::make_unique<HandlerShared>();
@@ -160,6 +179,10 @@ void Server::stop() {
     if (!running_.load(std::memory_order_acquire)) return;
     GNS_INFO("net: draining (stop accepting, flush in-flight)");
     draining_.store(true, std::memory_order_release);
+    if (use_exec_) {
+      exec_stop();
+      return;
+    }
     // 1. Stop accepting: close the listener and join the acceptor.
     if (acceptor_.joinable()) acceptor_.join();
     if (listen_fd_ >= 0) {
@@ -692,6 +715,202 @@ bool Server::flush_writes(Connection& conn) {
     conn.woff = 0;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Executor mode (use_exec_): the exact handler_loop per-connection cycle,
+// run as oneshot-watch tasks on the global executor. ec->m serializes the
+// watch callback, pump-timer callback, and stop() against each other; the
+// oneshot watch guarantees at most one socket-event task per connection.
+// ---------------------------------------------------------------------------
+
+struct Server::ExecConn {
+  std::mutex m;
+  Connection conn;
+  std::uint64_t key = 0;
+  int watch_id = -1;
+  bool closed = false;
+  bool pump_armed = false;
+  exec::Executor::TimerId pump_timer = 0;
+};
+
+void Server::exec_accept(short /*revents*/) {
+  if (draining_.load(std::memory_order_acquire)) return;  // stop() unwatches
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN or transient error: back to the poller
+    if (active_connections_.load(std::memory_order_relaxed) >=
+            config_.max_connections ||
+        !set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted_.add();
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_gauge_.set(
+        active_connections_.load(std::memory_order_relaxed));
+    auto ec = std::make_shared<ExecConn>();
+    ec->conn.fd = fd;
+    ec->conn.last_activity = Clock::now();
+    ec->conn.peer_version = config_.max_protocol_version;
+    {
+      std::lock_guard<std::mutex> lock(econns_mutex_);
+      ec->key = next_econn_++;
+      econns_[ec->key] = ec;
+    }
+    // Register under ec->m: the first event task can fire on another
+    // worker immediately and reads watch_id when it re-arms.
+    std::lock_guard<std::mutex> lk(ec->m);
+    ec->watch_id = bridge_->watch(
+        fd, POLLIN, [this, ec](short re) { exec_service(ec, re); });
+  }
+  bridge_->rearm(listen_watch_, POLLIN);
+}
+
+void Server::exec_service(const std::shared_ptr<ExecConn>& ec,
+                          short revents) {
+  bool erase = false;
+  {
+    std::lock_guard<std::mutex> lock(ec->m);
+    if (ec->closed) return;
+    Connection& conn = ec->conn;
+    bool alive = true;
+
+    if (revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+    if (alive && (revents & POLLIN)) {
+      alive = read_some(conn);
+      if (alive) process_rbuf(conn);
+    }
+    if (alive) pump_completions(conn);
+    if (alive && !conn.wqueue.empty()) alive = flush_writes(conn);
+    if (alive && conn.close_after_flush && conn.wqueue.empty()) alive = false;
+
+    const Clock::time_point now = Clock::now();
+    if (alive && config_.read_timeout_ms > 0 && conn.has_partial &&
+        ms_since(conn.partial_since, now) > config_.read_timeout_ms) {
+      timeouts_.add();
+      alive = false;
+    }
+    if (alive && config_.idle_timeout_ms > 0 && conn.inflight.empty() &&
+        conn.wqueue.empty() && !conn.has_partial &&
+        ms_since(conn.last_activity, now) > config_.idle_timeout_ms) {
+      timeouts_.add();
+      alive = false;
+    }
+    // Drain exit per connection: once nothing is in flight and every
+    // reply flushed, the connection closes itself (exec_stop is waiting).
+    if (alive && draining_.load(std::memory_order_acquire) &&
+        conn.inflight.empty() && conn.wqueue.empty()) {
+      alive = false;
+    }
+
+    if (!alive) {
+      ec->closed = true;
+      if (ec->pump_timer != 0 &&
+          exec::Executor::global().cancel_timer(ec->pump_timer)) {
+        exec_pending_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      ec->pump_timer = 0;
+      ec->pump_armed = false;
+      bridge_->unwatch(ec->watch_id);
+      close_connection(conn);
+      erase = true;
+    } else {
+      short events = POLLIN;
+      if (!conn.wqueue.empty()) events |= POLLOUT;
+      bridge_->rearm(ec->watch_id, events);
+      // Futures are poll-checked, so a connection with work pending gets a
+      // tight pump tick and an idle one a relaxed tick — the executor-
+      // timer analogue of handler_loop's 2 ms / 50 ms poll timeout.
+      if (!ec->pump_armed) {
+        const bool busy = !conn.inflight.empty() || !conn.wqueue.empty() ||
+                          conn.has_partial ||
+                          draining_.load(std::memory_order_acquire);
+        ec->pump_armed = true;
+        exec_pending_.fetch_add(1, std::memory_order_acq_rel);
+        ec->pump_timer = exec::Executor::global().schedule_after(
+            busy ? 2.0 : 50.0, [this, ec] {
+              {
+                std::lock_guard<std::mutex> lk(ec->m);
+                ec->pump_armed = false;
+                ec->pump_timer = 0;
+              }
+              exec_service(ec, 0);
+              exec_pending_.fetch_sub(1, std::memory_order_acq_rel);
+            });
+      }
+    }
+  }
+  if (erase) {
+    // ec->m released above: econns_mutex_ must never nest inside it.
+    std::lock_guard<std::mutex> lock(econns_mutex_);
+    econns_.erase(ec->key);
+  }
+}
+
+void Server::exec_stop() {
+  // 1. Stop accepting. The listener fd stays open until the bridge stops:
+  //    an already-submitted accept task may still be using it.
+  bridge_->unwatch(listen_watch_);
+  listen_watch_ = -1;
+  // 2. Drain: connections close themselves once their in-flight jobs have
+  //    resolved and flushed (pump timers keep servicing them); bounded by
+  //    drain_timeout_ms, after which stragglers are abandoned and logged.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             config_.drain_timeout_ms));
+  for (;;) {
+    bool dirty = false;
+    {
+      std::lock_guard<std::mutex> lock(econns_mutex_);
+      for (auto& entry : econns_) {
+        std::lock_guard<std::mutex> lk(entry.second->m);
+        const Connection& conn = entry.second->conn;
+        if (!conn.inflight.empty() || !conn.wqueue.empty()) dirty = true;
+      }
+    }
+    if (!dirty || Clock::now() >= deadline) {
+      if (dirty) GNS_WARN("net: drain timeout, abandoning connections");
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // 3. Close every remaining connection and cancel its pump timer.
+  std::map<std::uint64_t, std::shared_ptr<ExecConn>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(econns_mutex_);
+    snapshot.swap(econns_);
+  }
+  for (auto& entry : snapshot) {
+    ExecConn& ec = *entry.second;
+    std::lock_guard<std::mutex> lk(ec.m);
+    if (ec.closed) continue;
+    ec.closed = true;
+    if (ec.pump_timer != 0 &&
+        exec::Executor::global().cancel_timer(ec.pump_timer)) {
+      exec_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    ec.pump_timer = 0;
+    bridge_->unwatch(ec.watch_id);
+    close_connection(ec.conn);
+  }
+  // 4. Quiesce: the bridge joins its poller and drains watch-callback
+  //    tasks; pump-timer callbacks are tracked separately via
+  //    exec_pending_ (they see closed connections and return early).
+  bridge_->stop();
+  while (exec_pending_.load(std::memory_order_acquire) > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  bridge_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+  obs::flush_env_files();
+  GNS_INFO("net: drained and stopped");
 }
 
 void Server::close_connection(Connection& conn) {

@@ -3,15 +3,26 @@
 /// \file server.hpp
 /// TCP front-end of the rollout serving subsystem.
 ///
-/// Threading model: one acceptor thread blocks in poll() on the listening
-/// socket and hands accepted connections round-robin to N handler threads.
-/// Each handler owns a disjoint set of nonblocking connections and runs its
-/// own poll() loop over them (plus a self-pipe the acceptor and stop() use
-/// as a wakeup): reads append to a per-connection buffer, complete frames
-/// are decoded and submitted to the serve::JobScheduler, resolved futures
-/// are encoded into a per-connection write queue, and writes drain on
-/// POLLOUT. No locks are held across a poll cycle except the short handoff
-/// queue mutex.
+/// Threading model (default, exec::enabled()): the server owns no threads.
+/// The listening socket and every accepted connection are registered with
+/// an exec::IoBridge, whose poller turns readiness events into tasks on
+/// the global work-stealing executor — the same pool that runs the
+/// scheduler's rollout chains and the per-step compute, so net I/O shares
+/// cores with compute instead of pinning handler threads. Each connection
+/// is serviced by at most one task at a time (oneshot watches plus a
+/// per-connection mutex); while requests are in flight or writes are
+/// queued, a short executor pump timer re-services the connection between
+/// socket events (the analogue of the handler loop's tight poll tick).
+///
+/// Legacy threading model (GNS_EXEC=0): one acceptor thread blocks in
+/// poll() on the listening socket and hands accepted connections
+/// round-robin to N handler threads. Each handler owns a disjoint set of
+/// nonblocking connections and runs its own poll() loop over them (plus a
+/// self-pipe the acceptor and stop() use as a wakeup). Both modes share
+/// every decode, dispatch, encode, and flush path below: reads append to a
+/// per-connection buffer, complete frames are decoded and submitted to the
+/// serve::JobScheduler, resolved futures are encoded into a per-connection
+/// write queue, and writes drain on POLLOUT.
 ///
 /// Backpressure is explicit and bounded everywhere: a request beyond the
 /// per-connection or global in-flight cap — or one the scheduler rejects
@@ -52,6 +63,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/executor.hpp"
+#include "exec/io_bridge.hpp"
 #include "net/protocol.hpp"
 #include "obs/metrics.hpp"
 #include "serve/scheduler.hpp"
@@ -170,8 +183,24 @@ class Server {
     int wake_write = -1;
   };
 
+  /// One connection in executor mode: the shared Connection state plus the
+  /// bridge watch and pump timer that drive it. Defined in server.cpp.
+  struct ExecConn;
+
   void acceptor_loop();
   void handler_loop(int index);
+  // ---- executor-mode plumbing (use_exec_) ----
+  /// Listener watch callback: accepts everything ready, registers each
+  /// connection with the bridge, then re-arms the listener.
+  void exec_accept(short revents);
+  /// One service pass over a connection (read/decode/submit, pump resolved
+  /// futures, flush writes, timeouts) — the body of handler_loop's per-
+  /// connection cycle, run as an executor task. At most one runs per
+  /// connection at a time (oneshot watch + ec->m).
+  void exec_service(const std::shared_ptr<ExecConn>& ec, short revents);
+  /// stop() body for executor mode: unwatch the listener, drain-wait,
+  /// close every connection, stop the bridge, quiesce pump timers.
+  void exec_stop();
   /// Drains socket -> rbuf; false when the peer closed or errored.
   bool read_some(Connection& conn);
   /// Decodes and dispatches every complete frame in rbuf.
@@ -233,6 +262,19 @@ class Server {
   /// Per-NetError rejection counters (`<prefix>.reject.<code>`), indexed
   /// by the numeric NetError value; [0] is unused.
   std::array<obs::Counter*, 10> reject_counters_{};
+
+  // ---- executor-mode state ----
+  const bool use_exec_;  ///< exec::enabled() snapshot at construction
+  std::unique_ptr<exec::IoBridge> bridge_;
+  int listen_watch_ = -1;
+  /// Live connections by key. Lock order: NEVER acquire econns_mutex_
+  /// while holding an ExecConn's mutex (release ec->m first).
+  std::mutex econns_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<ExecConn>> econns_;
+  std::uint64_t next_econn_ = 1;
+  /// Armed or firing pump timers; stop() waits for 0 so no timer callback
+  /// outlives the server (bridge_->stop covers watch callbacks only).
+  std::atomic<int> exec_pending_{0};
 };
 
 }  // namespace gns::net

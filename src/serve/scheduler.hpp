@@ -1,16 +1,35 @@
 #pragma once
 
 /// \file scheduler.hpp
-/// JobScheduler: fixed worker pool + bounded queue for rollout inference.
+/// JobScheduler: bounded-queue rollout inference on the task-graph
+/// executor (or a dedicated thread pool with GNS_EXEC=0).
 ///
-/// Threading model: `workers` threads block on one condition variable over
-/// a FIFO deque of at most `queue_capacity` jobs. submit() never blocks —
-/// when the queue is full the returned future is already resolved with
-/// JobStatus::QueueFull (backpressure is the *client's* problem, the
-/// scheduler never buffers unboundedly). Each worker executes a rollout
-/// step-by-step under its own thread-local NoGradGuard, re-checking the
-/// job's deadline and cancellation flag between steps, so a runaway
-/// request occupies a worker for at most one extra step past its budget.
+/// Execution model (default, exec::enabled()): the scheduler owns no
+/// threads. submit() enqueues and schedules a drain task on the global
+/// work-stealing executor; the drain pops jobs (up to `workers` concurrent
+/// dispatches, preserving the pool-sized concurrency cap) and runs each
+/// rollout as a continuation chain — one executor task per step, each
+/// under its own NoGradGuard, re-checking deadline and cancellation
+/// before every step. Batch-window coalescing becomes a timer-wheel task:
+/// an underfull batch parks as a PendingBatch whose timer fires at
+/// min(window end, earliest member deadline); later drains top it up and
+/// dispatch early when it fills, and the timer-fire path sweeps cancelled
+/// or expired members out BEFORE dispatch, so a job cancelled while its
+/// batch window is pending never executes. Queued-job deadlines are timer
+/// cancellations too: the timer resolves a still-queued job
+/// DeadlineExceeded the moment its budget lapses, and is cancelled when
+/// the job dispatches.
+///
+/// Legacy threading model (GNS_EXEC=0): `workers` threads block on one
+/// condition variable over the same FIFO deque. Both modes share every
+/// queueing, caching, and resolution path; a rollout produces bitwise
+/// identical frames on either (guarded by test_serve on both legs).
+///
+/// submit() never blocks — when the queue is full the returned future is
+/// already resolved with JobStatus::QueueFull (backpressure is the
+/// *client's* problem, the scheduler never buffers unboundedly). A
+/// runaway request occupies a worker (or chain slot) for at most one
+/// extra step past its budget.
 ///
 /// Batched dispatch (max_batch > 1): a worker that pops a job also pulls up
 /// to max_batch-1 more queued jobs for the *same model* (skipping
@@ -45,6 +64,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
@@ -54,6 +74,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "serve/job.hpp"
 #include "serve/registry.hpp"
 #include "serve/stats.hpp"
@@ -123,8 +144,10 @@ class JobScheduler {
   void shutdown(bool drain = true);
 
   [[nodiscard]] int queue_depth() const;
+  /// Concurrency cap: pool size in thread mode, max concurrent dispatch
+  /// chains in executor mode. Advertised in HELLO capability replies.
   [[nodiscard]] int workers() const {
-    return static_cast<int>(threads_.size());
+    return use_exec_ ? config_.workers : static_cast<int>(threads_.size());
   }
   [[nodiscard]] ServerStats& stats() { return stats_; }
   [[nodiscard]] const ServerStats& stats() const { return stats_; }
@@ -164,12 +187,66 @@ class JobScheduler {
     Enqueue,   ///< miss (job leads) or cache not applicable: queue normally
   };
 
+  /// An underfull batch parked on the executor waiting out its coalescing
+  /// window (exec mode only). Later drains top it up; the timer (or an
+  /// early-dispatch path that cancelled the timer) dispatches it.
+  struct PendingBatch {
+    std::vector<Job> jobs;
+    std::string model;
+    exec::Executor::TimerId timer = 0;
+  };
+  /// One in-flight rollout chain (exec mode): jobs, per-member results,
+  /// and the incremental batched rollout advanced one step per task.
+  struct ChainState;
+
   void worker_loop();
   /// Pulls up to max_batch-1 more same-model jobs into `batch`, waiting at
   /// most batch_window_us (capped by the earliest member deadline). Called
   /// with mutex_ held via `lock`.
   void collect_batch(std::unique_lock<std::mutex>& lock,
                      std::vector<Job>& batch);
+  /// Non-waiting variant shared by the exec drain paths: moves up to
+  /// max_batch same-model jobs out of queue_ into `batch`, stamping
+  /// dequeued and cancelling their queued-deadline timers. Requires
+  /// mutex_ held.
+  void take_compatible_locked(std::vector<Job>& batch,
+                              const std::string& model);
+  // ---- executor-mode machinery (use_exec_) ----
+  /// Ensures one drain task is queued on the executor. Requires mutex_.
+  void schedule_drain_locked();
+  /// Drain task body: tops up pending batches, then pops jobs into new
+  /// dispatch chains while chain slots (config_.workers) are free.
+  void drain_ready();
+  /// Moves the pending batch keyed by `leader_id` to execution. Sweeps
+  /// cancelled/expired members BEFORE dispatch — a job cancelled while
+  /// its batch-window timer was pending resolves without ever executing.
+  void dispatch_pending(std::uint64_t leader_id);
+  /// Builds a ChainState for `jobs` and submits its first task.
+  void start_chain(std::vector<Job> jobs);
+  /// One chain task: preflight on the first call, then one rollout step;
+  /// resubmits itself until the rollout finishes, then finalizes.
+  void chain_step(const std::shared_ptr<ChainState>& chain);
+  void finish_chain(const std::shared_ptr<ChainState>& chain);
+  /// Submits fn with task accounting (tasks_inflight_ / idle_cv_), so
+  /// shutdown can quiesce before the scheduler is destroyed. Requires
+  /// mutex_ held.
+  void spawn_task_locked(std::function<void()> fn);
+  /// Timer with the same accounting; cancel via cancel_timer_locked.
+  exec::Executor::TimerId schedule_timer_locked(
+      std::chrono::steady_clock::time_point due, std::function<void()> fn);
+  /// True iff the timer callback will never run (accounting undone here).
+  bool cancel_timer_locked(exec::Executor::TimerId id);
+  /// Converts every parked PendingBatch whose timer can still be cancelled
+  /// into an immediate dispatch task (pause/shutdown: stop waiting out
+  /// batch windows). Requires mutex_ held.
+  void flush_pending_locked();
+  /// Arms the queued-deadline timer for job `id` (requires mutex_).
+  void arm_deadline_timer_locked(std::uint64_t id, Clock::time_point due);
+  /// Cancels and forgets the queued-deadline timer of job `id`, if any.
+  void cancel_deadline_timer_locked(std::uint64_t id);
+  /// Deadline-timer body: resolves job `id` DeadlineExceeded iff it is
+  /// still sitting in queue_.
+  void expire_queued(std::uint64_t id);
   /// Runs the rollout; everything but queueing. Must not hold mutex_.
   [[nodiscard]] RolloutResult execute(Job& job) const;
   /// Runs `jobs` as one block-diagonal batched rollout and resolves every
@@ -198,6 +275,17 @@ class JobScheduler {
   /// Cancellation flags of live (queued or running) jobs, so cancel() can
   /// reach a job that a worker already popped.
   std::map<std::uint64_t, std::shared_ptr<std::atomic<bool>>> live_flags_;
+
+  // ---- executor-mode state (all guarded by mutex_) ----
+  const bool use_exec_;        ///< exec::enabled() snapshot at construction
+  bool drain_scheduled_ = false;
+  int active_chains_ = 0;      ///< dispatch chains + parked pending batches
+  int tasks_inflight_ = 0;     ///< executor tasks + armed timers alive
+  std::condition_variable idle_cv_;  ///< signaled as the above drain to 0
+  /// Parked underfull batches, keyed by leader job id.
+  std::map<std::uint64_t, std::shared_ptr<PendingBatch>> pending_batches_;
+  /// Queued-job deadline timers, job id -> timer id.
+  std::map<std::uint64_t, exec::Executor::TimerId> deadline_timers_;
 };
 
 }  // namespace gns::serve

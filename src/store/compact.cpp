@@ -1,0 +1,113 @@
+#include "store/compact.hpp"
+
+#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "store/trajectory_store.hpp"
+#include "util/logging.hpp"
+
+namespace gns::store {
+
+namespace {
+
+/// fsync the directory so the renames themselves are durable.
+void sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+bool compact_store(const std::string& dir, CompactStats& stats,
+                   std::string& error) {
+  stats = CompactStats{};
+  std::error_code ec;
+  const std::string scratch = dir + "/compact.tmp";
+
+  // Winner per key: the longest rollout, ties toward the later record —
+  // exactly the record RolloutCache's open-time rebuild would serve, so
+  // compaction never changes what a subsequent open observes.
+  std::vector<RecordMeta> winners;
+  {
+    std::unique_ptr<TrajectoryStore> source;
+    try {
+      source = std::make_unique<TrajectoryStore>(dir);
+    } catch (const std::exception& e) {
+      error = e.what();
+      return false;
+    }
+    stats.bytes_before = source->data_bytes();
+    std::map<std::uint64_t, std::size_t> best;  // key -> index in winners
+    for (const RecordMeta& meta : source->catalog()) {
+      ++stats.records_scanned;
+      auto it = best.find(meta.key);
+      if (it == best.end()) {
+        best.emplace(meta.key, winners.size());
+        winners.push_back(meta);
+      } else if (meta.steps >= winners[it->second].steps) {
+        ++stats.superseded_dropped;
+        winners[it->second] = meta;  // keeps first-appearance order
+      } else {
+        ++stats.superseded_dropped;
+      }
+    }
+
+    // Rewrite the survivors through the store's own crash-consistent
+    // append path, re-verifying every payload (read() checks the full
+    // checksum; a corrupt record degrades to a drop, never a copy).
+    std::filesystem::remove_all(scratch, ec);
+    std::unique_ptr<TrajectoryStore> dest;
+    try {
+      dest = std::make_unique<TrajectoryStore>(scratch);
+    } catch (const std::exception& e) {
+      error = e.what();
+      return false;
+    }
+    std::vector<std::vector<double>> frames;
+    for (const RecordMeta& meta : winners) {
+      if (!source->read(meta, static_cast<int>(meta.steps), frames)) {
+        ++stats.corrupt_dropped;
+        GNS_WARN("store: compaction dropping corrupt record key="
+                 << meta.key << " steps=" << meta.steps);
+        continue;
+      }
+      RecordMeta copied;
+      if (!dest->append(meta.key, frames, copied)) {
+        error = "compaction append failed in " + scratch;
+        std::filesystem::remove_all(scratch, ec);
+        return false;
+      }
+      ++stats.records_kept;
+    }
+    stats.bytes_after = dest->data_bytes();
+    // Both stores close (fds + mappings) before the swap below.
+  }
+
+  // Crash-safe swap: data first, then index. Old-index + new-data is the
+  // only intermediate state, and the store's open-time bounds checks plus
+  // per-read checksums turn it into misses, not garbage.
+  if (std::rename((scratch + "/trajectories.dat").c_str(),
+                  (dir + "/trajectories.dat").c_str()) != 0) {
+    error = "rename trajectories.dat failed";
+    std::filesystem::remove_all(scratch, ec);
+    return false;
+  }
+  if (std::rename((scratch + "/trajectories.idx").c_str(),
+                  (dir + "/trajectories.idx").c_str()) != 0) {
+    error = "rename trajectories.idx failed";
+    return false;
+  }
+  sync_dir(dir);
+  std::filesystem::remove_all(scratch, ec);
+  return true;
+}
+
+}  // namespace gns::store

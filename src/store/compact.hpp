@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file compact.hpp
+/// Offline compaction of a TrajectoryStore directory.
+///
+/// The store is append-only, so three kinds of waste accumulate in
+/// `trajectories.dat`: dead tail bytes from crashes between the data
+/// write and the index publish, records whose index entries failed
+/// validation (unreachable), and superseded records — shorter rollouts
+/// of a key that a later, longer append replaced in the cache's resident
+/// index. compact_store() rewrites both files keeping exactly one record
+/// per key — the longest rollout, ties broken toward the later record,
+/// the same winner RolloutCache's open-time rebuild picks — re-verifying
+/// every payload checksum on the way (a corrupt record is dropped, never
+/// copied forward).
+///
+/// Crash safety: the survivors are written to a scratch subdirectory
+/// with the store's own append path (data fsync'd before each index
+/// publish), then swapped in with rename() — data file first, then
+/// index. A crash mid-swap leaves old-index + new-data, which the
+/// store's open-time validation and per-read checksums degrade to
+/// misses, never to garbage frames; a crash before the first rename
+/// leaves the original store untouched.
+///
+/// Offline only: must not run concurrently with a live TrajectoryStore
+/// (or a serving RolloutCache) over the same directory — the tool takes
+/// no lock, matching its role as an operator maintenance command
+/// (examples/store_compact.cpp, built as `gns_store_compact`).
+
+#include <cstdint>
+#include <string>
+
+namespace gns::store {
+
+struct CompactStats {
+  std::uint64_t records_scanned = 0;   ///< valid index entries found
+  std::uint64_t records_kept = 0;      ///< survivors written out
+  std::uint64_t superseded_dropped = 0;  ///< shorter duplicates of a key
+  std::uint64_t corrupt_dropped = 0;   ///< failed payload verification
+  std::uint64_t bytes_before = 0;      ///< data file size going in
+  std::uint64_t bytes_after = 0;       ///< data file size after the swap
+};
+
+/// Compacts `<dir>/trajectories.{dat,idx}` in place (via scratch files +
+/// rename). Returns false with `error` set when the store cannot be
+/// opened or the swap fails; the original files are only replaced after
+/// every survivor is durably written.
+[[nodiscard]] bool compact_store(const std::string& dir, CompactStats& stats,
+                                 std::string& error);
+
+}  // namespace gns::store

@@ -1,0 +1,165 @@
+// Offline TrajectoryStore compaction (store/compact.hpp): superseded and
+// corrupt records drop, unreachable tail bytes are reclaimed, survivors
+// stay bitwise identical, and the swapped-in store reopens cleanly.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/compact.hpp"
+#include "store/trajectory_store.hpp"
+
+namespace gns::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+using Frames = std::vector<std::vector<double>>;
+
+Frames make_frames(int steps, int frame_len, double seed) {
+  Frames frames;
+  frames.reserve(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    std::vector<double> f(static_cast<std::size_t>(frame_len));
+    for (int c = 0; c < frame_len; ++c)
+      f[static_cast<std::size_t>(c)] = seed + 1000.0 * s + c * 0.125;
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+void expect_bitwise(const Frames& got, const Frames& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t s = 0; s < want.size(); ++s) {
+    ASSERT_EQ(got[s].size(), want[s].size());
+    for (std::size_t c = 0; c < want[s].size(); ++c)
+      ASSERT_EQ(got[s][c], want[s][c]) << "frame " << s << " col " << c;
+  }
+}
+
+class StoreCompactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "test_store_compact_dir_" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(StoreCompactTest, RoundtripDropsSupersededCorruptAndUnreachable) {
+  const Frames short_one = make_frames(3, 8, 10.0);
+  const Frames two = make_frames(5, 8, 20.0);
+  const Frames long_one = make_frames(6, 8, 30.0);
+  const Frames doomed = make_frames(4, 8, 40.0);
+  RecordMeta doomed_meta;
+  {
+    TrajectoryStore store(dir_);
+    RecordMeta meta;
+    ASSERT_TRUE(store.append(1, short_one, meta));
+    ASSERT_TRUE(store.append(2, two, meta));
+    ASSERT_TRUE(store.append(1, long_one, meta));  // supersedes the 3-frame
+    ASSERT_TRUE(store.append(3, doomed, doomed_meta));
+  }
+  const std::string dat = dir_ + "/trajectories.dat";
+  // Unreachable tail: a crash between the data write and the index
+  // publish leaves dead bytes after the last published record.
+  {
+    const int fd = ::open(dat.c_str(), O_WRONLY | O_APPEND);
+    ASSERT_GE(fd, 0);
+    const std::vector<std::uint8_t> junk(1024, 0xAB);
+    ASSERT_EQ(::write(fd, junk.data(), junk.size()),
+              static_cast<ssize_t>(junk.size()));
+    ::close(fd);
+  }
+  // Corrupt key 3's payload (first byte past its 32-byte record header).
+  {
+    const int fd = ::open(dat.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    const std::uint8_t flip = 0xFF;
+    ASSERT_EQ(::pwrite(fd, &flip, 1,
+                       static_cast<off_t>(doomed_meta.offset + 32)),
+              1);
+    ::close(fd);
+  }
+
+  const std::uint64_t dirty_bytes = fs::file_size(dat);
+  CompactStats stats;
+  std::string error;
+  ASSERT_TRUE(compact_store(dir_, stats, error)) << error;
+  EXPECT_EQ(stats.records_scanned, 4u);
+  EXPECT_EQ(stats.records_kept, 2u);
+  EXPECT_EQ(stats.superseded_dropped, 1u);
+  EXPECT_EQ(stats.corrupt_dropped, 1u);
+  EXPECT_EQ(stats.bytes_before, dirty_bytes);  // junk tail counts as before
+  EXPECT_LT(stats.bytes_after, dirty_bytes);
+  EXPECT_EQ(stats.bytes_after, fs::file_size(dat));
+  EXPECT_FALSE(fs::exists(dir_ + "/compact.tmp"));
+
+  // The swapped-in store serves the winners bitwise.
+  TrajectoryStore store(dir_);
+  ASSERT_EQ(store.catalog().size(), 2u);
+  Frames got;
+  for (const RecordMeta& meta : store.catalog()) {
+    ASSERT_TRUE(store.read(meta, static_cast<int>(meta.steps), got));
+    if (meta.key == 1) {
+      expect_bitwise(got, long_one);
+    } else {
+      ASSERT_EQ(meta.key, 2u);
+      expect_bitwise(got, two);
+    }
+  }
+
+  // Idempotence: a second pass keeps everything and drops nothing.
+  ASSERT_TRUE(compact_store(dir_, stats, error)) << error;
+  EXPECT_EQ(stats.records_scanned, 2u);
+  EXPECT_EQ(stats.records_kept, 2u);
+  EXPECT_EQ(stats.superseded_dropped, 0u);
+  EXPECT_EQ(stats.corrupt_dropped, 0u);
+  EXPECT_EQ(stats.bytes_before, stats.bytes_after);
+}
+
+TEST_F(StoreCompactTest, TieOnStepsKeepsLaterRecordLikeCacheRebuild) {
+  const Frames older = make_frames(4, 6, 1.0);
+  const Frames newer = make_frames(4, 6, 2.0);
+  {
+    TrajectoryStore store(dir_);
+    RecordMeta meta;
+    ASSERT_TRUE(store.append(7, older, meta));
+    ASSERT_TRUE(store.append(7, newer, meta));
+  }
+  CompactStats stats;
+  std::string error;
+  ASSERT_TRUE(compact_store(dir_, stats, error)) << error;
+  EXPECT_EQ(stats.records_kept, 1u);
+  EXPECT_EQ(stats.superseded_dropped, 1u);
+
+  TrajectoryStore store(dir_);
+  ASSERT_EQ(store.catalog().size(), 1u);
+  Frames got;
+  ASSERT_TRUE(store.read(store.catalog().front(), 4, got));
+  expect_bitwise(got, newer);
+}
+
+TEST_F(StoreCompactTest, EmptyStoreCompactsToEmptyStore) {
+  { TrajectoryStore store(dir_); }
+  CompactStats stats;
+  std::string error;
+  ASSERT_TRUE(compact_store(dir_, stats, error)) << error;
+  EXPECT_EQ(stats.records_scanned, 0u);
+  EXPECT_EQ(stats.records_kept, 0u);
+  TrajectoryStore store(dir_);
+  EXPECT_TRUE(store.catalog().empty());
+}
+
+}  // namespace
+}  // namespace gns::store
